@@ -1,0 +1,75 @@
+#pragma once
+// Shared helpers for the per-figure bench binaries.
+//
+// Every bench regenerates one table or figure of the paper (see DESIGN.md's
+// experiment index).  Conventions:
+//   --csv        emit CSV instead of aligned tables
+//   --quick      reduced problem sizes (scaled dataset, same shape)
+//   --seed <n>   override the clairvoyance seed
+//
+// Reduced-scale runs shrink F together with all capacities by the same
+// factor, which preserves the regime boundaries (S vs d1, D, N*D) the paper
+// organizes its scenarios around.
+
+#include <iostream>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "sim/engine.hpp"
+#include "sim/policies.hpp"
+#include "tiers/params.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace nopfs::bench {
+
+/// Scales a dataset spec's sample count (sizes untouched).
+inline data::DatasetSpec scaled(data::DatasetSpec spec, double factor) {
+  spec.num_samples =
+      std::max<std::uint64_t>(1'000, static_cast<std::uint64_t>(
+                                         static_cast<double>(spec.num_samples) * factor));
+  return spec;
+}
+
+/// Scales all node storage capacities (staging excluded) by `factor`.
+inline void scale_capacities(tiers::SystemParams& system, double factor) {
+  for (auto& sc : system.node.classes) sc.capacity_mb *= factor;
+  system.node.staging.capacity_mb *= factor;
+}
+
+/// Runs one simulation with a fresh policy instance.
+inline sim::SimResult run_policy(const sim::SimConfig& config,
+                                 const data::Dataset& dataset,
+                                 const std::string& policy_name) {
+  auto policy = sim::make_policy(policy_name);
+  return sim::simulate(config, dataset, *policy);
+}
+
+/// Median of the per-epoch times excluding epoch 0 (the paper's metric);
+/// falls back to epoch 0 for single-epoch runs.
+inline double median_epoch_excl_first(const sim::SimResult& result) {
+  if (result.epoch_s.size() <= 1) {
+    return result.epoch_s.empty() ? 0.0 : result.epoch_s.front();
+  }
+  std::vector<double> rest(result.epoch_s.begin() + 1, result.epoch_s.end());
+  return util::median(rest);
+}
+
+/// Renders either aligned text or CSV per the common flag.
+inline void emit(const util::Table& table, const util::BenchArgs& args,
+                 const std::string& title) {
+  if (!args.csv) std::cout << "\n== " << title << " ==\n";
+  if (args.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+/// "x.xx" speedup string of base over target.
+inline std::string speedup(double base_s, double target_s) {
+  if (target_s <= 0.0) return "-";
+  return util::Table::num(base_s / target_s, 2) + "x";
+}
+
+}  // namespace nopfs::bench

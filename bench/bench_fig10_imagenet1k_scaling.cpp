@@ -1,0 +1,57 @@
+// Figure 10: epoch & batch times for ResNet-50 on ImageNet-1k, on
+// Piz Daint (32-256 GPUs: PyTorch, PyTorch+DALI, NoPFS, No I/O) and on
+// Lassen (32-1024 GPUs: PyTorch, LBANN, NoPFS, No I/O).
+//
+// Paper shapes to reproduce: NoPFS up to ~2.2x faster than PyTorch on
+// Piz Daint and up to ~5.4x on Lassen; PyTorch stops scaling once the PFS
+// saturates; NoPFS batch-time tails an order of magnitude smaller.
+
+#include <iostream>
+
+#include "bench_scaling_common.hpp"
+
+using namespace nopfs;
+
+int main(int argc, char** argv) {
+  const util::BenchArgs args = util::parse_bench_args(argc, argv);
+  const double scale = args.quick ? 1.0 / 8.0 : 1.0;
+
+  data::DatasetSpec spec = bench::scaled(data::presets::imagenet1k(), scale);
+  const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
+
+  {
+    bench::ScalingOptions options;
+    options.system_factory = [scale](int gpus) {
+      tiers::SystemParams sys = tiers::presets::piz_daint(gpus);
+      bench::scale_capacities(sys, scale);
+      return sys;
+    };
+    options.gpu_counts = {32, 64, 128, 256};
+    options.loaders = bench::pytorch_dali_nopfs();
+    options.dataset = spec;
+    options.epochs = 3;
+    options.per_worker_batch = 64;  // paper: per-GPU batch 64 on Piz Daint
+    options.seed = args.seed;
+    const auto grid = bench::run_scaling(options, dataset);
+    bench::print_scaling_tables(options, grid, args,
+                                "Fig. 10 left: ImageNet-1k on Piz Daint");
+  }
+  {
+    bench::ScalingOptions options;
+    options.system_factory = [scale](int gpus) {
+      tiers::SystemParams sys = tiers::presets::lassen(gpus);
+      bench::scale_capacities(sys, scale);
+      return sys;
+    };
+    options.gpu_counts = {32, 64, 128, 256, 512, 1024};
+    options.loaders = bench::pytorch_lbann_nopfs();
+    options.dataset = spec;
+    options.epochs = 3;
+    options.per_worker_batch = 120;  // paper: per-GPU batch 120 on Lassen
+    options.seed = args.seed;
+    const auto grid = bench::run_scaling(options, dataset);
+    bench::print_scaling_tables(options, grid, args,
+                                "Fig. 10 right: ImageNet-1k on Lassen");
+  }
+  return 0;
+}

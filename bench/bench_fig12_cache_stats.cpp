@@ -1,0 +1,41 @@
+// Figure 12: NoPFS cache statistics for ImageNet-1k on Piz Daint — total
+// stall time and the share of staging-buffer prefetches served from local
+// storage, remote workers, and the PFS, per GPU count.
+//
+// Paper shapes: stall time decreases with scale; the PFS share shrinks and
+// the remote share grows beyond 64 GPUs (reading a remote worker's memory
+// beats the contended PFS).
+
+#include <iostream>
+
+#include "bench_scaling_common.hpp"
+
+using namespace nopfs;
+
+int main(int argc, char** argv) {
+  const util::BenchArgs args = util::parse_bench_args(argc, argv);
+  const double scale = args.quick ? 1.0 / 8.0 : 1.0;
+
+  data::DatasetSpec spec = bench::scaled(data::presets::imagenet1k(), scale);
+  const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
+
+  util::Table table({"#GPUs", "Stall time", "local %", "remote %", "pfs %",
+                     "PFS MB read"});
+  for (const int gpus : {32, 64, 128, 256}) {
+    sim::SimConfig config;
+    config.system = tiers::presets::piz_daint(gpus);
+    bench::scale_capacities(config.system, scale);
+    config.seed = args.seed;
+    config.num_epochs = 3;
+    config.per_worker_batch = 64;
+    const sim::SimResult result = bench::run_policy(config, dataset, "nopfs");
+    table.add_row(
+        {std::to_string(gpus), util::format_seconds(result.stall_s),
+         util::Table::num(result.count_share(sim::Location::kLocal) * 100.0, 1),
+         util::Table::num(result.count_share(sim::Location::kRemote) * 100.0, 1),
+         util::Table::num(result.count_share(sim::Location::kPfs) * 100.0, 1),
+         util::Table::num(result.location_mb[static_cast<int>(sim::Location::kPfs)], 0)});
+  }
+  bench::emit(table, args, "Fig. 12: NoPFS cache stats, ImageNet-1k on Piz Daint");
+  return 0;
+}

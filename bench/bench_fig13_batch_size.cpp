@@ -1,0 +1,42 @@
+// Figure 13: batch-size sweep for ResNet-50 on ImageNet-1k with 128 GPUs
+// on Lassen.  Paper shapes: NoPFS faster at every batch size; PyTorch's
+// batch-time variance grows with the batch (more I/O pressure per rank)
+// while NoPFS's stays roughly constant.
+
+#include <iostream>
+
+#include "bench_scaling_common.hpp"
+
+using namespace nopfs;
+
+int main(int argc, char** argv) {
+  const util::BenchArgs args = util::parse_bench_args(argc, argv);
+  const double scale = args.quick ? 1.0 / 8.0 : 1.0;
+
+  data::DatasetSpec spec = bench::scaled(data::presets::imagenet1k(), scale);
+  const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
+  const auto loaders = bench::pytorch_nopfs();
+
+  util::Table table({"Batch size", "Loader", "batch med", "batch p95", "batch max",
+                     "stddev"});
+  for (const std::uint64_t batch : {32ull, 64ull, 96ull, 120ull}) {
+    for (const auto& loader : loaders) {
+      sim::SimConfig config;
+      config.system = tiers::presets::lassen(128);
+      bench::scale_capacities(config.system, scale);
+      config.system.node.preprocess_mbps *= loader.preprocess_mult;
+      config.seed = args.seed;
+      config.num_epochs = 3;
+      config.per_worker_batch = batch;
+      const sim::SimResult result = bench::run_policy(config, dataset, loader.policy);
+      if (!result.supported) continue;
+      const util::Summary s = result.batch_summary_rest();
+      table.add_row({std::to_string(batch), loader.label,
+                     util::Table::num(s.median, 3), util::Table::num(s.p95, 3),
+                     util::Table::num(s.max, 3), util::Table::num(s.stddev, 4)});
+    }
+  }
+  bench::emit(table, args,
+              "Fig. 13: batch-size sweep, ImageNet-1k, 128 GPUs on Lassen [s]");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 14: epoch & batch times for ResNet-50 on ImageNet-22k (1.3 TB) on
+// Lassen, 32-1024 GPUs: PyTorch vs NoPFS vs No I/O.  Paper shape: NoPFS up
+// to ~2.4x faster at 1024 GPUs.
+//
+// Defaults to a 1/4-scaled dataset+storage (same regimes); --full runs the
+// paper-scale 14.2M samples.
+
+#include <cstring>
+#include <iostream>
+
+#include "bench_scaling_common.hpp"
+
+using namespace nopfs;
+
+int main(int argc, char** argv) {
+  const util::BenchArgs args = util::parse_bench_args(argc, argv);
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+  }
+  const double scale = full ? 1.0 : (args.quick ? 1.0 / 16.0 : 1.0 / 4.0);
+
+  data::DatasetSpec spec = bench::scaled(data::presets::imagenet22k(), scale);
+  const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
+
+  bench::ScalingOptions options;
+  options.system_factory = [scale](int gpus) {
+    tiers::SystemParams sys = tiers::presets::lassen(gpus);
+    bench::scale_capacities(sys, scale);
+    return sys;
+  };
+  options.gpu_counts = {32, 64, 128, 256, 512, 1024};
+  options.loaders = bench::pytorch_nopfs();
+  options.dataset = spec;
+  options.epochs = 3;  // the paper also uses 3 epochs for ImageNet-22k
+  options.per_worker_batch = 120;
+  options.seed = args.seed;
+  const auto grid = bench::run_scaling(options, dataset);
+  bench::print_scaling_tables(options, grid, args,
+                              std::string("Fig. 14: ImageNet-22k on Lassen") +
+                                  (full ? "" : " (1/4 scale)"));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 16: end-to-end ResNet-50/ImageNet-1k training on 256 GPUs on
+// Lassen (global batch 8192 = 32/GPU, Goyal et al. schedule, 90 epochs):
+// top-1 accuracy vs wall time for PyTorch vs NoPFS.  Paper shape: both
+// follow the same accuracy-vs-epoch curve, NoPFS compresses it ~1.42x in
+// time, final accuracy 76.5%.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "train/accuracy_model.hpp"
+
+using namespace nopfs;
+
+int main(int argc, char** argv) {
+  const util::BenchArgs args = util::parse_bench_args(argc, argv);
+  const double scale = args.quick ? 1.0 / 8.0 : 1.0;
+
+  data::DatasetSpec spec = bench::scaled(data::presets::imagenet1k(), scale);
+  const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
+  const int epochs = 90;
+
+  struct Run {
+    std::string label;
+    std::string policy;
+    sim::SimResult result;
+  };
+  std::vector<Run> runs = {{"PyTorch", "staging", {}}, {"NoPFS", "nopfs", {}}};
+  for (auto& run : runs) {
+    sim::SimConfig config;
+    config.system = tiers::presets::lassen(256);
+    bench::scale_capacities(config.system, scale);
+    config.seed = args.seed;
+    config.num_epochs = epochs;
+    config.per_worker_batch = 32;  // global batch 8192
+    run.result = bench::run_policy(config, dataset, run.policy);
+  }
+
+  // Accuracy-vs-time series (the paper plots every epoch; we print every
+  // tenth plus the end).
+  util::Table table({"Epoch", "Top-1 %", "PyTorch time", "NoPFS time"});
+  std::vector<double> cumulative(runs.size(), 0.0);
+  for (int e = 1; e <= epochs; ++e) {
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      cumulative[r] += runs[r].result.epoch_s[static_cast<std::size_t>(e - 1)];
+    }
+    if (e % 10 == 0 || e == 1 || e == epochs) {
+      table.add_row({std::to_string(e),
+                     util::Table::num(train::resnet50_top1_at_epoch(e), 1),
+                     util::format_seconds(cumulative[0]),
+                     util::format_seconds(cumulative[1])});
+    }
+  }
+  bench::emit(table, args,
+              "Fig. 16: end-to-end ResNet-50/ImageNet-1k, 256 GPUs on Lassen");
+  std::cout << "final top-1: " << train::resnet50_top1_at_epoch(epochs)
+            << "% (paper: 76.5%)\n"
+            << "time to final accuracy: PyTorch "
+            << util::format_seconds(cumulative[0]) << " vs NoPFS "
+            << util::format_seconds(cumulative[1]) << " -> "
+            << bench::speedup(cumulative[0], cumulative[1])
+            << " faster (paper: 1.42x, 111 min vs 78 min)\n";
+  return 0;
+}

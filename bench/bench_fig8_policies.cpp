@@ -1,0 +1,101 @@
+// Figure 8 (a-f): simulator comparison of all I/O policies across the
+// paper's six scenarios on the Sec. 6.1 small cluster (N=4 workers, N=8 for
+// CosmoFlow 512^3), with per-location time breakdowns.
+//
+// Default runs use a 1/16-scaled dataset+storage (same regime boundaries,
+// see DESIGN.md); pass --full for paper-scale F.  --scenario <name>
+// restricts to one scenario.
+
+#include <cstring>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace nopfs;
+
+namespace {
+
+struct Scenario {
+  std::string key;
+  std::string regime;     ///< the paper's cache-capacity regime label
+  std::string dataset;    ///< preset name
+  int workers = 4;
+  std::uint64_t per_worker_batch = 32;
+};
+
+const Scenario kScenarios[] = {
+    {"mnist", "S < d1", "mnist", 4, 32},
+    {"imagenet1k", "d1 < S < D", "imagenet1k", 4, 32},
+    {"openimages", "d1 < S < N*D", "openimages", 4, 32},
+    {"imagenet22k", "D < S < N*D", "imagenet22k", 4, 32},
+    {"cosmoflow", "N*D < S", "cosmoflow", 4, 16},
+    {"cosmoflow512", "N*D < S (N=8)", "cosmoflow512", 8, 1},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::BenchArgs args = util::parse_bench_args(argc, argv);
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+  }
+  const double scale = full ? 1.0 : 1.0 / 16.0;
+
+  for (const auto& scenario : kScenarios) {
+    if (!args.scenario.empty() && args.scenario != scenario.key) continue;
+
+    sim::SimConfig config;
+    config.system = tiers::presets::sim_cluster(scenario.workers);
+    config.seed = args.seed;
+    config.num_epochs = args.quick ? 3 : 5;
+    config.per_worker_batch = scenario.per_worker_batch;
+    bench::scale_capacities(config.system, scale);
+
+    data::DatasetSpec spec = data::presets::by_name(scenario.dataset);
+    spec = bench::scaled(spec, scale);
+    // CosmoFlow 512^3 has only 10k samples; do not scale it below its
+    // batch geometry.
+    if (scenario.key == "cosmoflow512") {
+      spec.num_samples = std::max<std::uint64_t>(spec.num_samples, 2'000);
+    }
+    const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
+
+    util::Table table({"Policy", "Exec time", "Stall", "staging%", "local%",
+                       "remote%", "pfs%", "Notes"});
+    for (const auto& name : sim::all_policy_names()) {
+      const sim::SimResult result = bench::run_policy(config, dataset, name);
+      if (!result.supported) {
+        table.add_row({result.policy, "-", "-", "-", "-", "-", "-",
+                       "unsupported: " + result.unsupported_reason});
+        continue;
+      }
+      double total_loc = 0.0;
+      for (double s : result.location_s) total_loc += s;
+      const auto pct = [&](sim::Location loc) {
+        if (total_loc <= 0.0) return std::string("0");
+        return util::Table::num(
+            result.location_s[static_cast<int>(loc)] / total_loc * 100.0, 0);
+      };
+      std::string notes;
+      if (result.accessed_fraction < 0.95) {
+        notes = "does not access entire dataset (" +
+                util::Table::num(result.accessed_fraction * 100.0, 0) + "%)";
+      }
+      if (result.prestage_s > 0.0) {
+        if (!notes.empty()) notes += "; ";
+        notes += "prestage " + util::format_seconds(result.prestage_s);
+      }
+      table.add_row({result.policy, util::format_seconds(result.total_s),
+                     util::format_seconds(result.stall_s),
+                     pct(sim::Location::kStagingWrite), pct(sim::Location::kLocal),
+                     pct(sim::Location::kRemote), pct(sim::Location::kPfs), notes});
+    }
+    bench::emit(table, args,
+                "Fig. 8 (" + scenario.key + "): " + scenario.regime + ", " +
+                    util::format_size_mb(dataset.total_mb()) + ", N=" +
+                    std::to_string(scenario.workers) +
+                    (full ? "" : ", 1/16 scale"));
+  }
+  return 0;
+}

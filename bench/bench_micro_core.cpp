@@ -1,0 +1,132 @@
+// google-benchmark microbenchmarks of the NoPFS core primitives: the cost
+// the paper claims is negligible ("it only needs to compute the access
+// sequence in advance, which is fast") is measured here, alongside the hot
+// data structures.
+
+#include <benchmark/benchmark.h>
+
+#include "core/access_stream.hpp"
+#include "core/cache_policy.hpp"
+#include "core/frequency.hpp"
+#include "core/perf_model.hpp"
+#include "core/staging_buffer.hpp"
+#include "sim/holder_table.hpp"
+#include "tiers/params.hpp"
+#include "util/rng.hpp"
+
+using namespace nopfs;
+
+namespace {
+
+core::StreamConfig stream_config(std::uint64_t f, int n, int e) {
+  core::StreamConfig config;
+  config.seed = 42;
+  config.num_samples = f;
+  config.num_workers = n;
+  config.num_epochs = e;
+  config.global_batch = static_cast<std::uint64_t>(n) * 32;
+  return config;
+}
+
+void BM_EpochShuffle(benchmark::State& state) {
+  const auto f = static_cast<std::uint64_t>(state.range(0));
+  const core::AccessStreamGenerator gen(stream_config(f, 16, 4));
+  int epoch = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.epoch_order(epoch % 4));
+    ++epoch;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f));
+}
+BENCHMARK(BM_EpochShuffle)->Arg(100'000)->Arg(1'000'000);
+
+void BM_WorkerStream(benchmark::State& state) {
+  const core::AccessStreamGenerator gen(
+      stream_config(static_cast<std::uint64_t>(state.range(0)), 16, 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.worker_stream(3));
+  }
+}
+BENCHMARK(BM_WorkerStream)->Arg(100'000)->Arg(1'000'000);
+
+void BM_FrequencyCount(benchmark::State& state) {
+  const core::AccessStreamGenerator gen(
+      stream_config(static_cast<std::uint64_t>(state.range(0)), 16, 8));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::count_worker_frequencies(gen, 0));
+  }
+}
+BENCHMARK(BM_FrequencyCount)->Arg(100'000)->Arg(1'000'000);
+
+void BM_CachePlan(benchmark::State& state) {
+  const auto f = static_cast<std::uint64_t>(state.range(0));
+  const core::AccessStreamGenerator gen(stream_config(f, 16, 8));
+  const data::Dataset dataset("bm", std::vector<float>(f, 0.1f));
+  tiers::SystemParams sys = tiers::presets::sim_cluster(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_cache_plan(gen, 0, dataset, sys.node));
+  }
+}
+BENCHMARK(BM_CachePlan)->Arg(100'000)->Arg(1'000'000);
+
+void BM_ChooseFetch(benchmark::State& state) {
+  const core::PerfModel model(tiers::presets::lassen(256));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.choose_fetch(0.1, static_cast<int>(i % 2) - 1, 0, 3, 256));
+    ++i;
+  }
+}
+BENCHMARK(BM_ChooseFetch);
+
+void BM_StagingBufferRoundTrip(benchmark::State& state) {
+  core::StagingBuffer buffer(1 << 20);
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> payload(4096, 7);
+  for (auto _ : state) {
+    auto slot = buffer.reserve(seq, seq, payload.size());
+    std::copy(payload.begin(), payload.end(), slot->data.begin());
+    buffer.commit(seq);
+    auto sample = buffer.consume(seq);
+    benchmark::DoNotOptimize(sample->data.data());
+    buffer.release(seq);
+    ++seq;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_StagingBufferRoundTrip);
+
+void BM_HolderTableLookup(benchmark::State& state) {
+  const std::uint64_t f = 1'000'000;
+  sim::HolderTable table(f, 8);
+  util::Rng rng(7);
+  for (std::uint64_t k = 0; k < f; ++k) {
+    table.add(k, static_cast<int>(rng.uniform_below(64)), 0);
+    if (k % 2 == 0) table.mark_cached(k, table.first_owner(k));
+  }
+  std::uint64_t k = 0;
+  int peer = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.best_remote_class(k % f, 3, &peer));
+    k += 7919;
+  }
+}
+BENCHMARK(BM_HolderTableLookup);
+
+void BM_PlanEncodeDecode(benchmark::State& state) {
+  const auto f = static_cast<std::uint64_t>(state.range(0));
+  const core::AccessStreamGenerator gen(stream_config(f, 8, 4));
+  const data::Dataset dataset("bm", std::vector<float>(f, 0.1f));
+  const auto plan =
+      core::compute_cache_plan(gen, 0, dataset, tiers::presets::sim_cluster(8).node);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::decode_plan(core::encode_plan(plan)));
+  }
+}
+BENCHMARK(BM_PlanEncodeDecode)->Arg(100'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

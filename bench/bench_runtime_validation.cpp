@@ -1,0 +1,89 @@
+// Simulator-vs-runtime cross-validation: the same miniature workload is
+// executed (a) by the threaded runtime with real NoPFS code on emulated
+// devices and (b) by the analytic simulator, for several loaders.  The two
+// should agree on the *ordering* of loaders and roughly on magnitudes —
+// this is the evidence that the large-scale simulated figures (10-16) are
+// grounded in the production code paths.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "runtime/harness.hpp"
+
+using namespace nopfs;
+
+namespace {
+
+tiers::SystemParams mini_system(int workers) {
+  tiers::SystemParams sys = tiers::presets::sim_cluster(workers);
+  sys.node.staging.capacity_mb = 1.0;
+  sys.node.staging.prefetch_threads = 2;
+  sys.node.classes[0].capacity_mb = 16.0;
+  sys.node.classes[1].capacity_mb = 32.0;
+  sys.node.compute_mbps = 50.0;
+  sys.node.preprocess_mbps = 500.0;
+  sys.pfs.agg_read_mbps = util::ThroughputCurve({{1, 20}, {2, 25}, {4, 30}});
+  return sys;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::BenchArgs args = util::parse_bench_args(argc, argv);
+
+  data::DatasetSpec spec;
+  spec.name = "validate";
+  spec.num_samples = 192;
+  spec.mean_size_mb = 0.2;
+  spec.stddev_size_mb = 0.05;
+  const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
+  const int workers = 4;
+  const int epochs = 3;
+
+  struct Pair {
+    baselines::LoaderKind kind;
+    std::string policy;
+  };
+  const Pair pairs[] = {
+      {baselines::LoaderKind::kNaive, "naive"},
+      {baselines::LoaderKind::kPyTorch, "staging"},
+      {baselines::LoaderKind::kLbann, "lbann-dynamic"},
+      {baselines::LoaderKind::kNoPFS, "nopfs"},
+  };
+
+  util::Table table({"Loader", "runtime total", "simulated total", "ratio",
+                     "runtime pfs", "sim pfs"});
+  for (const auto& pair : pairs) {
+    runtime::RuntimeConfig rt;
+    rt.system = mini_system(workers);
+    rt.loader = pair.kind;
+    rt.seed = args.seed;
+    rt.num_epochs = epochs;
+    rt.per_worker_batch = 4;
+    rt.time_scale = 50.0;
+    const runtime::RuntimeResult real = runtime::run_training(dataset, rt);
+
+    sim::SimConfig sc;
+    sc.system = mini_system(workers);
+    sc.seed = args.seed;
+    sc.num_epochs = epochs;
+    sc.per_worker_batch = 4;
+    const sim::SimResult simulated = bench::run_policy(sc, dataset, pair.policy);
+
+    table.add_row(
+        {baselines::loader_kind_name(pair.kind), util::format_seconds(real.total_s),
+         util::format_seconds(simulated.total_s),
+         util::Table::num(real.total_s / std::max(1e-9, simulated.total_s), 2),
+         std::to_string(real.stats.pfs_fetches),
+         std::to_string(
+             simulated.location_count[static_cast<int>(sim::Location::kPfs)])});
+  }
+  bench::emit(table, args,
+              "Simulator vs threaded runtime (4 workers, 192 samples, 3 epochs)");
+  std::cout << "(the runtime carries real-concurrency overheads the analytic model\n"
+               " does not — sleep granularity, lock contention — so ratios exceed 1\n"
+               " at this miniature scale; what validates the simulator is that the\n"
+               " PFS read counts match and the caching loaders (LBANN, NoPFS) beat\n"
+               " the PFS-bound ones (Naive, PyTorch) in both columns)\n";
+  return 0;
+}

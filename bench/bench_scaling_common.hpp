@@ -1,0 +1,132 @@
+#pragma once
+// Shared scaffolding for the Figs. 10/11/13/14/15 scaling studies: run a
+// set of loaders across GPU counts on a system preset and print the
+// paper's epoch-time and batch-time series.
+
+#include <functional>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace nopfs::bench {
+
+/// One loader line in a scaling figure.
+struct LoaderSpec {
+  std::string label;          ///< "PyTorch", "PyTorch+DALI", "LBANN", "NoPFS", "No I/O"
+  std::string policy;         ///< simulator policy name
+  double preprocess_mult = 1.0;  ///< DALI: GPU-offloaded preprocessing
+};
+
+inline std::vector<LoaderSpec> pytorch_dali_nopfs() {
+  return {{"PyTorch", "staging", 1.0},
+          {"PyTorch+DALI", "staging", 8.0},
+          {"NoPFS", "nopfs", 1.0},
+          {"No I/O", "perfect", 1.0}};
+}
+
+inline std::vector<LoaderSpec> pytorch_lbann_nopfs() {
+  return {{"PyTorch", "staging", 1.0},
+          {"LBANN", "lbann-dynamic", 1.0},
+          {"NoPFS", "nopfs", 1.0},
+          {"No I/O", "perfect", 1.0}};
+}
+
+inline std::vector<LoaderSpec> pytorch_nopfs() {
+  return {{"PyTorch", "staging", 1.0},
+          {"NoPFS", "nopfs", 1.0},
+          {"No I/O", "perfect", 1.0}};
+}
+
+struct ScalingOptions {
+  std::function<tiers::SystemParams(int)> system_factory;
+  std::vector<int> gpu_counts;
+  std::vector<LoaderSpec> loaders;
+  data::DatasetSpec dataset;
+  int epochs = 3;
+  std::uint64_t per_worker_batch = 32;
+  std::uint64_t seed = 0xC0FFEE;
+  double compute_mbps = 0.0;     ///< 0 = preset default
+  double preprocess_mbps = 0.0;  ///< 0 = preset default
+};
+
+struct ScalingCell {
+  sim::SimResult result;
+  double epoch_median = 0.0;
+};
+
+/// Runs the full grid; results indexed [gpu][loader].
+inline std::vector<std::vector<ScalingCell>> run_scaling(const ScalingOptions& options,
+                                                         const data::Dataset& dataset) {
+  std::vector<std::vector<ScalingCell>> grid;
+  for (const int gpus : options.gpu_counts) {
+    std::vector<ScalingCell> row;
+    for (const auto& loader : options.loaders) {
+      sim::SimConfig config;
+      config.system = options.system_factory(gpus);
+      if (options.compute_mbps > 0.0) {
+        config.system.node.compute_mbps = options.compute_mbps;
+      }
+      if (options.preprocess_mbps > 0.0) {
+        config.system.node.preprocess_mbps = options.preprocess_mbps;
+      }
+      config.system.node.preprocess_mbps *= loader.preprocess_mult;
+      config.seed = options.seed;
+      config.num_epochs = options.epochs;
+      config.per_worker_batch = options.per_worker_batch;
+      ScalingCell cell{run_policy(config, dataset, loader.policy), 0.0};
+      cell.epoch_median = median_epoch_excl_first(cell.result);
+      row.push_back(std::move(cell));
+    }
+    grid.push_back(std::move(row));
+  }
+  return grid;
+}
+
+/// The two tables every scaling figure prints: epoch times and batch-time
+/// distribution summaries (epoch 0 excluded, as the paper does).
+inline void print_scaling_tables(const ScalingOptions& options,
+                                 const std::vector<std::vector<ScalingCell>>& grid,
+                                 const util::BenchArgs& args, const std::string& title) {
+  {
+    std::vector<std::string> header = {"#GPUs"};
+    for (const auto& loader : options.loaders) header.push_back(loader.label);
+    header.push_back("NoPFS speedup vs " + options.loaders.front().label);
+    util::Table table(header);
+    for (std::size_t g = 0; g < options.gpu_counts.size(); ++g) {
+      std::vector<std::string> row = {std::to_string(options.gpu_counts[g])};
+      double base = 0.0;
+      double nopfs = 0.0;
+      for (std::size_t l = 0; l < options.loaders.size(); ++l) {
+        const auto& cell = grid[g][l];
+        if (!cell.result.supported) {
+          row.push_back("n/a");
+          continue;
+        }
+        row.push_back(util::format_seconds(cell.epoch_median));
+        if (l == 0) base = cell.epoch_median;
+        if (options.loaders[l].label == "NoPFS") nopfs = cell.epoch_median;
+      }
+      row.push_back(nopfs > 0.0 ? speedup(base, nopfs) : "-");
+      table.add_row(row);
+    }
+    emit(table, args, title + " - median epoch time (excl. epoch 0)");
+  }
+  {
+    util::Table table({"#GPUs", "Loader", "batch med", "batch p95", "batch p99",
+                       "batch max"});
+    for (std::size_t g = 0; g < options.gpu_counts.size(); ++g) {
+      for (std::size_t l = 0; l < options.loaders.size(); ++l) {
+        const auto& cell = grid[g][l];
+        if (!cell.result.supported) continue;
+        const util::Summary s = cell.result.batch_summary_rest();
+        table.add_row({std::to_string(options.gpu_counts[g]),
+                       options.loaders[l].label, util::Table::num(s.median, 3),
+                       util::Table::num(s.p95, 3), util::Table::num(s.p99, 3),
+                       util::Table::num(s.max, 3)});
+      }
+    }
+    emit(table, args, title + " - batch time distribution [s] (excl. epoch 0)");
+  }
+}
+
+}  // namespace nopfs::bench

@@ -1,0 +1,77 @@
+// Table 1: comparison of I/O frameworks along the paper's five
+// characteristics.  The verdicts are derived from the behaviour of this
+// repository's implementations where measurable (coverage and PFS usage
+// come from actual simulator runs), with the remaining qualitative entries
+// matching the papers the strategies implement.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace nopfs;
+
+namespace {
+
+struct Verdict {
+  std::string approach;
+  std::string policy;  ///< simulator policy used for the measured columns
+  bool system_scalable;
+  bool hardware_independent;
+  bool easy;
+  /// Whether the strategy keeps per-epoch full-dataset random reshuffling;
+  /// this is a property of the access *order*, which SimResult does not
+  /// expose, so it is declared (tf.data's shuffle window and sharding's
+  /// local-only access both break it even when coverage is complete).
+  bool preserves_full_randomization;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::BenchArgs args = util::parse_bench_args(argc, argv);
+
+  // Measured columns: run each policy on a dataset larger than aggregate
+  // RAM but cacheable across tiers, and check (a) whether the full dataset
+  // is read (full randomization preserved) and (b) dataset scalability
+  // (supported at all when S exceeds aggregate RAM).
+  sim::SimConfig config;
+  config.system = tiers::presets::sim_cluster(4);
+  config.system.node.classes[0].capacity_mb = 32.0;  // RAM
+  config.system.node.classes[1].capacity_mb = 96.0;  // SSD
+  config.num_epochs = 3;
+  config.per_worker_batch = 8;
+  config.seed = args.seed;
+  // Dataset larger than the cluster's entire storage (4 x 128 MB): a
+  // strategy is dataset-scalable only if it still trains on (all of) it.
+  const data::Dataset dataset("tab1", std::vector<float>(6000, 0.1f));  // 600 MB
+
+  const Verdict verdicts[] = {
+      {"Double-buffering (PyTorch)", "staging", false, false, true, true},
+      {"tf.data", "staging", false, false, true, false},
+      {"Data sharding", "parallel-staging", true, false, true, false},
+      {"DeepIO", "deepio-opportunistic", true, false, true, false},
+      {"LBANN data store", "lbann-dynamic", true, false, false, true},
+      {"Locality-aware loading", "locality-aware", true, false, false, false},
+      {"NoPFS (this paper)", "nopfs", true, true, true, true},
+  };
+
+  util::Table table({"Approach", "System scal.", "Dataset scal.", "Full rand.",
+                     "HW indep.", "Ease of use"});
+  const auto mark = [](bool yes) { return std::string(yes ? "yes" : "no"); };
+  for (const auto& v : verdicts) {
+    const sim::SimResult result = bench::run_policy(config, dataset, v.policy);
+    // Dataset scalability, measured: the strategy runs AND reads the full
+    // dataset even though it exceeds aggregate storage.  (The locality-aware
+    // loader caches what fits and reads the rest from the PFS, so it passes.)
+    const bool dataset_scalable =
+        result.supported && result.accessed_fraction >= 0.999;
+    const bool full_random = dataset_scalable && v.preserves_full_randomization;
+    table.add_row({v.approach, mark(v.system_scalable), mark(dataset_scalable),
+                   mark(full_random), mark(v.hardware_independent), mark(v.easy)});
+  }
+  bench::emit(table, args, "Table 1: I/O framework comparison");
+  std::cout << "(dataset-scalability column measured on a 600 MB dataset vs "
+               "512 MB aggregate storage; randomization semantics declared per "
+               "strategy since SimResult does not expose access order)\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// CosmoFlow-style scientific pipeline: large fixed-size samples streamed by
+// real NoPFS code (threads, staging buffer, prefetchers, transport) on a
+// miniature emulated cluster — the threaded runtime rather than the
+// analytic simulator.  Every delivered sample is verified byte-for-byte.
+//
+//   ./cosmoflow_pipeline
+
+#include <iostream>
+
+#include "runtime/harness.hpp"
+#include "tiers/params.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace nopfs;
+
+int main() {
+  // A scaled-down CosmoFlow: 128 samples of 2 MB (same fixed-size,
+  // large-sample character as the 16.8 MB originals).
+  data::DatasetSpec spec;
+  spec.name = "cosmoflow-mini";
+  spec.num_samples = 128;
+  spec.mean_size_mb = 2.0;
+  spec.stddev_size_mb = 0.0;
+  const data::Dataset dataset = data::Dataset::synthetic(spec, 7);
+
+  runtime::RuntimeConfig config;
+  config.system = tiers::presets::sim_cluster(4);
+  config.system.node.staging.capacity_mb = 8.0;
+  config.system.node.staging.prefetch_threads = 2;
+  config.system.node.classes[0].capacity_mb = 48.0;   // RAM
+  config.system.node.classes[1].capacity_mb = 96.0;   // SSD
+  config.system.node.compute_mbps = 400.0;            // 3D CNN, ~200 samples/s
+  config.system.node.preprocess_mbps = 2'000.0;       // log-normalize is cheap
+  config.system.pfs.agg_read_mbps =
+      util::ThroughputCurve({{1, 100}, {2, 140}, {4, 170}});
+  config.loader = baselines::LoaderKind::kNoPFS;
+  config.seed = 99;
+  config.num_epochs = 3;
+  config.per_worker_batch = 4;
+  config.time_scale = 100.0;
+  config.verify_content = true;
+
+  std::cout << "CosmoFlow-mini: " << util::format_size_mb(dataset.total_mb())
+            << " across 4 workers, 3 epochs, real NoPFS runtime\n\n";
+
+  util::Table table({"Loader", "total", "epoch0", "epoch1", "epoch2", "pfs",
+                     "local", "remote", "verified"});
+  for (const auto kind :
+       {baselines::LoaderKind::kNoPFS, baselines::LoaderKind::kPyTorch}) {
+    config.loader = kind;
+    const runtime::RuntimeResult result = runtime::run_training(dataset, config);
+    table.add_row({baselines::loader_kind_name(kind),
+                   util::format_seconds(result.total_s),
+                   util::format_seconds(result.epoch_s.at(0)),
+                   util::format_seconds(result.epoch_s.at(1)),
+                   util::format_seconds(result.epoch_s.at(2)),
+                   std::to_string(result.stats.pfs_fetches),
+                   std::to_string(result.stats.local_fetches),
+                   std::to_string(result.stats.remote_fetches),
+                   std::to_string(result.verified_samples) + "/" +
+                       std::to_string(result.verified_samples +
+                                      result.verification_failures)});
+  }
+  table.print(std::cout);
+  std::cout << "\nAfter epoch 0, NoPFS serves the big volumes from node-local\n"
+               "caches and peers; the double-buffering loader keeps paying the\n"
+               "contended PFS every epoch.\n";
+  return 0;
+}

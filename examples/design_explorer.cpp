@@ -1,0 +1,75 @@
+// Design explorer: the Fig. 9-style what-if tool.  Given a dataset and a
+// candidate storage hierarchy, how much does adding RAM or SSD help
+// training time under NoPFS?  Useful when sizing a new cluster or deciding
+// an upgrade (paper Sec. 6.2).
+//
+//   ./design_explorer [--dataset imagenet1k|imagenet22k|...] [--quick]
+
+#include <cstring>
+#include <iostream>
+
+#include "data/dataset.hpp"
+#include "sim/engine.hpp"
+#include "sim/policies.hpp"
+#include "tiers/params.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace nopfs;
+
+int main(int argc, char** argv) {
+  const util::BenchArgs args = util::parse_bench_args(argc, argv);
+  std::string dataset_name = "imagenet1k";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dataset") == 0 && i + 1 < argc) {
+      dataset_name = argv[++i];
+    }
+  }
+
+  data::DatasetSpec spec = data::presets::by_name(dataset_name);
+  const double scale = args.quick ? 1.0 / 32.0 : 1.0 / 8.0;
+  spec.num_samples = std::max<std::uint64_t>(
+      2'000, static_cast<std::uint64_t>(spec.num_samples * scale));
+  const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
+
+  std::cout << "Design exploration for " << dataset_name << " ("
+            << util::format_size_mb(dataset.total_mb()) << " at 1/"
+            << static_cast<int>(1.0 / scale) << " scale), 4 workers, NoPFS\n\n";
+
+  const double rams_gb[] = {8, 16, 32, 64};
+  const double ssds_gb[] = {0, 32, 64, 128};
+
+  std::vector<std::string> header = {"RAM \\ SSD (GB)"};
+  for (const double ssd : ssds_gb) header.push_back(util::Table::num(ssd, 0));
+  util::Table table(header);
+  double best = 0.0;
+  double worst = 0.0;
+  for (const double ram : rams_gb) {
+    std::vector<std::string> row = {util::Table::num(ram, 0)};
+    for (const double ssd : ssds_gb) {
+      sim::SimConfig config;
+      config.system = tiers::presets::sim_cluster(4);
+      // A heavily contended PFS makes the capacity trade-off visible: the
+      // question the explorer answers is how much cache absorbs it.
+      config.system.pfs.agg_read_mbps =
+          util::ThroughputCurve({{1, 40}, {2, 60}, {4, 80}});
+      config.system.node.classes[0].capacity_mb = ram * util::kGB * scale;
+      config.system.node.classes[1].capacity_mb = ssd * util::kGB * scale;
+      config.seed = args.seed;
+      config.num_epochs = 3;
+      config.per_worker_batch = 32;
+      sim::NoPFSPolicy policy;
+      const sim::SimResult result = sim::simulate(config, dataset, policy);
+      row.push_back(util::format_seconds(result.total_s));
+      if (best == 0.0 || result.total_s < best) best = result.total_s;
+      worst = std::max(worst, result.total_s);
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "\nspread best-to-worst: " << util::Table::num(worst / best, 2)
+            << "x -- RAM and SSD are largely interchangeable once the hot set\n"
+               "fits, so cheaper capacity can substitute for faster capacity\n"
+               "(the paper's Fig. 9 conclusion).\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// ImageNet-style scaling study: how does NoPFS compare against a PyTorch
+// DataLoader-style double-buffering loader as the job grows from 32 to 1024
+// GPUs on a Lassen-like system?  Uses the performance simulator (the same
+// engine behind the Fig. 10 bench) over the public policy API.
+//
+//   ./imagenet_scaling [--quick]
+
+#include <iostream>
+
+#include "data/dataset.hpp"
+#include "sim/engine.hpp"
+#include "sim/policies.hpp"
+#include "tiers/params.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace nopfs;
+
+int main(int argc, char** argv) {
+  const util::BenchArgs args = util::parse_bench_args(argc, argv);
+  data::DatasetSpec spec = data::presets::imagenet1k();
+  if (args.quick) spec.num_samples /= 8;
+  const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
+
+  std::cout << "ImageNet-1k (" << util::format_size_mb(dataset.total_mb())
+            << ", " << dataset.num_samples() << " samples) on a Lassen-like "
+               "system, 3 epochs\n\n";
+
+  util::Table table({"#GPUs", "PyTorch epoch", "NoPFS epoch", "speedup",
+                     "NoPFS pfs-read share"});
+  for (const int gpus : {32, 128, 512, 1024}) {
+    sim::SimConfig config;
+    config.system = tiers::presets::lassen(gpus);
+    if (args.quick) {
+      for (auto& sc : config.system.node.classes) sc.capacity_mb /= 8;
+    }
+    config.seed = args.seed;
+    config.num_epochs = 3;
+    config.per_worker_batch = 120;
+
+    sim::StagingBufferPolicy pytorch;
+    const sim::SimResult p = sim::simulate(config, dataset, pytorch);
+    sim::NoPFSPolicy nopfs;
+    const sim::SimResult n = sim::simulate(config, dataset, nopfs);
+
+    std::vector<double> p_rest(p.epoch_s.begin() + 1, p.epoch_s.end());
+    std::vector<double> n_rest(n.epoch_s.begin() + 1, n.epoch_s.end());
+    const double p_epoch = util::median(p_rest);
+    const double n_epoch = util::median(n_rest);
+    table.add_row({std::to_string(gpus), util::format_seconds(p_epoch),
+                   util::format_seconds(n_epoch),
+                   util::Table::num(p_epoch / n_epoch, 2) + "x",
+                   util::Table::num(n.count_share(sim::Location::kPfs) * 100.0, 1) +
+                       " %"});
+  }
+  table.print(std::cout);
+  std::cout << "\nNoPFS's advantage appears exactly where the PFS saturates; its\n"
+               "clairvoyant caches absorb the contention the baseline cannot avoid.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: the NoPFS Job API in ~40 lines.
+//
+// Mirrors the paper's Fig. 7 integration: construct a Job with the dataset,
+// batch size, epoch count and shuffle kind, then iterate samples.  Here a
+// single worker trains over a small synthetic dataset with an untimed
+// in-process PFS; see imagenet_scaling.cpp and cosmoflow_pipeline.cpp for
+// multi-worker runs on the emulated storage hierarchy.
+
+#include <iostream>
+
+#include "core/job.hpp"
+#include "core/sample_source.hpp"
+#include "data/dataset.hpp"
+#include "tiers/params.hpp"
+#include "util/units.hpp"
+
+using namespace nopfs;
+
+int main() {
+  // A small dataset: 4,096 samples of ~64 KB.
+  data::DatasetSpec spec;
+  spec.name = "quickstart";
+  spec.num_samples = 4'096;
+  spec.mean_size_mb = 0.0625;
+  spec.stddev_size_mb = 0.01;
+  const data::Dataset dataset = data::Dataset::synthetic(spec, /*seed=*/1);
+
+  // One worker with the paper's simulated-cluster storage hierarchy.
+  tiers::SystemParams system = tiers::presets::sim_cluster(/*num_workers=*/1);
+  system.node.classes[0].capacity_mb = 128.0;  // shrink RAM for the demo
+  system.node.classes[1].capacity_mb = 256.0;  // and SSD
+
+  // The dataset at rest: an emulated PFS with verifiable synthetic bytes.
+  core::SyntheticPfsSource pfs(dataset, /*device=*/nullptr);
+
+  // The NoPFS Job: 2 epochs, global batch 32, seeded shuffle.
+  core::JobOptions options;
+  options.seed = 42;
+  options.num_epochs = 2;
+  options.global_batch = 32;
+  core::Job job(dataset, system, /*rank=*/0, options, pfs);
+  job.start();
+
+  std::uint64_t consumed = 0;
+  std::uint64_t bytes = 0;
+  while (auto sample = job.next()) {      // iterator-style access
+    bytes += sample->data().size();      // zero-copy staging-buffer view
+    ++consumed;                           // (handle release frees the slot)
+  }
+
+  const core::JobStats stats = job.stats();
+  std::cout << "consumed " << consumed << " samples ("
+            << util::format_size_mb(util::bytes_to_mb(bytes)) << ")\n"
+            << "fetches: " << stats.pfs_fetches << " pfs, " << stats.local_fetches
+            << " local cache hits\n"
+            << "planned cache: " << job.cache_plan().total_samples()
+            << " samples across " << job.cache_plan().per_class.size()
+            << " storage classes\n";
+  std::cout << "epoch 1 was served almost entirely from local caches -- the\n"
+               "clairvoyant plan placed every sample before it was needed.\n";
+  return 0;
+}

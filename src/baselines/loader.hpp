@@ -1,0 +1,100 @@
+#pragma once
+// Loader: the common interface the runtime harness drives (paper Sec. 7
+// compares NoPFS against PyTorch's DataLoader, DALI and the LBANN data
+// store; the simulator covers the remaining strategies at scale).
+//
+// Every loader yields the samples of one worker's training stream in
+// consumption order, charging emulated device time as it goes, so NoPFS and
+// the baselines are measured under identical conditions.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/sample_source.hpp"
+#include "data/dataset.hpp"
+#include "net/transport.hpp"
+#include "tiers/devices.hpp"
+
+namespace nopfs::baselines {
+
+/// One delivered sample.  NoPFS delivers a zero-copy staging-buffer view;
+/// baselines deliver owned bytes.
+class LoadedSample {
+ public:
+  explicit LoadedSample(core::SampleHandle handle)
+      : id_(handle.id()), handle_(std::move(handle)) {}
+  LoadedSample(data::SampleId id, std::vector<std::uint8_t> bytes)
+      : id_(id), bytes_(std::move(bytes)) {}
+  LoadedSample(LoadedSample&&) = default;
+
+  [[nodiscard]] data::SampleId id() const noexcept { return id_; }
+  [[nodiscard]] std::span<const std::uint8_t> view() const noexcept {
+    if (handle_.has_value()) return handle_->data();
+    return bytes_;
+  }
+
+ private:
+  data::SampleId id_;
+  std::vector<std::uint8_t> bytes_;
+  std::optional<core::SampleHandle> handle_;
+};
+
+class Loader {
+ public:
+  virtual ~Loader() = default;
+
+  /// Launches prefetch threads / performs staging.  Collective for loaders
+  /// that communicate (must be called by all workers).
+  virtual void start() = 0;
+
+  /// Next sample of this worker's stream; nullopt when exhausted.
+  [[nodiscard]] virtual std::optional<LoadedSample> next() = 0;
+
+  /// Cumulative I/O statistics.
+  [[nodiscard]] virtual core::JobStats stats() const = 0;
+
+  /// Human-readable loader name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Which loader the harness runs.
+enum class LoaderKind {
+  kNoPFS,    ///< this paper (core::Job)
+  kNaive,    ///< synchronous PFS reads
+  kPyTorch,  ///< DataLoader: multi-threaded double buffering from the PFS
+  kDali,     ///< PyTorch + GPU-accelerated preprocessing (higher beta)
+  kTfData,   ///< sequential reads + sliding shuffle window
+  kSharded,  ///< static shard prestaged to local storage
+  kLbann,    ///< first-touch distributed in-memory data store
+};
+
+[[nodiscard]] const char* loader_kind_name(LoaderKind kind) noexcept;
+
+/// Everything a loader needs about its environment.
+struct LoaderContext {
+  const data::Dataset* dataset = nullptr;
+  const tiers::SystemParams* system = nullptr;
+  int rank = 0;
+  core::SampleSource* source = nullptr;      ///< the PFS
+  net::Transport* transport = nullptr;       ///< may be null (single worker)
+  tiers::WorkerDevices* devices = nullptr;   ///< may be null (untimed)
+  std::uint64_t seed = 42;
+  int num_epochs = 1;
+  std::uint64_t global_batch = 1;
+  bool drop_last = true;
+  double time_scale = 1.0;
+  int threads = 4;          ///< loader prefetch threads (PyTorch num_workers)
+  int lookahead = 64;       ///< bounded prefetch depth, in samples
+  core::RouterOptions router;  ///< NoPFS ablation switches
+};
+
+/// Instantiates a loader.
+[[nodiscard]] std::unique_ptr<Loader> make_loader(LoaderKind kind,
+                                                  const LoaderContext& ctx);
+
+}  // namespace nopfs::baselines

@@ -1,0 +1,71 @@
+#include "baselines/pipelined_fetcher.hpp"
+
+#include <algorithm>
+
+namespace nopfs::baselines {
+
+PipelinedFetcher::PipelinedFetcher(std::uint64_t total, int threads, int lookahead,
+                                   FetchFn fetch)
+    : total_(total),
+      threads_(std::max(1, threads)),
+      lookahead_(static_cast<std::uint64_t>(std::max(1, lookahead))),
+      fetch_(std::move(fetch)) {}
+
+PipelinedFetcher::~PipelinedFetcher() { stop(); }
+
+void PipelinedFetcher::start() {
+  pool_.reserve(static_cast<std::size_t>(threads_));
+  for (int t = 0; t < threads_; ++t) {
+    pool_.emplace_back([this] { thread_main(); });
+  }
+}
+
+void PipelinedFetcher::thread_main() {
+  for (;;) {
+    std::uint64_t position = 0;
+    {
+      std::unique_lock lock(mutex_);
+      can_dispatch_.wait(lock, [&] {
+        return stopped_ || (next_dispatch_ < total_ &&
+                            next_dispatch_ < next_consume_ + lookahead_);
+      });
+      if (stopped_ || next_dispatch_ >= total_) return;
+      position = next_dispatch_++;
+    }
+    Bytes bytes = fetch_(position);
+    {
+      const std::scoped_lock lock(mutex_);
+      if (stopped_) return;
+      reorder_.emplace(position, std::move(bytes));
+    }
+    ready_.notify_all();
+  }
+}
+
+std::optional<PipelinedFetcher::Bytes> PipelinedFetcher::next() {
+  std::unique_lock lock(mutex_);
+  if (next_consume_ >= total_) return std::nullopt;
+  const std::uint64_t want = next_consume_;
+  ready_.wait(lock, [&] { return stopped_ || reorder_.contains(want); });
+  if (stopped_) return std::nullopt;
+  auto node = reorder_.extract(want);
+  ++next_consume_;
+  lock.unlock();
+  can_dispatch_.notify_all();
+  return std::move(node.mapped());
+}
+
+void PipelinedFetcher::stop() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopped_ = true;
+  }
+  can_dispatch_.notify_all();
+  ready_.notify_all();
+  for (auto& thread : pool_) {
+    if (thread.joinable()) thread.join();
+  }
+  pool_.clear();
+}
+
+}  // namespace nopfs::baselines

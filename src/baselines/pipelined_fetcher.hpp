@@ -1,0 +1,60 @@
+#pragma once
+// PipelinedFetcher: the double-buffering engine shared by the baseline
+// loaders.  `threads` workers pull stream positions from a dispenser
+// (bounded to `lookahead` positions beyond the consumer), run the
+// user-supplied fetch function, and park results in a reorder buffer; the
+// consumer pops them in stream order.  This is exactly the architecture of
+// PyTorch's DataLoader (num_workers + prefetch_factor) and of tf.data's
+// prefetch stage.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace nopfs::baselines {
+
+class PipelinedFetcher {
+ public:
+  using Bytes = std::vector<std::uint8_t>;
+  /// fetch(position) -> sample bytes; called concurrently from the pool.
+  using FetchFn = std::function<Bytes(std::uint64_t)>;
+
+  /// Fetches positions [0, total); keeps at most `lookahead` results beyond
+  /// the consumer in flight or buffered.
+  PipelinedFetcher(std::uint64_t total, int threads, int lookahead, FetchFn fetch);
+  ~PipelinedFetcher();
+
+  PipelinedFetcher(const PipelinedFetcher&) = delete;
+  PipelinedFetcher& operator=(const PipelinedFetcher&) = delete;
+
+  void start();
+
+  /// Blocks for the result of the next position; nullopt after `total`.
+  [[nodiscard]] std::optional<Bytes> next();
+
+  void stop();
+
+ private:
+  void thread_main();
+
+  std::uint64_t total_;
+  int threads_;
+  std::uint64_t lookahead_;
+  FetchFn fetch_;
+
+  std::mutex mutex_;
+  std::condition_variable can_dispatch_;
+  std::condition_variable ready_;
+  std::uint64_t next_dispatch_ = 0;
+  std::uint64_t next_consume_ = 0;
+  std::map<std::uint64_t, Bytes> reorder_;
+  bool stopped_ = false;
+  std::vector<std::thread> pool_;
+};
+
+}  // namespace nopfs::baselines

@@ -1,0 +1,90 @@
+#include "core/access_stream.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nopfs::core {
+
+std::uint64_t StreamConfig::iterations_per_epoch() const noexcept {
+  if (global_batch == 0) return 0;
+  const std::uint64_t full = num_samples / global_batch;
+  if (drop_last) return full;
+  return full + (num_samples % global_batch != 0 ? 1 : 0);
+}
+
+std::uint64_t StreamConfig::local_batch() const noexcept {
+  return global_batch / static_cast<std::uint64_t>(num_workers);
+}
+
+std::uint64_t StreamConfig::samples_per_worker_epoch() const noexcept {
+  // With the strided partition, worker `rank` consumes the global positions
+  // congruent to rank mod N below min(T*B, F).  All workers get the same
+  // count when drop_last; otherwise ranks below the remainder get one more —
+  // we report the count for rank 0 (the maximum).
+  const std::uint64_t consumed =
+      std::min<std::uint64_t>(num_samples, iterations_per_epoch() * global_batch);
+  const auto n = static_cast<std::uint64_t>(num_workers);
+  return (consumed + n - 1) / n;
+}
+
+void StreamConfig::validate() const {
+  if (num_samples == 0) throw std::invalid_argument("StreamConfig: num_samples == 0");
+  if (num_workers <= 0) throw std::invalid_argument("StreamConfig: num_workers <= 0");
+  if (num_epochs <= 0) throw std::invalid_argument("StreamConfig: num_epochs <= 0");
+  if (global_batch == 0) throw std::invalid_argument("StreamConfig: global_batch == 0");
+  if (global_batch % static_cast<std::uint64_t>(num_workers) != 0) {
+    throw std::invalid_argument(
+        "StreamConfig: global_batch must be divisible by num_workers");
+  }
+  if (global_batch > num_samples) {
+    throw std::invalid_argument("StreamConfig: global_batch > num_samples");
+  }
+}
+
+AccessStreamGenerator::AccessStreamGenerator(StreamConfig config) : config_(config) {
+  config_.validate();
+}
+
+std::vector<data::SampleId> AccessStreamGenerator::epoch_order(int epoch) const {
+  if (epoch < 0 || epoch >= config_.num_epochs) {
+    throw std::out_of_range("AccessStreamGenerator: epoch out of range");
+  }
+  // Stream 0 of a seed is reserved for dataset generation (data/dataset.cpp);
+  // epochs use streams 1..E so the two never alias.
+  util::Rng rng =
+      util::Rng::for_stream(config_.seed, static_cast<std::uint64_t>(epoch) + 1);
+  return util::shuffled_indices(config_.num_samples, rng);
+}
+
+std::vector<data::SampleId> AccessStreamGenerator::worker_epoch_stream(int rank,
+                                                                       int epoch) const {
+  if (rank < 0 || rank >= config_.num_workers) {
+    throw std::out_of_range("AccessStreamGenerator: rank out of range");
+  }
+  const auto order = epoch_order(epoch);
+  const std::uint64_t consumed = std::min<std::uint64_t>(
+      order.size(), config_.iterations_per_epoch() * config_.global_batch);
+  std::vector<data::SampleId> stream;
+  stream.reserve(config_.samples_per_worker_epoch());
+  const auto local_b = config_.local_batch();
+  const auto n = static_cast<std::uint64_t>(config_.num_workers);
+  for (std::uint64_t h = 0; h < config_.iterations_per_epoch(); ++h) {
+    for (std::uint64_t l = 0; l < local_b; ++l) {
+      const std::uint64_t global_pos =
+          (h * local_b + l) * n + static_cast<std::uint64_t>(rank);
+      if (global_pos >= consumed) continue;
+      stream.push_back(order[global_pos]);
+    }
+  }
+  return stream;
+}
+
+std::vector<data::SampleId> AccessStreamGenerator::worker_stream(int rank) const {
+  std::vector<data::SampleId> stream;
+  stream.reserve(static_cast<std::size_t>(config_.num_epochs) *
+                 config_.samples_per_worker_epoch());
+  for_each_access(rank, [&](const Access& access) { stream.push_back(access.sample); });
+  return stream;
+}
+
+}  // namespace nopfs::core

@@ -1,0 +1,107 @@
+#pragma once
+// Clairvoyant access-stream generation (paper Secs. 2, 3, 5.1).
+//
+// Mini-batch SGD shuffles the F sample indices once per epoch with a seeded
+// PRNG and partitions them among N workers.  Given the seed, the entire
+// access sequence R of every worker is therefore known before training
+// starts — this is the clairvoyance NoPFS exploits.
+//
+// The partition scheme matches PyTorch's DistributedSampler: worker i takes
+// the shuffled positions i, i+N, i+2N, ... of each epoch, and consumes them
+// in b_i = B/N-sized local batches.  Epoch permutations are derived from
+// independent PRNG streams (seed, epoch), so any epoch can be generated
+// without replaying earlier ones.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace nopfs::core {
+
+/// Shuffle algorithm selector.  The paper's Job exposes 'uniform'
+/// (full-dataset random reshuffling); the enum leaves room for others.
+enum class ShuffleKind { kUniform };
+
+/// Everything needed to regenerate the access pattern of a training run.
+struct StreamConfig {
+  std::uint64_t seed = 1;          ///< PRNG seed shared by all workers
+  std::uint64_t num_samples = 0;   ///< F
+  int num_workers = 1;             ///< N
+  int num_epochs = 1;              ///< E
+  std::uint64_t global_batch = 1;  ///< B (summed over workers)
+  bool drop_last = true;           ///< drop the final partial batch
+  ShuffleKind shuffle = ShuffleKind::kUniform;
+
+  /// Iterations per epoch: T = floor(F/B) or ceil(F/B) (paper Sec. 4).
+  [[nodiscard]] std::uint64_t iterations_per_epoch() const noexcept;
+
+  /// Per-worker local batch size b_i = B/N (B must be divisible by N).
+  [[nodiscard]] std::uint64_t local_batch() const noexcept;
+
+  /// Number of samples worker `rank` consumes per epoch (|R|/E).
+  [[nodiscard]] std::uint64_t samples_per_worker_epoch() const noexcept;
+
+  /// Throws std::invalid_argument when inconsistent.
+  void validate() const;
+};
+
+/// One access in a worker's stream, with its position metadata.
+struct Access {
+  data::SampleId sample = 0;
+  int epoch = 0;
+  std::uint64_t iteration = 0;       ///< global iteration h within the epoch
+  std::uint64_t position = 0;        ///< index f into the worker's stream R
+};
+
+/// Deterministic generator of per-worker access streams.
+class AccessStreamGenerator {
+ public:
+  explicit AccessStreamGenerator(StreamConfig config);
+
+  [[nodiscard]] const StreamConfig& config() const noexcept { return config_; }
+
+  /// The global shuffled sample order for `epoch` (length F).
+  [[nodiscard]] std::vector<data::SampleId> epoch_order(int epoch) const;
+
+  /// Worker `rank`'s access sequence for `epoch`, in consumption order
+  /// (length samples_per_worker_epoch()).
+  [[nodiscard]] std::vector<data::SampleId> worker_epoch_stream(int rank, int epoch) const;
+
+  /// Worker `rank`'s full access sequence R across all epochs.
+  [[nodiscard]] std::vector<data::SampleId> worker_stream(int rank) const;
+
+  /// Calls `visit(Access)` for every access of worker `rank` in order,
+  /// without materializing R (epoch orders are generated one at a time).
+  template <typename Visitor>
+  void for_each_access(int rank, Visitor&& visit) const {
+    std::uint64_t position = 0;
+    for (int e = 0; e < config_.num_epochs; ++e) {
+      const auto order = epoch_order(e);
+      const auto consumed = config_.iterations_per_epoch() * config_.global_batch;
+      const auto local_b = config_.local_batch();
+      for (std::uint64_t h = 0; h < config_.iterations_per_epoch(); ++h) {
+        for (std::uint64_t l = 0; l < local_b; ++l) {
+          // Strided partition: the l-th sample of worker `rank`'s h-th local
+          // batch sits at global position (h * local_b + l) * N + rank.
+          const std::uint64_t global_pos =
+              (h * local_b + l) * static_cast<std::uint64_t>(config_.num_workers) +
+              static_cast<std::uint64_t>(rank);
+          if (global_pos >= std::min<std::uint64_t>(order.size(), consumed)) continue;
+          visit(Access{order[global_pos], e, h, position++});
+        }
+      }
+    }
+  }
+
+  /// Worker that consumes global shuffled position `global_pos` of an epoch.
+  [[nodiscard]] int owner_of_position(std::uint64_t global_pos) const noexcept {
+    return static_cast<int>(global_pos % static_cast<std::uint64_t>(config_.num_workers));
+  }
+
+ private:
+  StreamConfig config_;
+};
+
+}  // namespace nopfs::core

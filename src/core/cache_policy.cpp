@@ -1,0 +1,177 @@
+#include "core/cache_policy.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace nopfs::core {
+
+std::optional<int> CachePlan::find(data::SampleId sample) const {
+  const auto it = class_of.find(sample);
+  if (it == class_of.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t CachePlan::total_samples() const { return class_of.size(); }
+
+CachePlan compute_cache_plan(const AccessStreamGenerator& gen, int rank,
+                             const data::Dataset& dataset,
+                             const tiers::NodeParams& node) {
+  // One pass over R: exact frequency and first-access position per sample.
+  struct Info {
+    std::uint32_t frequency = 0;
+    std::uint64_t first_access = 0;
+  };
+  std::unordered_map<data::SampleId, Info> info;
+  gen.for_each_access(rank, [&](const Access& access) {
+    auto [it, inserted] = info.try_emplace(access.sample);
+    if (inserted) it->second.first_access = access.position;
+    ++it->second.frequency;
+  });
+
+  // Frequency-ordered candidate list (deterministic tie-break by id).
+  std::vector<std::pair<data::SampleId, Info>> candidates(info.begin(), info.end());
+  std::sort(candidates.begin(), candidates.end(), [](const auto& a, const auto& b) {
+    if (a.second.frequency != b.second.frequency) {
+      return a.second.frequency > b.second.frequency;
+    }
+    return a.first < b.first;
+  });
+
+  CachePlan plan;
+  plan.per_class.resize(node.classes.size());
+  plan.class_of.reserve(candidates.size());
+
+  // Greedy fill: hottest samples into the fastest class, spill downward.
+  std::size_t cls = 0;
+  double used_mb = 0.0;
+  for (const auto& [sample, meta] : candidates) {
+    const double size = dataset.size_mb(sample);
+    while (cls < node.classes.size() &&
+           used_mb + size > node.classes[cls].capacity_mb) {
+      ++cls;
+      used_mb = 0.0;
+    }
+    if (cls >= node.classes.size()) break;  // local storage D exhausted
+    plan.per_class[cls].samples.push_back(sample);
+    plan.per_class[cls].planned_mb += size;
+    plan.class_of.emplace(sample, static_cast<int>(cls));
+    used_mb += size;
+  }
+
+  // Prefetch order within each class = order of first access in R (Rule 1).
+  for (auto& class_plan : plan.per_class) {
+    std::sort(class_plan.samples.begin(), class_plan.samples.end(),
+              [&](data::SampleId a, data::SampleId b) {
+                return info.at(a).first_access < info.at(b).first_access;
+              });
+  }
+  return plan;
+}
+
+std::vector<std::uint8_t> encode_plan(const CachePlan& plan) {
+  // Layout: u32 num_classes, then per class u64 count + count * u64 ids.
+  std::vector<std::uint8_t> bytes;
+  const auto append = [&bytes](const void* src, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(src);
+    bytes.insert(bytes.end(), p, p + n);
+  };
+  const auto num_classes = static_cast<std::uint32_t>(plan.per_class.size());
+  append(&num_classes, sizeof(num_classes));
+  for (const auto& class_plan : plan.per_class) {
+    const auto count = static_cast<std::uint64_t>(class_plan.samples.size());
+    append(&count, sizeof(count));
+    append(class_plan.samples.data(), class_plan.samples.size() * sizeof(data::SampleId));
+  }
+  return bytes;
+}
+
+CachePlan decode_plan(const std::vector<std::uint8_t>& bytes) {
+  CachePlan plan;
+  std::size_t offset = 0;
+  const auto read = [&](void* dst, std::size_t n) {
+    if (offset + n > bytes.size()) {
+      throw std::runtime_error("decode_plan: truncated plan encoding");
+    }
+    std::memcpy(dst, bytes.data() + offset, n);
+    offset += n;
+  };
+  std::uint32_t num_classes = 0;
+  read(&num_classes, sizeof(num_classes));
+  plan.per_class.resize(num_classes);
+  for (auto& class_plan : plan.per_class) {
+    std::uint64_t count = 0;
+    read(&count, sizeof(count));
+    class_plan.samples.resize(count);
+    read(class_plan.samples.data(), count * sizeof(data::SampleId));
+  }
+  for (std::size_t c = 0; c < plan.per_class.size(); ++c) {
+    for (data::SampleId sample : plan.per_class[c].samples) {
+      plan.class_of.emplace(sample, static_cast<int>(c));
+    }
+  }
+  return plan;
+}
+
+LocationIndex::LocationIndex(const std::vector<CachePlan>& plans, int self_rank)
+    : self_rank_(self_rank) {
+  for (std::size_t rank = 0; rank < plans.size(); ++rank) {
+    for (const auto& [sample, cls] : plans[rank].class_of) {
+      index_[sample].push_back((static_cast<std::uint64_t>(rank) << 32) |
+                               static_cast<std::uint32_t>(cls));
+    }
+  }
+  // Deterministic holder order regardless of hash-map iteration.
+  for (auto& [sample, holders] : index_) {
+    std::sort(holders.begin(), holders.end());
+  }
+}
+
+std::optional<LocationIndex::RemoteLocation> LocationIndex::best_remote(
+    data::SampleId sample) const {
+  const auto it = index_.find(sample);
+  if (it == index_.end()) return std::nullopt;
+  // Fastest class wins; among holders with the fastest class, hash
+  // (sample, self rank) to spread load across peers.
+  int best_class = -1;
+  std::vector<int> best_peers;
+  for (std::uint64_t packed : it->second) {
+    const int rank = static_cast<int>(packed >> 32);
+    const int cls = static_cast<int>(packed & 0xffffffffULL);
+    if (rank == self_rank_) continue;
+    if (best_class == -1 || cls < best_class) {
+      best_class = cls;
+      best_peers.clear();
+    }
+    if (cls == best_class) best_peers.push_back(rank);
+  }
+  if (best_peers.empty()) return std::nullopt;
+  // Full splitmix-style mix: weak mixing here measurably skews the
+  // remote-fetch load across equal holders.
+  std::uint64_t h = sample ^ (static_cast<std::uint64_t>(self_rank_) << 32);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  const int peer = best_peers[h % best_peers.size()];
+  return RemoteLocation{peer, best_class};
+}
+
+std::vector<LocationIndex::Holder> LocationIndex::holders(data::SampleId sample) const {
+  std::vector<Holder> result;
+  const auto it = index_.find(sample);
+  if (it == index_.end()) return result;
+  result.reserve(it->second.size());
+  for (std::uint64_t packed : it->second) {
+    result.push_back(Holder{static_cast<int>(packed >> 32),
+                            static_cast<int>(packed & 0xffffffffULL)});
+  }
+  return result;
+}
+
+bool LocationIndex::cached_anywhere(data::SampleId sample) const {
+  return index_.contains(sample);
+}
+
+}  // namespace nopfs::core

@@ -1,0 +1,94 @@
+#pragma once
+// The NoPFS distributed caching policy (paper Sec. 5.1).
+//
+// Each worker assigns the samples it accesses most frequently (its own r_k,
+// exact thanks to clairvoyance) to its fastest storage class, spilling to
+// slower classes until the dataset is fully cached or local capacity D is
+// exhausted.  Lemma 1 guarantees complementarity: a sample one worker
+// accesses rarely is accessed often by another, so collectively the cluster
+// caches the dataset with the hot copies in the fast tiers of exactly the
+// workers that want them.
+//
+// Prefetch *order* within a class follows the access stream R (optimal
+// prefetching, Rule 1): samples are fetched in order of their first access.
+//
+// The LocationIndex is each worker's replica of "who caches what", built
+// from an allgather of the per-worker assignments during setup.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/access_stream.hpp"
+#include "core/frequency.hpp"
+#include "core/perf_model.hpp"
+#include "data/dataset.hpp"
+
+namespace nopfs::core {
+
+/// The samples one worker will cache in one storage class.
+struct ClassPlan {
+  /// Samples in prefetch order (ascending first access in R).
+  std::vector<data::SampleId> samples;
+  double planned_mb = 0.0;  ///< total size, <= class capacity
+};
+
+/// A worker's complete cache plan.
+struct CachePlan {
+  std::vector<ClassPlan> per_class;  ///< index = storage class (0-based = class 1..J)
+  std::unordered_map<data::SampleId, int> class_of;  ///< sample -> class index
+
+  /// Storage class caching `sample`, or nullopt.
+  [[nodiscard]] std::optional<int> find(data::SampleId sample) const;
+
+  [[nodiscard]] std::size_t total_samples() const;
+};
+
+/// Computes worker `rank`'s cache plan: frequency-ordered fill of classes
+/// 1..J (fastest first) bounded by capacity, prefetch order by first access.
+[[nodiscard]] CachePlan compute_cache_plan(const AccessStreamGenerator& gen, int rank,
+                                           const data::Dataset& dataset,
+                                           const tiers::NodeParams& node);
+
+/// Compact wire encoding of a plan for the setup allgather.
+[[nodiscard]] std::vector<std::uint8_t> encode_plan(const CachePlan& plan);
+[[nodiscard]] CachePlan decode_plan(const std::vector<std::uint8_t>& bytes);
+
+/// Every worker's view of where each sample will be cached cluster-wide.
+class LocationIndex {
+ public:
+  LocationIndex() = default;
+
+  /// Builds from all workers' plans (indexed by rank).
+  LocationIndex(const std::vector<CachePlan>& plans, int self_rank);
+
+  /// Fastest remote holder of `sample`: (peer, class).  Among holders with
+  /// the same class the peer is picked by deterministic hashing of
+  /// (sample, self rank) to spread remote-fetch load (paper Sec. 5.1:
+  /// "samples should be well-distributed among workers").
+  struct RemoteLocation {
+    int peer = -1;
+    int storage_class = -1;
+  };
+  [[nodiscard]] std::optional<RemoteLocation> best_remote(data::SampleId sample) const;
+
+  /// All holders of `sample` (including self), for diagnostics/tests.
+  struct Holder {
+    int rank = -1;
+    int storage_class = -1;
+  };
+  [[nodiscard]] std::vector<Holder> holders(data::SampleId sample) const;
+
+  /// True if any worker (anyone, incl. self) plans to cache `sample`.
+  [[nodiscard]] bool cached_anywhere(data::SampleId sample) const;
+
+  [[nodiscard]] int self_rank() const noexcept { return self_rank_; }
+
+ private:
+  // sample -> packed holders (rank in high 32 bits, class in low 32).
+  std::unordered_map<data::SampleId, std::vector<std::uint64_t>> index_;
+  int self_rank_ = -1;
+};
+
+}  // namespace nopfs::core

@@ -1,0 +1,206 @@
+#include "core/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace nopfs::core {
+
+namespace {
+
+struct ParseError : std::invalid_argument {
+  ParseError(int line, const std::string& message)
+      : std::invalid_argument("config line " + std::to_string(line) + ": " + message) {}
+};
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+double parse_number(const std::string& value, int line) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument("trailing characters");
+    return parsed;
+  } catch (const std::exception&) {
+    throw ParseError(line, "malformed number '" + value + "'");
+  }
+}
+
+int parse_int(const std::string& value, int line) {
+  const double parsed = parse_number(value, line);
+  const int as_int = static_cast<int>(parsed);
+  if (static_cast<double>(as_int) != parsed) {
+    throw ParseError(line, "expected an integer, got '" + value + "'");
+  }
+  return as_int;
+}
+
+util::ThroughputCurve parse_curve(const std::string& value, int line) {
+  std::vector<std::pair<double, double>> points;
+  std::istringstream stream(value);
+  std::string token;
+  while (stream >> token) {
+    const auto colon = token.find(':');
+    if (colon == std::string::npos) {
+      throw ParseError(line, "curve point '" + token + "' is not x:y");
+    }
+    points.emplace_back(parse_number(token.substr(0, colon), line),
+                        parse_number(token.substr(colon + 1), line));
+  }
+  if (points.empty()) throw ParseError(line, "curve needs at least one x:y point");
+  try {
+    return util::ThroughputCurve(std::move(points));
+  } catch (const std::exception& ex) {
+    throw ParseError(line, ex.what());
+  }
+}
+
+tiers::StorageClassParams& class_named(tiers::SystemParams& params,
+                                       const std::string& name) {
+  for (auto& sc : params.node.classes) {
+    if (sc.name == name) return sc;
+  }
+  tiers::StorageClassParams sc;
+  sc.name = name;
+  params.node.classes.push_back(sc);
+  return params.node.classes.back();
+}
+
+std::string format_curve(const util::ThroughputCurve& curve) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [x, y] : curve.points()) {
+    if (!first) out << ' ';
+    out << x << ':' << y;
+    first = false;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+tiers::SystemParams parse_system_config(const std::string& text) {
+  tiers::SystemParams params;
+  params.num_workers = 0;  // required; validated at the end
+
+  std::istringstream stream(text);
+  std::string raw;
+  int line_number = 0;
+  while (std::getline(stream, raw)) {
+    ++line_number;
+    const auto comment = raw.find('#');
+    if (comment != std::string::npos) raw.erase(comment);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw ParseError(line_number, "expected 'key = value'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (value.empty()) throw ParseError(line_number, "empty value for '" + key + "'");
+
+    if (key == "name") {
+      params.name = value;
+    } else if (key == "num_workers") {
+      params.num_workers = parse_int(value, line_number);
+    } else if (key == "compute_mbps") {
+      params.node.compute_mbps = parse_number(value, line_number);
+    } else if (key == "preprocess_mbps") {
+      params.node.preprocess_mbps = parse_number(value, line_number);
+    } else if (key == "network_mbps") {
+      params.node.network_mbps = parse_number(value, line_number);
+    } else if (key == "staging.capacity_mb") {
+      params.node.staging.capacity_mb = parse_number(value, line_number);
+    } else if (key == "staging.threads") {
+      params.node.staging.prefetch_threads = parse_int(value, line_number);
+    } else if (key == "staging.rw_mbps") {
+      const auto curve = parse_curve(value, line_number);
+      params.node.staging.read_mbps = curve;
+      params.node.staging.write_mbps = curve;
+    } else if (key == "pfs.read_mbps") {
+      params.pfs.agg_read_mbps = parse_curve(value, line_number);
+    } else if (key == "pfs.op_rate") {
+      params.pfs.op_rate_per_s = parse_number(value, line_number);
+    } else if (key.starts_with("class.")) {
+      const auto rest = key.substr(6);
+      const auto dot = rest.find('.');
+      if (dot == std::string::npos || dot == 0) {
+        throw ParseError(line_number, "expected class.<name>.<field>");
+      }
+      const std::string name = rest.substr(0, dot);
+      const std::string field = rest.substr(dot + 1);
+      tiers::StorageClassParams& sc = class_named(params, name);
+      if (field == "capacity_mb") {
+        sc.capacity_mb = parse_number(value, line_number);
+      } else if (field == "threads") {
+        sc.prefetch_threads = parse_int(value, line_number);
+      } else if (field == "read_mbps") {
+        sc.read_mbps = parse_curve(value, line_number);
+      } else if (field == "write_mbps") {
+        sc.write_mbps = parse_curve(value, line_number);
+      } else {
+        throw ParseError(line_number, "unknown class field '" + field + "'");
+      }
+    } else {
+      throw ParseError(line_number, "unknown key '" + key + "'");
+    }
+  }
+
+  if (params.num_workers <= 0) {
+    throw std::invalid_argument("config: num_workers is required and must be > 0");
+  }
+  if (params.pfs.agg_read_mbps.empty()) {
+    throw std::invalid_argument("config: pfs.read_mbps is required");
+  }
+  for (const auto& sc : params.node.classes) {
+    if (sc.read_mbps.empty()) {
+      throw std::invalid_argument("config: class." + sc.name +
+                                  ".read_mbps is required");
+    }
+  }
+  return params;
+}
+
+tiers::SystemParams load_system_config(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("config: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_system_config(buffer.str());
+}
+
+std::string format_system_config(const tiers::SystemParams& params) {
+  std::ostringstream out;
+  out << "# NoPFS system configuration (see core/config.hpp)\n";
+  if (!params.name.empty()) out << "name = " << params.name << '\n';
+  out << "num_workers = " << params.num_workers << '\n'
+      << "compute_mbps = " << params.node.compute_mbps << '\n'
+      << "preprocess_mbps = " << params.node.preprocess_mbps << '\n'
+      << "network_mbps = " << params.node.network_mbps << '\n'
+      << "staging.capacity_mb = " << params.node.staging.capacity_mb << '\n'
+      << "staging.threads = " << params.node.staging.prefetch_threads << '\n';
+  if (!params.node.staging.read_mbps.empty()) {
+    out << "staging.rw_mbps = " << format_curve(params.node.staging.read_mbps) << '\n';
+  }
+  for (const auto& sc : params.node.classes) {
+    out << "class." << sc.name << ".capacity_mb = " << sc.capacity_mb << '\n'
+        << "class." << sc.name << ".threads = " << sc.prefetch_threads << '\n'
+        << "class." << sc.name << ".read_mbps = " << format_curve(sc.read_mbps) << '\n'
+        << "class." << sc.name << ".write_mbps = " << format_curve(sc.write_mbps)
+        << '\n';
+  }
+  out << "pfs.read_mbps = " << format_curve(params.pfs.agg_read_mbps) << '\n'
+      << "pfs.op_rate = " << params.pfs.op_rate_per_s << '\n';
+  return out.str();
+}
+
+}  // namespace nopfs::core

@@ -1,0 +1,51 @@
+#pragma once
+// System configuration files (paper Sec. 5.2.2): "the parameters for our
+// performance model are specified by a system-wide configuration file,
+// with parameterized values (e.g., PFS bandwidth for a given number of
+// readers) inferred using linear regression when the exact value is not
+// available."
+//
+// Format: one `key = value` per line; `#` starts a comment.  Curve-valued
+// keys take space-separated `x:y` points (any number >= 1); lookups
+// between points interpolate and beyond them extrapolate by regression
+// (util::ThroughputCurve).  Storage classes are declared fastest-first via
+// `class.<name>.*` keys and ordered by their first appearance.
+//
+//   name            = my-cluster
+//   num_workers     = 4
+//   compute_mbps    = 64
+//   preprocess_mbps = 200
+//   network_mbps    = 24000
+//   staging.capacity_mb = 5120
+//   staging.threads     = 8
+//   staging.rw_mbps     = 0:0 8:113664
+//   class.ram.capacity_mb = 122880
+//   class.ram.threads     = 4
+//   class.ram.read_mbps   = 0:0 4:87040
+//   class.ram.write_mbps  = 0:0 4:87040
+//   class.ssd.capacity_mb = 921600
+//   class.ssd.threads     = 2
+//   class.ssd.read_mbps   = 1:2500 2:4096
+//   class.ssd.write_mbps  = 1:1500 2:2400
+//   pfs.read_mbps   = 1:120 2:180 4:240 8:280
+//   pfs.op_rate     = 0
+
+#include <string>
+
+#include "tiers/params.hpp"
+
+namespace nopfs::core {
+
+/// Parses a configuration text into SystemParams.
+/// Throws std::invalid_argument with a line-numbered message on errors
+/// (unknown keys, malformed numbers/points, missing required fields).
+[[nodiscard]] tiers::SystemParams parse_system_config(const std::string& text);
+
+/// Loads and parses a configuration file.
+[[nodiscard]] tiers::SystemParams load_system_config(const std::string& path);
+
+/// Renders SystemParams back into parseable configuration text
+/// (round-trips through parse_system_config).
+[[nodiscard]] std::string format_system_config(const tiers::SystemParams& params);
+
+}  // namespace nopfs::core

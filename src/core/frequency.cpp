@@ -1,0 +1,59 @@
+#include "core/frequency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nopfs::core {
+
+FrequencyMap count_worker_frequencies(const AccessStreamGenerator& gen, int rank) {
+  FrequencyMap freqs;
+  const auto& cfg = gen.config();
+  freqs.reserve(static_cast<std::size_t>(
+      static_cast<double>(cfg.num_epochs) * static_cast<double>(cfg.samples_per_worker_epoch())));
+  gen.for_each_access(rank, [&](const Access& access) { ++freqs[access.sample]; });
+  return freqs;
+}
+
+util::Histogram frequency_histogram(const AccessStreamGenerator& gen, int rank,
+                                    std::size_t num_bins) {
+  util::Histogram hist(num_bins);
+  const FrequencyMap freqs = count_worker_frequencies(gen, rank);
+  for (const auto& [sample, count] : freqs) {
+    hist.add(static_cast<std::int64_t>(count));
+  }
+  // Samples never accessed by this worker land in bin 0.
+  const std::uint64_t touched = freqs.size();
+  for (std::uint64_t k = touched; k < gen.config().num_samples; ++k) hist.add(0);
+  return hist;
+}
+
+double expected_samples_above(std::uint64_t num_samples, int num_workers,
+                              int num_epochs, double delta) {
+  const double mu = static_cast<double>(num_epochs) / static_cast<double>(num_workers);
+  const auto threshold = static_cast<std::uint64_t>(std::ceil((1.0 + delta) * mu));
+  // P(X > mu(1+delta)) with the paper's integer threshold ceil((1+delta)mu):
+  // the sum starts at k = ceil((1+delta)mu), i.e. P(X >= threshold).
+  const double tail = util::binomial_tail_greater(
+      static_cast<std::uint64_t>(num_epochs), 1.0 / static_cast<double>(num_workers),
+      threshold == 0 ? 0 : threshold - 1);
+  return static_cast<double>(num_samples) * tail;
+}
+
+std::uint64_t lemma1_other_worker_bound(int num_workers, int num_epochs, double delta) {
+  const double mu = static_cast<double>(num_epochs) / static_cast<double>(num_workers);
+  const double factor =
+      (static_cast<double>(num_workers) - 1.0 - delta) / (static_cast<double>(num_workers) - 1.0);
+  return static_cast<std::uint64_t>(std::ceil(factor * mu));
+}
+
+std::vector<std::pair<data::SampleId, std::uint32_t>> sorted_by_frequency(
+    const FrequencyMap& freqs) {
+  std::vector<std::pair<data::SampleId, std::uint32_t>> sorted(freqs.begin(), freqs.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  return sorted;
+}
+
+}  // namespace nopfs::core

@@ -1,0 +1,63 @@
+#include "core/metadata_store.hpp"
+
+#include <stdexcept>
+
+namespace nopfs::core {
+
+MetadataStore::MetadataStore(int num_classes) {
+  if (num_classes < 0) throw std::invalid_argument("MetadataStore: negative class count");
+  used_mb_.resize(static_cast<std::size_t>(num_classes), 0.0);
+  counts_.resize(static_cast<std::size_t>(num_classes), 0);
+}
+
+bool MetadataStore::insert(data::SampleId sample, int storage_class, double size_mb) {
+  const std::scoped_lock lock(mutex_);
+  if (storage_class < 0 || static_cast<std::size_t>(storage_class) >= used_mb_.size()) {
+    throw std::out_of_range("MetadataStore: storage class out of range");
+  }
+  const auto [it, inserted] = catalog_.try_emplace(sample, Entry{storage_class, size_mb});
+  if (!inserted) return false;
+  used_mb_[static_cast<std::size_t>(storage_class)] += size_mb;
+  ++counts_[static_cast<std::size_t>(storage_class)];
+  return true;
+}
+
+std::optional<int> MetadataStore::find(data::SampleId sample) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = catalog_.find(sample);
+  if (it == catalog_.end()) return std::nullopt;
+  return it->second.storage_class;
+}
+
+std::optional<int> MetadataStore::erase(data::SampleId sample) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = catalog_.find(sample);
+  if (it == catalog_.end()) return std::nullopt;
+  const int cls = it->second.storage_class;
+  used_mb_[static_cast<std::size_t>(cls)] -= it->second.size_mb;
+  --counts_[static_cast<std::size_t>(cls)];
+  catalog_.erase(it);
+  return cls;
+}
+
+bool MetadataStore::contains(data::SampleId sample) const {
+  const std::scoped_lock lock(mutex_);
+  return catalog_.contains(sample);
+}
+
+double MetadataStore::used_mb(int storage_class) const {
+  const std::scoped_lock lock(mutex_);
+  return used_mb_.at(static_cast<std::size_t>(storage_class));
+}
+
+std::uint64_t MetadataStore::count(int storage_class) const {
+  const std::scoped_lock lock(mutex_);
+  return counts_.at(static_cast<std::size_t>(storage_class));
+}
+
+std::uint64_t MetadataStore::total_count() const {
+  const std::scoped_lock lock(mutex_);
+  return catalog_.size();
+}
+
+}  // namespace nopfs::core

@@ -1,0 +1,56 @@
+#pragma once
+// Metadata store: the catalog of locally cached samples (paper Sec. 5.2.2).
+//
+// Thread-safe.  Tracks which storage class holds each locally cached sample
+// and the per-class used capacity.  The prefetchers insert entries as they
+// cache samples; the fetch router and the remote-serve handler query it.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace nopfs::core {
+
+class MetadataStore {
+ public:
+  /// `num_classes` local storage classes (1..J, 0-based here).
+  explicit MetadataStore(int num_classes);
+
+  /// Records that `sample` (size_mb) is now cached in `storage_class`.
+  /// Returns false (and records nothing) if already present.
+  bool insert(data::SampleId sample, int storage_class, double size_mb);
+
+  /// Storage class holding `sample`, or nullopt.
+  [[nodiscard]] std::optional<int> find(data::SampleId sample) const;
+
+  /// Removes `sample`; returns the class it was in, or nullopt.
+  std::optional<int> erase(data::SampleId sample);
+
+  [[nodiscard]] bool contains(data::SampleId sample) const;
+
+  /// MB currently cached in `storage_class`.
+  [[nodiscard]] double used_mb(int storage_class) const;
+
+  /// Number of samples cached in `storage_class`.
+  [[nodiscard]] std::uint64_t count(int storage_class) const;
+
+  /// Total cached samples across classes.
+  [[nodiscard]] std::uint64_t total_count() const;
+
+ private:
+  struct Entry {
+    int storage_class;
+    double size_mb;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<data::SampleId, Entry> catalog_;
+  std::vector<double> used_mb_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace nopfs::core

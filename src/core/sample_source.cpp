@@ -1,0 +1,37 @@
+#include "core/sample_source.hpp"
+
+#include "util/units.hpp"
+
+namespace nopfs::core {
+
+SyntheticPfsSource::SyntheticPfsSource(const data::Dataset& dataset,
+                                       tiers::EmulatedPfs* pfs)
+    : dataset_(dataset), pfs_(pfs) {}
+
+Bytes SyntheticPfsSource::read(int worker, data::SampleId id) {
+  const double mb = dataset_.size_mb(id);
+  if (pfs_ != nullptr) pfs_->read(worker, mb);
+  Bytes bytes(util::mb_to_bytes(mb));
+  data::fill_sample_content(id, bytes);
+  return bytes;
+}
+
+double SyntheticPfsSource::size_mb(data::SampleId id) const {
+  return dataset_.size_mb(id);
+}
+
+DirectoryPfsSource::DirectoryPfsSource(const data::Dataset& dataset,
+                                       const data::MaterializedDataset& files,
+                                       tiers::EmulatedPfs* pfs)
+    : dataset_(dataset), files_(files), pfs_(pfs) {}
+
+Bytes DirectoryPfsSource::read(int worker, data::SampleId id) {
+  if (pfs_ != nullptr) pfs_->read(worker, dataset_.size_mb(id));
+  return files_.read(id);
+}
+
+double DirectoryPfsSource::size_mb(data::SampleId id) const {
+  return dataset_.size_mb(id);
+}
+
+}  // namespace nopfs::core

@@ -1,0 +1,168 @@
+#include "core/staging_buffer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace nopfs::core {
+
+namespace {
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+StagingBuffer::StagingBuffer(std::size_t capacity_bytes)
+    : ring_(capacity_bytes), capacity_(capacity_bytes) {
+  if (capacity_bytes == 0) {
+    throw std::invalid_argument("StagingBuffer: zero capacity");
+  }
+}
+
+bool StagingBuffer::fits_locked(std::size_t size) const {
+  if (used_ == 0) return size <= capacity_;
+  if (capacity_ - used_ < size) return false;  // not enough free bytes at all
+  if (head_ >= tail_) {
+    // Live region is [tail_, head_): free space is the ring end plus the
+    // ring start up to tail_.
+    if (capacity_ - head_ >= size) return true;
+    return tail_ >= size;  // wrap, wasting [head_, capacity_)
+  }
+  // Live region wraps: free space is [head_, tail_).
+  return tail_ - head_ >= size;
+}
+
+std::optional<ProducerSlot> StagingBuffer::reserve(std::uint64_t seq,
+                                                   data::SampleId sample,
+                                                   std::size_t size_bytes) {
+  if (size_bytes > capacity_) {
+    throw std::invalid_argument("StagingBuffer: sample larger than staging buffer");
+  }
+  std::unique_lock lock(mutex_);
+  if (!entries_.empty() && seq <= entries_.back().seq) {
+    throw std::logic_error("StagingBuffer: reserve out of order");
+  }
+  space_cv_.wait(lock, [&] { return closed_ || fits_locked(size_bytes); });
+  if (closed_) return std::nullopt;
+
+  std::size_t offset = 0;
+  std::size_t waste = 0;
+  if (used_ == 0) {
+    head_ = 0;
+    tail_ = 0;
+    offset = 0;
+  } else if (head_ >= tail_) {
+    if (capacity_ - head_ >= size_bytes) {
+      offset = head_;
+    } else {
+      waste = capacity_ - head_;  // skip the ring end
+      offset = 0;
+    }
+  } else {
+    offset = head_;
+  }
+  Entry entry;
+  entry.seq = seq;
+  entry.sample = sample;
+  entry.offset = offset;
+  entry.size = size_bytes;
+  entries_.push_back(entry);
+  // Track the wasted gap with the entry that caused it by folding it into
+  // used_; release() subtracts it again via recomputing from offsets.
+  head_ = offset + size_bytes;
+  if (head_ == capacity_) head_ = 0;
+  used_ += size_bytes + waste;
+  wasted_.push_back(waste);
+  return ProducerSlot{seq, sample,
+                      std::span<std::uint8_t>(ring_.data() + offset, size_bytes)};
+}
+
+void StagingBuffer::commit(std::uint64_t seq) {
+  {
+    const std::scoped_lock lock(mutex_);
+    for (auto& entry : entries_) {
+      if (entry.seq == seq) {
+        entry.ready = true;
+        ready_cv_.notify_all();
+        return;
+      }
+    }
+    throw std::logic_error("StagingBuffer: commit of unknown seq");
+  }
+}
+
+std::optional<ConsumedSample> StagingBuffer::consume(std::uint64_t expected_seq) {
+  std::unique_lock lock(mutex_);
+  const double wait_start = now_seconds();
+  Entry* found = nullptr;
+  ready_cv_.wait(lock, [&] {
+    if (closed_) return true;
+    for (auto& entry : entries_) {
+      if (entry.seq == expected_seq) {
+        if (entry.ready && !entry.consumed) {
+          found = &entry;
+          return true;
+        }
+        return false;
+      }
+      if (entry.seq > expected_seq) return false;
+    }
+    return false;
+  });
+  consumer_stall_s_ += now_seconds() - wait_start;
+  if (found == nullptr) return std::nullopt;  // closed
+  found->consumed = true;
+  return ConsumedSample{found->seq, found->sample,
+                        std::span<const std::uint8_t>(ring_.data() + found->offset,
+                                                      found->size)};
+}
+
+void StagingBuffer::release(std::uint64_t seq) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (entries_.empty()) throw std::logic_error("StagingBuffer: release on empty buffer");
+    Entry& front = entries_.front();
+    if (front.seq != seq) {
+      throw std::logic_error("StagingBuffer: release out of order");
+    }
+    if (!front.consumed) {
+      throw std::logic_error("StagingBuffer: release before consume");
+    }
+    used_ -= front.size + wasted_.front();
+    entries_.pop_front();
+    wasted_.pop_front();
+    if (entries_.empty()) {
+      head_ = 0;
+      tail_ = 0;
+      used_ = 0;
+    } else {
+      // The oldest live byte is the next entry's offset (this also steps
+      // over any ring-end gap the next entry's reservation skipped).
+      tail_ = entries_.front().offset;
+    }
+  }
+  space_cv_.notify_all();
+}
+
+void StagingBuffer::close() {
+  {
+    const std::scoped_lock lock(mutex_);
+    closed_ = true;
+  }
+  space_cv_.notify_all();
+  ready_cv_.notify_all();
+}
+
+std::size_t StagingBuffer::used_bytes() const {
+  const std::scoped_lock lock(mutex_);
+  return used_;
+}
+
+double StagingBuffer::consumer_stall_s() const {
+  const std::scoped_lock lock(mutex_);
+  return consumer_stall_s_;
+}
+
+}  // namespace nopfs::core

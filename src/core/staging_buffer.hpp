@@ -1,0 +1,110 @@
+#pragma once
+// The staging buffer: storage class 0 (paper Secs. 4, 5.2.2).
+//
+// A fixed-capacity in-memory ring shared between the prefetchers (producers)
+// and the training framework (consumer).  Filled "in a circular manner":
+// slots are reserved in access-stream order (so consumption order equals R),
+// but the p_0 prefetch threads may *complete* fills out of order; the
+// consumer blocks until the next-in-order slot is ready.  After the consumer
+// releases a sample, its space is immediately reusable — the paper's
+// approximation of Bélády Rules 2–4 (a consumed sample's next use is at
+// least an epoch away, everything still pending is needed sooner).
+//
+// get() exposes a zero-copy view into the ring (the Python interface's
+// buffer_p); release() frees the space.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace nopfs::core {
+
+/// A slot reserved by a producer: fill `data`, then commit(seq).
+struct ProducerSlot {
+  std::uint64_t seq = 0;              ///< position in the access stream
+  data::SampleId sample = 0;
+  std::span<std::uint8_t> data;       ///< region to fill
+};
+
+/// A ready sample handed to the consumer; call release(seq) when done.
+struct ConsumedSample {
+  std::uint64_t seq = 0;
+  data::SampleId sample = 0;
+  std::span<const std::uint8_t> data;
+};
+
+class StagingBuffer {
+ public:
+  /// `capacity_bytes` is d_0.  A single sample larger than the capacity is
+  /// rejected with std::invalid_argument at reserve time.
+  explicit StagingBuffer(std::size_t capacity_bytes);
+
+  StagingBuffer(const StagingBuffer&) = delete;
+  StagingBuffer& operator=(const StagingBuffer&) = delete;
+
+  /// Producer: reserves ring space for stream position `seq` (positions must
+  /// be reserved in strictly increasing order across all producer threads —
+  /// the prefetcher dispenses them from a shared counter).  Blocks until
+  /// space is available.  Returns nullopt after close().
+  [[nodiscard]] std::optional<ProducerSlot> reserve(std::uint64_t seq,
+                                                    data::SampleId sample,
+                                                    std::size_t size_bytes);
+
+  /// Producer: marks a reserved slot filled; wakes the consumer when it is
+  /// the next in order.
+  void commit(std::uint64_t seq);
+
+  /// Consumer: blocks until stream position `expected_seq` is ready (or the
+  /// buffer is closed -> nullopt).  Zero-copy view valid until release().
+  [[nodiscard]] std::optional<ConsumedSample> consume(std::uint64_t expected_seq);
+
+  /// Consumer: frees the space of a consumed sample.  Must be called in
+  /// consumption order (FIFO), which is the natural training order.
+  void release(std::uint64_t seq);
+
+  /// Unblocks all waiters; further reserve()/consume() return nullopt.
+  void close();
+
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept { return capacity_; }
+
+  /// Bytes currently reserved (filled or in flight).
+  [[nodiscard]] std::size_t used_bytes() const;
+
+  /// Total seconds the consumer spent blocked in consume() so far.
+  [[nodiscard]] double consumer_stall_s() const;
+
+ private:
+  struct Entry {
+    std::uint64_t seq = 0;
+    data::SampleId sample = 0;
+    std::size_t offset = 0;
+    std::size_t size = 0;
+    bool ready = false;
+    bool consumed = false;
+  };
+
+  /// True if [head_, head_+size) fits without overlapping the tail.
+  [[nodiscard]] bool fits_locked(std::size_t size) const;
+
+  std::vector<std::uint8_t> ring_;
+  std::size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable space_cv_;   ///< producers wait for space
+  std::condition_variable ready_cv_;   ///< consumer waits for commits
+  std::deque<Entry> entries_;          ///< in seq order
+  std::deque<std::size_t> wasted_;     ///< ring-end bytes skipped per entry
+  std::size_t head_ = 0;               ///< next write offset
+  std::size_t tail_ = 0;               ///< oldest live byte
+  std::size_t used_ = 0;
+  bool closed_ = false;
+  double consumer_stall_s_ = 0.0;
+};
+
+}  // namespace nopfs::core

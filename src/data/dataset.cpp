@@ -1,0 +1,123 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "util/units.hpp"
+
+namespace nopfs::data {
+
+Dataset Dataset::synthetic(const DatasetSpec& spec, std::uint64_t seed) {
+  if (spec.num_samples == 0) throw std::invalid_argument("Dataset: num_samples == 0");
+  if (spec.mean_size_mb <= 0.0) throw std::invalid_argument("Dataset: mean_size_mb <= 0");
+  std::vector<float> sizes;
+  sizes.reserve(spec.num_samples);
+  // Stream 0 of the seed is reserved for dataset generation so that the
+  // access-stream PRNG (stream >= 1) never aliases it.
+  util::Rng rng = util::Rng::for_stream(seed, 0);
+  for (std::uint64_t k = 0; k < spec.num_samples; ++k) {
+    double size = spec.stddev_size_mb == 0.0
+                      ? spec.mean_size_mb
+                      : rng.normal(spec.mean_size_mb, spec.stddev_size_mb);
+    size = std::max(size, spec.min_size_mb);
+    sizes.push_back(static_cast<float>(size));
+  }
+  return Dataset(spec.name, std::move(sizes), spec.num_classes);
+}
+
+Dataset::Dataset(std::string name, std::vector<float> sizes_mb, std::uint32_t num_classes)
+    : name_(std::move(name)),
+      sizes_mb_(std::move(sizes_mb)),
+      num_classes_(num_classes == 0 ? 1 : num_classes) {
+  if (sizes_mb_.empty()) throw std::invalid_argument("Dataset: no samples");
+  total_mb_ = std::accumulate(sizes_mb_.begin(), sizes_mb_.end(), 0.0,
+                              [](double acc, float s) { return acc + static_cast<double>(s); });
+}
+
+double Dataset::mean_size_mb() const noexcept {
+  return total_mb_ / static_cast<double>(sizes_mb_.size());
+}
+
+namespace presets {
+
+DatasetSpec mnist() {
+  DatasetSpec spec;
+  spec.name = "mnist";
+  spec.num_samples = 50'000;
+  spec.mean_size_mb = 0.76 * util::kKB;
+  spec.stddev_size_mb = 0.0;
+  spec.num_classes = 10;
+  spec.min_size_mb = 0.1 * util::kKB;
+  return spec;
+}
+
+DatasetSpec imagenet1k() {
+  DatasetSpec spec;
+  spec.name = "imagenet1k";
+  spec.num_samples = 1'281'167;
+  spec.mean_size_mb = 0.1077;
+  spec.stddev_size_mb = 0.1;
+  spec.num_classes = 1'000;
+  return spec;
+}
+
+DatasetSpec openimages() {
+  DatasetSpec spec;
+  spec.name = "openimages";
+  spec.num_samples = 1'743'042;
+  spec.mean_size_mb = 0.2937;
+  spec.stddev_size_mb = 0.2;
+  spec.num_classes = 600;
+  return spec;
+}
+
+DatasetSpec imagenet22k() {
+  DatasetSpec spec;
+  spec.name = "imagenet22k";
+  spec.num_samples = 14'197'122;
+  spec.mean_size_mb = 0.1077;
+  spec.stddev_size_mb = 0.2;
+  spec.num_classes = 21'841;
+  return spec;
+}
+
+DatasetSpec cosmoflow() {
+  DatasetSpec spec;
+  spec.name = "cosmoflow";
+  spec.num_samples = 262'144;
+  // 128^3 voxels x 4 channels x 2 bytes = 16.78 MB ("17 MB" in the paper).
+  spec.mean_size_mb = 17.0;
+  spec.stddev_size_mb = 0.0;
+  spec.num_classes = 1;
+  return spec;
+}
+
+DatasetSpec cosmoflow512() {
+  DatasetSpec spec;
+  spec.name = "cosmoflow512";
+  spec.num_samples = 10'000;
+  spec.mean_size_mb = 1'000.0;
+  spec.stddev_size_mb = 0.0;
+  spec.num_classes = 1;
+  return spec;
+}
+
+DatasetSpec by_name(const std::string& name) {
+  if (name == "mnist") return mnist();
+  if (name == "imagenet1k") return imagenet1k();
+  if (name == "openimages") return openimages();
+  if (name == "imagenet22k") return imagenet22k();
+  if (name == "cosmoflow") return cosmoflow();
+  if (name == "cosmoflow512") return cosmoflow512();
+  throw std::invalid_argument("unknown dataset preset: " + name);
+}
+
+std::vector<std::string> all_names() {
+  return {"mnist", "imagenet1k", "openimages", "imagenet22k", "cosmoflow", "cosmoflow512"};
+}
+
+}  // namespace presets
+
+}  // namespace nopfs::data

@@ -1,0 +1,94 @@
+#pragma once
+// Dataset model.
+//
+// An I/O middleware sees a training dataset as a collection of F files with
+// sizes s_k (paper Tab. 2); nothing else about the samples matters for I/O.
+// The paper's simulator draws file sizes from a normal distribution with
+// per-dataset (mu, sigma) and we reproduce exactly that, including presets
+// for the six datasets in the evaluation: MNIST, ImageNet-1k, OpenImages,
+// ImageNet-22k, CosmoFlow and CosmoFlow-512^3.
+//
+// Sizes are stored as float MB to keep multi-million-sample datasets cheap
+// (ImageNet-22k has 14.2M samples).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nopfs::data {
+
+/// Identifier of a sample within its dataset: the index in [0, F).
+using SampleId = std::uint64_t;
+
+/// Description of one synthetic dataset family (paper Sec. 6.1 scenarios).
+struct DatasetSpec {
+  std::string name;          ///< e.g. "imagenet1k"
+  std::uint64_t num_samples = 0;  ///< F
+  double mean_size_mb = 0.0;      ///< mu
+  double stddev_size_mb = 0.0;    ///< sigma
+  std::uint32_t num_classes = 1;  ///< for ImageFolder-style layouts
+  double min_size_mb = 1.0 / 1024.0;  ///< truncation floor (1 KB)
+};
+
+/// An immutable training dataset: F samples with known sizes.
+class Dataset {
+ public:
+  /// Generates per-sample sizes from spec (normal, truncated at
+  /// spec.min_size_mb) using a deterministic stream derived from `seed`.
+  static Dataset synthetic(const DatasetSpec& spec, std::uint64_t seed);
+
+  /// Dataset with explicitly given sizes (tests, real directory scans).
+  Dataset(std::string name, std::vector<float> sizes_mb, std::uint32_t num_classes = 1);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t num_samples() const noexcept { return sizes_mb_.size(); }
+  [[nodiscard]] std::uint32_t num_classes() const noexcept { return num_classes_; }
+
+  /// Size of sample k in MB.
+  [[nodiscard]] double size_mb(SampleId k) const { return sizes_mb_.at(k); }
+
+  /// Total dataset size S in MB.
+  [[nodiscard]] double total_mb() const noexcept { return total_mb_; }
+
+  /// Mean sample size S/F in MB.
+  [[nodiscard]] double mean_size_mb() const noexcept;
+
+  /// Class of sample k (deterministic, ImageFolder-style partition).
+  [[nodiscard]] std::uint32_t class_of(SampleId k) const noexcept {
+    return static_cast<std::uint32_t>(k % num_classes_);
+  }
+
+  [[nodiscard]] const std::vector<float>& sizes() const noexcept { return sizes_mb_; }
+
+ private:
+  std::string name_;
+  std::vector<float> sizes_mb_;
+  std::uint32_t num_classes_ = 1;
+  double total_mb_ = 0.0;
+};
+
+/// Paper dataset presets (Sec. 6.1 "Scenario" parameters and Sec. 7 datasets).
+namespace presets {
+/// MNIST: F=50,000, mu=0.76 KB, sigma=0 (~40 MB).
+[[nodiscard]] DatasetSpec mnist();
+/// ImageNet-1k: F=1,281,167, mu=0.1077 MB, sigma=0.1 (~135 GB), 1000 classes.
+[[nodiscard]] DatasetSpec imagenet1k();
+/// OpenImages: F=1,743,042, mu=0.2937 MB, sigma=0.2 (~500 GB).
+[[nodiscard]] DatasetSpec openimages();
+/// ImageNet-22k: F=14,197,122, mu=0.1077 MB, sigma=0.2 (~1.5 TB), 21841 classes.
+[[nodiscard]] DatasetSpec imagenet22k();
+/// CosmoFlow: F=262,144, 16.78 MB fixed-size 128^3x4 int16 samples (~4 TB).
+[[nodiscard]] DatasetSpec cosmoflow();
+/// CosmoFlow 512^3: F=10,000, 1000 MB fixed-size samples (~10 TB).
+[[nodiscard]] DatasetSpec cosmoflow512();
+
+/// Looks a preset up by name; throws std::invalid_argument for unknown names.
+[[nodiscard]] DatasetSpec by_name(const std::string& name);
+
+/// All preset names in evaluation order.
+[[nodiscard]] std::vector<std::string> all_names();
+}  // namespace presets
+
+}  // namespace nopfs::data

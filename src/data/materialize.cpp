@@ -1,0 +1,65 @@
+#include "data/materialize.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "util/log.hpp"
+#include "util/units.hpp"
+
+namespace nopfs::data {
+
+void fill_sample_content(SampleId k, std::span<std::uint8_t> out) noexcept {
+  for (std::uint64_t b = 0; b < out.size(); ++b) out[b] = sample_byte(k, b);
+}
+
+bool verify_sample_content(SampleId k, std::span<const std::uint8_t> bytes) noexcept {
+  for (std::uint64_t b = 0; b < bytes.size(); ++b) {
+    if (bytes[b] != sample_byte(k, b)) return false;
+  }
+  return true;
+}
+
+MaterializedDataset::MaterializedDataset(const Dataset& dataset, std::filesystem::path root)
+    : root_(std::move(root)) {
+  namespace fs = std::filesystem;
+  fs::create_directories(root_);
+  paths_.reserve(dataset.num_samples());
+  std::vector<std::uint8_t> buffer;
+  for (SampleId k = 0; k < dataset.num_samples(); ++k) {
+    const fs::path class_dir = root_ / ("class_" + std::to_string(dataset.class_of(k)));
+    if (k < dataset.num_classes()) fs::create_directories(class_dir);
+    fs::path file = class_dir / ("sample_" + std::to_string(k) + ".bin");
+    const auto bytes = util::mb_to_bytes(dataset.size_mb(k));
+    buffer.resize(bytes);
+    fill_sample_content(k, buffer);
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("materialize: cannot open " + file.string());
+    out.write(reinterpret_cast<const char*>(buffer.data()),
+              static_cast<std::streamsize>(buffer.size()));
+    if (!out) throw std::runtime_error("materialize: short write to " + file.string());
+    paths_.push_back(std::move(file));
+  }
+  util::log_debug("materialized ", dataset.num_samples(), " samples under ", root_.string());
+}
+
+MaterializedDataset::~MaterializedDataset() {
+  if (keep_) return;
+  std::error_code ec;
+  std::filesystem::remove_all(root_, ec);
+  if (ec) util::log_warn("materialize: cleanup of ", root_.string(), " failed: ", ec.message());
+}
+
+std::vector<std::uint8_t> MaterializedDataset::read(SampleId k) const {
+  const auto& path = paths_.at(k);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("materialize: cannot open " + path.string());
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("materialize: short read from " + path.string());
+  return bytes;
+}
+
+}  // namespace nopfs::data

@@ -1,0 +1,63 @@
+#pragma once
+// Transport abstraction: the communication surface NoPFS needs from MPI.
+//
+// The paper's implementation uses MPI for (1) an allgather distributing
+// every worker's access sequence R during setup, (2) serving locally cached
+// samples to remote workers and requesting samples from them, and (3) the
+// prefetch-progress heuristic (Sec. 5.2.2).  This interface captures exactly
+// that surface; `SimTransport` (sim_transport.hpp) provides the single-box
+// substitute where workers are threads and link bandwidth is emulated.
+// A real MPI backend would implement the same interface.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace nopfs::net {
+
+/// Sample payload bytes.
+using Bytes = std::vector<std::uint8_t>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// This worker's rank in [0, world_size).
+  [[nodiscard]] virtual int rank() const = 0;
+
+  /// Number of workers.
+  [[nodiscard]] virtual int world_size() const = 0;
+
+  /// Collective: contributes `local`, returns every rank's contribution
+  /// indexed by rank.  All ranks must call; blocks until complete.
+  virtual std::vector<Bytes> allgather(Bytes local) = 0;
+
+  /// Collective barrier.
+  virtual void barrier() = 0;
+
+  /// Handler invoked when a remote worker requests sample `id` from this
+  /// rank; returns the bytes if locally cached, nullopt otherwise.
+  using ServeHandler = std::function<std::optional<Bytes>(std::uint64_t id)>;
+
+  /// Installs the serve handler (must be set before any peer may fetch).
+  virtual void set_serve_handler(ServeHandler handler) = 0;
+
+  /// Requests sample `id` from `peer`.  Returns nullopt if the peer does
+  /// not (yet) have the sample — the paper treats this as a detectable,
+  /// non-fatal miss.  Blocking; network time is charged by the transport.
+  virtual std::optional<Bytes> fetch_sample(int peer, std::uint64_t id) = 0;
+
+  /// Publishes this rank's prefetch progress (position in its access
+  /// stream); peers read it via watermark_of().  Used by the remote-cache
+  /// readiness heuristic (Sec. 5.2.2).
+  virtual void publish_watermark(std::uint64_t position) = 0;
+
+  /// Most recently published watermark of `peer` (0 if never published).
+  [[nodiscard]] virtual std::uint64_t watermark_of(int peer) const = 0;
+
+  /// Bytes moved through this rank's NIC so far (diagnostics).
+  [[nodiscard]] virtual double transferred_mb() const = 0;
+};
+
+}  // namespace nopfs::net

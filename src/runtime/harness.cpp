@@ -1,0 +1,173 @@
+#include "runtime/harness.hpp"
+
+#include <barrier>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "core/access_stream.hpp"
+#include "core/sample_source.hpp"
+#include "data/materialize.hpp"
+#include "net/sim_transport.hpp"
+#include "tiers/clock.hpp"
+#include "tiers/devices.hpp"
+#include "util/log.hpp"
+
+namespace nopfs::runtime {
+
+namespace {
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+RuntimeResult run_training(const data::Dataset& dataset, const RuntimeConfig& config) {
+  const int n = config.system.num_workers;
+  if (n <= 0) throw std::invalid_argument("run_training: num_workers must be positive");
+
+  // Shared substrate.
+  tiers::RealClock clock;
+  tiers::EmulatedCluster cluster(clock, config.system, config.time_scale);
+  auto transports = net::make_sim_transports(n, &cluster);
+  core::SyntheticPfsSource source(dataset, &cluster.pfs());
+
+  // Stream geometry (identical for every loader kind).
+  core::StreamConfig stream_config;
+  stream_config.seed = config.seed;
+  stream_config.num_samples = dataset.num_samples();
+  stream_config.num_workers = n;
+  stream_config.num_epochs = config.num_epochs;
+  stream_config.global_batch = config.global_batch();
+  stream_config.drop_last = config.drop_last;
+  stream_config.validate();
+  if (!config.drop_last) {
+    throw std::invalid_argument(
+        "run_training: the lockstep harness requires drop_last");
+  }
+  const std::uint64_t iters = stream_config.iterations_per_epoch();
+  const std::uint64_t local_b = stream_config.local_batch();
+
+  RuntimeResult result;
+  std::vector<core::JobStats> worker_stats(static_cast<std::size_t>(n));
+  std::vector<std::uint64_t> verified(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint64_t> failures(static_cast<std::size_t>(n), 0);
+  std::vector<std::string> errors(static_cast<std::size_t>(n));
+
+  std::barrier sync(n);
+  // Timing starts after every loader is ready (post-start barrier): loader
+  // setup is real CPU work that must not be multiplied by time_scale.
+  double run_start = 0.0;
+  double epoch_mark = 0.0;
+  double batch_mark = 0.0;
+
+  auto worker_main = [&](int rank) {
+    try {
+      baselines::LoaderContext ctx;
+      ctx.dataset = &dataset;
+      ctx.system = &config.system;
+      ctx.rank = rank;
+      ctx.source = &source;
+      ctx.transport = transports[static_cast<std::size_t>(rank)].get();
+      ctx.devices = &cluster.worker(rank);
+      ctx.seed = config.seed;
+      ctx.num_epochs = config.num_epochs;
+      ctx.global_batch = config.global_batch();
+      ctx.drop_last = config.drop_last;
+      ctx.time_scale = config.time_scale;
+      ctx.threads = config.loader_threads;
+      ctx.lookahead = config.lookahead;
+      ctx.router = config.router;
+
+      auto loader = baselines::make_loader(config.loader, ctx);
+      loader->start();
+      sync.arrive_and_wait();  // everyone ready
+      if (rank == 0) {
+        run_start = now_s();
+        epoch_mark = run_start;
+        batch_mark = run_start;
+      }
+      sync.arrive_and_wait();  // clock set; start together
+
+      const double compute_mbps = config.system.node.compute_mbps;
+      for (int e = 0; e < config.num_epochs; ++e) {
+        for (std::uint64_t h = 0; h < iters; ++h) {
+          for (std::uint64_t l = 0; l < local_b; ++l) {
+            auto sample = loader->next();
+            if (!sample.has_value()) {
+              throw std::runtime_error(loader->name() +
+                                       ": stream exhausted prematurely");
+            }
+            if (config.verify_content) {
+              if (data::verify_sample_content(sample->id(), sample->view())) {
+                ++verified[static_cast<std::size_t>(rank)];
+              } else {
+                ++failures[static_cast<std::size_t>(rank)];
+              }
+            }
+            if (!config.skip_compute && compute_mbps > 0.0) {
+              const double virtual_s =
+                  dataset.size_mb(sample->id()) / compute_mbps;
+              std::this_thread::sleep_for(std::chrono::duration<double>(
+                  virtual_s / config.time_scale));
+            }
+          }
+          // The allreduce: every worker waits for the slowest.
+          sync.arrive_and_wait();
+          if (rank == 0) {
+            const double t = now_s();
+            const double batch_virtual = (t - batch_mark) * config.time_scale;
+            if (e == 0) {
+              result.batch_s_epoch0.push_back(batch_virtual);
+            } else {
+              result.batch_s_rest.push_back(batch_virtual);
+            }
+            batch_mark = t;
+          }
+          sync.arrive_and_wait();  // rank 0 finished recording
+        }
+        if (rank == 0) {
+          const double t = now_s();
+          result.epoch_s.push_back((t - epoch_mark) * config.time_scale);
+          epoch_mark = t;
+        }
+      }
+      worker_stats[static_cast<std::size_t>(rank)] = loader->stats();
+    } catch (const std::exception& ex) {
+      errors[static_cast<std::size_t>(rank)] = ex.what();
+      util::log_error("worker ", rank, " failed: ", ex.what());
+      // Release peers stuck on the barrier by aborting the run.
+      std::terminate();
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(n));
+  for (int rank = 0; rank < n; ++rank) workers.emplace_back(worker_main, rank);
+  for (auto& worker : workers) worker.join();
+
+  result.total_s = (now_s() - run_start) * config.time_scale;
+  // total_s must not include post-run teardown skew; the epoch times are
+  // the precise measurement, so reconcile to their sum.
+  double epoch_total = 0.0;
+  for (const double e : result.epoch_s) epoch_total += e;
+  if (epoch_total > 0.0) result.total_s = epoch_total;
+  for (int rank = 0; rank < n; ++rank) {
+    const auto& s = worker_stats[static_cast<std::size_t>(rank)];
+    result.stats.local_fetches += s.local_fetches;
+    result.stats.remote_fetches += s.remote_fetches;
+    result.stats.pfs_fetches += s.pfs_fetches;
+    result.stats.remote_misses += s.remote_misses;
+    result.stats.local_mb += s.local_mb;
+    result.stats.remote_mb += s.remote_mb;
+    result.stats.pfs_mb += s.pfs_mb;
+    result.stats.stall_s += s.stall_s;
+    result.stats.cached_samples += s.cached_samples;
+    result.verified_samples += verified[static_cast<std::size_t>(rank)];
+    result.verification_failures += failures[static_cast<std::size_t>(rank)];
+  }
+  return result;
+}
+
+}  // namespace nopfs::runtime

@@ -1,0 +1,68 @@
+#pragma once
+// Runtime harness: executes a real multi-worker training run in one process.
+//
+// N worker threads each drive a Loader (NoPFS or a baseline) against the
+// emulated storage substrate: devices are rate-limited token buckets, the
+// PFS is contention-aware, remote fetches ride the SimTransport.  Compute
+// is emulated by sleeping s_k/c (scaled); each iteration ends with a
+// barrier, the gradient allreduce of data-parallel training.  All reported
+// times are virtual seconds (real seconds x time_scale).
+//
+// This is the "real system" half of the evaluation: it exercises the
+// production NoPFS code paths (staging buffer, prefetchers, metadata,
+// transport), while src/sim scales the same performance model to thousands
+// of workers analytically.
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/loader.hpp"
+#include "data/dataset.hpp"
+#include "tiers/params.hpp"
+#include "util/stats.hpp"
+
+namespace nopfs::runtime {
+
+struct RuntimeConfig {
+  tiers::SystemParams system;
+  baselines::LoaderKind loader = baselines::LoaderKind::kNoPFS;
+  std::uint64_t seed = 42;
+  int num_epochs = 2;
+  std::uint64_t per_worker_batch = 8;
+  bool drop_last = true;
+  /// Virtual seconds emulated per real second.  Higher = faster runs,
+  /// coarser emulation.
+  double time_scale = 1000.0;
+  int loader_threads = 4;
+  int lookahead = 32;
+  core::RouterOptions router;
+  /// Verify every delivered sample against its deterministic content
+  /// (integration tests).
+  bool verify_content = false;
+  /// Skip the compute sleep entirely (pure I/O benchmark).
+  bool skip_compute = false;
+
+  [[nodiscard]] std::uint64_t global_batch() const noexcept {
+    return per_worker_batch * static_cast<std::uint64_t>(system.num_workers);
+  }
+};
+
+struct RuntimeResult {
+  double total_s = 0.0;                 ///< virtual wall time of the run
+  std::vector<double> epoch_s;          ///< virtual time per epoch
+  std::vector<double> batch_s_epoch0;   ///< per-iteration virtual durations
+  std::vector<double> batch_s_rest;
+  core::JobStats stats;                 ///< summed over workers
+  std::uint64_t verified_samples = 0;
+  std::uint64_t verification_failures = 0;
+
+  [[nodiscard]] util::Summary batch_summary_rest() const {
+    return util::summarize(batch_s_rest);
+  }
+};
+
+/// Runs one complete training job and returns aggregate timings.
+[[nodiscard]] RuntimeResult run_training(const data::Dataset& dataset,
+                                         const RuntimeConfig& config);
+
+}  // namespace nopfs::runtime

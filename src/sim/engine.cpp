@@ -1,0 +1,246 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace nopfs::sim {
+
+const char* location_name(Location loc) noexcept {
+  switch (loc) {
+    case Location::kStagingWrite: return "staging";
+    case Location::kLocal: return "local";
+    case Location::kRemote: return "remote";
+    case Location::kPfs: return "pfs";
+    case Location::kCount: break;
+  }
+  return "?";
+}
+
+double SimResult::count_share(Location loc) const {
+  std::uint64_t staged = 0;
+  for (int l = static_cast<int>(Location::kLocal); l < static_cast<int>(Location::kCount);
+       ++l) {
+    staged += location_count[l];
+  }
+  if (staged == 0) return 0.0;
+  return static_cast<double>(location_count[static_cast<int>(loc)]) /
+         static_cast<double>(staged);
+}
+
+namespace {
+
+/// Reservoir-samples iteration durations to bound memory.
+class BatchRecorder {
+ public:
+  BatchRecorder(std::vector<double>& out, std::size_t cap, std::uint64_t seed)
+      : out_(out), cap_(cap), rng_(seed) {}
+
+  void add(double value) {
+    ++seen_;
+    if (out_.size() < cap_) {
+      out_.push_back(value);
+      return;
+    }
+    const std::uint64_t j = rng_.uniform_below(seen_);
+    if (j < cap_) out_[static_cast<std::size_t>(j)] = value;
+  }
+
+ private:
+  std::vector<double>& out_;
+  std::size_t cap_;
+  std::uint64_t seen_ = 0;
+  util::Rng rng_;
+};
+
+}  // namespace
+
+SimResult simulate(const SimConfig& config, const data::Dataset& dataset,
+                   Policy& policy) {
+  const auto& system = config.system;
+  const int n = system.num_workers;
+  if (n <= 0) throw std::invalid_argument("simulate: num_workers must be positive");
+
+  core::StreamConfig stream_config;
+  stream_config.seed = config.seed;
+  stream_config.num_samples = dataset.num_samples();
+  stream_config.num_workers = n;
+  stream_config.num_epochs = config.num_epochs;
+  stream_config.global_batch = config.global_batch();
+  stream_config.drop_last = config.drop_last;
+  const core::AccessStreamGenerator gen(stream_config);
+  const core::PerfModel model(system);
+
+  SimContext ctx;
+  ctx.config = &config;
+  ctx.dataset = &dataset;
+  ctx.model = &model;
+  ctx.gen = &gen;
+
+  SimResult result;
+  result.policy = policy.name();
+  result.dataset = dataset.name();
+  {
+    std::string why;
+    if (!policy.supported(ctx, &why)) {
+      result.supported = false;
+      result.unsupported_reason = why;
+      return result;
+    }
+  }
+
+  const double prestage_s = policy.setup(ctx);
+  result.prestage_s = prestage_s;
+
+  const std::uint64_t iters = stream_config.iterations_per_epoch();
+  const std::uint64_t local_b = stream_config.local_batch();
+  const std::uint64_t consumed =
+      std::min<std::uint64_t>(dataset.num_samples(), iters * stream_config.global_batch);
+  const int p0 = std::max(1, system.node.staging.prefetch_threads);
+  const bool overlapped = policy.overlapped();
+  const bool zero_io = policy.zero_io();
+
+  // Per-worker pipeline state.
+  std::vector<double> t(static_cast<std::size_t>(n), prestage_s);
+  std::vector<double> cum_read(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> pending_compute(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> stall(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> compute(static_cast<std::size_t>(n), 0.0);
+
+  // Scratch for one iteration's resolved accesses.
+  struct Resolved {
+    data::SampleId sample;
+    AccessDecision decision;
+  };
+  std::vector<Resolved> scratch(static_cast<std::size_t>(n) * local_b);
+  std::vector<std::uint32_t> counts(static_cast<std::size_t>(n));
+
+  BatchRecorder rec_epoch0(result.batch_s_epoch0, config.max_batch_records,
+                           config.seed ^ 0x5555);
+  BatchRecorder rec_rest(result.batch_s_rest, config.max_batch_records,
+                         config.seed ^ 0xAAAA);
+
+  int gamma_prev = n;  // everyone starts cold on the PFS
+  double barrier_time = prestage_s;
+
+  for (int e = 0; e < config.num_epochs; ++e) {
+    policy.on_epoch_begin(ctx, e);
+    const auto order = gen.epoch_order(e);
+    const double epoch_start = barrier_time;
+
+    for (std::uint64_t h = 0; h < iters; ++h) {
+      // Phase 1: resolve accesses and decisions.
+      int gamma_now = 0;
+      for (int i = 0; i < n; ++i) {
+        std::uint32_t count = 0;
+        bool hits_pfs = false;
+        for (std::uint64_t l = 0; l < local_b; ++l) {
+          const std::uint64_t local_index = h * local_b + l;
+          const std::uint64_t pos =
+              local_index * static_cast<std::uint64_t>(n) + static_cast<std::uint64_t>(i);
+          if (pos >= consumed) continue;
+          data::SampleId sample = policy.remap(i, e, local_index, order[pos]);
+          const AccessDecision decision =
+              zero_io ? AccessDecision{Location::kLocal, 0}
+                      : policy.on_access(ctx, i, e, sample, gamma_prev);
+          scratch[static_cast<std::size_t>(i) * local_b + count] = {sample, decision};
+          ++count;
+          if (decision.location == Location::kPfs) hits_pfs = true;
+        }
+        counts[static_cast<std::size_t>(i)] = count;
+        if (hits_pfs) ++gamma_now;
+      }
+      const int gamma = std::max(1, gamma_now);
+
+      // Phase 2: price the accesses through the pipeline recurrence.
+      double iter_end = 0.0;
+      for (int i = 0; i < n; ++i) {
+        const auto count = counts[static_cast<std::size_t>(i)];
+        double ti = t[static_cast<std::size_t>(i)];
+        for (std::uint32_t a = 0; a < count; ++a) {
+          const auto& r = scratch[static_cast<std::size_t>(i) * local_b + a];
+          const double mb = dataset.size_mb(r.sample);
+          double fetch_s = 0.0;
+          if (!zero_io) {
+            switch (r.decision.location) {
+              case Location::kLocal:
+                fetch_s = model.fetch_local_s(mb, r.decision.storage_class);
+                break;
+              case Location::kRemote:
+                fetch_s = model.fetch_remote_s(mb, r.decision.storage_class);
+                break;
+              case Location::kPfs:
+                fetch_s = model.fetch_pfs_s(mb, gamma);
+                break;
+              default:
+                break;
+            }
+          }
+          const double write_s = zero_io ? 0.0 : model.write_s(mb);
+          const int loc = static_cast<int>(r.decision.location);
+          const int staging = static_cast<int>(Location::kStagingWrite);
+          result.location_s[loc] += fetch_s;
+          result.location_s[staging] += write_s;
+          result.location_count[loc] += 1;
+          result.location_count[staging] += 1;
+          result.location_mb[loc] += mb;
+          result.location_mb[staging] += mb;
+
+          const double compute_s =
+              model.compute_s(config.uniform_compute ? dataset.mean_size_mb() : mb);
+          compute[static_cast<std::size_t>(i)] += compute_s;
+          const double ready = ti + pending_compute[static_cast<std::size_t>(i)];
+          double consume_at;
+          if (overlapped) {
+            // Local/remote fetches and staging writes parallelize across the
+            // p0 staging threads (the paper's avail = sum read / p0).  A PFS
+            // fetch does not: the worker is a single PFS client, so its p0
+            // threads share one t(gamma)/gamma slice — threads cannot
+            // multiply parallel-filesystem bandwidth.
+            if (r.decision.location == Location::kPfs) {
+              cum_read[static_cast<std::size_t>(i)] +=
+                  fetch_s * static_cast<double>(p0) + write_s;
+            } else {
+              cum_read[static_cast<std::size_t>(i)] += fetch_s + write_s;
+            }
+            const double avail = cum_read[static_cast<std::size_t>(i)] /
+                                 static_cast<double>(p0);
+            consume_at = std::max(avail, ready);
+          } else {
+            // No prefetching: the read happens inline after compute.
+            consume_at = ready + fetch_s + write_s;
+          }
+          stall[static_cast<std::size_t>(i)] += consume_at - ready;
+          ti = consume_at;
+          pending_compute[static_cast<std::size_t>(i)] = compute_s;
+        }
+        ti += pending_compute[static_cast<std::size_t>(i)];
+        pending_compute[static_cast<std::size_t>(i)] = 0.0;
+        t[static_cast<std::size_t>(i)] = ti;
+        iter_end = std::max(iter_end, ti);
+      }
+
+      // Phase 3: the allreduce barrier aligns everyone.
+      iter_end += config.allreduce_s;
+      const double batch_s = iter_end - barrier_time;
+      if (e == 0) {
+        rec_epoch0.add(batch_s);
+      } else {
+        rec_rest.add(batch_s);
+      }
+      barrier_time = iter_end;
+      std::fill(t.begin(), t.end(), iter_end);
+      gamma_prev = gamma_now;
+    }
+    result.epoch_s.push_back(barrier_time - epoch_start);
+  }
+
+  result.total_s = barrier_time;
+  result.stall_s = *std::max_element(stall.begin(), stall.end());
+  result.compute_s = *std::max_element(compute.begin(), compute.end());
+  result.accessed_fraction = policy.accessed_fraction(ctx);
+  return result;
+}
+
+}  // namespace nopfs::sim

@@ -1,0 +1,29 @@
+#pragma once
+// The simulator engine: applies the Sec. 4 performance model to a policy's
+// per-access decisions in bulk-synchronous lockstep.
+//
+// Per iteration h (all workers in step, as data-parallel training is):
+//   1. every worker's local batch is resolved to (sample, decision) pairs —
+//      policies see the previous iteration's PFS client count gamma as their
+//      live estimate;
+//   2. the actual gamma of this iteration (workers with >= 1 PFS access) is
+//      counted, and the model prices each access:
+//         read = fetch(source, gamma) + write(preprocess/staging store)
+//      feeding the prefetch-pipeline recurrence
+//         avail_f = cum_read / p0,  t_f = max(avail_f, t_{f-1} + s_{f-1}/c);
+//   3. a barrier (the gradient allreduce) aligns workers to the slowest.
+//
+// Naive (unoverlapped) policies instead serialize read into the consume
+// path; the Perfect policy prices all reads at zero.
+
+#include "sim/policy.hpp"
+#include "sim/sim_config.hpp"
+
+namespace nopfs::sim {
+
+/// Runs one simulation.  The dataset must match the config's system scale
+/// (any dataset works; presets in data/dataset.hpp).
+[[nodiscard]] SimResult simulate(const SimConfig& config, const data::Dataset& dataset,
+                                 Policy& policy);
+
+}  // namespace nopfs::sim

@@ -1,0 +1,97 @@
+#pragma once
+// HolderTable: compact cluster-wide cache map for the simulator.
+//
+// For each sample it stores up to K holder entries (worker, storage class,
+// cached flag) in a flat array — K = min(E, kMaxHolders) bounds the number
+// of distinct workers that can plan to cache a sample, because a sample is
+// accessed exactly once per epoch and policies only cache samples a worker
+// actually accesses.  The flat layout keeps multi-ten-million-sample
+// simulations (ImageNet-22k) in a few hundred MB.
+//
+// Entry encoding (uint32): owner (24 bits) | class (4 bits) | cached (1).
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace nopfs::sim {
+
+class HolderTable {
+ public:
+  static constexpr int kMaxHolders = 16;
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  HolderTable() = default;
+
+  /// `num_samples` = F; `holders_per_sample` = K (clamped to kMaxHolders).
+  HolderTable(std::uint64_t num_samples, int holders_per_sample);
+
+  /// Registers that `worker` plans to cache `sample` in `storage_class`.
+  /// Returns false if the sample's holder slots are full (rare; the entry
+  /// is dropped, which is a pessimization, never an error).
+  bool add(data::SampleId sample, int worker, int storage_class);
+
+  /// Marks `worker`'s copy of `sample` as materialized.
+  void mark_cached(data::SampleId sample, int worker);
+
+  /// Marks every registered holder entry cached (preloading policies).
+  void mark_all_cached();
+
+  /// Marks every holder of `sample` cached (NoPFS first-materialization:
+  /// all planners' prefetchers obtain the sample once anyone has paid the
+  /// PFS read — the paper's "read from the PFS only once per run").
+  void mark_sample_cached_all(data::SampleId sample);
+
+  /// True if any worker registered a (planned) copy of `sample`.
+  [[nodiscard]] bool has_any(data::SampleId sample) const;
+
+  /// True if any worker holds a *cached* copy of `sample`.
+  [[nodiscard]] bool any_cached(data::SampleId sample) const;
+
+  /// First registered holder of `sample`, or -1.
+  [[nodiscard]] int first_owner(data::SampleId sample) const;
+
+  /// Storage class of `worker`'s *cached* copy, or -1.
+  [[nodiscard]] int local_cached_class(data::SampleId sample, int worker) const;
+
+  /// Storage class of `worker`'s *planned* copy (cached or not), or -1.
+  [[nodiscard]] int planned_class(data::SampleId sample, int worker) const;
+
+  /// Fastest cached copy on any worker != `self`: returns class or -1;
+  /// `peer` receives the holder's rank.
+  [[nodiscard]] int best_remote_class(data::SampleId sample, int self, int* peer) const;
+
+  [[nodiscard]] std::uint64_t num_samples() const noexcept { return num_samples_; }
+  [[nodiscard]] int slots_per_sample() const noexcept { return slots_; }
+
+  /// Total registered entries (diagnostics).
+  [[nodiscard]] std::uint64_t total_entries() const noexcept { return entries_; }
+  /// Entries dropped because a sample's slots were full.
+  [[nodiscard]] std::uint64_t dropped_entries() const noexcept { return dropped_; }
+
+ private:
+  static constexpr std::uint32_t kCachedBit = 1u;
+  static constexpr int kClassShift = 1;
+  static constexpr int kOwnerShift = 5;
+
+  [[nodiscard]] static std::uint32_t encode(int worker, int cls, bool cached) {
+    return (static_cast<std::uint32_t>(worker) << kOwnerShift) |
+           (static_cast<std::uint32_t>(cls) << kClassShift) | (cached ? kCachedBit : 0);
+  }
+  [[nodiscard]] static int owner_of(std::uint32_t entry) {
+    return static_cast<int>(entry >> kOwnerShift);
+  }
+  [[nodiscard]] static int class_of(std::uint32_t entry) {
+    return static_cast<int>((entry >> kClassShift) & 0xfu);
+  }
+  [[nodiscard]] static bool cached(std::uint32_t entry) { return (entry & kCachedBit) != 0; }
+
+  std::uint64_t num_samples_ = 0;
+  int slots_ = 0;
+  std::vector<std::uint32_t> table_;  ///< flat [sample * slots_ + k]
+  std::uint64_t entries_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace nopfs::sim

@@ -1,0 +1,89 @@
+#pragma once
+// Policy interface of the performance simulator (paper Sec. 6 lists the
+// simulated strategies; src/sim/policies.hpp implements them all).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/access_stream.hpp"
+#include "core/perf_model.hpp"
+#include "data/dataset.hpp"
+#include "sim/holder_table.hpp"
+#include "sim/sim_config.hpp"
+
+namespace nopfs::sim {
+
+/// Everything a policy may consult during setup and per-access decisions.
+struct SimContext {
+  const SimConfig* config = nullptr;
+  const data::Dataset* dataset = nullptr;
+  const core::PerfModel* model = nullptr;
+  const core::AccessStreamGenerator* gen = nullptr;
+};
+
+/// A policy's verdict for one access.
+struct AccessDecision {
+  Location location = Location::kPfs;
+  int storage_class = -1;  ///< local/remote class index, -1 for PFS
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// One-time setup (plans, prestaging).  Returns the prestage duration in
+  /// seconds added before training starts (0 for policies that overlap).
+  virtual double setup(const SimContext& ctx) = 0;
+
+  /// Whether this policy can run the workload at all (e.g. the LBANN data
+  /// store requires the dataset to fit in aggregate RAM).
+  [[nodiscard]] virtual bool supported(const SimContext& /*ctx*/,
+                                       std::string* /*why*/) const {
+    return true;
+  }
+
+  /// Hook at the start of each epoch (after epoch 0 some policies
+  /// reorganize, e.g. locality-aware batch reordering).
+  virtual void on_epoch_begin(const SimContext& /*ctx*/, int /*epoch*/) {}
+
+  /// Policies that deviate from full-dataset randomization substitute the
+  /// sample a worker would read: `local_index` is the worker's access index
+  /// within the epoch; `def` is the fully-randomized default.
+  [[nodiscard]] virtual data::SampleId remap(int /*worker*/, int /*epoch*/,
+                                             std::uint64_t /*local_index*/,
+                                             data::SampleId def) {
+    return def;
+  }
+
+  /// Decides where worker reads `sample` from and updates cache state.
+  /// `gamma_estimate` is the previous iteration's PFS client count (what a
+  /// real runtime could estimate).
+  [[nodiscard]] virtual AccessDecision on_access(const SimContext& ctx, int worker,
+                                                 int epoch, data::SampleId sample,
+                                                 int gamma_estimate) = 0;
+
+  /// Fraction of the dataset read at least once over the whole run.
+  [[nodiscard]] virtual double accessed_fraction(const SimContext& /*ctx*/) const {
+    return 1.0;
+  }
+
+  /// False for strategies without prefetching (Naive): reads serialize with
+  /// compute instead of filling the staging pipeline.
+  [[nodiscard]] virtual bool overlapped() const { return true; }
+
+  /// True for the no-I/O lower bound: all reads cost zero.
+  [[nodiscard]] virtual bool zero_io() const { return false; }
+};
+
+/// Instantiates a policy by name:
+///   perfect | naive | staging | deepio-ordered | deepio-opportunistic |
+///   parallel-staging | lbann-dynamic | lbann-preload | locality-aware | nopfs
+[[nodiscard]] std::unique_ptr<Policy> make_policy(const std::string& name);
+
+/// All policy names in the Fig. 8 presentation order.
+[[nodiscard]] std::vector<std::string> all_policy_names();
+
+}  // namespace nopfs::sim

@@ -1,0 +1,87 @@
+#pragma once
+// Configuration and result types of the I/O performance simulator (Sec. 6).
+//
+// The simulator evaluates one (system, dataset, policy) combination and
+// reports the paper's metrics: total execution time, per-epoch times,
+// per-batch (iteration) time distributions, per-fetch-location time and
+// count breakdowns, and trainer stall time.  It is *not* a cycle-accurate
+// replay of training — following the paper, it applies the Sec. 4
+// performance model with I/O overlapped to the greatest extent possible and
+// bulk-synchronous iteration barriers (each mini-batch ends with an
+// allreduce, so the slowest worker paces everyone).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "tiers/params.hpp"
+#include "util/stats.hpp"
+
+namespace nopfs::sim {
+
+struct SimConfig {
+  tiers::SystemParams system;       ///< N workers, tiers, PFS, c, beta, b_c
+  std::uint64_t seed = 0xC0FFEE;
+  int num_epochs = 10;              ///< E
+  std::uint64_t per_worker_batch = 32;  ///< b_i; B = b_i * N
+  bool drop_last = true;
+  double allreduce_s = 0.0;         ///< optional per-iteration sync cost
+  /// Charge compute at the dataset's mean sample size (true, default):
+  /// after decoding/augmentation every sample has the same tensor shape, so
+  /// training FLOPs do not follow raw file sizes.  False: compute s_k/c.
+  bool uniform_compute = true;
+  /// Cap on retained per-iteration times (reservoir subsampling beyond).
+  std::size_t max_batch_records = 200'000;
+
+  [[nodiscard]] std::uint64_t global_batch() const noexcept {
+    return per_worker_batch * static_cast<std::uint64_t>(system.num_workers);
+  }
+};
+
+/// Where the simulator sourced an access from (Fig. 8 stacked bars:
+/// staging-buffer time is the write/preprocess component, the rest are
+/// fetch components attributed to their location).
+enum class Location : int { kStagingWrite = 0, kLocal, kRemote, kPfs, kCount };
+
+[[nodiscard]] const char* location_name(Location loc) noexcept;
+
+struct SimResult {
+  std::string policy;
+  std::string dataset;
+  bool supported = true;          ///< false: policy cannot run this workload
+  std::string unsupported_reason;
+
+  double total_s = 0.0;           ///< execution time (slowest worker, barriers)
+  double prestage_s = 0.0;        ///< upfront staging phase (included in total)
+  double stall_s = 0.0;           ///< trainer wait beyond compute (max worker)
+  double compute_s = 0.0;         ///< pure compute time of the critical path
+
+  std::vector<double> epoch_s;    ///< wall time per epoch (incl. epoch 0)
+
+  /// Iteration durations, epoch 0 and epochs >= 1 separately (the paper
+  /// excludes epoch 0 from its violin plots and shows it in Fig. 11).
+  std::vector<double> batch_s_epoch0;
+  std::vector<double> batch_s_rest;
+
+  /// Seconds of prefetch-pipeline work by location (summed over workers).
+  double location_s[static_cast<int>(Location::kCount)] = {0, 0, 0, 0};
+  /// Fetch counts by location (staging-write slot counts every access).
+  std::uint64_t location_count[static_cast<int>(Location::kCount)] = {0, 0, 0, 0};
+  double location_mb[static_cast<int>(Location::kCount)] = {0, 0, 0, 0};
+
+  /// Fraction of the dataset actually read at least once (DeepIO
+  /// opportunistic and sharding fall below 1 — the paper flags them).
+  double accessed_fraction = 1.0;
+
+  [[nodiscard]] util::Summary batch_summary_rest() const {
+    return util::summarize(batch_s_rest);
+  }
+  [[nodiscard]] util::Summary batch_summary_epoch0() const {
+    return util::summarize(batch_s_epoch0);
+  }
+  /// Share of fetch count from a location over all staged samples.
+  [[nodiscard]] double count_share(Location loc) const;
+};
+
+}  // namespace nopfs::sim

@@ -1,0 +1,81 @@
+#include "tiers/devices.hpp"
+
+#include <stdexcept>
+
+namespace nopfs::tiers {
+
+EmulatedTier::EmulatedTier(Clock& clock, const StorageClassParams& params,
+                           double time_scale)
+    : name_(params.name),
+      capacity_mb_(params.capacity_mb),
+      read_bucket_(clock, params.read_mbps.at(params.prefetch_threads) * time_scale),
+      write_bucket_(clock, params.write_mbps.at(params.prefetch_threads) * time_scale) {}
+
+void EmulatedTier::read(double mb) { read_bucket_.acquire(mb); }
+
+void EmulatedTier::write(double mb) { write_bucket_.acquire(mb); }
+
+EmulatedPfs::EmulatedPfs(Clock& clock, const PfsParams& params, double time_scale)
+    : params_(params),
+      time_scale_(time_scale),
+      bucket_(clock, params.agg_read_mbps.at(1) * time_scale) {}
+
+void EmulatedPfs::retune_locked() {
+  const int gamma = active_workers_ > 0 ? active_workers_ : 1;
+  bucket_.set_rate(params_.agg_read_mbps.at(gamma) * time_scale_);
+}
+
+void EmulatedPfs::read(int worker, double mb) {
+  if (worker < 0) throw std::invalid_argument("EmulatedPfs: negative worker id");
+  {
+    const std::scoped_lock lock(mutex_);
+    if (static_cast<std::size_t>(worker) >= active_per_worker_.size()) {
+      active_per_worker_.resize(static_cast<std::size_t>(worker) + 1, 0);
+    }
+    if (active_per_worker_[worker]++ == 0) ++active_workers_;
+    retune_locked();
+  }
+  bucket_.acquire(mb);
+  {
+    const std::scoped_lock lock(mutex_);
+    if (--active_per_worker_[worker] == 0) --active_workers_;
+    retune_locked();
+  }
+}
+
+int EmulatedPfs::active_clients() const {
+  const std::scoped_lock lock(mutex_);
+  return active_workers_;
+}
+
+EmulatedNic::EmulatedNic(Clock& clock, double bandwidth_mbps, double time_scale)
+    : bucket_(clock, bandwidth_mbps * time_scale) {}
+
+void EmulatedNic::transfer(double mb) { bucket_.acquire(mb); }
+
+EmulatedCluster::EmulatedCluster(Clock& clock, const SystemParams& params,
+                                 double time_scale)
+    : clock_(clock), params_(params), time_scale_(time_scale) {
+  if (params.num_workers <= 0) {
+    throw std::invalid_argument("EmulatedCluster: num_workers must be positive");
+  }
+  pfs_ = std::make_unique<EmulatedPfs>(clock, params.pfs, time_scale);
+  workers_.reserve(static_cast<std::size_t>(params.num_workers));
+  for (int i = 0; i < params.num_workers; ++i) {
+    auto devices = std::make_unique<WorkerDevices>();
+    StorageClassParams staging_as_class;
+    staging_as_class.name = "staging";
+    staging_as_class.capacity_mb = params.node.staging.capacity_mb;
+    staging_as_class.read_mbps = params.node.staging.read_mbps;
+    staging_as_class.write_mbps = params.node.staging.write_mbps;
+    staging_as_class.prefetch_threads = params.node.staging.prefetch_threads;
+    devices->staging = std::make_unique<EmulatedTier>(clock, staging_as_class, time_scale);
+    for (const auto& sc : params.node.classes) {
+      devices->tiers.push_back(std::make_unique<EmulatedTier>(clock, sc, time_scale));
+    }
+    devices->nic = std::make_unique<EmulatedNic>(clock, params.node.network_mbps, time_scale);
+    workers_.push_back(std::move(devices));
+  }
+}
+
+}  // namespace nopfs::tiers

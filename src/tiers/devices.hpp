@@ -1,0 +1,118 @@
+#pragma once
+// Emulated storage devices for the threaded runtime.
+//
+// EmulatedTier models one storage class of one worker: reads and writes
+// draw from token buckets refilling at r_j(p_j) * time_scale and
+// w_j(p_j) * time_scale respectively.  EmulatedPfs models the shared
+// parallel filesystem: a single bucket whose rate follows t(gamma) as the
+// number of active client workers gamma changes — exactly the contention
+// behaviour the paper measures (Sec. 4: "PFS bandwidth is heavily dependent
+// on the number of clients").
+//
+// These devices charge *time*, not capacity; capacity accounting is the
+// storage backend's job (src/core/storage_backend.hpp).
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "tiers/params.hpp"
+#include "tiers/token_bucket.hpp"
+
+namespace nopfs::tiers {
+
+/// One worker's storage class j: rate-limited read/write channels.
+class EmulatedTier {
+ public:
+  /// `time_scale`: virtual seconds emulated per real second.
+  EmulatedTier(Clock& clock, const StorageClassParams& params, double time_scale);
+
+  /// Blocks for the emulated duration of reading `mb` from this tier.
+  void read(double mb);
+
+  /// Blocks for the emulated duration of writing `mb` to this tier.
+  void write(double mb);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] double capacity_mb() const noexcept { return capacity_mb_; }
+  [[nodiscard]] double total_read_mb() const { return read_bucket_.total_granted(); }
+  [[nodiscard]] double total_written_mb() const { return write_bucket_.total_granted(); }
+
+ private:
+  std::string name_;
+  double capacity_mb_;
+  TokenBucket read_bucket_;
+  TokenBucket write_bucket_;
+};
+
+/// The shared PFS: one aggregate-rate bucket retuned as clients come and go.
+class EmulatedPfs {
+ public:
+  EmulatedPfs(Clock& clock, const PfsParams& params, double time_scale);
+
+  /// Reads `mb` on behalf of `worker`.  While the call is in flight the
+  /// worker counts toward gamma; the aggregate rate is t(gamma)*scale.
+  void read(int worker, double mb);
+
+  /// Number of workers currently reading (gamma).
+  [[nodiscard]] int active_clients() const;
+
+  [[nodiscard]] double total_read_mb() const { return bucket_.total_granted(); }
+
+ private:
+  void retune_locked();
+
+  PfsParams params_;
+  double time_scale_;
+  TokenBucket bucket_;
+  mutable std::mutex mutex_;
+  std::vector<int> active_per_worker_;  // outstanding requests per worker id
+  int active_workers_ = 0;
+};
+
+/// A worker's NIC: caps combined remote-fetch traffic at b_c.
+class EmulatedNic {
+ public:
+  EmulatedNic(Clock& clock, double bandwidth_mbps, double time_scale);
+
+  /// Blocks for the emulated duration of transferring `mb`.
+  void transfer(double mb);
+
+  [[nodiscard]] double total_transferred_mb() const { return bucket_.total_granted(); }
+
+ private:
+  TokenBucket bucket_;
+};
+
+/// All emulated devices of one worker node plus handles to shared ones.
+struct WorkerDevices {
+  std::vector<std::unique_ptr<EmulatedTier>> tiers;  ///< classes 1..J
+  std::unique_ptr<EmulatedTier> staging;             ///< class 0
+  std::unique_ptr<EmulatedNic> nic;
+};
+
+/// Builds the full device set for an N-worker system.
+class EmulatedCluster {
+ public:
+  EmulatedCluster(Clock& clock, const SystemParams& params, double time_scale);
+
+  [[nodiscard]] int num_workers() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+  [[nodiscard]] WorkerDevices& worker(int i) { return *workers_.at(i); }
+  [[nodiscard]] EmulatedPfs& pfs() noexcept { return *pfs_; }
+  [[nodiscard]] const SystemParams& params() const noexcept { return params_; }
+  [[nodiscard]] double time_scale() const noexcept { return time_scale_; }
+  [[nodiscard]] Clock& clock() noexcept { return clock_; }
+
+ private:
+  Clock& clock_;
+  SystemParams params_;
+  double time_scale_;
+  std::vector<std::unique_ptr<WorkerDevices>> workers_;
+  std::unique_ptr<EmulatedPfs> pfs_;
+};
+
+}  // namespace nopfs::tiers

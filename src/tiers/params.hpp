@@ -1,0 +1,129 @@
+#pragma once
+// Parameter structs describing a machine's storage hierarchy, exactly the
+// quantities of the paper's performance model (Tab. 2):
+//
+//   d_j      capacity of storage class j                 -> StorageClassParams
+//   r_j(p)   aggregate random read throughput, p threads -> ThroughputCurve
+//   w_j(p)   aggregate random write throughput           -> ThroughputCurve
+//   p_j      prefetcher threads per class
+//   t(gamma) PFS aggregate read throughput vs #clients   -> PfsParams
+//   b_c      inter-worker network bandwidth              -> NodeParams
+//   c, beta  compute and preprocessing throughput        -> NodeParams
+//
+// Presets reproduce the three systems of the paper: the simulated small
+// cluster of Sec. 6.1 (Lassen-derived parameters), Lassen (Sec. 7) and
+// Piz Daint (Sec. 7 / Fig. 1).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/linreg.hpp"
+
+namespace nopfs::tiers {
+
+/// One storage class j >= 1 (class 0, the staging buffer, is configured
+/// separately because it is shared with the training framework).
+struct StorageClassParams {
+  std::string name;                 ///< e.g. "ram", "ssd"
+  double capacity_mb = 0.0;         ///< d_j
+  util::ThroughputCurve read_mbps;  ///< r_j(p): aggregate MB/s with p readers
+  util::ThroughputCurve write_mbps; ///< w_j(p)
+  int prefetch_threads = 1;         ///< p_j
+
+  /// Per-thread read rate r_j(p_j)/p_j used by the performance model.
+  [[nodiscard]] double per_thread_read_mbps() const {
+    return read_mbps.at(prefetch_threads) / prefetch_threads;
+  }
+  /// Per-thread write rate w_j(p_j)/p_j.
+  [[nodiscard]] double per_thread_write_mbps() const {
+    return write_mbps.at(prefetch_threads) / prefetch_threads;
+  }
+};
+
+/// Staging buffer (storage class 0) parameters.
+struct StagingParams {
+  double capacity_mb = 5.0 * 1024.0;  ///< d_0, paper default 5 GB
+  util::ThroughputCurve read_mbps;    ///< r_0(p)
+  util::ThroughputCurve write_mbps;   ///< w_0(p)
+  int prefetch_threads = 1;           ///< p_0 >= 1
+
+  [[nodiscard]] double per_thread_write_mbps() const {
+    return write_mbps.at(prefetch_threads) / prefetch_threads;
+  }
+};
+
+/// Parallel filesystem parameters.
+///
+/// Reads are modeled with two components:
+///   - bandwidth: aggregate large-transfer throughput t(gamma), shared
+///     among gamma clients (the paper's t(gamma) curve), and
+///   - metadata ops: an aggregate op rate (file open/lookup); with gamma
+///     clients each read pays gamma/op_rate seconds of op latency.
+/// The op term is what makes per-sample small-file reads collapse under
+/// contention long before the bandwidth saturates — the transfer-size
+/// dependence needed to reproduce both the ImageNet figures (0.1 MB files,
+/// op-limited) and CosmoFlow (16.8 MB files, bandwidth-limited) with one
+/// model.  op_rate_per_s == 0 disables the op term.
+struct PfsParams {
+  util::ThroughputCurve agg_read_mbps;  ///< t(gamma), gamma = #clients
+  double op_rate_per_s = 0.0;           ///< aggregate metadata ops per second
+
+  /// Per-client bandwidth t(gamma)/gamma (op term excluded).
+  [[nodiscard]] double per_client_mbps(int gamma) const {
+    if (gamma <= 0) gamma = 1;
+    return agg_read_mbps.at(gamma) / gamma;
+  }
+
+  /// Per-read op latency with gamma contending clients.
+  [[nodiscard]] double op_latency_s(int gamma) const {
+    if (op_rate_per_s <= 0.0) return 0.0;
+    if (gamma <= 0) gamma = 1;
+    return static_cast<double>(gamma) / op_rate_per_s;
+  }
+};
+
+/// Per-worker (per-rank) node parameters.
+struct NodeParams {
+  StagingParams staging;                     ///< storage class 0
+  std::vector<StorageClassParams> classes;   ///< classes 1..J, fastest first
+  double network_mbps = 0.0;                 ///< b_c
+  double compute_mbps = 0.0;                 ///< c
+  double preprocess_mbps = 0.0;              ///< beta
+
+  /// Total local cache capacity D = sum of d_j (excluding staging buffer,
+  /// matching the paper's D definition over classes 1..J).
+  [[nodiscard]] double total_cache_mb() const {
+    double total = 0.0;
+    for (const auto& sc : classes) total += sc.capacity_mb;
+    return total;
+  }
+};
+
+/// Full system description: N homogeneous workers plus the shared PFS.
+struct SystemParams {
+  std::string name;
+  int num_workers = 1;   ///< N
+  NodeParams node;
+  PfsParams pfs;
+};
+
+namespace presets {
+
+/// The simulated small cluster of Sec. 6.1: N=4, c=64 MB/s, beta=200 MB/s,
+/// b_c=24 GB/s, 5 GB staging (8 threads, r0(8)=111 GB/s), 120 GB RAM
+/// (4 threads, r1(4)=85 GB/s), 900 GB SSD (2 threads, r2(2)=4 GB/s),
+/// Lassen PFS curve t(1..8) = 330/730/1540/2870 MB/s.
+[[nodiscard]] SystemParams sim_cluster(int num_workers = 4);
+
+/// Lassen (Sec. 7): per-rank 5 GiB staging (8 threads), 25 GiB RAM
+/// (4 threads), 300 GiB SSD (2 threads); 4 ranks per node; fat-tree network.
+[[nodiscard]] SystemParams lassen(int num_workers);
+
+/// Piz Daint (Sec. 7): per-node 5 GiB staging (4 threads), 40 GiB RAM
+/// (2 threads), no SSD; Cray Aries dragonfly; Lustre PFS.
+[[nodiscard]] SystemParams piz_daint(int num_workers);
+
+}  // namespace presets
+
+}  // namespace nopfs::tiers

@@ -1,0 +1,75 @@
+#include "tiers/token_bucket.hpp"
+
+#include <algorithm>
+
+namespace nopfs::tiers {
+
+TokenBucket::TokenBucket(Clock& clock, double rate_mb_per_s, double burst_mb)
+    : clock_(clock),
+      rate_(std::max(0.0, rate_mb_per_s)),
+      burst_(burst_mb >= 0.0 ? burst_mb : std::max(1.0, rate_) * 0.05),
+      last_refill_(clock.now()) {}
+
+void TokenBucket::refill_locked() {
+  const double now = clock_.now();
+  const double dt = now - last_refill_;
+  if (dt > 0.0) {
+    tokens_ = std::min(burst_, tokens_ + dt * rate_);
+    last_refill_ = now;
+  }
+}
+
+void TokenBucket::acquire(double mb) {
+  if (mb <= 0.0) return;
+  // Deficit model: consume immediately (tokens may go negative) and sleep
+  // until the deficit has refilled.  This keeps the long-run grant rate at
+  // exactly `rate_` without the burst cap throttling large requests, and
+  // serializes concurrent acquirers the way a saturated device does (each
+  // later arrival sees a deeper deficit and waits longer).
+  {
+    const std::scoped_lock lock(mutex_);
+    refill_locked();
+    tokens_ -= mb;
+    granted_ += mb;
+  }
+  for (;;) {
+    double wait = 0.0;
+    {
+      const std::scoped_lock lock(mutex_);
+      refill_locked();
+      if (tokens_ >= 0.0) return;
+      // Cap the sleep so rate changes propagate reasonably quickly.
+      wait = rate_ > 0.0 ? std::min(-tokens_ / rate_, 0.25) : 0.001;
+      wait = std::max(wait, 1e-6);
+    }
+    clock_.sleep_for(wait);
+  }
+}
+
+bool TokenBucket::try_acquire(double mb) {
+  const std::scoped_lock lock(mutex_);
+  refill_locked();
+  if (tokens_ < mb) return false;
+  tokens_ -= mb;
+  granted_ += mb;
+  return true;
+}
+
+void TokenBucket::set_rate(double rate_mb_per_s) {
+  const std::scoped_lock lock(mutex_);
+  refill_locked();
+  rate_ = std::max(0.0, rate_mb_per_s);
+  burst_ = std::max(1.0, rate_) * 0.05;
+}
+
+double TokenBucket::rate() const {
+  const std::scoped_lock lock(mutex_);
+  return rate_;
+}
+
+double TokenBucket::total_granted() const {
+  const std::scoped_lock lock(mutex_);
+  return granted_;
+}
+
+}  // namespace nopfs::tiers

@@ -1,0 +1,52 @@
+#pragma once
+// Token-bucket rate limiter: the primitive behind every emulated device.
+// Tokens are MB; the refill rate is the device's (scaled) throughput.
+// acquire() blocks the caller until the requested amount has been granted,
+// which serializes concurrent readers exactly the way a saturated device
+// does.  The rate can be changed at runtime (the emulated PFS retunes its
+// aggregate rate as the number of active clients gamma changes).
+
+#include <mutex>
+
+#include "tiers/clock.hpp"
+
+namespace nopfs::tiers {
+
+class TokenBucket {
+ public:
+  /// `rate_mb_per_s` may be 0 (acquire() then waits for set_rate()).
+  /// `burst_mb` caps accumulated idle tokens (default: one second of rate).
+  TokenBucket(Clock& clock, double rate_mb_per_s, double burst_mb = -1.0);
+
+  TokenBucket(const TokenBucket&) = delete;
+  TokenBucket& operator=(const TokenBucket&) = delete;
+
+  /// Blocks until `mb` tokens have been consumed.  Fair in arrival order is
+  /// not guaranteed, but total grant rate never exceeds the configured rate.
+  void acquire(double mb);
+
+  /// Non-blocking variant: consumes and returns true if enough tokens are
+  /// currently available.
+  [[nodiscard]] bool try_acquire(double mb);
+
+  /// Retunes the refill rate (MB per real second).
+  void set_rate(double rate_mb_per_s);
+
+  [[nodiscard]] double rate() const;
+
+  /// Total MB granted since construction (for tests and stats).
+  [[nodiscard]] double total_granted() const;
+
+ private:
+  void refill_locked();
+
+  Clock& clock_;
+  mutable std::mutex mutex_;
+  double rate_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  double last_refill_ = 0.0;
+  double granted_ = 0.0;
+};
+
+}  // namespace nopfs::tiers

@@ -1,0 +1,46 @@
+#include "train/accuracy_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nopfs::train {
+
+namespace {
+
+// Anchor points of the Goyal et al. 90-epoch recipe (lr decay at 30/60/80):
+// rapid warmup rise, plateau, then a jump at each decay.  Values are typical
+// published top-1 trajectories for this setup.
+constexpr struct {
+  double epoch;
+  double top1;
+} kAnchors[] = {
+    {0, 1.0},   {1, 18.0},  {2, 28.0},  {3, 35.0},  {5, 45.0},  {10, 52.0},
+    {15, 55.5}, {20, 57.5}, {25, 59.0}, {30, 60.0}, {31, 68.5}, {35, 70.0},
+    {40, 70.8}, {50, 71.5}, {60, 72.0}, {61, 75.0}, {70, 75.6}, {80, 75.9},
+    {81, 76.3}, {90, 76.5},
+};
+
+}  // namespace
+
+double resnet50_top1_at_epoch(double epoch) {
+  const auto n = std::size(kAnchors);
+  if (epoch <= kAnchors[0].epoch) return kAnchors[0].top1;
+  if (epoch >= kAnchors[n - 1].epoch) return kAnchors[n - 1].top1;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (epoch <= kAnchors[i].epoch) {
+      const double span = kAnchors[i].epoch - kAnchors[i - 1].epoch;
+      const double frac = span > 0.0 ? (epoch - kAnchors[i - 1].epoch) / span : 1.0;
+      return kAnchors[i - 1].top1 + frac * (kAnchors[i].top1 - kAnchors[i - 1].top1);
+    }
+  }
+  return kAnchors[n - 1].top1;
+}
+
+std::vector<double> resnet50_top1_curve() {
+  std::vector<double> curve;
+  curve.reserve(91);
+  for (int e = 0; e <= 90; ++e) curve.push_back(resnet50_top1_at_epoch(e));
+  return curve;
+}
+
+}  // namespace nopfs::train

@@ -1,0 +1,24 @@
+#pragma once
+// Empirical accuracy model for the end-to-end experiment (paper Fig. 16).
+//
+// The paper trains ResNet-50 on ImageNet-1k for 90 epochs with the Goyal et
+// al. large-minibatch recipe (global batch 8192, 5-epoch warmup, step decay
+// at epochs 30/60/80) and reaches 76.5% top-1.  I/O middleware does not
+// change the learning curve (both runs in Fig. 16 follow the same curve in
+// epochs); what changes is the wall-clock time per epoch.  We therefore
+// model top-1 accuracy as a deterministic function of the epoch — the
+// classic shape of that recipe — and combine it with simulated epoch times
+// to regenerate accuracy-vs-time.
+
+#include <vector>
+
+namespace nopfs::train {
+
+/// Top-1 validation accuracy (percent) after `epoch` completed epochs of
+/// the Goyal ResNet-50/ImageNet-1k 90-epoch schedule.  Clamps beyond 90.
+[[nodiscard]] double resnet50_top1_at_epoch(double epoch);
+
+/// The full 90-epoch curve (index = epochs completed, 0..90).
+[[nodiscard]] std::vector<double> resnet50_top1_curve();
+
+}  // namespace nopfs::train

@@ -1,0 +1,100 @@
+#include "util/linreg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nopfs::util {
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  LinearFit fit;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n == 0) return fit;
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  if (n < 2) {
+    fit.intercept = my;
+    return fit;
+  }
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) {
+    fit.intercept = my;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+ThroughputCurve::ThroughputCurve(std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+  std::sort(points_.begin(), points_.end());
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].first == points_[i - 1].first) {
+      throw std::invalid_argument("ThroughputCurve: duplicate x value");
+    }
+  }
+  refit();
+}
+
+void ThroughputCurve::add_point(double x, double y) {
+  for (const auto& [px, py] : points_) {
+    if (px == x) throw std::invalid_argument("ThroughputCurve: duplicate x value");
+  }
+  points_.emplace_back(x, y);
+  std::sort(points_.begin(), points_.end());
+  refit();
+}
+
+void ThroughputCurve::refit() {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(points_.size());
+  ys.reserve(points_.size());
+  for (const auto& [x, y] : points_) {
+    xs.push_back(x);
+    ys.push_back(y);
+  }
+  fit_ = linear_fit(xs, ys);
+}
+
+double ThroughputCurve::at(double x) const noexcept {
+  if (points_.empty()) return 0.0;
+  if (points_.size() == 1) return std::max(0.0, points_.front().second);
+  if (x <= points_.front().first || x >= points_.back().first) {
+    // Outside the measured range: regression extrapolation, floored at the
+    // nearest measured endpoint's sign (never negative throughput).
+    if (x <= points_.front().first && x >= 0.0) {
+      // Interpolate toward the fit but never exceed endpoint behaviour.
+      if (x == points_.front().first) return points_.front().second;
+    }
+    if (x == points_.back().first) return points_.back().second;
+    return std::max(0.0, fit_.at(x));
+  }
+  // Piecewise-linear interpolation between bracketing points.
+  auto upper = std::lower_bound(
+      points_.begin(), points_.end(), x,
+      [](const std::pair<double, double>& p, double value) { return p.first < value; });
+  if (upper->first == x) return upper->second;
+  const auto lower = upper - 1;
+  const double frac = (x - lower->first) / (upper->first - lower->first);
+  return lower->second + frac * (upper->second - lower->second);
+}
+
+}  // namespace nopfs::util

@@ -1,0 +1,59 @@
+#pragma once
+// Least-squares linear regression and piecewise-linear interpolation.
+//
+// The paper (Sec. 5.2.2): performance-model parameters such as PFS
+// bandwidth for a given number of readers are "inferred using linear
+// regression when the exact value is not available".  ThroughputCurve
+// implements exactly that: it holds measured (x, throughput) points,
+// interpolates piecewise-linearly between them, and extrapolates with a
+// least-squares fit outside the measured range (clamped at >= 0).
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace nopfs::util {
+
+/// Result of fitting y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< Coefficient of determination.
+
+  [[nodiscard]] double at(double x) const noexcept { return intercept + slope * x; }
+};
+
+/// Ordinary least squares over (x, y) pairs; requires >= 2 points
+/// (returns a flat fit through the mean otherwise).
+[[nodiscard]] LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Monotone-x piecewise-linear curve with regression extrapolation.
+class ThroughputCurve {
+ public:
+  ThroughputCurve() = default;
+
+  /// Builds from (x, y) points; sorts by x and requires distinct x values.
+  explicit ThroughputCurve(std::vector<std::pair<double, double>> points);
+
+  /// Adds a measured point (re-sorts; intended for setup time).
+  void add_point(double x, double y);
+
+  /// Value at x: exact at measured points, piecewise-linear between them,
+  /// least-squares extrapolation beyond the range, never below zero.
+  [[nodiscard]] double at(double x) const noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] std::span<const std::pair<double, double>> points() const noexcept {
+    return points_;
+  }
+
+ private:
+  void refit();
+
+  std::vector<std::pair<double, double>> points_;
+  LinearFit fit_{};
+};
+
+}  // namespace nopfs::util

@@ -1,0 +1,55 @@
+#pragma once
+// Minimal leveled logger.  Thread-safe (single global mutex around emission),
+// level configurable at runtime via set_level() or the NOPFS_LOG environment
+// variable (trace|debug|info|warn|error|off).  Kept deliberately small; the
+// library is the product, not the logging framework.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace nopfs::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global log level.
+void set_log_level(LogLevel level) noexcept;
+
+/// Current global log level (initialized from NOPFS_LOG on first use).
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one line with a level tag; no-op if below the global level.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_message(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_trace(Args&&... args) {
+  detail::log_fmt(LogLevel::kTrace, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_debug(Args&&... args) {
+  detail::log_fmt(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  detail::log_fmt(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  detail::log_fmt(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  detail::log_fmt(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace nopfs::util

@@ -1,0 +1,71 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace nopfs::util {
+
+std::uint64_t Rng::uniform_below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless bounded generation with rejection.
+  const std::uint64_t x = gen_();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(gen_()) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_below(range));
+}
+
+double Rng::uniform01() noexcept {
+  // 53 top bits -> double in [0, 1).
+  return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return mean + stddev * u * factor;
+}
+
+Rng Rng::for_stream(std::uint64_t seed, std::uint64_t stream) noexcept {
+  std::uint64_t sm = seed;
+  const std::uint64_t a = splitmix64_next(sm);
+  sm ^= 0x2545f4914f6cdd1dULL * (stream + 1);
+  const std::uint64_t b = splitmix64_next(sm);
+  return Rng(a ^ (b + 0x9e3779b97f4a7c15ULL + (stream << 1)));
+}
+
+std::vector<std::uint64_t> shuffled_indices(std::size_t n, Rng& rng) {
+  std::vector<std::uint64_t> indices(n);
+  std::iota(indices.begin(), indices.end(), std::uint64_t{0});
+  fisher_yates_shuffle(std::span<std::uint64_t>(indices), rng);
+  return indices;
+}
+
+}  // namespace nopfs::util

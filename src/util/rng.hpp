@@ -1,0 +1,140 @@
+#pragma once
+// Deterministic pseudorandom number generation for NoPFS.
+//
+// Clairvoyance (paper Sec. 2) rests on the access stream being exactly
+// reproducible from a seed, no matter which component replays it.  We
+// therefore avoid std::mt19937 + std::shuffle (whose std::uniform_*
+// distributions are implementation-defined) and implement a fixed,
+// portable generator stack:
+//
+//   * splitmix64  — seed expansion (as recommended by the xoshiro authors)
+//   * xoshiro256**— the main generator (fast, 256-bit state, passes BigCrush)
+//   * Lemire's bounded-rejection method for unbiased bounded integers
+//   * a fixed Fisher–Yates shuffle
+//
+// Every shuffle performed anywhere in the library (core, simulator,
+// baselines) goes through this header, so all components agree bit-for-bit
+// on the access order for a given seed.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace nopfs::util {
+
+/// splitmix64 step: advances `state` and returns the next output.
+/// Used to expand a single 64-bit seed into generator state.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG.  Deterministic across platforms and standard-library
+/// implementations; satisfies the C++ UniformRandomBitGenerator concept.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator by expanding `seed` with splitmix64.
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Equivalent to 2^128 calls to operator(); used to derive independent
+  /// per-worker streams from one job seed.
+  constexpr void long_jump() noexcept {
+    constexpr std::array<std::uint64_t, 4> kJump = {
+        0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL,
+        0x77710069854ee241ULL, 0x39109bb02acbe635ULL};
+    std::array<std::uint64_t, 4> acc{};
+    for (std::uint64_t jump : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (jump & (std::uint64_t{1} << b)) {
+          for (std::size_t i = 0; i < 4; ++i) acc[i] ^= state_[i];
+        }
+        (*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Convenience wrapper exposing the typed draws NoPFS needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) noexcept : gen_(seed) {}
+
+  /// Unbiased uniform integer in [0, bound).  bound must be > 0.
+  [[nodiscard]] std::uint64_t uniform_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Normal deviate via Marsaglia polar method (portable, no std::normal).
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// Raw 64-bit draw.
+  [[nodiscard]] std::uint64_t next_u64() noexcept { return gen_(); }
+
+  /// Derives an independent generator (splitmix64 over seed and stream id).
+  [[nodiscard]] static Rng for_stream(std::uint64_t seed, std::uint64_t stream) noexcept;
+
+ private:
+  Xoshiro256 gen_;
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+/// In-place Fisher–Yates shuffle with a fixed algorithm, so that every
+/// component replaying a seed produces the identical permutation.
+template <typename T>
+void fisher_yates_shuffle(std::span<T> values, Rng& rng) {
+  if (values.size() < 2) return;
+  for (std::size_t i = values.size() - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_below(i + 1));
+    using std::swap;
+    swap(values[i], values[j]);
+  }
+}
+
+/// Returns the identity permutation [0, n) shuffled with `rng`.
+[[nodiscard]] std::vector<std::uint64_t> shuffled_indices(std::size_t n, Rng& rng);
+
+}  // namespace nopfs::util

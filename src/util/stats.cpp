@@ -1,0 +1,170 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+namespace nopfs::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  if (lo == hi) return sorted[lo];
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double ci95_halfwidth(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  return 1.96 * stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.ci95 = ci95_halfwidth(xs);
+  const auto pct = [&](double q) {
+    const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    if (lo == hi) return sorted[lo];
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+  s.median = pct(50.0);
+  s.p95 = pct(95.0);
+  s.p99 = pct(99.0);
+  return s;
+}
+
+void Welford::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Welford::merge(const Welford& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_);
+  const auto m = static_cast<double>(other.n_);
+  const double combined = n + m;
+  m2_ += other.m2_ + delta * delta * n * m / combined;
+  mean_ += delta * m / combined;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double Welford::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Welford::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(std::size_t num_bins) : bins_(num_bins == 0 ? 1 : num_bins, 0) {}
+
+void Histogram::add(std::int64_t value) noexcept {
+  ++total_;
+  if (value < 0) {
+    ++bins_.front();
+    return;
+  }
+  if (static_cast<std::size_t>(value) >= bins_.size()) {
+    ++overflow_high_;
+    ++bins_.back();
+    return;
+  }
+  ++bins_[static_cast<std::size_t>(value)];
+}
+
+std::uint64_t Histogram::count_greater(std::int64_t threshold) const noexcept {
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (static_cast<std::int64_t>(i) > threshold) count += bins_[i];
+  }
+  return count;
+}
+
+std::string Histogram::ascii(std::size_t max_width) const {
+  std::uint64_t peak = 0;
+  for (auto b : bins_) peak = std::max(peak, b);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const auto width =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(static_cast<double>(bins_[i]) /
+                                             static_cast<double>(peak) *
+                                             static_cast<double>(max_width));
+    out << (i < 10 ? " " : "") << i << " |" << std::string(width, '#') << ' '
+        << bins_[i] << '\n';
+  }
+  return out.str();
+}
+
+double binomial_pmf(std::uint64_t n, double p, std::uint64_t k) {
+  if (k > n) return 0.0;
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == n ? 1.0 : 0.0;
+  // log C(n,k) + k log p + (n-k) log(1-p) via lgamma.
+  const double log_pmf = std::lgamma(static_cast<double>(n) + 1.0) -
+                         std::lgamma(static_cast<double>(k) + 1.0) -
+                         std::lgamma(static_cast<double>(n - k) + 1.0) +
+                         static_cast<double>(k) * std::log(p) +
+                         static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double binomial_tail_greater(std::uint64_t n, double p, std::uint64_t k) {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return k < n ? 1.0 : 0.0;
+  double tail = 0.0;
+  for (std::uint64_t j = k + 1; j <= n; ++j) tail += binomial_pmf(n, p, j);
+  return std::min(1.0, tail);
+}
+
+}  // namespace nopfs::util

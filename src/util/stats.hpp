@@ -1,0 +1,103 @@
+#pragma once
+// Statistics helpers used by the simulator, runtime and benches:
+// summary statistics with confidence intervals (the paper reports median
+// epoch times with 95% CIs), percentiles for batch-time violin summaries,
+// fixed-bin histograms (Fig. 3), and an online Welford accumulator.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nopfs::util {
+
+/// Arithmetic mean; 0 for empty input.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased sample variance; 0 for n < 2.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, q in [0, 100].  Sorts a copy.
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+/// Median (50th percentile).
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Half-width of the 95% confidence interval of the mean
+/// (normal approximation; the paper's CIs are over >= 3 epochs).
+[[nodiscard]] double ci95_halfwidth(std::span<const double> xs);
+
+/// Summary of a sample of timings, as the paper reports them.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double ci95 = 0.0;  ///< 95% CI half-width of the mean.
+};
+
+/// Computes all Summary fields in one pass over a copy of `xs`.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Online mean/variance accumulator (Welford).  Numerically stable;
+/// used by long simulations that cannot keep every batch time.
+class Welford {
+ public:
+  void add(double x) noexcept;
+  void merge(const Welford& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width integer histogram over [0, num_bins); out-of-range values
+/// clamp into the edge bins.  Used for the Fig. 3 access-frequency plot.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t num_bins);
+
+  void add(std::int64_t value) noexcept;
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return bins_.at(i); }
+  [[nodiscard]] std::size_t num_bins() const noexcept { return bins_.size(); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Count of values strictly greater than `threshold`.
+  [[nodiscard]] std::uint64_t count_greater(std::int64_t threshold) const noexcept;
+
+  /// Renders an ASCII bar chart (one line per bin) for bench output.
+  [[nodiscard]] std::string ascii(std::size_t max_width = 60) const;
+
+ private:
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+  std::uint64_t overflow_high_ = 0;  // folded into last bin but tracked
+};
+
+/// Binomial tail P(X > k) for X ~ Binomial(n, p), computed with running
+/// log-space terms for numerical stability at n ~ 10^2..10^3.
+/// Used by the paper's analytic access-frequency estimate (Sec. 3.1).
+[[nodiscard]] double binomial_tail_greater(std::uint64_t n, double p, std::uint64_t k);
+
+/// Binomial PMF P(X = k).
+[[nodiscard]] double binomial_pmf(std::uint64_t n, double p, std::uint64_t k);
+
+}  // namespace nopfs::util

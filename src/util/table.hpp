@@ -1,0 +1,49 @@
+#pragma once
+// Aligned text-table and CSV rendering for bench binaries.  Every bench
+// prints one table per paper figure/table; `--csv` switches to CSV so the
+// series can be re-plotted.
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nopfs::util {
+
+/// A simple column-aligned table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+
+  /// Renders with space padding and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (comma-separated, quoted only when needed).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parses `--csv` style flags shared by all bench binaries.
+struct BenchArgs {
+  bool csv = false;
+  std::string scenario;            ///< optional --scenario <name>
+  std::uint64_t seed = 0xC0FFEE;   ///< optional --seed <n>
+  bool quick = false;              ///< optional --quick (reduced problem sizes)
+};
+
+/// Parses known flags from argv; unknown flags are ignored so google-benchmark
+/// flags can coexist.
+[[nodiscard]] BenchArgs parse_bench_args(int argc, char** argv);
+
+}  // namespace nopfs::util

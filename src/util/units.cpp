@@ -1,0 +1,36 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace nopfs::util {
+
+namespace {
+std::string format_double(double value, const char* suffix) {
+  char buffer[64];
+  if (value >= 100.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f %s", value, suffix);
+  } else if (value >= 10.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f %s", value, suffix);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f %s", value, suffix);
+  }
+  return buffer;
+}
+}  // namespace
+
+std::string format_size_mb(double mb) {
+  if (mb >= kTB) return format_double(mb / kTB, "TB");
+  if (mb >= kGB) return format_double(mb / kGB, "GB");
+  if (mb >= 1.0) return format_double(mb, "MB");
+  return format_double(mb * 1024.0, "KB");
+}
+
+std::string format_seconds(double seconds) {
+  if (seconds >= 3600.0) return format_double(seconds / 3600.0, "hrs");
+  if (seconds >= 120.0) return format_double(seconds / 60.0, "min");
+  if (seconds >= 1.0) return format_double(seconds, "s");
+  return format_double(seconds * 1000.0, "ms");
+}
+
+}  // namespace nopfs::util

@@ -1,0 +1,32 @@
+#pragma once
+// Size/time units.  Throughout the library sizes are in MB (double) and
+// times in seconds (double), matching the paper's notation (Tab. 2).
+// Helpers here keep unit conversions explicit at call sites.
+
+#include <cstdint>
+#include <string>
+
+namespace nopfs::util {
+
+inline constexpr double kKB = 1.0 / 1024.0;  ///< kilobytes expressed in MB
+inline constexpr double kMB = 1.0;           ///< the base unit
+inline constexpr double kGB = 1024.0;        ///< gigabytes expressed in MB
+inline constexpr double kTB = 1024.0 * 1024.0;
+
+/// Converts a raw byte count to MB.
+[[nodiscard]] constexpr double bytes_to_mb(std::uint64_t bytes) noexcept {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+/// Converts MB to a raw byte count (rounded down).
+[[nodiscard]] constexpr std::uint64_t mb_to_bytes(double mb) noexcept {
+  return static_cast<std::uint64_t>(mb * 1024.0 * 1024.0);
+}
+
+/// "1.50 GB", "135.0 MB", "0.76 KB" — for human-readable bench output.
+[[nodiscard]] std::string format_size_mb(double mb);
+
+/// "12.3 s", "4.2 min", "1.27 hrs" — matching the paper's axis units.
+[[nodiscard]] std::string format_seconds(double seconds);
+
+}  // namespace nopfs::util

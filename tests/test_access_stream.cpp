@@ -1,0 +1,185 @@
+// Property tests for clairvoyant access-stream generation (paper Sec. 2):
+// each epoch is a permutation, every sample is accessed exactly once per
+// epoch, worker streams partition the epoch, and everything is exactly
+// reproducible from the seed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <tuple>
+
+#include "core/access_stream.hpp"
+
+namespace nopfs::core {
+namespace {
+
+StreamConfig make_config(std::uint64_t f, int n, int e, std::uint64_t b,
+                         bool drop_last = true, std::uint64_t seed = 42) {
+  StreamConfig config;
+  config.seed = seed;
+  config.num_samples = f;
+  config.num_workers = n;
+  config.num_epochs = e;
+  config.global_batch = b;
+  config.drop_last = drop_last;
+  return config;
+}
+
+TEST(StreamConfig, DerivedQuantities) {
+  const StreamConfig config = make_config(1000, 4, 3, 32);
+  EXPECT_EQ(config.iterations_per_epoch(), 31u);  // floor(1000/32)
+  EXPECT_EQ(config.local_batch(), 8u);
+  EXPECT_EQ(config.samples_per_worker_epoch(), 248u);  // 31*32/4
+}
+
+TEST(StreamConfig, KeepLastPartialBatch) {
+  const StreamConfig config = make_config(1000, 4, 1, 32, /*drop_last=*/false);
+  EXPECT_EQ(config.iterations_per_epoch(), 32u);  // ceil
+}
+
+TEST(StreamConfig, ValidationErrors) {
+  EXPECT_THROW(make_config(0, 4, 1, 4).validate(), std::invalid_argument);
+  EXPECT_THROW(make_config(100, 0, 1, 4).validate(), std::invalid_argument);
+  EXPECT_THROW(make_config(100, 4, 0, 4).validate(), std::invalid_argument);
+  EXPECT_THROW(make_config(100, 4, 1, 0).validate(), std::invalid_argument);
+  EXPECT_THROW(make_config(100, 4, 1, 6).validate(), std::invalid_argument);  // 6 % 4
+  EXPECT_THROW(make_config(4, 4, 1, 8).validate(), std::invalid_argument);  // B > F
+  EXPECT_NO_THROW(make_config(100, 4, 1, 4).validate());
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized sweep over (F, N, B) shapes.
+
+using Shape = std::tuple<std::uint64_t, int, std::uint64_t>;  // F, N, B
+
+class StreamProperty : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(StreamProperty, EpochOrderIsPermutation) {
+  const auto [f, n, b] = GetParam();
+  const AccessStreamGenerator gen(make_config(f, n, 2, b));
+  for (int e = 0; e < 2; ++e) {
+    auto order = gen.epoch_order(e);
+    ASSERT_EQ(order.size(), f);
+    std::sort(order.begin(), order.end());
+    for (std::uint64_t i = 0; i < f; ++i) EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST_P(StreamProperty, WorkersPartitionEachEpoch) {
+  const auto [f, n, b] = GetParam();
+  const AccessStreamGenerator gen(make_config(f, n, 1, b));
+  const std::uint64_t consumed =
+      gen.config().iterations_per_epoch() * gen.config().global_batch;
+  std::set<data::SampleId> seen;
+  std::uint64_t total = 0;
+  for (int w = 0; w < n; ++w) {
+    const auto stream = gen.worker_epoch_stream(w, 0);
+    total += stream.size();
+    for (const auto sample : stream) {
+      EXPECT_TRUE(seen.insert(sample).second)
+          << "sample " << sample << " consumed twice in one epoch";
+    }
+  }
+  // Exactly the consumed prefix, no more, no less (exactly-once property).
+  EXPECT_EQ(total, consumed);
+}
+
+TEST_P(StreamProperty, DeterministicReplay) {
+  const auto [f, n, b] = GetParam();
+  const AccessStreamGenerator a(make_config(f, n, 2, b, true, 7));
+  const AccessStreamGenerator b_gen(make_config(f, n, 2, b, true, 7));
+  for (int w = 0; w < n; ++w) {
+    EXPECT_EQ(a.worker_stream(w), b_gen.worker_stream(w));
+  }
+}
+
+TEST_P(StreamProperty, EpochsDiffer) {
+  const auto [f, n, b] = GetParam();
+  if (f < 16) GTEST_SKIP();
+  const AccessStreamGenerator gen(make_config(f, n, 2, b));
+  EXPECT_NE(gen.epoch_order(0), gen.epoch_order(1));
+}
+
+TEST_P(StreamProperty, ForEachAccessMatchesWorkerStream) {
+  const auto [f, n, b] = GetParam();
+  const AccessStreamGenerator gen(make_config(f, n, 2, b));
+  for (int w = 0; w < std::min(n, 3); ++w) {
+    std::vector<data::SampleId> visited;
+    std::uint64_t expected_position = 0;
+    gen.for_each_access(w, [&](const Access& access) {
+      EXPECT_EQ(access.position, expected_position++);
+      EXPECT_GE(access.epoch, 0);
+      EXPECT_LT(access.epoch, 2);
+      EXPECT_LT(access.iteration, gen.config().iterations_per_epoch());
+      visited.push_back(access.sample);
+    });
+    EXPECT_EQ(visited, gen.worker_stream(w));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StreamProperty,
+    ::testing::Values(Shape{100, 1, 10}, Shape{100, 4, 8}, Shape{1000, 4, 32},
+                      Shape{1000, 8, 64}, Shape{999, 3, 9}, Shape{4096, 16, 256},
+                      Shape{50, 5, 50}));
+
+// ---------------------------------------------------------------------------
+
+TEST(AccessStream, StridedPartitionMatchesDistributedSampler) {
+  // Worker i must receive the shuffled positions congruent to i mod N, in
+  // position order — PyTorch DistributedSampler semantics.
+  const AccessStreamGenerator gen(make_config(64, 4, 1, 16));
+  const auto order = gen.epoch_order(0);
+  for (int w = 0; w < 4; ++w) {
+    const auto stream = gen.worker_epoch_stream(w, 0);
+    ASSERT_EQ(stream.size(), 16u);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      EXPECT_EQ(stream[i], order[i * 4 + w]);
+    }
+  }
+}
+
+TEST(AccessStream, OwnerOfPosition) {
+  const AccessStreamGenerator gen(make_config(64, 4, 1, 16));
+  EXPECT_EQ(gen.owner_of_position(0), 0);
+  EXPECT_EQ(gen.owner_of_position(5), 1);
+  EXPECT_EQ(gen.owner_of_position(7), 3);
+}
+
+TEST(AccessStream, DropLastSkipsTail) {
+  // F=10, B=4: drop_last consumes 8 per epoch; keep-last consumes all 10.
+  const AccessStreamGenerator drop(make_config(10, 2, 1, 4, true));
+  const AccessStreamGenerator keep(make_config(10, 2, 1, 4, false));
+  std::uint64_t dropped_total = 0;
+  std::uint64_t kept_total = 0;
+  for (int w = 0; w < 2; ++w) {
+    dropped_total += drop.worker_epoch_stream(w, 0).size();
+    kept_total += keep.worker_epoch_stream(w, 0).size();
+  }
+  EXPECT_EQ(dropped_total, 8u);
+  EXPECT_EQ(kept_total, 10u);
+}
+
+TEST(AccessStream, SeedChangesStream) {
+  const AccessStreamGenerator a(make_config(256, 4, 1, 16, true, 1));
+  const AccessStreamGenerator b(make_config(256, 4, 1, 16, true, 2));
+  EXPECT_NE(a.worker_stream(0), b.worker_stream(0));
+}
+
+TEST(AccessStream, FullStreamLength) {
+  const AccessStreamGenerator gen(make_config(1000, 4, 5, 40));
+  // 25 iterations * 10 local batch * 5 epochs.
+  EXPECT_EQ(gen.worker_stream(0).size(), 1250u);
+}
+
+TEST(AccessStream, RankBoundsChecked) {
+  const AccessStreamGenerator gen(make_config(100, 4, 1, 4));
+  EXPECT_THROW((void)gen.worker_epoch_stream(4, 0), std::out_of_range);
+  EXPECT_THROW((void)gen.worker_epoch_stream(-1, 0), std::out_of_range);
+  EXPECT_THROW((void)gen.epoch_order(1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace nopfs::core

@@ -1,0 +1,138 @@
+// Tests for the system configuration file parser (paper Sec. 5.2.2).
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "core/perf_model.hpp"
+
+namespace nopfs::core {
+namespace {
+
+const char* kValid = R"(
+# a small cluster
+name            = test-cluster
+num_workers     = 4
+compute_mbps    = 64
+preprocess_mbps = 200
+network_mbps    = 24000
+staging.capacity_mb = 5120
+staging.threads     = 8
+staging.rw_mbps     = 0:0 8:113664
+class.ram.capacity_mb = 122880
+class.ram.threads     = 4
+class.ram.read_mbps   = 0:0 4:87040
+class.ram.write_mbps  = 0:0 4:87040
+class.ssd.capacity_mb = 921600
+class.ssd.threads     = 2
+class.ssd.read_mbps   = 1:2500 2:4096
+class.ssd.write_mbps  = 1:1500 2:2400
+pfs.read_mbps   = 1:120 2:180 4:240 8:280
+pfs.op_rate     = 0
+)";
+
+TEST(Config, ParsesAllFields) {
+  const tiers::SystemParams sys = parse_system_config(kValid);
+  EXPECT_EQ(sys.name, "test-cluster");
+  EXPECT_EQ(sys.num_workers, 4);
+  EXPECT_DOUBLE_EQ(sys.node.compute_mbps, 64.0);
+  EXPECT_DOUBLE_EQ(sys.node.preprocess_mbps, 200.0);
+  EXPECT_DOUBLE_EQ(sys.node.network_mbps, 24000.0);
+  EXPECT_DOUBLE_EQ(sys.node.staging.capacity_mb, 5120.0);
+  EXPECT_EQ(sys.node.staging.prefetch_threads, 8);
+  ASSERT_EQ(sys.node.classes.size(), 2u);
+  EXPECT_EQ(sys.node.classes[0].name, "ram");  // declaration order preserved
+  EXPECT_EQ(sys.node.classes[1].name, "ssd");
+  EXPECT_DOUBLE_EQ(sys.node.classes[1].read_mbps.at(2), 4096.0);
+  EXPECT_DOUBLE_EQ(sys.pfs.agg_read_mbps.at(4), 240.0);
+  EXPECT_DOUBLE_EQ(sys.pfs.op_rate_per_s, 0.0);
+}
+
+TEST(Config, CurveInterpolationWorksAfterParse) {
+  const tiers::SystemParams sys = parse_system_config(kValid);
+  // Regression/interpolation between declared PFS points (Sec. 5.2.2).
+  EXPECT_NEAR(sys.pfs.agg_read_mbps.at(3), 210.0, 1e-9);
+  EXPECT_GT(sys.pfs.agg_read_mbps.at(16), 280.0);  // extrapolated
+}
+
+TEST(Config, ParsedSystemDrivesPerfModel) {
+  const tiers::SystemParams sys = parse_system_config(kValid);
+  const PerfModel model(sys);
+  EXPECT_NEAR(model.fetch_pfs_s(10.0, 4), 10.0 / 60.0, 1e-9);
+  EXPECT_NEAR(model.fetch_local_s(10.0, 0), 10.0 / (87040.0 / 4.0), 1e-12);
+}
+
+TEST(Config, RoundTripsThroughFormat) {
+  const tiers::SystemParams original = parse_system_config(kValid);
+  const tiers::SystemParams reparsed =
+      parse_system_config(format_system_config(original));
+  EXPECT_EQ(reparsed.name, original.name);
+  EXPECT_EQ(reparsed.num_workers, original.num_workers);
+  EXPECT_EQ(reparsed.node.classes.size(), original.node.classes.size());
+  EXPECT_DOUBLE_EQ(reparsed.pfs.agg_read_mbps.at(4),
+                   original.pfs.agg_read_mbps.at(4));
+  EXPECT_DOUBLE_EQ(reparsed.node.classes[1].write_mbps.at(2),
+                   original.node.classes[1].write_mbps.at(2));
+}
+
+TEST(Config, PresetsRoundTrip) {
+  for (const auto& sys :
+       {tiers::presets::sim_cluster(4), tiers::presets::lassen(64),
+        tiers::presets::piz_daint(32)}) {
+    const tiers::SystemParams reparsed =
+        parse_system_config(format_system_config(sys));
+    EXPECT_EQ(reparsed.num_workers, sys.num_workers);
+    EXPECT_DOUBLE_EQ(reparsed.pfs.op_rate_per_s, sys.pfs.op_rate_per_s);
+    EXPECT_NEAR(reparsed.pfs.agg_read_mbps.at(sys.num_workers),
+                sys.pfs.agg_read_mbps.at(sys.num_workers), 1e-6);
+  }
+}
+
+TEST(Config, CommentsAndBlankLinesIgnored) {
+  const tiers::SystemParams sys = parse_system_config(
+      "num_workers = 2 # inline comment\n\n# whole-line comment\n"
+      "pfs.read_mbps = 1:100\n");
+  EXPECT_EQ(sys.num_workers, 2);
+}
+
+TEST(Config, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_system_config("num_workers = 1\nbogus_key = 3\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& ex) {
+    EXPECT_NE(std::string(ex.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(ex.what()).find("bogus_key"), std::string::npos);
+  }
+}
+
+TEST(Config, MalformedInputsRejected) {
+  EXPECT_THROW((void)parse_system_config("num_workers\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_system_config("num_workers = abc\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_system_config("num_workers = 2.5\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_system_config("pfs.read_mbps = 1-100\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_system_config("class..x = 1\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_system_config("num_workers = \n"), std::invalid_argument);
+}
+
+TEST(Config, RequiredFieldsEnforced) {
+  // Missing num_workers.
+  EXPECT_THROW((void)parse_system_config("pfs.read_mbps = 1:100\n"),
+               std::invalid_argument);
+  // Missing PFS curve.
+  EXPECT_THROW((void)parse_system_config("num_workers = 2\n"),
+               std::invalid_argument);
+  // Class without a read curve.
+  EXPECT_THROW((void)parse_system_config("num_workers = 2\npfs.read_mbps = 1:1\n"
+                                         "class.ram.capacity_mb = 10\n"),
+               std::invalid_argument);
+}
+
+TEST(Config, LoadFromFileErrors) {
+  EXPECT_THROW((void)load_system_config("/nonexistent/nopfs.conf"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nopfs::core

@@ -1,0 +1,139 @@
+// Tests for the dataset model and the paper's preset parameters (Sec. 6.1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "data/dataset.hpp"
+#include "util/units.hpp"
+
+namespace nopfs::data {
+namespace {
+
+TEST(Presets, PaperParameters) {
+  const DatasetSpec im1k = presets::imagenet1k();
+  EXPECT_EQ(im1k.num_samples, 1'281'167u);
+  EXPECT_DOUBLE_EQ(im1k.mean_size_mb, 0.1077);
+  EXPECT_DOUBLE_EQ(im1k.stddev_size_mb, 0.1);
+  EXPECT_EQ(im1k.num_classes, 1000u);
+
+  const DatasetSpec im22k = presets::imagenet22k();
+  EXPECT_EQ(im22k.num_samples, 14'197'122u);
+  EXPECT_EQ(im22k.num_classes, 21'841u);
+
+  const DatasetSpec open = presets::openimages();
+  EXPECT_EQ(open.num_samples, 1'743'042u);
+
+  const DatasetSpec cosmo = presets::cosmoflow();
+  EXPECT_EQ(cosmo.num_samples, 262'144u);
+  EXPECT_DOUBLE_EQ(cosmo.stddev_size_mb, 0.0);
+
+  const DatasetSpec cosmo512 = presets::cosmoflow512();
+  EXPECT_EQ(cosmo512.num_samples, 10'000u);
+  EXPECT_DOUBLE_EQ(cosmo512.mean_size_mb, 1000.0);
+
+  const DatasetSpec mnist = presets::mnist();
+  EXPECT_EQ(mnist.num_samples, 50'000u);
+  EXPECT_NEAR(mnist.mean_size_mb * 1024.0, 0.76, 1e-9);
+}
+
+TEST(Presets, TotalSizesMatchPaper) {
+  // The paper quotes ~135 GB for ImageNet-1k, ~4 TB for CosmoFlow,
+  // ~10 TB for CosmoFlow 512^3, ~40 MB for MNIST.
+  const auto spec = presets::imagenet1k();
+  const double total_gb = spec.mean_size_mb * spec.num_samples / util::kGB;
+  EXPECT_NEAR(total_gb, 135.0, 5.0);
+
+  const auto cosmo = presets::cosmoflow();
+  EXPECT_NEAR(cosmo.mean_size_mb * cosmo.num_samples / util::kTB, 4.25, 0.3);
+
+  const auto cosmo512 = presets::cosmoflow512();
+  EXPECT_NEAR(cosmo512.mean_size_mb * cosmo512.num_samples / util::kTB, 9.5, 0.5);
+
+  const auto mnist = presets::mnist();
+  EXPECT_NEAR(mnist.mean_size_mb * mnist.num_samples, 37.1, 1.0);  // ~40 MB
+}
+
+TEST(Presets, ByNameAndUnknown) {
+  for (const auto& name : presets::all_names()) {
+    EXPECT_EQ(presets::by_name(name).name, name);
+  }
+  EXPECT_THROW(presets::by_name("nope"), std::invalid_argument);
+}
+
+TEST(Dataset, SyntheticMatchesSpecStatistics) {
+  DatasetSpec spec = presets::imagenet1k();
+  spec.num_samples = 50'000;  // smaller draw, same distribution
+  const Dataset ds = Dataset::synthetic(spec, 7);
+  EXPECT_EQ(ds.num_samples(), 50'000u);
+  EXPECT_NEAR(ds.mean_size_mb(), spec.mean_size_mb, 0.01);
+  double var = 0.0;
+  for (SampleId k = 0; k < ds.num_samples(); ++k) {
+    const double d = ds.size_mb(k) - ds.mean_size_mb();
+    var += d * d;
+  }
+  var /= static_cast<double>(ds.num_samples());
+  // Truncation at the 1 KB floor clips the lower tail slightly.
+  EXPECT_NEAR(std::sqrt(var), spec.stddev_size_mb, 0.02);
+}
+
+TEST(Dataset, FixedSizeWhenSigmaZero) {
+  const Dataset ds = Dataset::synthetic(presets::cosmoflow(), 1);
+  for (SampleId k = 0; k < 100; ++k) {
+    EXPECT_FLOAT_EQ(static_cast<float>(ds.size_mb(k)), 17.0f);
+  }
+}
+
+TEST(Dataset, DeterministicForSeed) {
+  DatasetSpec spec = presets::openimages();
+  spec.num_samples = 1'000;
+  const Dataset a = Dataset::synthetic(spec, 99);
+  const Dataset b = Dataset::synthetic(spec, 99);
+  EXPECT_EQ(a.sizes(), b.sizes());
+  const Dataset c = Dataset::synthetic(spec, 100);
+  EXPECT_NE(a.sizes(), c.sizes());
+}
+
+TEST(Dataset, SizesNeverBelowFloor) {
+  DatasetSpec spec;
+  spec.name = "tiny";
+  spec.num_samples = 10'000;
+  spec.mean_size_mb = 0.002;   // 2 KB mean with large sigma -> heavy clipping
+  spec.stddev_size_mb = 0.01;
+  const Dataset ds = Dataset::synthetic(spec, 3);
+  for (SampleId k = 0; k < ds.num_samples(); ++k) {
+    EXPECT_GE(ds.size_mb(k), spec.min_size_mb);
+  }
+}
+
+TEST(Dataset, TotalIsSumOfSizes) {
+  const Dataset ds("x", {1.0f, 2.0f, 3.5f});
+  EXPECT_DOUBLE_EQ(ds.total_mb(), 6.5);
+  EXPECT_DOUBLE_EQ(ds.mean_size_mb(), 6.5 / 3.0);
+}
+
+TEST(Dataset, ClassAssignmentPartition) {
+  const Dataset ds("x", std::vector<float>(100, 1.0f), 10);
+  std::vector<int> counts(10, 0);
+  for (SampleId k = 0; k < 100; ++k) {
+    const auto c = ds.class_of(k);
+    ASSERT_LT(c, 10u);
+    ++counts[c];
+  }
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(Dataset, InvalidArguments) {
+  EXPECT_THROW(Dataset("x", {}), std::invalid_argument);
+  DatasetSpec bad;
+  bad.num_samples = 0;
+  bad.mean_size_mb = 1.0;
+  EXPECT_THROW(Dataset::synthetic(bad, 1), std::invalid_argument);
+  bad.num_samples = 10;
+  bad.mean_size_mb = 0.0;
+  EXPECT_THROW(Dataset::synthetic(bad, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nopfs::data

@@ -1,0 +1,149 @@
+// Tests for emulated storage devices: tier rate limiting, PFS contention
+// retuning (the t(gamma) behaviour of paper Sec. 4), NIC, cluster assembly.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "tiers/devices.hpp"
+#include "util/units.hpp"
+
+namespace nopfs::tiers {
+namespace {
+
+StorageClassParams test_class(double capacity_mb, double agg_mbps, int threads) {
+  StorageClassParams params;
+  params.name = "ram";
+  params.capacity_mb = capacity_mb;
+  params.read_mbps = util::ThroughputCurve(
+      {{0.0, 0.0}, {static_cast<double>(threads), agg_mbps}});
+  params.write_mbps = params.read_mbps;
+  params.prefetch_threads = threads;
+  return params;
+}
+
+TEST(EmulatedTier, ChargesReadTime) {
+  RealClock clock;
+  // 100 MB/s scaled 10x -> 1000 MB/s effective.
+  EmulatedTier tier(clock, test_class(1000.0, 100.0, 2), /*time_scale=*/10.0);
+  const double t0 = clock.now();
+  tier.read(20.0);  // ~20 ms real
+  EXPECT_GE(clock.now() - t0, 0.015);
+  EXPECT_NEAR(tier.total_read_mb(), 20.0, 1e-9);
+  tier.write(5.0);
+  EXPECT_NEAR(tier.total_written_mb(), 5.0, 1e-9);
+}
+
+TEST(EmulatedPfs, GammaTracksActiveWorkers) {
+  RealClock clock;
+  PfsParams params;
+  params.agg_read_mbps = util::ThroughputCurve({{1, 100}, {2, 180}, {4, 300}});
+  EmulatedPfs pfs(clock, params, /*time_scale=*/100.0);
+  EXPECT_EQ(pfs.active_clients(), 0);
+
+  std::vector<std::thread> readers;
+  for (int w = 0; w < 3; ++w) {
+    readers.emplace_back([&pfs, w] { pfs.read(w, 50.0); });
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(pfs.active_clients(), 0);
+  EXPECT_NEAR(pfs.total_read_mb(), 150.0, 1e-9);
+}
+
+TEST(EmulatedPfs, ContentionSlowsPerClientRate) {
+  // Aggregate barely grows with clients: per-client throughput collapses.
+  RealClock clock;
+  PfsParams params;
+  params.agg_read_mbps = util::ThroughputCurve({{1, 1000}, {4, 1200}});
+  const double scale = 100.0;
+
+  // One reader alone: 30 MB at 1000*100 MB/s -> ~0.3 ms real.
+  {
+    EmulatedPfs pfs(clock, params, scale);
+    const double t0 = clock.now();
+    pfs.read(0, 30.0);
+    EXPECT_LT(clock.now() - t0, 0.05);
+  }
+  // Four concurrent readers share ~1200*100 MB/s for 120 MB total -> >= 1 ms,
+  // and each one takes roughly the whole window (they finish together).
+  {
+    EmulatedPfs pfs(clock, params, scale);
+    const double t0 = clock.now();
+    std::vector<std::thread> readers;
+    for (int w = 0; w < 4; ++w) {
+      readers.emplace_back([&pfs, w] { pfs.read(w, 30.0); });
+    }
+    for (auto& r : readers) r.join();
+    const double elapsed = clock.now() - t0;
+    EXPECT_GE(elapsed, 120.0 / (1200.0 * scale) * 0.8);
+  }
+}
+
+TEST(EmulatedPfs, NegativeWorkerRejected) {
+  RealClock clock;
+  PfsParams params;
+  params.agg_read_mbps = util::ThroughputCurve({{1, 100}});
+  EmulatedPfs pfs(clock, params, 1.0);
+  EXPECT_THROW(pfs.read(-1, 1.0), std::invalid_argument);
+}
+
+TEST(EmulatedNic, ChargesTransfers) {
+  RealClock clock;
+  EmulatedNic nic(clock, /*bandwidth=*/100.0, /*time_scale=*/100.0);
+  nic.transfer(10.0);
+  EXPECT_NEAR(nic.total_transferred_mb(), 10.0, 1e-9);
+}
+
+TEST(EmulatedCluster, BuildsAllWorkerDevices) {
+  RealClock clock;
+  SystemParams sys = presets::sim_cluster(4);
+  EmulatedCluster cluster(clock, sys, 1000.0);
+  EXPECT_EQ(cluster.num_workers(), 4);
+  for (int w = 0; w < 4; ++w) {
+    auto& devices = cluster.worker(w);
+    EXPECT_EQ(devices.tiers.size(), 2u);  // RAM + SSD
+    EXPECT_NE(devices.staging, nullptr);
+    EXPECT_NE(devices.nic, nullptr);
+    EXPECT_EQ(devices.tiers[0]->name(), "ram");
+    EXPECT_EQ(devices.tiers[1]->name(), "ssd");
+  }
+  EXPECT_EQ(cluster.params().name, "sim_cluster");
+}
+
+TEST(EmulatedCluster, RejectsZeroWorkers) {
+  RealClock clock;
+  SystemParams sys = presets::sim_cluster(0);
+  EXPECT_THROW(EmulatedCluster(clock, sys, 1.0), std::invalid_argument);
+}
+
+TEST(Presets, PaperSimClusterParameters) {
+  const SystemParams sys = presets::sim_cluster();
+  EXPECT_EQ(sys.num_workers, 4);
+  EXPECT_DOUBLE_EQ(sys.node.compute_mbps, 64.0);
+  EXPECT_DOUBLE_EQ(sys.node.preprocess_mbps, 200.0);
+  EXPECT_DOUBLE_EQ(sys.node.network_mbps, 24'000.0);
+  EXPECT_DOUBLE_EQ(sys.node.staging.capacity_mb, 5.0 * util::kGB);
+  ASSERT_EQ(sys.node.classes.size(), 2u);
+  EXPECT_DOUBLE_EQ(sys.node.classes[0].capacity_mb, 120.0 * util::kGB);
+  EXPECT_DOUBLE_EQ(sys.node.classes[1].capacity_mb, 900.0 * util::kGB);
+  // Calibrated effective small-random-read PFS curve (see params.cpp):
+  // saturating aggregate, per-client rate falling with contention.
+  EXPECT_GT(sys.pfs.agg_read_mbps.at(8), sys.pfs.agg_read_mbps.at(1));
+  EXPECT_LT(sys.pfs.per_client_mbps(8), sys.pfs.per_client_mbps(1));
+  // D = sum of class capacities.
+  EXPECT_DOUBLE_EQ(sys.node.total_cache_mb(), 1020.0 * util::kGB);
+}
+
+TEST(Presets, LassenAndDaintShapes) {
+  const SystemParams lassen = presets::lassen(256);
+  EXPECT_EQ(lassen.num_workers, 256);
+  EXPECT_EQ(lassen.node.classes.size(), 2u);
+  const SystemParams daint = presets::piz_daint(64);
+  EXPECT_EQ(daint.node.classes.size(), 1u);  // no node-local SSD
+  // PFS per-client throughput must fall as clients increase (contention).
+  EXPECT_LT(lassen.pfs.per_client_mbps(1024), lassen.pfs.per_client_mbps(8));
+  EXPECT_LT(daint.pfs.per_client_mbps(256), daint.pfs.per_client_mbps(8));
+}
+
+}  // namespace
+}  // namespace nopfs::tiers

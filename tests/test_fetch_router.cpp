@@ -1,0 +1,224 @@
+// Tests for runtime fetch-source selection: local hits, watermark-gated
+// remote fetches, false-positive fallback, and cache-on-miss smoothing
+// (paper Secs. 5.1, 5.2.2).
+
+#include <gtest/gtest.h>
+
+#include "core/fetch_router.hpp"
+#include "data/materialize.hpp"
+#include "net/sim_transport.hpp"
+#include "util/units.hpp"
+
+namespace nopfs::core {
+namespace {
+
+struct RouterFixture {
+  RouterFixture() : dataset("fix", std::vector<float>(64, 0.001f)), source(dataset, nullptr) {
+    // System: 2 workers, one RAM class.
+    system.num_workers = 2;
+    system.node.network_mbps = 1000.0;
+    system.node.compute_mbps = 50.0;
+    system.node.preprocess_mbps = 500.0;
+    system.node.staging.prefetch_threads = 2;
+    system.node.staging.read_mbps = util::ThroughputCurve({{0, 0}, {2, 4000}});
+    system.node.staging.write_mbps = system.node.staging.read_mbps;
+    tiers::StorageClassParams ram;
+    ram.name = "ram";
+    ram.capacity_mb = 100.0;
+    ram.prefetch_threads = 2;
+    ram.read_mbps = util::ThroughputCurve({{0, 0}, {2, 4000}});
+    ram.write_mbps = ram.read_mbps;
+    system.node.classes = {ram};
+  }
+
+  /// Builds router for rank 0; `plans` must have 2 entries.
+  std::unique_ptr<FetchRouter> make_router(std::vector<CachePlan> plans,
+                                           RouterOptions options,
+                                           net::Transport* transport) {
+    model = std::make_unique<PerfModel>(system);
+    self_plan = plans[0];
+    locations = LocationIndex(plans, 0);
+    readiness = RemoteReadiness(plans);
+    metadata = std::make_unique<MetadataStore>(1);
+    backends.clear();
+    backends.push_back(std::make_unique<MemoryBackend>(100.0));
+    return std::make_unique<FetchRouter>(0, *model, self_plan, locations, readiness,
+                                         *metadata, backends, source, transport,
+                                         nullptr, options);
+  }
+
+  static CachePlan plan_with(std::initializer_list<data::SampleId> samples) {
+    CachePlan plan;
+    plan.per_class.resize(1);
+    for (const auto sample : samples) {
+      plan.per_class[0].samples.push_back(sample);
+      plan.class_of[sample] = 0;
+    }
+    return plan;
+  }
+
+  tiers::SystemParams system;
+  data::Dataset dataset;
+  SyntheticPfsSource source;
+  std::unique_ptr<PerfModel> model;
+  CachePlan self_plan;
+  LocationIndex locations;
+  RemoteReadiness readiness;
+  std::unique_ptr<MetadataStore> metadata;
+  std::vector<std::unique_ptr<StorageBackend>> backends;
+};
+
+TEST(RemoteReadiness, PositionAndHeuristic) {
+  CachePlan peer;
+  peer.per_class.resize(1);
+  peer.per_class[0].samples = {10, 20, 30};
+  peer.class_of = {{10, 0}, {20, 0}, {30, 0}};
+  const RemoteReadiness readiness({CachePlan{}, peer});
+  EXPECT_EQ(readiness.position(1, 0, 20), 1);
+  EXPECT_EQ(readiness.position(1, 0, 99), -1);
+  EXPECT_EQ(readiness.position(0, 0, 10), -1);
+  // Heuristic: peer likely cached position 1 only once self progress > 1.
+  EXPECT_FALSE(readiness.likely_cached(1, 0, 20, 0));
+  EXPECT_FALSE(readiness.likely_cached(1, 0, 20, 1));
+  EXPECT_TRUE(readiness.likely_cached(1, 0, 20, 2));
+}
+
+TEST(FetchRouter, PfsFallbackWhenNothingCached) {
+  RouterFixture fix;
+  auto router = fix.make_router({RouterFixture::plan_with({}), RouterFixture::plan_with({})},
+                                RouterOptions{}, nullptr);
+  const Bytes bytes = router->fetch(5, fix.dataset.size_mb(5));
+  EXPECT_TRUE(data::verify_sample_content(5, bytes));
+  EXPECT_EQ(router->stats().pfs_fetches.load(), 1u);
+}
+
+TEST(FetchRouter, LocalHitAfterCached) {
+  RouterFixture fix;
+  auto router = fix.make_router(
+      {RouterFixture::plan_with({5}), RouterFixture::plan_with({})}, RouterOptions{},
+      nullptr);
+  // First fetch: PFS + cache-on-miss into the planned class.
+  (void)router->fetch(5, fix.dataset.size_mb(5));
+  EXPECT_EQ(router->stats().pfs_fetches.load(), 1u);
+  EXPECT_TRUE(fix.metadata->contains(5));
+  // Second fetch: local.
+  const Bytes bytes = router->fetch(5, fix.dataset.size_mb(5));
+  EXPECT_TRUE(data::verify_sample_content(5, bytes));
+  EXPECT_EQ(router->stats().local_fetches.load(), 1u);
+}
+
+TEST(FetchRouter, CacheOnMissDisabled) {
+  RouterFixture fix;
+  RouterOptions options;
+  options.cache_on_miss = false;
+  auto router = fix.make_router(
+      {RouterFixture::plan_with({5}), RouterFixture::plan_with({})}, options, nullptr);
+  (void)router->fetch(5, fix.dataset.size_mb(5));
+  EXPECT_FALSE(fix.metadata->contains(5));
+}
+
+TEST(FetchRouter, UnplannedSampleNotCached) {
+  RouterFixture fix;
+  auto router = fix.make_router(
+      {RouterFixture::plan_with({1}), RouterFixture::plan_with({})}, RouterOptions{},
+      nullptr);
+  (void)router->fetch(9, fix.dataset.size_mb(9));
+  EXPECT_FALSE(fix.metadata->contains(9));
+}
+
+TEST(FetchRouter, RemoteFetchThroughTransport) {
+  RouterFixture fix;
+  auto transports = net::make_sim_transports(2);
+  // Peer 1 serves sample 7.
+  Bytes payload(util::mb_to_bytes(fix.dataset.size_mb(7)));
+  data::fill_sample_content(7, payload);
+  transports[1]->set_serve_handler(
+      [payload](std::uint64_t id) -> std::optional<net::Bytes> {
+        if (id == 7) return payload;
+        return std::nullopt;
+      });
+
+  auto router = fix.make_router(
+      {RouterFixture::plan_with({}), RouterFixture::plan_with({7})}, RouterOptions{},
+      transports[0].get());
+  // Watermark heuristic: peer plan has sample 7 at position 0; our class-0
+  // progress must exceed 0 for the remote to count as ready.
+  router->note_class_progress(0);
+  const Bytes bytes = router->fetch(7, fix.dataset.size_mb(7));
+  EXPECT_TRUE(data::verify_sample_content(7, bytes));
+  EXPECT_EQ(router->stats().remote_fetches.load(), 1u);
+  EXPECT_EQ(router->stats().pfs_fetches.load(), 0u);
+}
+
+TEST(FetchRouter, WatermarkGatesRemote) {
+  RouterFixture fix;
+  auto transports = net::make_sim_transports(2);
+  transports[1]->set_serve_handler(
+      [](std::uint64_t) -> std::optional<net::Bytes> { return net::Bytes{1}; });
+  auto router = fix.make_router(
+      {RouterFixture::plan_with({}), RouterFixture::plan_with({7})}, RouterOptions{},
+      transports[0].get());
+  // No local progress yet -> heuristic says peer has not prefetched -> PFS.
+  (void)router->fetch(7, fix.dataset.size_mb(7));
+  EXPECT_EQ(router->stats().pfs_fetches.load(), 1u);
+  EXPECT_EQ(router->stats().remote_fetches.load(), 0u);
+}
+
+TEST(FetchRouter, RemoteMissFallsBackToPfs) {
+  RouterFixture fix;
+  auto transports = net::make_sim_transports(2);
+  // Peer claims nothing despite the plan (prefetcher hasn't fetched yet):
+  // the heuristic's false positive.
+  transports[1]->set_serve_handler(
+      [](std::uint64_t) -> std::optional<net::Bytes> { return std::nullopt; });
+  auto router = fix.make_router(
+      {RouterFixture::plan_with({}), RouterFixture::plan_with({7})}, RouterOptions{},
+      transports[0].get());
+  router->note_class_progress(0);
+  const Bytes bytes = router->fetch(7, fix.dataset.size_mb(7));
+  EXPECT_TRUE(data::verify_sample_content(7, bytes));
+  EXPECT_EQ(router->stats().remote_misses.load(), 1u);
+  EXPECT_EQ(router->stats().pfs_fetches.load(), 1u);
+}
+
+TEST(FetchRouter, RemoteDisabledByOption) {
+  RouterFixture fix;
+  auto transports = net::make_sim_transports(2);
+  transports[1]->set_serve_handler(
+      [](std::uint64_t) -> std::optional<net::Bytes> { return net::Bytes{1}; });
+  RouterOptions options;
+  options.use_remote = false;
+  auto router = fix.make_router(
+      {RouterFixture::plan_with({}), RouterFixture::plan_with({7})}, options,
+      transports[0].get());
+  router->note_class_progress(0);
+  (void)router->fetch(7, fix.dataset.size_mb(7));
+  EXPECT_EQ(router->stats().remote_fetches.load(), 0u);
+  EXPECT_EQ(router->stats().pfs_fetches.load(), 1u);
+}
+
+TEST(FetchRouter, LoadLocalServesOnlyCached) {
+  RouterFixture fix;
+  auto router = fix.make_router(
+      {RouterFixture::plan_with({3}), RouterFixture::plan_with({})}, RouterOptions{},
+      nullptr);
+  EXPECT_FALSE(router->load_local(3).has_value());
+  (void)router->fetch(3, fix.dataset.size_mb(3));  // caches it
+  const auto bytes = router->load_local(3);
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_TRUE(data::verify_sample_content(3, *bytes));
+}
+
+TEST(FetchRouter, ProgressCounters) {
+  RouterFixture fix;
+  auto router = fix.make_router(
+      {RouterFixture::plan_with({}), RouterFixture::plan_with({})}, RouterOptions{},
+      nullptr);
+  EXPECT_EQ(router->class_progress(0), 0u);
+  router->note_class_progress(0);
+  router->note_class_progress(0);
+  EXPECT_EQ(router->class_progress(0), 2u);
+}
+
+}  // namespace
+}  // namespace nopfs::core

@@ -1,0 +1,144 @@
+// Tests for the access-frequency analysis (paper Sec. 3.1, Fig. 3, Lemma 1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/frequency.hpp"
+
+namespace nopfs::core {
+namespace {
+
+StreamConfig make_config(std::uint64_t f, int n, int e, std::uint64_t b) {
+  StreamConfig config;
+  config.seed = 314;
+  config.num_samples = f;
+  config.num_workers = n;
+  config.num_epochs = e;
+  config.global_batch = b;
+  return config;
+}
+
+TEST(Frequency, CountsSumToStreamLength) {
+  const AccessStreamGenerator gen(make_config(1024, 4, 6, 64));
+  const FrequencyMap freqs = count_worker_frequencies(gen, 1);
+  std::uint64_t total = 0;
+  for (const auto& [sample, count] : freqs) total += count;
+  EXPECT_EQ(total, gen.worker_stream(1).size());
+}
+
+TEST(Frequency, AllWorkersCoverEveryAccess) {
+  const AccessStreamGenerator gen(make_config(512, 4, 4, 64));
+  // Sum over workers of per-sample counts must be exactly E for every
+  // consumed sample (each sample read exactly once per epoch).
+  std::vector<std::uint32_t> total(512, 0);
+  for (int w = 0; w < 4; ++w) {
+    for (const auto& [sample, count] : count_worker_frequencies(gen, w)) {
+      total[sample] += count;
+    }
+  }
+  for (std::uint64_t k = 0; k < 512; ++k) {
+    EXPECT_EQ(total[k], 4u) << "sample " << k;
+  }
+}
+
+TEST(Frequency, HistogramCountsAllSamples) {
+  const AccessStreamGenerator gen(make_config(1000, 4, 8, 40));
+  const auto hist = frequency_histogram(gen, 0, 16);
+  EXPECT_EQ(hist.total(), 1000u);  // every sample lands in some bin
+}
+
+TEST(Frequency, MeanAccessIsEOverN) {
+  const int n = 4;
+  const int e = 16;
+  const AccessStreamGenerator gen(make_config(2048, n, e, 128));
+  const FrequencyMap freqs = count_worker_frequencies(gen, 2);
+  double total = 0.0;
+  for (const auto& [sample, count] : freqs) total += count;
+  // Average over all F samples (untouched ones count zero).
+  EXPECT_NEAR(total / 2048.0, static_cast<double>(e) / n, 0.01);
+}
+
+TEST(Frequency, PaperImageNetExpectation) {
+  // Paper Sec. 3.1: N=16, E=90, F=1,281,167, delta=0.8 -> expected ~31,635
+  // samples accessed more than 10 times by one worker.
+  const double expected = expected_samples_above(1'281'167, 16, 90, 0.8);
+  EXPECT_NEAR(expected, 31'635.0, 500.0);
+}
+
+TEST(Frequency, AnalyticMatchesExactStream) {
+  // The exact clairvoyant counts must agree with the Binomial model
+  // (the paper validates this with Monte-Carlo; we use the real stream).
+  const std::uint64_t f = 20'000;
+  const int n = 8;
+  const int e = 24;
+  const AccessStreamGenerator gen(make_config(f, n, e, 400));
+  const double delta = 1.0;
+  const double mu = static_cast<double>(e) / n;
+  const auto threshold = static_cast<std::int64_t>(std::ceil((1.0 + delta) * mu));
+  const auto hist = frequency_histogram(gen, 3, 32);
+  const double measured = static_cast<double>(hist.count_greater(threshold - 1));
+  const double analytic = expected_samples_above(f, n, e, delta);
+  EXPECT_NEAR(measured, analytic, std::max(50.0, analytic * 0.15));
+}
+
+TEST(Frequency, Lemma1BoundHoldsOnRealStreams) {
+  // If worker w accesses sample k at least ceil((1+delta) E/N) times, some
+  // other worker accesses it at most ceil((N-1-delta)/(N-1) * E/N) times.
+  const std::uint64_t f = 4'000;
+  const int n = 4;
+  const int e = 20;
+  const double delta = 1.0;
+  const AccessStreamGenerator gen(make_config(f, n, e, 200));
+  std::vector<FrequencyMap> freqs;
+  for (int w = 0; w < n; ++w) freqs.push_back(count_worker_frequencies(gen, w));
+
+  const double mu = static_cast<double>(e) / n;
+  const auto high = static_cast<std::uint32_t>(std::ceil((1.0 + delta) * mu));
+  const std::uint64_t bound = lemma1_other_worker_bound(n, e, delta);
+  int checked = 0;
+  for (const auto& [sample, count] : freqs[0]) {
+    if (count < high) continue;
+    ++checked;
+    std::uint32_t min_other = 0xffffffff;
+    for (int w = 1; w < n; ++w) {
+      const auto it = freqs[w].find(sample);
+      min_other = std::min(min_other, it == freqs[w].end() ? 0u : it->second);
+    }
+    EXPECT_LE(min_other, bound) << "sample " << sample;
+  }
+  EXPECT_GT(checked, 0) << "test vacuous: no high-frequency samples";
+}
+
+TEST(Frequency, Lemma1BoundFormula) {
+  // N=16, E=90, delta=0.8: mu = 5.625; bound = ceil(14.2/15 * 5.625) = 6.
+  EXPECT_EQ(lemma1_other_worker_bound(16, 90, 0.8), 6u);
+}
+
+TEST(Frequency, SortedByFrequencyDeterministicOrder) {
+  FrequencyMap freqs;
+  freqs[5] = 3;
+  freqs[2] = 7;
+  freqs[9] = 3;
+  freqs[1] = 1;
+  const auto sorted = sorted_by_frequency(freqs);
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted[0].first, 2u);
+  EXPECT_EQ(sorted[1].first, 5u);  // ties broken by ascending id
+  EXPECT_EQ(sorted[2].first, 9u);
+  EXPECT_EQ(sorted[3].first, 1u);
+}
+
+TEST(Frequency, ExpectedSamplesAboveEdgeCases) {
+  // delta so large nothing qualifies.
+  EXPECT_NEAR(expected_samples_above(1000, 2, 4, 100.0), 0.0, 1e-6);
+  // Single worker: every sample is accessed exactly E times, so any
+  // threshold beyond E qualifies nothing...
+  EXPECT_NEAR(expected_samples_above(1000, 1, 4, 0.5), 0.0, 1e-6);
+  // ...while the paper's inclusive ceil(1+delta)mu threshold at delta=0
+  // counts everything (sum starts at exactly E).
+  EXPECT_NEAR(expected_samples_above(1000, 1, 4, 0.0), 1000.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace nopfs::core

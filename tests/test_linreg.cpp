@@ -1,0 +1,109 @@
+// Tests for least-squares fitting and the regression-backed throughput
+// curves the performance model interpolates (paper Sec. 5.2.2).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/linreg.hpp"
+
+namespace nopfs::util {
+namespace {
+
+TEST(LinearFit, ExactLine) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {3.0, 5.0, 7.0, 9.0};  // y = 1 + 2x
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_NEAR(fit.at(10.0), 21.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyDataReasonableR2) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * i + ((i % 2 == 0) ? 1.0 : -1.0));
+  }
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 0.01);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(LinearFit, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(linear_fit({}, {}).slope, 0.0);
+  const LinearFit single = linear_fit(std::vector<double>{2.0}, std::vector<double>{7.0});
+  EXPECT_DOUBLE_EQ(single.slope, 0.0);
+  EXPECT_DOUBLE_EQ(single.intercept, 7.0);
+  // All x equal: flat fit through the mean.
+  const LinearFit flat =
+      linear_fit(std::vector<double>{3.0, 3.0}, std::vector<double>{1.0, 5.0});
+  EXPECT_DOUBLE_EQ(flat.slope, 0.0);
+  EXPECT_DOUBLE_EQ(flat.intercept, 3.0);
+}
+
+TEST(ThroughputCurve, ExactAtMeasuredPoints) {
+  // The paper's Lassen PFS measurements.
+  const ThroughputCurve curve({{1, 330}, {2, 730}, {4, 1540}, {8, 2870}});
+  EXPECT_DOUBLE_EQ(curve.at(1), 330.0);
+  EXPECT_DOUBLE_EQ(curve.at(2), 730.0);
+  EXPECT_DOUBLE_EQ(curve.at(4), 1540.0);
+  EXPECT_DOUBLE_EQ(curve.at(8), 2870.0);
+}
+
+TEST(ThroughputCurve, PiecewiseLinearBetween) {
+  const ThroughputCurve curve({{1, 330}, {2, 730}, {4, 1540}, {8, 2870}});
+  EXPECT_NEAR(curve.at(3), (730.0 + 1540.0) / 2.0, 1e-9);
+  EXPECT_NEAR(curve.at(6), (1540.0 + 2870.0) / 2.0, 1e-9);
+}
+
+TEST(ThroughputCurve, RegressionExtrapolationBeyondRange) {
+  const ThroughputCurve curve({{1, 330}, {2, 730}, {4, 1540}, {8, 2870}});
+  // Slope ~ 362 MB/s per client; extrapolation should continue the trend
+  // and never return negative throughput.
+  const double t16 = curve.at(16);
+  EXPECT_GT(t16, 2870.0);
+  EXPECT_LT(t16, 2870.0 * 3.0);
+  EXPECT_GE(curve.at(0.0), 0.0);
+}
+
+TEST(ThroughputCurve, SinglePointIsFlat) {
+  ThroughputCurve curve({{4, 100.0}});
+  EXPECT_DOUBLE_EQ(curve.at(1), 100.0);
+  EXPECT_DOUBLE_EQ(curve.at(100), 100.0);
+}
+
+TEST(ThroughputCurve, EmptyReturnsZero) {
+  const ThroughputCurve curve;
+  EXPECT_DOUBLE_EQ(curve.at(5), 0.0);
+  EXPECT_TRUE(curve.empty());
+}
+
+TEST(ThroughputCurve, AddPointResorts) {
+  ThroughputCurve curve({{1, 10.0}, {4, 40.0}});
+  curve.add_point(2, 20.0);
+  EXPECT_DOUBLE_EQ(curve.at(2), 20.0);
+  EXPECT_NEAR(curve.at(3), 30.0, 1e-9);
+  EXPECT_EQ(curve.size(), 3u);
+}
+
+TEST(ThroughputCurve, DuplicateXThrows) {
+  EXPECT_THROW(ThroughputCurve({{1, 10.0}, {1, 20.0}}), std::invalid_argument);
+  ThroughputCurve curve({{1, 10.0}});
+  EXPECT_THROW(curve.add_point(1, 5.0), std::invalid_argument);
+}
+
+TEST(ThroughputCurve, MonotoneCurveStaysMonotoneInside) {
+  const ThroughputCurve curve({{1, 100}, {2, 180}, {4, 300}, {8, 400}});
+  double previous = 0.0;
+  for (double x = 1.0; x <= 8.0; x += 0.25) {
+    const double y = curve.at(x);
+    EXPECT_GE(y, previous);
+    previous = y;
+  }
+}
+
+}  // namespace
+}  // namespace nopfs::util

@@ -1,0 +1,93 @@
+// Tests for on-disk dataset materialization and deterministic content.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "data/dataset.hpp"
+#include "data/materialize.hpp"
+#include "util/units.hpp"
+
+namespace nopfs::data {
+namespace {
+
+namespace fs = std::filesystem;
+
+DatasetSpec tiny_spec() {
+  DatasetSpec spec;
+  spec.name = "tiny";
+  spec.num_samples = 20;
+  spec.mean_size_mb = 0.01;  // ~10 KB files
+  spec.stddev_size_mb = 0.005;
+  spec.num_classes = 4;
+  return spec;
+}
+
+TEST(SampleContent, DeterministicAndIdDependent) {
+  std::vector<std::uint8_t> a(256);
+  std::vector<std::uint8_t> b(256);
+  fill_sample_content(7, a);
+  fill_sample_content(7, b);
+  EXPECT_EQ(a, b);
+  fill_sample_content(8, b);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(verify_sample_content(7, a));
+  EXPECT_FALSE(verify_sample_content(9, a));
+}
+
+TEST(SampleContent, VerifyDetectsSingleBitFlip) {
+  std::vector<std::uint8_t> bytes(128);
+  fill_sample_content(3, bytes);
+  bytes[100] ^= 1;
+  EXPECT_FALSE(verify_sample_content(3, bytes));
+}
+
+TEST(Materialize, WritesAllFilesWithCorrectSizes) {
+  const Dataset ds = Dataset::synthetic(tiny_spec(), 5);
+  const fs::path root = fs::temp_directory_path() / "nopfs_test_mat1";
+  {
+    MaterializedDataset mat(ds, root);
+    EXPECT_EQ(mat.num_samples(), ds.num_samples());
+    for (SampleId k = 0; k < ds.num_samples(); ++k) {
+      ASSERT_TRUE(fs::exists(mat.path_of(k)));
+      EXPECT_EQ(fs::file_size(mat.path_of(k)), util::mb_to_bytes(ds.size_mb(k)));
+    }
+  }
+  // Cleaned up on destruction.
+  EXPECT_FALSE(fs::exists(root));
+}
+
+TEST(Materialize, ReadsBackVerifiableContent) {
+  const Dataset ds = Dataset::synthetic(tiny_spec(), 6);
+  const fs::path root = fs::temp_directory_path() / "nopfs_test_mat2";
+  MaterializedDataset mat(ds, root);
+  for (SampleId k = 0; k < ds.num_samples(); ++k) {
+    const auto bytes = mat.read(k);
+    EXPECT_TRUE(verify_sample_content(k, bytes)) << "sample " << k;
+  }
+}
+
+TEST(Materialize, ImageFolderLayout) {
+  const Dataset ds = Dataset::synthetic(tiny_spec(), 7);
+  const fs::path root = fs::temp_directory_path() / "nopfs_test_mat3";
+  MaterializedDataset mat(ds, root);
+  // One directory per class that has samples.
+  for (SampleId k = 0; k < ds.num_samples(); ++k) {
+    const auto parent = mat.path_of(k).parent_path().filename().string();
+    EXPECT_EQ(parent, "class_" + std::to_string(ds.class_of(k)));
+  }
+}
+
+TEST(Materialize, KeepPreservesTree) {
+  const Dataset ds = Dataset::synthetic(tiny_spec(), 8);
+  const fs::path root = fs::temp_directory_path() / "nopfs_test_mat4";
+  {
+    MaterializedDataset mat(ds, root);
+    mat.keep();
+  }
+  EXPECT_TRUE(fs::exists(root));
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace nopfs::data

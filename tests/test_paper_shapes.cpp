@@ -1,0 +1,179 @@
+// Shape-regression tests: the paper's headline qualitative results, pinned
+// as assertions at reduced scale (1/16 datasets + capacities, same regime
+// boundaries).  If a model or policy change breaks one of these, the
+// corresponding figure in EXPERIMENTS.md no longer reproduces.
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+#include "sim/engine.hpp"
+#include "sim/policies.hpp"
+#include "tiers/params.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace nopfs::sim {
+namespace {
+
+constexpr double kScale = 1.0 / 16.0;
+
+data::Dataset scaled_dataset(const data::DatasetSpec& base, std::uint64_t seed = 7) {
+  data::DatasetSpec spec = base;
+  spec.num_samples = std::max<std::uint64_t>(
+      2'000, static_cast<std::uint64_t>(spec.num_samples * kScale));
+  return data::Dataset::synthetic(spec, seed);
+}
+
+void scale_node(tiers::SystemParams& system) {
+  for (auto& sc : system.node.classes) sc.capacity_mb *= kScale;
+  system.node.staging.capacity_mb *= kScale;
+}
+
+SimResult run(const tiers::SystemParams& system, const data::Dataset& dataset,
+              const std::string& policy_name, int epochs = 3,
+              std::uint64_t batch = 64) {
+  SimConfig config;
+  config.system = system;
+  config.seed = 7;
+  config.num_epochs = epochs;
+  config.per_worker_batch = batch;
+  auto policy = make_policy(policy_name);
+  SimResult result = simulate(config, dataset, *policy);
+  EXPECT_TRUE(result.supported) << policy_name;
+  return result;
+}
+
+double epoch_median(const SimResult& result) {
+  std::vector<double> rest(result.epoch_s.begin() + 1, result.epoch_s.end());
+  return util::median(rest);
+}
+
+// Fig. 10 right: NoPFS's advantage over PyTorch grows with scale on Lassen
+// (paper: ~1x at 64 GPUs up to 5.4x at 1024), and PyTorch stops scaling
+// once the PFS saturates.
+TEST(PaperShapes, Fig10LassenSpeedupGrowsWithScale) {
+  const auto dataset = scaled_dataset(data::presets::imagenet1k());
+  double previous_speedup = 0.0;
+  double pytorch_256 = 0.0;
+  double pytorch_1024 = 0.0;
+  for (const int gpus : {64, 256, 1024}) {
+    tiers::SystemParams system = tiers::presets::lassen(gpus);
+    scale_node(system);
+    const double pytorch = epoch_median(run(system, dataset, "staging", 3, 32));
+    const double nopfs = epoch_median(run(system, dataset, "nopfs", 3, 32));
+    const double speedup = pytorch / nopfs;
+    EXPECT_GE(speedup, previous_speedup * 0.99) << gpus << " GPUs";
+    previous_speedup = speedup;
+    if (gpus == 256) pytorch_256 = pytorch;
+    if (gpus == 1024) pytorch_1024 = pytorch;
+  }
+  EXPECT_GT(previous_speedup, 3.0);  // paper: 5.4x; ours ~4.9x at full scale
+  // PyTorch gains little from 4x more GPUs past the PFS saturation point.
+  EXPECT_GT(pytorch_1024, pytorch_256 * 0.5);
+}
+
+// Fig. 10 left: on Piz Daint the crossover sits around 128-256 GPUs
+// (paper: 2.2x at 256).
+TEST(PaperShapes, Fig10DaintCrossover) {
+  const auto dataset = scaled_dataset(data::presets::imagenet1k());
+  tiers::SystemParams at64 = tiers::presets::piz_daint(64);
+  scale_node(at64);
+  tiers::SystemParams at256 = tiers::presets::piz_daint(256);
+  scale_node(at256);
+  const double speedup64 = epoch_median(run(at64, dataset, "staging")) /
+                           epoch_median(run(at64, dataset, "nopfs"));
+  const double speedup256 = epoch_median(run(at256, dataset, "staging")) /
+                            epoch_median(run(at256, dataset, "nopfs"));
+  EXPECT_LT(speedup64, 1.1);   // compute-bound: no gap yet
+  EXPECT_GT(speedup256, 1.5);  // paper: 2.2x
+}
+
+// Fig. 15: on CosmoFlow NoPFS stays within a few percent of the no-I/O
+// bound at every scale (the paper's closest-to-lower-bound dataset).
+TEST(PaperShapes, Fig15NoPFSNearNoIo) {
+  const auto dataset = scaled_dataset(data::presets::cosmoflow());
+  for (const int gpus : {64, 512, 1024}) {
+    tiers::SystemParams system = tiers::presets::lassen(gpus);
+    scale_node(system);
+    system.node.compute_mbps = 1'375.0;
+    system.node.preprocess_mbps = 4'000.0;
+    const double nopfs = epoch_median(run(system, dataset, "nopfs", 3, 16));
+    const double no_io = epoch_median(run(system, dataset, "perfect", 3, 16));
+    EXPECT_LT(nopfs, no_io * 1.10) << gpus << " GPUs";
+  }
+}
+
+// Fig. 12: the remote share of NoPFS's fetches grows with scale while the
+// local share shrinks (remote memory beats the contended PFS).
+TEST(PaperShapes, Fig12RemoteShareGrowsWithScale) {
+  const auto dataset = scaled_dataset(data::presets::imagenet1k());
+  tiers::SystemParams small = tiers::presets::piz_daint(32);
+  scale_node(small);
+  tiers::SystemParams large = tiers::presets::piz_daint(256);
+  scale_node(large);
+  const SimResult at32 = run(small, dataset, "nopfs");
+  const SimResult at256 = run(large, dataset, "nopfs");
+  EXPECT_GT(at256.count_share(Location::kRemote),
+            at32.count_share(Location::kRemote) + 0.10);
+  EXPECT_LT(at256.count_share(Location::kLocal), at32.count_share(Location::kLocal));
+  // Deduplication: PFS bytes stay ~ dataset size at both scales.
+  const double pfs32 = at32.location_mb[static_cast<int>(Location::kPfs)];
+  const double pfs256 = at256.location_mb[static_cast<int>(Location::kPfs)];
+  EXPECT_LT(pfs32, dataset.total_mb() * 1.2);
+  EXPECT_LT(pfs256, dataset.total_mb() * 1.2);
+}
+
+// Fig. 9: more RAM or more SSD never hurts, and capacity in either tier
+// can substitute for the other.
+TEST(PaperShapes, Fig9MonotoneAndInterchangeable) {
+  const auto dataset = scaled_dataset(data::presets::imagenet22k());
+  const auto run_with = [&](double ram_gb, double ssd_gb) {
+    tiers::SystemParams system = tiers::presets::sim_cluster(4);
+    system.node.compute_mbps *= 5.0;
+    system.node.preprocess_mbps *= 5.0;
+    system.node.classes[0].capacity_mb = ram_gb * util::kGB * kScale;
+    system.node.classes[1].capacity_mb = ssd_gb * util::kGB * kScale;
+    return run(system, dataset, "nopfs", 3, 32).total_s;
+  };
+  const double small_small = run_with(32, 128);
+  const double small_large = run_with(32, 1024);
+  const double large_small = run_with(512, 128);
+  const double large_large = run_with(512, 1024);
+  EXPECT_LE(small_large, small_small * 1.01);  // more SSD never hurts
+  EXPECT_LE(large_small, small_small * 1.01);  // more RAM never hurts
+  EXPECT_LE(large_large, small_large * 1.01);
+  // Interchangeability: maxing either tier lands within ~25% of the other.
+  EXPECT_NEAR(small_large / large_small, 1.0, 0.25);
+}
+
+// Fig. 8 regime flags: LBANN refuses datasets beyond aggregate RAM, and
+// sharding stops covering the dataset once it exceeds aggregate storage.
+TEST(PaperShapes, Fig8RegimeFlags) {
+  tiers::SystemParams system = tiers::presets::sim_cluster(4);
+  scale_node(system);
+  const auto dataset = scaled_dataset(data::presets::cosmoflow());  // ND < S
+  SimConfig config;
+  config.system = system;
+  config.seed = 7;
+  config.num_epochs = 2;
+  config.per_worker_batch = 16;
+  {
+    auto policy = make_policy("lbann-dynamic");
+    EXPECT_FALSE(simulate(config, dataset, *policy).supported);
+  }
+  {
+    auto policy = make_policy("parallel-staging");
+    const SimResult result = simulate(config, dataset, *policy);
+    EXPECT_TRUE(result.supported);
+    EXPECT_LT(result.accessed_fraction, 0.95);
+    EXPECT_GT(result.prestage_s, 0.0);
+  }
+  {
+    auto policy = make_policy("nopfs");
+    const SimResult result = simulate(config, dataset, *policy);
+    EXPECT_DOUBLE_EQ(result.accessed_fraction, 1.0);  // full randomization kept
+  }
+}
+
+}  // namespace
+}  // namespace nopfs::sim

@@ -1,0 +1,174 @@
+// Tests for the Sec. 4 performance model: the three fetch cases, the write
+// pipeline, the argmin source choice, and the t_{i,f} timeline recurrence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/perf_model.hpp"
+#include "tiers/params.hpp"
+#include "util/units.hpp"
+
+namespace nopfs::core {
+namespace {
+
+tiers::SystemParams test_system() {
+  tiers::SystemParams sys;
+  sys.name = "test";
+  sys.num_workers = 4;
+  sys.node.network_mbps = 1000.0;  // b_c
+  sys.node.compute_mbps = 50.0;    // c
+  sys.node.preprocess_mbps = 200.0;  // beta
+  sys.node.staging.capacity_mb = 64.0;
+  sys.node.staging.prefetch_threads = 4;
+  sys.node.staging.read_mbps = util::ThroughputCurve({{0, 0}, {4, 8000}});
+  sys.node.staging.write_mbps = util::ThroughputCurve({{0, 0}, {4, 8000}});
+  tiers::StorageClassParams ram;
+  ram.name = "ram";
+  ram.capacity_mb = 1024.0;
+  ram.prefetch_threads = 2;
+  ram.read_mbps = util::ThroughputCurve({{0, 0}, {2, 4000}});  // r1(2)=4000
+  ram.write_mbps = ram.read_mbps;
+  tiers::StorageClassParams ssd;
+  ssd.name = "ssd";
+  ssd.capacity_mb = 8192.0;
+  ssd.prefetch_threads = 2;
+  ssd.read_mbps = util::ThroughputCurve({{0, 0}, {2, 400}});  // r2(2)=400
+  ssd.write_mbps = ssd.read_mbps;
+  sys.node.classes = {ram, ssd};
+  sys.pfs.agg_read_mbps = util::ThroughputCurve({{1, 100}, {2, 150}, {4, 200}});
+  return sys;
+}
+
+TEST(PerfModel, PfsCaseMatchesFormula) {
+  const PerfModel model(test_system());
+  // fetch = s / (t(gamma)/gamma): 10 MB with gamma=4 -> 10 / (200/4) = 0.2 s.
+  EXPECT_NEAR(model.fetch_pfs_s(10.0, 4), 0.2, 1e-12);
+  EXPECT_NEAR(model.fetch_pfs_s(10.0, 1), 0.1, 1e-12);
+  // Contention: per-client rate falls with gamma.
+  EXPECT_GT(model.pfs_client_mbps(1), model.pfs_client_mbps(4));
+}
+
+TEST(PerfModel, LocalCaseMatchesFormula) {
+  const PerfModel model(test_system());
+  // r1(p1)/p1 = 4000/2 = 2000 MB/s -> 10 MB = 5 ms.
+  EXPECT_NEAR(model.fetch_local_s(10.0, 0), 10.0 / 2000.0, 1e-12);
+  // r2(p2)/p2 = 200 MB/s.
+  EXPECT_NEAR(model.fetch_local_s(10.0, 1), 10.0 / 200.0, 1e-12);
+}
+
+TEST(PerfModel, RemoteCaseCapsAtNetwork) {
+  const PerfModel model(test_system());
+  // min(b_c, r1/p1) = min(1000, 2000) = 1000 MB/s.
+  EXPECT_NEAR(model.fetch_remote_s(10.0, 0), 10.0 / 1000.0, 1e-12);
+  // min(1000, 200) = 200: the slow class, not the network, limits.
+  EXPECT_NEAR(model.fetch_remote_s(10.0, 1), 10.0 / 200.0, 1e-12);
+}
+
+TEST(PerfModel, WriteIsMaxOfPreprocessAndStore) {
+  const PerfModel model(test_system());
+  // beta = 200 MB/s; w0(p0)/p0 = 2000 MB/s -> preprocess dominates.
+  EXPECT_NEAR(model.write_s(10.0), 10.0 / 200.0, 1e-12);
+}
+
+TEST(PerfModel, ComputeTime) {
+  const PerfModel model(test_system());
+  EXPECT_NEAR(model.compute_s(25.0), 0.5, 1e-12);
+}
+
+TEST(PerfModel, InvalidClassYieldsInfinity) {
+  const PerfModel model(test_system());
+  EXPECT_TRUE(std::isinf(model.fetch_local_s(1.0, -1)));
+  EXPECT_TRUE(std::isinf(model.fetch_local_s(1.0, 99)));
+  EXPECT_TRUE(std::isinf(model.fetch_remote_s(1.0, -1)));
+}
+
+TEST(PerfModel, ChooseFetchPicksFastestApplicable) {
+  const PerfModel model(test_system());
+  // Local RAM (2000 MB/s) beats remote (1000) beats PFS (50 at gamma=4).
+  const FetchChoice local = model.choose_fetch(10.0, 0, 0, 1, 4);
+  EXPECT_EQ(local.source, FetchSource::kLocal);
+  EXPECT_EQ(local.storage_class, 0);
+
+  const FetchChoice remote = model.choose_fetch(10.0, -1, 0, 1, 4);
+  EXPECT_EQ(remote.source, FetchSource::kRemote);
+  EXPECT_EQ(remote.peer, 1);
+
+  const FetchChoice pfs = model.choose_fetch(10.0, -1, -1, -1, 4);
+  EXPECT_EQ(pfs.source, FetchSource::kPfs);
+}
+
+TEST(PerfModel, ChooseFetchPrefersPfsOverSlowRemote) {
+  // If the remote class is slower than an uncontended PFS, read the PFS —
+  // the paper's argmin over all applicable cases.
+  tiers::SystemParams sys = test_system();
+  sys.pfs.agg_read_mbps = util::ThroughputCurve({{1, 5000}, {4, 5000}});
+  const PerfModel model(sys);
+  const FetchChoice choice = model.choose_fetch(10.0, -1, 1, 2, 1);
+  // PFS at 5000 MB/s beats remote SSD at 200 MB/s.
+  EXPECT_EQ(choice.source, FetchSource::kPfs);
+}
+
+TEST(PerfModel, LocalSsdVsRemoteRam) {
+  // The paper's key observation: remote RAM over a fast network can beat a
+  // local SSD.
+  const PerfModel model(test_system());
+  const FetchChoice choice = model.choose_fetch(10.0, /*local=*/1, /*remote=*/0,
+                                                /*peer=*/2, /*gamma=*/4);
+  EXPECT_EQ(choice.source, FetchSource::kRemote);  // 1000 MB/s > 200 MB/s
+}
+
+TEST(Timeline, ComputeBoundWhenReadsFree) {
+  const std::vector<double> sizes = {10.0, 10.0, 10.0};
+  const std::vector<double> reads = {0.0, 0.0, 0.0};
+  const TimelineResult r = evaluate_timeline(sizes, reads, 50.0, 4);
+  EXPECT_NEAR(r.total_s, 3 * 10.0 / 50.0, 1e-12);
+  EXPECT_NEAR(r.stall_s, 0.0, 1e-12);
+  EXPECT_NEAR(r.compute_s, 0.6, 1e-12);
+}
+
+TEST(Timeline, IoBoundWhenReadsSlow) {
+  // Each read takes 1 s with p0=1; compute is 0.2 s/sample: avail dominates.
+  const std::vector<double> sizes = {10.0, 10.0, 10.0};
+  const std::vector<double> reads = {1.0, 1.0, 1.0};
+  const TimelineResult r = evaluate_timeline(sizes, reads, 50.0, 1);
+  // t_1 = 1, t_2 = 2, t_3 = 3, plus final compute 0.2.
+  EXPECT_NEAR(r.total_s, 3.2, 1e-12);
+  EXPECT_GT(r.stall_s, 0.0);
+}
+
+TEST(Timeline, MoreStagingThreadsReduceStall) {
+  const std::vector<double> sizes(64, 10.0);
+  const std::vector<double> reads(64, 0.5);
+  const TimelineResult one = evaluate_timeline(sizes, reads, 50.0, 1);
+  const TimelineResult four = evaluate_timeline(sizes, reads, 50.0, 4);
+  EXPECT_LT(four.total_s, one.total_s);
+  EXPECT_LT(four.stall_s, one.stall_s);
+}
+
+TEST(Timeline, HandComputedRecurrence) {
+  // p0=1, c=10 MB/s. sizes 10,20; reads 0.5,0.1.
+  // avail_1=0.5, t_1=max(0.5, 0)=0.5; compute_1=1.0
+  // avail_2=0.6, t_2=max(0.6, 0.5+1.0)=1.5; compute_2=2.0 -> total 3.5.
+  const std::vector<double> sizes = {10.0, 20.0};
+  const std::vector<double> reads = {0.5, 0.1};
+  const TimelineResult r = evaluate_timeline(sizes, reads, 10.0, 1);
+  EXPECT_NEAR(r.total_s, 3.5, 1e-12);
+  EXPECT_NEAR(r.stall_s, 0.5, 1e-12);
+}
+
+TEST(Timeline, LengthMismatchThrows) {
+  EXPECT_THROW(
+      evaluate_timeline(std::vector<double>{1.0}, std::vector<double>{}, 1.0, 1),
+      std::invalid_argument);
+}
+
+TEST(PerfModel, FetchSourceNames) {
+  EXPECT_STREQ(to_string(FetchSource::kLocal), "local");
+  EXPECT_STREQ(to_string(FetchSource::kRemote), "remote");
+  EXPECT_STREQ(to_string(FetchSource::kPfs), "pfs");
+  EXPECT_STREQ(to_string(FetchSource::kStaging), "staging");
+}
+
+}  // namespace
+}  // namespace nopfs::core

@@ -1,0 +1,179 @@
+// Unit and property tests for the deterministic PRNG stack (util/rng.hpp).
+// Clairvoyance depends on bit-exact reproducibility, so determinism is the
+// headline property here.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace nopfs::util {
+namespace {
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro, LongJumpChangesStream) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  b.long_jump();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformBelowStaysInRange) {
+  Rng rng(99);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformBelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Rng, UniformBelowIsRoughlyUniform) {
+  Rng rng(42);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100'000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.uniform_below(kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(2024);
+  constexpr int kDraws = 200'000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(77);
+  int hits = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, ForStreamIndependence) {
+  Rng a = Rng::for_stream(42, 0);
+  Rng b = Rng::for_stream(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForStreamDeterministic) {
+  Rng a = Rng::for_stream(42, 3);
+  Rng b = Rng::for_stream(42, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+// Property sweep: every shuffle is a permutation, and replaying the seed
+// reproduces it exactly.
+class ShuffleProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShuffleProperty, IsPermutation) {
+  const std::size_t n = GetParam();
+  Rng rng(1000 + n);
+  const auto indices = shuffled_indices(n, rng);
+  ASSERT_EQ(indices.size(), n);
+  std::vector<std::uint64_t> sorted = indices;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST_P(ShuffleProperty, DeterministicReplay) {
+  const std::size_t n = GetParam();
+  Rng a(2000 + n);
+  Rng b(2000 + n);
+  EXPECT_EQ(shuffled_indices(n, a), shuffled_indices(n, b));
+}
+
+TEST_P(ShuffleProperty, DifferentSeedsDifferentOrder) {
+  const std::size_t n = GetParam();
+  if (n < 8) GTEST_SKIP() << "tiny permutations can collide";
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(shuffled_indices(n, a), shuffled_indices(n, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ShuffleProperty,
+                         ::testing::Values(0, 1, 2, 3, 10, 100, 1000, 10000));
+
+TEST(Shuffle, UniformityOfFirstElement) {
+  // Fisher-Yates must place each element first with equal probability.
+  constexpr std::size_t kN = 8;
+  constexpr int kTrials = 80'000;
+  int first_counts[kN] = {};
+  Rng rng(31337);
+  for (int t = 0; t < kTrials; ++t) {
+    const auto perm = shuffled_indices(kN, rng);
+    ++first_counts[perm[0]];
+  }
+  for (int c : first_counts) {
+    EXPECT_NEAR(c, kTrials / static_cast<int>(kN), kTrials / kN * 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace nopfs::util

@@ -1,0 +1,191 @@
+// Tests for the performance-simulator engine: conservation properties,
+// the pipeline recurrence, barriers, and the holder table.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/engine.hpp"
+#include "sim/policies.hpp"
+#include "tiers/params.hpp"
+
+namespace nopfs::sim {
+namespace {
+
+SimConfig small_config(int workers = 4, int epochs = 3) {
+  SimConfig config;
+  config.system = tiers::presets::sim_cluster(workers);
+  config.num_epochs = epochs;
+  config.per_worker_batch = 8;
+  config.seed = 99;
+  return config;
+}
+
+data::Dataset small_dataset(std::uint64_t f = 2048, float mb = 0.1f) {
+  return data::Dataset("sim-test", std::vector<float>(f, mb));
+}
+
+TEST(HolderTable, AddQueryMark) {
+  HolderTable table(10, 4);
+  EXPECT_TRUE(table.add(3, /*worker=*/1, /*class=*/0));
+  EXPECT_FALSE(table.add(3, 1, 0));  // duplicate worker
+  EXPECT_TRUE(table.add(3, 2, 1));
+  EXPECT_EQ(table.planned_class(3, 1), 0);
+  EXPECT_EQ(table.planned_class(3, 2), 1);
+  EXPECT_EQ(table.planned_class(3, 0), -1);
+  EXPECT_EQ(table.local_cached_class(3, 1), -1);  // not cached yet
+  table.mark_cached(3, 1);
+  EXPECT_EQ(table.local_cached_class(3, 1), 0);
+  int peer = -1;
+  EXPECT_EQ(table.best_remote_class(3, /*self=*/0, &peer), 0);
+  EXPECT_EQ(peer, 1);
+  EXPECT_EQ(table.best_remote_class(3, /*self=*/1, &peer), -1);  // 2 uncached
+  table.mark_cached(3, 2);
+  EXPECT_EQ(table.best_remote_class(3, 1, &peer), 1);
+  EXPECT_EQ(peer, 2);
+  EXPECT_TRUE(table.has_any(3));
+  EXPECT_FALSE(table.has_any(4));
+  EXPECT_EQ(table.first_owner(3), 1);
+  EXPECT_EQ(table.first_owner(4), -1);
+}
+
+TEST(HolderTable, SlotOverflowDropsNotCrashes) {
+  HolderTable table(2, 2);
+  EXPECT_TRUE(table.add(0, 0, 0));
+  EXPECT_TRUE(table.add(0, 1, 0));
+  EXPECT_FALSE(table.add(0, 2, 0));  // slots full
+  EXPECT_EQ(table.dropped_entries(), 1u);
+  EXPECT_EQ(table.total_entries(), 2u);
+}
+
+TEST(HolderTable, MarkSampleCachedAll) {
+  HolderTable table(4, 3);
+  table.add(1, 0, 0);
+  table.add(1, 2, 1);
+  EXPECT_FALSE(table.any_cached(1));
+  table.mark_sample_cached_all(1);
+  EXPECT_TRUE(table.any_cached(1));
+  EXPECT_EQ(table.local_cached_class(1, 0), 0);
+  EXPECT_EQ(table.local_cached_class(1, 2), 1);
+}
+
+TEST(Engine, PerfectPolicyIsComputeBound) {
+  const SimConfig config = small_config();
+  const auto dataset = small_dataset();
+  PerfectPolicy policy;
+  const SimResult result = simulate(config, dataset, policy);
+  ASSERT_TRUE(result.supported);
+  // Lower bound: per-worker compute = accesses * size / c.
+  const std::uint64_t per_worker =
+      3 * (2048 / 32) * 8;  // epochs * iterations * local batch
+  const double expected = per_worker * 0.1 / 64.0;
+  EXPECT_NEAR(result.total_s, expected, expected * 0.01);
+  EXPECT_NEAR(result.stall_s, 0.0, 1e-9);
+  EXPECT_EQ(result.epoch_s.size(), 3u);
+}
+
+TEST(Engine, EpochTimesSumToTotal) {
+  const SimConfig config = small_config();
+  const auto dataset = small_dataset();
+  StagingBufferPolicy policy;
+  const SimResult result = simulate(config, dataset, policy);
+  const double epoch_sum =
+      std::accumulate(result.epoch_s.begin(), result.epoch_s.end(), 0.0);
+  EXPECT_NEAR(epoch_sum + result.prestage_s, result.total_s, 1e-6);
+}
+
+TEST(Engine, LocationCountsConserveAccesses) {
+  const SimConfig config = small_config();
+  const auto dataset = small_dataset();
+  NoPFSPolicy policy;
+  const SimResult result = simulate(config, dataset, policy);
+  std::uint64_t fetches = 0;
+  for (int loc = static_cast<int>(Location::kLocal);
+       loc < static_cast<int>(Location::kCount); ++loc) {
+    fetches += result.location_count[loc];
+  }
+  // Every consumed access fetched exactly once: E * T * B.
+  EXPECT_EQ(fetches, 3u * (2048 / 32) * 32);
+  // The staging-write stage sees every access too.
+  EXPECT_EQ(result.location_count[static_cast<int>(Location::kStagingWrite)], fetches);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  const SimConfig config = small_config();
+  const auto dataset = small_dataset();
+  NoPFSPolicy a;
+  NoPFSPolicy b;
+  const SimResult ra = simulate(config, dataset, a);
+  const SimResult rb = simulate(config, dataset, b);
+  EXPECT_DOUBLE_EQ(ra.total_s, rb.total_s);
+  EXPECT_EQ(ra.batch_s_rest, rb.batch_s_rest);
+}
+
+TEST(Engine, NaiveSlowerThanStagingBuffer) {
+  // No prefetch overlap must cost more than double buffering (Fig. 8a's
+  // Naive-vs-rest gap).
+  const SimConfig config = small_config();
+  const auto dataset = small_dataset();
+  NaivePolicy naive;
+  StagingBufferPolicy staging;
+  const SimResult rn = simulate(config, dataset, naive);
+  const SimResult rs = simulate(config, dataset, staging);
+  EXPECT_GT(rn.total_s, rs.total_s * 1.1);
+}
+
+TEST(Engine, BatchRecordsSplitByEpoch) {
+  const SimConfig config = small_config(4, 2);
+  const auto dataset = small_dataset();
+  StagingBufferPolicy policy;
+  const SimResult result = simulate(config, dataset, policy);
+  EXPECT_EQ(result.batch_s_epoch0.size(), 2048u / 32u);
+  EXPECT_EQ(result.batch_s_rest.size(), 2048u / 32u);  // one more epoch
+  for (const double b : result.batch_s_rest) EXPECT_GT(b, 0.0);
+}
+
+TEST(Engine, AllreduceCostAddsPerIteration) {
+  SimConfig config = small_config(2, 1);
+  const auto dataset = small_dataset(512);
+  PerfectPolicy a;
+  const SimResult without = simulate(config, dataset, a);
+  config.allreduce_s = 0.01;
+  PerfectPolicy b;
+  const SimResult with = simulate(config, dataset, b);
+  const double iters = 512.0 / 16.0;
+  EXPECT_NEAR(with.total_s - without.total_s, iters * 0.01, 1e-6);
+}
+
+TEST(Engine, UnsupportedPolicyReported) {
+  SimConfig config = small_config(2, 1);
+  // Dataset bigger than 2 workers' RAM (120 GB each).
+  const auto dataset =
+      data::Dataset("big", std::vector<float>(4096, 120.0f));  // 480 GB
+  LbannDynamicPolicy policy;
+  const SimResult result = simulate(config, dataset, policy);
+  EXPECT_FALSE(result.supported);
+  EXPECT_FALSE(result.unsupported_reason.empty());
+  EXPECT_DOUBLE_EQ(result.total_s, 0.0);
+}
+
+TEST(Engine, StallPlusComputeBoundsTotal) {
+  const SimConfig config = small_config();
+  const auto dataset = small_dataset();
+  StagingBufferPolicy policy;
+  const SimResult result = simulate(config, dataset, policy);
+  // The critical path dominates both max-worker compute and max-worker
+  // stall (with per-iteration barriers it can exceed their sum slightly
+  // when the slowest worker alternates, so only the lower bounds are exact).
+  EXPECT_GE(result.total_s, result.compute_s);
+  EXPECT_GE(result.total_s, result.stall_s * 0.99);
+  EXPECT_GT(result.stall_s, 0.0);
+}
+
+TEST(Engine, LocationNamesStable) {
+  EXPECT_STREQ(location_name(Location::kStagingWrite), "staging");
+  EXPECT_STREQ(location_name(Location::kLocal), "local");
+  EXPECT_STREQ(location_name(Location::kRemote), "remote");
+  EXPECT_STREQ(location_name(Location::kPfs), "pfs");
+}
+
+}  // namespace
+}  // namespace nopfs::sim

@@ -1,0 +1,215 @@
+// Behavioural tests of the simulated I/O policies (paper Sec. 6): relative
+// ordering, dataset-coverage flags, capacity handling, and the NoPFS plan.
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/policies.hpp"
+#include "util/units.hpp"
+
+namespace nopfs::sim {
+namespace {
+
+/// A small cluster whose tiers are tight relative to the test datasets:
+/// RAM 20 MB, SSD 60 MB per worker.
+SimConfig tight_config(int workers = 4, int epochs = 4) {
+  SimConfig config;
+  config.system = tiers::presets::sim_cluster(workers);
+  config.system.node.classes[0].capacity_mb = 20.0;
+  config.system.node.classes[1].capacity_mb = 60.0;
+  config.system.node.staging.capacity_mb = 5.0;
+  config.num_epochs = epochs;
+  config.per_worker_batch = 8;
+  config.seed = 123;
+  return config;
+}
+
+data::Dataset dataset_mb(std::uint64_t f, float mb) {
+  return data::Dataset("d", std::vector<float>(f, mb));
+}
+
+double run(const SimConfig& config, const data::Dataset& dataset,
+           const std::string& policy_name) {
+  auto policy = make_policy(policy_name);
+  const SimResult result = simulate(config, dataset, *policy);
+  EXPECT_TRUE(result.supported) << policy_name << ": " << result.unsupported_reason;
+  return result.total_s;
+}
+
+TEST(Policies, FactoryKnowsAllNames) {
+  for (const auto& name : all_policy_names()) {
+    EXPECT_NO_THROW((void)make_policy(name)) << name;
+  }
+  EXPECT_THROW((void)make_policy("bogus"), std::invalid_argument);
+  EXPECT_EQ(all_policy_names().size(), 10u);
+}
+
+TEST(Policies, PerfectIsFastestNaiveIsSlowest) {
+  const SimConfig config = tight_config();
+  // Dataset larger than one worker's storage, cacheable cluster-wide.
+  const auto dataset = dataset_mb(2000, 0.1);  // 200 MB vs 80 MB/worker
+  const double perfect = run(config, dataset, "perfect");
+  const double nopfs = run(config, dataset, "nopfs");
+  const double staging = run(config, dataset, "staging");
+  const double naive = run(config, dataset, "naive");
+  EXPECT_LE(perfect, nopfs * 1.0001);
+  EXPECT_LT(nopfs, naive);
+  EXPECT_LT(staging, naive);
+}
+
+TEST(Policies, NoPFSBeatsOrMatchesEveryRealPolicy) {
+  // The headline Fig. 8 property: NoPFS is the best real policy (within a
+  // small tolerance) in the D < S < N*D regime.
+  const SimConfig config = tight_config();
+  const auto dataset = dataset_mb(2000, 0.1);
+  const double nopfs = run(config, dataset, "nopfs");
+  for (const std::string name :
+       {"naive", "staging", "deepio-ordered", "locality-aware"}) {
+    EXPECT_LE(nopfs, run(config, dataset, name) * 1.05) << name;
+  }
+}
+
+TEST(Policies, LbannUnsupportedBeyondAggregateRam) {
+  const SimConfig config = tight_config(4);
+  const auto big = dataset_mb(2000, 0.1);  // 200 MB > 4 * 20 MB RAM
+  for (const std::string name : {"lbann-dynamic", "lbann-preload"}) {
+    auto policy = make_policy(name);
+    const SimResult result = simulate(config, big, *policy);
+    EXPECT_FALSE(result.supported) << name;
+  }
+  const auto small = dataset_mb(500, 0.1);  // 50 MB < 80 MB RAM
+  for (const std::string name : {"lbann-dynamic", "lbann-preload"}) {
+    auto policy = make_policy(name);
+    const SimResult result = simulate(config, small, *policy);
+    EXPECT_TRUE(result.supported) << name;
+  }
+}
+
+TEST(Policies, ShardingDoesNotAccessEntireLargeDataset) {
+  const SimConfig config = tight_config(4, 3);
+  // 400 MB dataset vs 4 * 80 MB = 320 MB aggregate: sharding must miss some.
+  const auto dataset = dataset_mb(4000, 0.1);
+  ParallelStagingPolicy policy;
+  const SimResult result = simulate(config, dataset, policy);
+  EXPECT_LT(result.accessed_fraction, 1.0);
+  EXPECT_GT(result.accessed_fraction, 0.5);
+  EXPECT_GT(result.prestage_s, 0.0);
+  // Everything it does read is local.
+  EXPECT_EQ(result.location_count[static_cast<int>(Location::kPfs)], 0u);
+  EXPECT_EQ(result.location_count[static_cast<int>(Location::kRemote)], 0u);
+}
+
+TEST(Policies, ShardingCoversWhenItFits) {
+  const SimConfig config = tight_config(4, 2);
+  const auto dataset = dataset_mb(1000, 0.1);  // 100 MB < 320 MB aggregate
+  ParallelStagingPolicy policy;
+  const SimResult result = simulate(config, dataset, policy);
+  EXPECT_DOUBLE_EQ(result.accessed_fraction, 1.0);
+}
+
+TEST(Policies, DeepIOOpportunisticSkipsUncachedSamples) {
+  const SimConfig config = tight_config(4, 4);
+  // RAM-only caching (20 MB * 4 = 80 MB) on a 200 MB dataset.
+  const auto dataset = dataset_mb(2000, 0.1);
+  DeepIOOpportunisticPolicy policy;
+  const SimResult result = simulate(config, dataset, policy);
+  EXPECT_LT(result.accessed_fraction, 1.0);
+  // After epoch 0, PFS traffic should be small (reads are redirected to
+  // caches) compared with the ordered variant.
+  DeepIOOrderedPolicy ordered;
+  const SimResult ordered_result = simulate(config, dataset, ordered);
+  EXPECT_DOUBLE_EQ(ordered_result.accessed_fraction, 1.0);
+  EXPECT_LT(result.location_count[static_cast<int>(Location::kPfs)],
+            ordered_result.location_count[static_cast<int>(Location::kPfs)]);
+}
+
+TEST(Policies, NoPFSPlansRespectCapacity) {
+  const SimConfig config = tight_config(4, 4);
+  const auto dataset = dataset_mb(2000, 0.1);
+  NoPFSPolicy policy;
+  SimContext ctx;
+  core::StreamConfig sc;
+  sc.seed = config.seed;
+  sc.num_samples = dataset.num_samples();
+  sc.num_workers = config.system.num_workers;
+  sc.num_epochs = config.num_epochs;
+  sc.global_batch = config.global_batch();
+  const core::AccessStreamGenerator gen(sc);
+  const core::PerfModel model(config.system);
+  ctx.config = &config;
+  ctx.dataset = &dataset;
+  ctx.gen = &gen;
+  ctx.model = &model;
+  EXPECT_DOUBLE_EQ(policy.setup(ctx), 0.0);  // no prestaging phase
+  for (const double mb : policy.planned_mb()) {
+    EXPECT_LE(mb, 80.0 + 1e-9);  // RAM + SSD per worker
+    EXPECT_GT(mb, 0.0);
+  }
+}
+
+TEST(Policies, NoPFSReadsPfsOncePerSampleWhenCacheable) {
+  // Aggregate storage holds the dataset: total PFS reads ~ F (the paper's
+  // "read from the PFS only once for an entire training run").
+  const SimConfig config = tight_config(4, 4);
+  const auto dataset = dataset_mb(1500, 0.1);  // 150 MB < 320 MB aggregate
+  NoPFSPolicy policy;
+  const SimResult result = simulate(config, dataset, policy);
+  const auto pfs = result.location_count[static_cast<int>(Location::kPfs)];
+  EXPECT_LE(pfs, 1500u * 5 / 4);  // close to one per sample
+  EXPECT_GT(result.location_count[static_cast<int>(Location::kRemote)], 0u);
+  EXPECT_GT(result.location_count[static_cast<int>(Location::kLocal)], 0u);
+}
+
+TEST(Policies, NoPFSAblationRemoteOff) {
+  const SimConfig config = tight_config(4, 4);
+  const auto dataset = dataset_mb(2000, 0.1);
+  NoPFSPolicy with_remote;
+  NoPFSPolicy::Options opts;
+  opts.use_remote = false;
+  NoPFSPolicy without_remote(opts);
+  const SimResult a = simulate(config, dataset, with_remote);
+  const SimResult b = simulate(config, dataset, without_remote);
+  EXPECT_EQ(b.location_count[static_cast<int>(Location::kRemote)], 0u);
+  // Losing remote fetches costs time (PFS contention instead).
+  EXPECT_LE(a.total_s, b.total_s * 1.001);
+}
+
+TEST(Policies, CapacityTrackerSpillsAcrossClasses) {
+  tiers::NodeParams node;
+  tiers::StorageClassParams fast;
+  fast.name = "ram";
+  fast.capacity_mb = 2.0;
+  fast.read_mbps = util::ThroughputCurve({{0, 0}, {1, 100}});
+  fast.write_mbps = fast.read_mbps;
+  tiers::StorageClassParams slow = fast;
+  slow.name = "ssd";
+  slow.capacity_mb = 3.0;
+  node.classes = {fast, slow};
+  CapacityTracker tracker(node, 1, /*ram_only=*/false);
+  EXPECT_EQ(tracker.try_cache(0, 1.0), 0);
+  EXPECT_EQ(tracker.try_cache(0, 1.0), 0);
+  EXPECT_EQ(tracker.try_cache(0, 1.0), 1);  // RAM full, spill to SSD
+  EXPECT_EQ(tracker.try_cache(0, 3.5), -1);  // nothing fits
+  EXPECT_DOUBLE_EQ(tracker.used_mb(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(tracker.used_mb(0, 1), 1.0);
+
+  CapacityTracker ram_only(node, 1, /*ram_only=*/true);
+  EXPECT_EQ(ram_only.try_cache(0, 1.5), 0);
+  EXPECT_EQ(ram_only.try_cache(0, 1.5), -1);  // no SSD spill
+}
+
+TEST(Policies, LocalityAwareMostlyLocalAfterReorder) {
+  const SimConfig config = tight_config(4, 4);
+  const auto dataset = dataset_mb(1000, 0.1);  // fits cluster-wide
+  LocalityAwarePolicy policy;
+  const SimResult result = simulate(config, dataset, policy);
+  const auto local = result.location_count[static_cast<int>(Location::kLocal)];
+  const auto remote = result.location_count[static_cast<int>(Location::kRemote)];
+  const auto pfs = result.location_count[static_cast<int>(Location::kPfs)];
+  // After the caching epoch, reordering should make local dominate.
+  EXPECT_GT(local, remote);
+  EXPECT_GT(local, pfs);
+}
+
+}  // namespace
+}  // namespace nopfs::sim

@@ -1,0 +1,209 @@
+// Tests for the circular staging buffer (paper Sec. 5.2.2): in-order
+// delivery with out-of-order fills, ring wrap-around, space blocking,
+// drop-after-use, and close semantics — plus a multi-producer stress test.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/staging_buffer.hpp"
+
+namespace nopfs::core {
+namespace {
+
+void fill_and_commit(StagingBuffer& buffer, std::uint64_t seq, data::SampleId id,
+                     std::size_t size, std::uint8_t value) {
+  auto slot = buffer.reserve(seq, id, size);
+  ASSERT_TRUE(slot.has_value());
+  std::fill(slot->data.begin(), slot->data.end(), value);
+  buffer.commit(seq);
+}
+
+TEST(StagingBuffer, InOrderRoundTrip) {
+  StagingBuffer buffer(1024);
+  fill_and_commit(buffer, 0, 100, 16, 0xAB);
+  auto sample = buffer.consume(0);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->sample, 100u);
+  EXPECT_EQ(sample->data.size(), 16u);
+  EXPECT_EQ(sample->data[0], 0xAB);
+  buffer.release(0);
+  EXPECT_EQ(buffer.used_bytes(), 0u);
+}
+
+TEST(StagingBuffer, OutOfOrderCommitStillDeliversInOrder) {
+  StagingBuffer buffer(1024);
+  auto slot0 = buffer.reserve(0, 10, 8);
+  auto slot1 = buffer.reserve(1, 11, 8);
+  ASSERT_TRUE(slot0 && slot1);
+  buffer.commit(1);  // later slot completes first
+
+  std::atomic<bool> got0{false};
+  std::thread consumer([&] {
+    auto sample = buffer.consume(0);
+    ASSERT_TRUE(sample.has_value());
+    EXPECT_EQ(sample->sample, 10u);
+    got0.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(got0.load());  // seq 0 not committed yet
+  buffer.commit(0);
+  consumer.join();
+  EXPECT_TRUE(got0.load());
+}
+
+TEST(StagingBuffer, ProducerBlocksUntilSpaceFreed) {
+  StagingBuffer buffer(32);
+  fill_and_commit(buffer, 0, 1, 24, 1);
+  std::atomic<bool> reserved{false};
+  std::thread producer([&] {
+    auto slot = buffer.reserve(1, 2, 24);  // does not fit until release
+    reserved.store(true);
+    ASSERT_TRUE(slot.has_value());
+    buffer.commit(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(reserved.load());
+  auto sample = buffer.consume(0);
+  ASSERT_TRUE(sample.has_value());
+  buffer.release(0);
+  producer.join();
+  EXPECT_TRUE(reserved.load());
+}
+
+TEST(StagingBuffer, RingWrapsAround) {
+  StagingBuffer buffer(100);
+  // Fill/consume repeatedly with sizes that force wrap-around gaps.
+  for (std::uint64_t seq = 0; seq < 50; ++seq) {
+    const std::size_t size = 30 + (seq % 3) * 13;  // 30, 43, 56
+    auto slot = buffer.reserve(seq, seq, size);
+    ASSERT_TRUE(slot.has_value()) << "seq " << seq;
+    std::fill(slot->data.begin(), slot->data.end(),
+              static_cast<std::uint8_t>(seq & 0xff));
+    buffer.commit(seq);
+    auto sample = buffer.consume(seq);
+    ASSERT_TRUE(sample.has_value());
+    EXPECT_EQ(sample->data.front(), static_cast<std::uint8_t>(seq & 0xff));
+    EXPECT_EQ(sample->data.size(), size);
+    buffer.release(seq);
+  }
+  EXPECT_EQ(buffer.used_bytes(), 0u);
+}
+
+TEST(StagingBuffer, PipelinedWrapWithMultipleLiveEntries) {
+  StagingBuffer buffer(100);
+  std::uint64_t produce = 0;
+  std::uint64_t consume = 0;
+  // Keep two 30-byte entries live at a time for many cycles.
+  fill_and_commit(buffer, produce, produce, 30, 1);
+  ++produce;
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    fill_and_commit(buffer, produce, produce, 30, 2);
+    ++produce;
+    auto sample = buffer.consume(consume);
+    ASSERT_TRUE(sample.has_value());
+    buffer.release(consume);
+    ++consume;
+  }
+}
+
+TEST(StagingBuffer, OversizedSampleRejected) {
+  StagingBuffer buffer(64);
+  EXPECT_THROW((void)buffer.reserve(0, 0, 65), std::invalid_argument);
+  EXPECT_THROW(StagingBuffer(0), std::invalid_argument);
+}
+
+TEST(StagingBuffer, ReserveOutOfOrderRejected) {
+  StagingBuffer buffer(1024);
+  (void)buffer.reserve(5, 0, 8);
+  EXPECT_THROW((void)buffer.reserve(5, 0, 8), std::logic_error);
+  EXPECT_THROW((void)buffer.reserve(3, 0, 8), std::logic_error);
+}
+
+TEST(StagingBuffer, ReleaseProtocolViolationsRejected) {
+  StagingBuffer buffer(1024);
+  EXPECT_THROW(buffer.release(0), std::logic_error);  // nothing reserved
+  fill_and_commit(buffer, 0, 1, 8, 0);
+  EXPECT_THROW(buffer.release(0), std::logic_error);  // not consumed yet
+  (void)buffer.consume(0);
+  EXPECT_THROW(buffer.release(1), std::logic_error);  // wrong seq
+  buffer.release(0);
+  EXPECT_THROW(buffer.commit(9), std::logic_error);  // unknown seq
+}
+
+TEST(StagingBuffer, CloseUnblocksEveryone) {
+  StagingBuffer buffer(32);
+  fill_and_commit(buffer, 0, 1, 32, 0);
+  std::thread producer([&] {
+    auto slot = buffer.reserve(1, 2, 32);  // blocked: buffer full
+    EXPECT_FALSE(slot.has_value());        // released by close()
+  });
+  std::thread consumer([&] {
+    auto sample = buffer.consume(5);  // blocked: seq 5 never arrives
+    EXPECT_FALSE(sample.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  buffer.close();
+  producer.join();
+  consumer.join();
+}
+
+TEST(StagingBuffer, StallTimeAccumulates) {
+  StagingBuffer buffer(1024);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    fill_and_commit(buffer, 0, 1, 8, 0);
+  });
+  auto sample = buffer.consume(0);
+  producer.join();
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_GE(buffer.consumer_stall_s(), 0.04);
+}
+
+TEST(StagingBuffer, MultiProducerStress) {
+  // 4 producers fill 400 slots dispensed in order; a consumer checks strict
+  // order and content integrity.
+  constexpr std::uint64_t kTotal = 400;
+  StagingBuffer buffer(4096);
+  std::mutex dispense;
+  std::uint64_t next = 0;
+
+  auto producer_main = [&] {
+    for (;;) {
+      std::optional<ProducerSlot> slot;
+      std::uint64_t seq = 0;
+      {
+        const std::scoped_lock lock(dispense);
+        if (next >= kTotal) return;
+        seq = next;
+        slot = buffer.reserve(seq, seq * 3, 16 + seq % 7);
+        if (!slot.has_value()) return;
+        next = seq + 1;
+      }
+      std::fill(slot->data.begin(), slot->data.end(),
+                static_cast<std::uint8_t>(seq & 0xff));
+      buffer.commit(seq);
+    }
+  };
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) producers.emplace_back(producer_main);
+
+  for (std::uint64_t seq = 0; seq < kTotal; ++seq) {
+    auto sample = buffer.consume(seq);
+    ASSERT_TRUE(sample.has_value());
+    EXPECT_EQ(sample->seq, seq);
+    EXPECT_EQ(sample->sample, seq * 3);
+    EXPECT_EQ(sample->data.size(), 16 + seq % 7);
+    for (const auto byte : sample->data) {
+      ASSERT_EQ(byte, static_cast<std::uint8_t>(seq & 0xff));
+    }
+    buffer.release(seq);
+  }
+  for (auto& producer : producers) producer.join();
+  EXPECT_EQ(buffer.used_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace nopfs::core

@@ -1,0 +1,175 @@
+// Tests for summary statistics, Welford accumulation, histograms and the
+// binomial tail used by the access-frequency analysis (paper Sec. 3.1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace nopfs::util {
+namespace {
+
+TEST(Mean, BasicAndEmpty) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Variance, MatchesHandComputation) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sample variance with Bessel correction: 32/7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(median(xs), 25.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  const std::vector<double> xs = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(median(xs), 25.0);
+}
+
+TEST(Ci95, ShrinksWithSampleSize) {
+  std::vector<double> small = {1.0, 2.0, 3.0};
+  std::vector<double> large;
+  for (int i = 0; i < 300; ++i) large.push_back(1.0 + (i % 3));
+  EXPECT_GT(ci95_halfwidth(small), ci95_halfwidth(large));
+  EXPECT_DOUBLE_EQ(ci95_halfwidth(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Summary, AllFieldsConsistent) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.median, 50.5);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+  EXPECT_GT(s.p99, s.p95);
+}
+
+TEST(Welford, MatchesBatchStatistics) {
+  Rng rng(9);
+  std::vector<double> xs;
+  Welford w;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.normal(3.0, 1.5);
+    xs.push_back(x);
+    w.add(x);
+  }
+  EXPECT_NEAR(w.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(w.variance(), variance(xs), 1e-6);
+  EXPECT_DOUBLE_EQ(w.min(), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(w.max(), *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(Welford, MergeEqualsSinglePass) {
+  Rng rng(10);
+  Welford all;
+  Welford a;
+  Welford b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(Welford, MergeWithEmpty) {
+  Welford a;
+  a.add(1.0);
+  Welford empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  Welford b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(5);
+  h.add(0);
+  h.add(1);
+  h.add(1);
+  h.add(4);
+  h.add(99);   // clamps into last bin
+  h.add(-3);   // clamps into first bin
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(1), 2u);
+  EXPECT_EQ(h.bin(4), 2u);
+  EXPECT_EQ(h.count_greater(1), 2u);
+}
+
+TEST(Histogram, AsciiRendersEveryBin) {
+  Histogram h(3);
+  h.add(0);
+  h.add(1);
+  const std::string art = h.ascii(10);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
+}
+
+TEST(BinomialPmf, MatchesClosedForm) {
+  // Binomial(4, 0.5): pmf = {1,4,6,4,1}/16.
+  EXPECT_NEAR(binomial_pmf(4, 0.5, 0), 1.0 / 16.0, 1e-12);
+  EXPECT_NEAR(binomial_pmf(4, 0.5, 2), 6.0 / 16.0, 1e-12);
+  EXPECT_NEAR(binomial_pmf(4, 0.5, 4), 1.0 / 16.0, 1e-12);
+  EXPECT_DOUBLE_EQ(binomial_pmf(4, 0.5, 5), 0.0);
+}
+
+TEST(BinomialPmf, DegenerateProbabilities) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 1.0, 10), 1.0);
+}
+
+TEST(BinomialTail, SumsToOneMinusCdf) {
+  const double p = 0.3;
+  const std::uint64_t n = 20;
+  double cdf = 0.0;
+  for (std::uint64_t k = 0; k <= 7; ++k) cdf += binomial_pmf(n, p, k);
+  EXPECT_NEAR(binomial_tail_greater(n, p, 7), 1.0 - cdf, 1e-9);
+}
+
+TEST(BinomialTail, MonteCarloAgreement) {
+  // X ~ Binomial(90, 1/16) as in the paper's ImageNet example.
+  const std::uint64_t n = 90;
+  const double p = 1.0 / 16.0;
+  Rng rng(4242);
+  constexpr int kTrials = 200'000;
+  int above = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    int x = 0;
+    for (std::uint64_t e = 0; e < n; ++e) x += rng.bernoulli(p) ? 1 : 0;
+    if (x > 10) ++above;
+  }
+  const double analytic = binomial_tail_greater(n, p, 10);
+  EXPECT_NEAR(static_cast<double>(above) / kTrials, analytic, 0.002);
+}
+
+TEST(BinomialTail, PmfSumsToOne) {
+  for (std::uint64_t n : {1ull, 5ull, 50ull, 500ull}) {
+    double total = 0.0;
+    for (std::uint64_t k = 0; k <= n; ++k) total += binomial_pmf(n, 0.37, k);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace nopfs::util

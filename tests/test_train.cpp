@@ -1,0 +1,46 @@
+// Tests for the ResNet-50/ImageNet accuracy model used by the Fig. 16
+// end-to-end reproduction.
+
+#include <gtest/gtest.h>
+
+#include "train/accuracy_model.hpp"
+
+namespace nopfs::train {
+namespace {
+
+TEST(AccuracyModel, ReachesPaperFinalAccuracy) {
+  EXPECT_DOUBLE_EQ(resnet50_top1_at_epoch(90), 76.5);
+  EXPECT_DOUBLE_EQ(resnet50_top1_at_epoch(1000), 76.5);  // clamped
+}
+
+TEST(AccuracyModel, MonotoneNonDecreasing) {
+  double previous = -1.0;
+  for (double e = 0.0; e <= 90.0; e += 0.5) {
+    const double acc = resnet50_top1_at_epoch(e);
+    EXPECT_GE(acc, previous) << "epoch " << e;
+    previous = acc;
+  }
+}
+
+TEST(AccuracyModel, LrDecayJumps) {
+  // The Goyal schedule jumps at epochs 30 and 60.
+  EXPECT_GT(resnet50_top1_at_epoch(31) - resnet50_top1_at_epoch(30), 5.0);
+  EXPECT_GT(resnet50_top1_at_epoch(61) - resnet50_top1_at_epoch(60), 2.0);
+}
+
+TEST(AccuracyModel, CurveShape) {
+  const auto curve = resnet50_top1_curve();
+  ASSERT_EQ(curve.size(), 91u);
+  EXPECT_LT(curve[0], 5.0);
+  EXPECT_GT(curve[10], 45.0);
+  EXPECT_DOUBLE_EQ(curve[90], 76.5);
+}
+
+TEST(AccuracyModel, InterpolatesBetweenAnchors) {
+  const double mid = resnet50_top1_at_epoch(32.5);
+  EXPECT_GT(mid, resnet50_top1_at_epoch(31));
+  EXPECT_LT(mid, resnet50_top1_at_epoch(35));
+}
+
+}  // namespace
+}  // namespace nopfs::train

@@ -1,0 +1,90 @@
+// Tests for unit conversion/formatting and the bench table renderer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace nopfs::util {
+namespace {
+
+TEST(Units, ByteConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(bytes_to_mb(1024 * 1024), 1.0);
+  EXPECT_EQ(mb_to_bytes(1.0), 1024u * 1024u);
+  EXPECT_EQ(mb_to_bytes(bytes_to_mb(123456789)), 123456789u);
+}
+
+TEST(Units, Constants) {
+  EXPECT_DOUBLE_EQ(kGB, 1024.0);
+  EXPECT_DOUBLE_EQ(kTB, 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(kKB * 1024.0, 1.0);
+}
+
+TEST(Units, FormatSize) {
+  EXPECT_EQ(format_size_mb(0.76 * kKB), "0.76 KB");
+  EXPECT_EQ(format_size_mb(135.0), "135 MB");
+  EXPECT_EQ(format_size_mb(1.5 * kGB), "1.50 GB");
+  EXPECT_EQ(format_size_mb(4.0 * kTB), "4.00 TB");
+}
+
+TEST(Units, FormatSeconds) {
+  EXPECT_EQ(format_seconds(0.5), "500 ms");
+  EXPECT_EQ(format_seconds(12.3), "12.3 s");
+  EXPECT_EQ(format_seconds(240.0), "4.00 min");
+  EXPECT_EQ(format_seconds(4572.0), "1.27 hrs");
+}
+
+TEST(Table, AlignedRendering) {
+  Table t({"policy", "time"});
+  t.add_row({"NoPFS", "0.79"});
+  t.add_row({"Naive", "1.27"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("policy"), std::string::npos);
+  EXPECT_NE(out.find("NoPFS"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvRendering) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n\"x,y\",2\n");
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 0), "3");
+}
+
+TEST(BenchArgs, ParsesKnownFlags) {
+  const char* argv[] = {"bench", "--csv", "--scenario", "imagenet1k",
+                        "--seed", "123", "--quick"};
+  const BenchArgs args = parse_bench_args(7, const_cast<char**>(argv));
+  EXPECT_TRUE(args.csv);
+  EXPECT_TRUE(args.quick);
+  EXPECT_EQ(args.scenario, "imagenet1k");
+  EXPECT_EQ(args.seed, 123u);
+}
+
+TEST(BenchArgs, IgnoresUnknownFlags) {
+  const char* argv[] = {"bench", "--benchmark_filter=abc"};
+  const BenchArgs args = parse_bench_args(2, const_cast<char**>(argv));
+  EXPECT_FALSE(args.csv);
+  EXPECT_TRUE(args.scenario.empty());
+}
+
+}  // namespace
+}  // namespace nopfs::util
