@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
     options.epochs = 3;
     options.per_worker_batch = 64;  // paper: per-GPU batch 64 on Piz Daint
     options.seed = args.seed;
+    options.num_threads = args.threads;
     const auto grid = bench::run_scaling(options, dataset);
     bench::print_scaling_tables(options, grid, args,
                                 "Fig. 10 left: ImageNet-1k on Piz Daint");
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
     options.epochs = 3;
     options.per_worker_batch = 120;  // paper: per-GPU batch 120 on Lassen
     options.seed = args.seed;
+    options.num_threads = args.threads;
     const auto grid = bench::run_scaling(options, dataset);
     bench::print_scaling_tables(options, grid, args,
                                 "Fig. 10 right: ImageNet-1k on Lassen");

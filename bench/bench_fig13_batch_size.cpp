@@ -17,24 +17,37 @@ int main(int argc, char** argv) {
   const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
   const auto loaders = bench::pytorch_nopfs();
 
+  // Batch-size x loader grid, evaluated concurrently by the sweep engine.
+  const std::uint64_t batches[] = {32, 64, 96, 120};
+  std::vector<sim::SweepPoint> points;
+  std::vector<std::pair<std::uint64_t, std::string>> labels;
+  for (const std::uint64_t batch : batches) {
+    for (const auto& loader : loaders) {
+      sim::SweepPoint point;
+      point.config.system = tiers::presets::lassen(128);
+      bench::scale_capacities(point.config.system, scale);
+      point.config.system.node.preprocess_mbps *= loader.preprocess_mult;
+      point.config.seed = args.seed;
+      point.config.num_epochs = 3;
+      point.config.per_worker_batch = batch;
+      point.dataset = &dataset;
+      point.policy = loader.policy;
+      points.push_back(std::move(point));
+      labels.emplace_back(batch, loader.label);
+    }
+  }
+  const sim::SweepRunner runner({args.threads});
+  const auto results = runner.run(points);
+
   util::Table table({"Batch size", "Loader", "batch med", "batch p95", "batch max",
                      "stddev"});
-  for (const std::uint64_t batch : {32ull, 64ull, 96ull, 120ull}) {
-    for (const auto& loader : loaders) {
-      sim::SimConfig config;
-      config.system = tiers::presets::lassen(128);
-      bench::scale_capacities(config.system, scale);
-      config.system.node.preprocess_mbps *= loader.preprocess_mult;
-      config.seed = args.seed;
-      config.num_epochs = 3;
-      config.per_worker_batch = batch;
-      const sim::SimResult result = bench::run_policy(config, dataset, loader.policy);
-      if (!result.supported) continue;
-      const util::Summary s = result.batch_summary_rest();
-      table.add_row({std::to_string(batch), loader.label,
-                     util::Table::num(s.median, 3), util::Table::num(s.p95, 3),
-                     util::Table::num(s.max, 3), util::Table::num(s.stddev, 4)});
-    }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const sim::SimResult& result = results[i];
+    if (!result.supported) continue;
+    const util::Summary s = result.batch_summary_rest();
+    table.add_row({std::to_string(labels[i].first), labels[i].second,
+                   util::Table::num(s.median, 3), util::Table::num(s.p95, 3),
+                   util::Table::num(s.max, 3), util::Table::num(s.stddev, 4)});
   }
   bench::emit(table, args,
               "Fig. 13: batch-size sweep, ImageNet-1k, 128 GPUs on Lassen [s]");

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   options.epochs = 3;  // the paper also uses 3 epochs for ImageNet-22k
   options.per_worker_batch = 120;
   options.seed = args.seed;
+  options.num_threads = args.threads;
   const auto grid = bench::run_scaling(options, dataset);
   bench::print_scaling_tables(options, grid, args,
                               std::string("Fig. 14: ImageNet-22k on Lassen") +

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   options.compute_mbps = 1'375.0;
   options.preprocess_mbps = 4'000.0;
   options.seed = args.seed;
+  options.num_threads = args.threads;
   const auto grid = bench::run_scaling(options, dataset);
   bench::print_scaling_tables(options, grid, args, "Fig. 15: CosmoFlow on Lassen");
   return 0;

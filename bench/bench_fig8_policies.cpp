@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "sim/sweep.hpp"
 
 using namespace nopfs;
 
@@ -61,10 +62,19 @@ int main(int argc, char** argv) {
     }
     const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
 
+    // All ~10 policies share the stream config, so the sweep engine
+    // evaluates them concurrently and the epoch-order cache generates each
+    // epoch's permutation once instead of once per policy.
+    std::vector<sim::SweepPoint> points;
+    for (const auto& name : sim::all_policy_names()) {
+      points.push_back({config, &dataset, name});
+    }
+    const sim::SweepRunner runner({args.threads});
+    const std::vector<sim::SimResult> results = runner.run(points);
+
     util::Table table({"Policy", "Exec time", "Stall", "staging%", "local%",
                        "remote%", "pfs%", "Notes"});
-    for (const auto& name : sim::all_policy_names()) {
-      const sim::SimResult result = bench::run_policy(config, dataset, name);
+    for (const sim::SimResult& result : results) {
       if (!result.supported) {
         table.add_row({result.policy, "-", "-", "-", "-", "-", "-",
                        "unsupported: " + result.unsupported_reason});

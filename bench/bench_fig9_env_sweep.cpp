@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "sim/sweep.hpp"
 
 using namespace nopfs;
 
@@ -28,14 +29,17 @@ sim::SimConfig base_config(std::uint64_t seed, double scale) {
   return config;
 }
 
-double run_with(double staging_gb, double ram_gb, double ssd_gb,
-                const data::Dataset& dataset, std::uint64_t seed, double scale) {
-  sim::SimConfig config = base_config(seed, scale);
-  config.system.node.staging.capacity_mb = staging_gb * util::kGB * scale;
-  config.system.node.classes[0].capacity_mb = ram_gb * util::kGB * scale;
-  config.system.node.classes[1].capacity_mb = ssd_gb * util::kGB * scale;
-  const sim::SimResult result = bench::run_policy(config, dataset, "nopfs");
-  return result.total_s;
+sim::SweepPoint point_with(double staging_gb, double ram_gb, double ssd_gb,
+                           const data::Dataset& dataset, std::uint64_t seed,
+                           double scale) {
+  sim::SweepPoint point;
+  point.config = base_config(seed, scale);
+  point.config.system.node.staging.capacity_mb = staging_gb * util::kGB * scale;
+  point.config.system.node.classes[0].capacity_mb = ram_gb * util::kGB * scale;
+  point.config.system.node.classes[1].capacity_mb = ssd_gb * util::kGB * scale;
+  point.dataset = &dataset;
+  point.policy = "nopfs";
+  return point;
 }
 
 }  // namespace
@@ -54,29 +58,45 @@ int main(int argc, char** argv) {
             << util::format_size_mb(dataset.total_mb()) << (full ? "" : ", 1/8 scale")
             << "), NoPFS, 5x compute\n";
 
+  const sim::SweepRunner runner({args.threads});
+
   // Staging-buffer sanity sweep: Sec. 6.2 reports 1.64 hrs for all of
   // 1/2/4/5 GB with no other storage — the staging buffer is not limiting.
   {
+    const double staging_gbs[] = {1.0, 2.0, 4.0, 5.0};
+    std::vector<sim::SweepPoint> points;
+    for (const double gb : staging_gbs) {
+      points.push_back(point_with(gb, 0.0, 0.0, dataset, args.seed, scale));
+    }
+    const auto results = runner.run(points);
     util::Table table({"Staging buffer", "Exec time"});
-    for (const double gb : {1.0, 2.0, 4.0, 5.0}) {
-      const double total = run_with(gb, 0.0, 0.0, dataset, args.seed, scale);
-      table.add_row({util::Table::num(gb, 0) + " GB", util::format_seconds(total)});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      table.add_row({util::Table::num(staging_gbs[i], 0) + " GB",
+                     util::format_seconds(results[i].total_s)});
     }
     bench::emit(table, args, "staging-buffer-only sweep (paper: all 1.64 hrs)");
   }
 
-  // RAM x SSD sweep (paper Fig. 9 grid).
+  // RAM x SSD sweep (paper Fig. 9 grid): 25 independent cells, swept
+  // concurrently.
   {
     const double rams[] = {32, 64, 128, 256, 512};
     const double ssds[] = {0, 128, 256, 512, 1024};
+    std::vector<sim::SweepPoint> points;
+    for (const double ram : rams) {
+      for (const double ssd : ssds) {
+        points.push_back(point_with(5.0, ram, ssd, dataset, args.seed, scale));
+      }
+    }
+    const auto results = runner.run(points);
     std::vector<std::string> header = {"RAM \\ SSD (GB)"};
     for (const double ssd : ssds) header.push_back(util::Table::num(ssd, 0));
     util::Table table(header);
+    std::size_t flat = 0;
     for (const double ram : rams) {
       std::vector<std::string> row = {util::Table::num(ram, 0)};
-      for (const double ssd : ssds) {
-        const double total = run_with(5.0, ram, ssd, dataset, args.seed, scale);
-        row.push_back(util::format_seconds(total));
+      for ([[maybe_unused]] const double ssd : ssds) {
+        row.push_back(util::format_seconds(results[flat++].total_s));
       }
       table.add_row(row);
     }

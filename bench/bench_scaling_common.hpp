@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "sim/sweep.hpp"
 
 namespace nopfs::bench {
 
@@ -47,6 +48,7 @@ struct ScalingOptions {
   std::uint64_t seed = 0xC0FFEE;
   double compute_mbps = 0.0;     ///< 0 = preset default
   double preprocess_mbps = 0.0;  ///< 0 = preset default
+  int num_threads = 0;           ///< sweep concurrency (0 = auto)
 };
 
 struct ScalingCell {
@@ -54,26 +56,41 @@ struct ScalingCell {
   double epoch_median = 0.0;
 };
 
-/// Runs the full grid; results indexed [gpu][loader].
+/// Runs the full grid concurrently (grid points are independent and the
+/// sweep engine is deterministic, so the result is identical to the old
+/// serial loop); results indexed [gpu][loader].
 inline std::vector<std::vector<ScalingCell>> run_scaling(const ScalingOptions& options,
                                                          const data::Dataset& dataset) {
-  std::vector<std::vector<ScalingCell>> grid;
+  std::vector<sim::SweepPoint> points;
+  points.reserve(options.gpu_counts.size() * options.loaders.size());
   for (const int gpus : options.gpu_counts) {
-    std::vector<ScalingCell> row;
     for (const auto& loader : options.loaders) {
-      sim::SimConfig config;
-      config.system = options.system_factory(gpus);
+      sim::SweepPoint point;
+      point.config.system = options.system_factory(gpus);
       if (options.compute_mbps > 0.0) {
-        config.system.node.compute_mbps = options.compute_mbps;
+        point.config.system.node.compute_mbps = options.compute_mbps;
       }
       if (options.preprocess_mbps > 0.0) {
-        config.system.node.preprocess_mbps = options.preprocess_mbps;
+        point.config.system.node.preprocess_mbps = options.preprocess_mbps;
       }
-      config.system.node.preprocess_mbps *= loader.preprocess_mult;
-      config.seed = options.seed;
-      config.num_epochs = options.epochs;
-      config.per_worker_batch = options.per_worker_batch;
-      ScalingCell cell{run_policy(config, dataset, loader.policy), 0.0};
+      point.config.system.node.preprocess_mbps *= loader.preprocess_mult;
+      point.config.seed = options.seed;
+      point.config.num_epochs = options.epochs;
+      point.config.per_worker_batch = options.per_worker_batch;
+      point.dataset = &dataset;
+      point.policy = loader.policy;
+      points.push_back(std::move(point));
+    }
+  }
+  const sim::SweepRunner runner({options.num_threads});
+  std::vector<sim::SimResult> results = runner.run(points);
+
+  std::vector<std::vector<ScalingCell>> grid;
+  std::size_t flat = 0;
+  for (std::size_t g = 0; g < options.gpu_counts.size(); ++g) {
+    std::vector<ScalingCell> row;
+    for (std::size_t l = 0; l < options.loaders.size(); ++l) {
+      ScalingCell cell{std::move(results[flat++]), 0.0};
       cell.epoch_median = median_epoch_excl_first(cell.result);
       row.push_back(std::move(cell));
     }

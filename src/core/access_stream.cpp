@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/epoch_order_cache.hpp"
+
 namespace nopfs::core {
 
 std::uint64_t StreamConfig::iterations_per_epoch() const noexcept {
@@ -46,6 +48,13 @@ AccessStreamGenerator::AccessStreamGenerator(StreamConfig config) : config_(conf
 }
 
 std::vector<data::SampleId> AccessStreamGenerator::epoch_order(int epoch) const {
+  std::vector<data::SampleId> order;
+  epoch_order_into(epoch, order);
+  return order;
+}
+
+void AccessStreamGenerator::epoch_order_into(int epoch,
+                                             std::vector<data::SampleId>& out) const {
   if (epoch < 0 || epoch >= config_.num_epochs) {
     throw std::out_of_range("AccessStreamGenerator: epoch out of range");
   }
@@ -53,7 +62,17 @@ std::vector<data::SampleId> AccessStreamGenerator::epoch_order(int epoch) const 
   // epochs use streams 1..E so the two never alias.
   util::Rng rng =
       util::Rng::for_stream(config_.seed, static_cast<std::uint64_t>(epoch) + 1);
-  return util::shuffled_indices(config_.num_samples, rng);
+  util::shuffled_indices_into(config_.num_samples, rng, out);
+}
+
+std::shared_ptr<const std::vector<data::SampleId>> AccessStreamGenerator::epoch_order_shared(
+    int epoch) const {
+  if (epoch < 0 || epoch >= config_.num_epochs) {
+    throw std::out_of_range("AccessStreamGenerator: epoch out of range");
+  }
+  const EpochOrderCache::Key key{config_.seed, epoch, config_.num_samples};
+  return EpochOrderCache::global().get(
+      key, [&](std::vector<data::SampleId>& out) { epoch_order_into(epoch, out); });
 }
 
 std::vector<data::SampleId> AccessStreamGenerator::worker_epoch_stream(int rank,

@@ -13,6 +13,7 @@
 // without replaying earlier ones.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -65,6 +66,17 @@ class AccessStreamGenerator {
   /// The global shuffled sample order for `epoch` (length F).
   [[nodiscard]] std::vector<data::SampleId> epoch_order(int epoch) const;
 
+  /// In-place variant: fills `out` (resized to F) with the epoch order,
+  /// reusing its allocation — no per-epoch allocation in steady state.
+  void epoch_order_into(int epoch, std::vector<data::SampleId>& out) const;
+
+  /// Shared variant: returns the epoch order through the process-wide
+  /// EpochOrderCache, so concurrent simulations of the same (seed, epoch, F)
+  /// generate the permutation once and share it.  The permutation is
+  /// value-identical to epoch_order() whether or not it was cached.
+  [[nodiscard]] std::shared_ptr<const std::vector<data::SampleId>> epoch_order_shared(
+      int epoch) const;
+
   /// Worker `rank`'s access sequence for `epoch`, in consumption order
   /// (length samples_per_worker_epoch()).
   [[nodiscard]] std::vector<data::SampleId> worker_epoch_stream(int rank, int epoch) const;
@@ -77,8 +89,13 @@ class AccessStreamGenerator {
   template <typename Visitor>
   void for_each_access(int rank, Visitor&& visit) const {
     std::uint64_t position = 0;
+    // One buffer reused across epochs (not the shared cache: a library
+    // client replaying a stream should stay allocation-transient instead of
+    // pinning permutations in process-global memory; the cache is for
+    // concurrent simulations that genuinely share them).
+    std::vector<data::SampleId> order;
     for (int e = 0; e < config_.num_epochs; ++e) {
-      const auto order = epoch_order(e);
+      epoch_order_into(e, order);
       const auto consumed = config_.iterations_per_epoch() * config_.global_batch;
       const auto local_b = config_.local_batch();
       for (std::uint64_t h = 0; h < config_.iterations_per_epoch(); ++h) {

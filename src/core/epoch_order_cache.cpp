@@ -1,0 +1,110 @@
+#include "core/epoch_order_cache.hpp"
+
+#include <cstdlib>
+
+namespace nopfs::core {
+
+namespace {
+
+std::size_t budget_from_env() {
+  if (const char* env = std::getenv("NOPFS_EPOCH_CACHE_MB")) {
+    const long long mb = std::atoll(env);
+    if (mb >= 0) return static_cast<std::size_t>(mb) << 20;
+  }
+  return EpochOrderCache::kDefaultBudgetBytes;
+}
+
+}  // namespace
+
+std::size_t EpochOrderCache::KeyHash::operator()(const Key& key) const noexcept {
+  // splitmix64-style mixing of the three fields.
+  std::uint64_t h = key.seed;
+  h ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.epoch)) + 0x9e3779b97f4a7c15ULL +
+        (h << 6) + (h >> 2));
+  h ^= (key.num_samples + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<std::size_t>(h);
+}
+
+EpochOrderCache& EpochOrderCache::global() {
+  static EpochOrderCache cache(budget_from_env());
+  return cache;
+}
+
+EpochOrderCache::EpochOrderCache(std::size_t budget_bytes)
+    : budget_bytes_(budget_bytes) {}
+
+EpochOrderCache::OrderPtr EpochOrderCache::get(
+    const Key& key, const std::function<void(Order&)>& generate) {
+  if (budget_bytes_ == 0) {  // caching disabled
+    auto order = std::make_shared<Order>();
+    generate(*order);
+    return order;
+  }
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.order;
+    }
+    ++misses_;
+  }
+  // Generate outside the lock: misses on distinct keys (the common case in a
+  // parallel sweep's first epoch) must not serialize.
+  auto order = std::make_shared<Order>();
+  generate(*order);
+  const std::size_t bytes = order->size() * sizeof(Order::value_type);
+
+  const std::scoped_lock lock(mutex_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {  // lost a race: keep the incumbent
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.order;
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{order, lru_.begin()});
+  used_bytes_ += bytes;
+  evict_locked();
+  return order;
+}
+
+void EpochOrderCache::evict_locked() {
+  // May evict everything, including an entry just inserted: live shared_ptr
+  // references keep evicted permutations valid, and an entry larger than
+  // the whole budget must not stay pinned past its last holder.
+  while (used_bytes_ > budget_bytes_ && !lru_.empty()) {
+    const Key& victim = lru_.back();
+    const auto it = map_.find(victim);
+    used_bytes_ -= it->second.order->size() * sizeof(Order::value_type);
+    map_.erase(it);
+    lru_.pop_back();
+  }
+}
+
+void EpochOrderCache::clear() {
+  const std::scoped_lock lock(mutex_);
+  map_.clear();
+  lru_.clear();
+  used_bytes_ = 0;
+}
+
+std::size_t EpochOrderCache::entries() const {
+  const std::scoped_lock lock(mutex_);
+  return map_.size();
+}
+
+std::uint64_t EpochOrderCache::hits() const {
+  const std::scoped_lock lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t EpochOrderCache::misses() const {
+  const std::scoped_lock lock(mutex_);
+  return misses_;
+}
+
+}  // namespace nopfs::core

@@ -1,0 +1,85 @@
+#pragma once
+// Shared memoization of epoch permutations (DESIGN.md Sec. 6.2).
+//
+// An epoch's shuffled sample order depends only on (seed, epoch,
+// num_samples) — see AccessStreamGenerator::epoch_order().  A policy sweep
+// (Fig. 8: ~10 policies on one stream config) regenerates the identical
+// permutation once per policy per epoch, and the NoPFS planner regenerates
+// every epoch again during setup().  This cache hands out shared immutable
+// permutations instead: generate once, share everywhere.
+//
+// Thread safety: safe for concurrent readers/writers (the sweep engine runs
+// simulations in parallel).  A miss generates outside the lock, so two
+// threads racing on the same key may both generate; the permutation is
+// deterministic, so whichever insert lands first wins and both callers see
+// value-identical data — determinism is never affected by cache state.
+//
+// Memory: entries are evicted LRU once the byte budget is exceeded
+// (default 1 GiB, override with NOPFS_EPOCH_CACHE_MB; 0 disables caching).
+// Live shared_ptr references keep evicted permutations valid.
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace nopfs::core {
+
+class EpochOrderCache {
+ public:
+  using Order = std::vector<data::SampleId>;
+  using OrderPtr = std::shared_ptr<const Order>;
+
+  struct Key {
+    std::uint64_t seed = 0;
+    int epoch = 0;
+    std::uint64_t num_samples = 0;
+
+    bool operator==(const Key&) const = default;
+  };
+
+  /// The process-wide cache used by AccessStreamGenerator::epoch_order_shared.
+  [[nodiscard]] static EpochOrderCache& global();
+
+  explicit EpochOrderCache(std::size_t budget_bytes = kDefaultBudgetBytes);
+
+  /// Returns the cached permutation for `key`, generating it with
+  /// `generate` (which must fill its argument) on a miss.
+  [[nodiscard]] OrderPtr get(const Key& key,
+                             const std::function<void(Order&)>& generate);
+
+  void clear();
+
+  [[nodiscard]] std::size_t budget_bytes() const noexcept { return budget_bytes_; }
+  [[nodiscard]] std::size_t entries() const;
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+
+  static constexpr std::size_t kDefaultBudgetBytes = std::size_t{1} << 30;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept;
+  };
+  struct Entry {
+    OrderPtr order;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  void evict_locked();
+
+  std::size_t budget_bytes_;
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, Entry, KeyHash> map_;
+  std::list<Key> lru_;  ///< front = most recently used
+  std::size_t used_bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace nopfs::core

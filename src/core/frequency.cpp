@@ -17,13 +17,16 @@ FrequencyMap count_worker_frequencies(const AccessStreamGenerator& gen, int rank
 util::Histogram frequency_histogram(const AccessStreamGenerator& gen, int rank,
                                     std::size_t num_bins) {
   util::Histogram hist(num_bins);
-  const FrequencyMap freqs = count_worker_frequencies(gen, rank);
-  for (const auto& [sample, count] : freqs) {
+  // Flat per-sample counters instead of a hash map: sample ids are dense in
+  // [0, F), so counting is O(F + accesses) with no rehashing, and samples
+  // never accessed by this worker land in bin 0 without a separate fill-in
+  // pass.  At ImageNet-22k scale (F = 14.2M) this is the difference between
+  // one 57 MB array walk and millions of hash probes (Fig. 3 bench).
+  std::vector<std::uint32_t> counts(gen.config().num_samples, 0);
+  gen.for_each_access(rank, [&](const Access& access) { ++counts[access.sample]; });
+  for (const std::uint32_t count : counts) {
     hist.add(static_cast<std::int64_t>(count));
   }
-  // Samples never accessed by this worker land in bin 0.
-  const std::uint64_t touched = freqs.size();
-  for (std::uint64_t k = touched; k < gen.config().num_samples; ++k) hist.add(0);
   return hist;
 }
 

@@ -91,6 +91,9 @@ void StagingPrefetcher::start() {
 
 void StagingPrefetcher::stop() {
   stop_.store(true, std::memory_order_relaxed);
+  // Closing the buffer wakes any producer parked inside reserve() (it
+  // returns nullopt), so the joins below cannot deadlock on a thread that
+  // is blocked waiting for ring space the consumer will never free.
   buffer_.close();
   for (auto& thread : threads_) {
     if (thread.joinable()) thread.join();
@@ -104,17 +107,32 @@ void StagingPrefetcher::thread_main() {
     data::SampleId sample = 0;
     std::optional<ProducerSlot> slot;
     {
-      // Slots must be reserved in stream order across all producer threads,
-      // so seq assignment and reservation happen under one dispenser lock.
-      // Blocking on buffer space while holding the lock is correct: the
-      // ring is FIFO, so position f+1 cannot be placed before position f.
+      // Single-logical-stream invariant: the p_0 producer threads share ONE
+      // access stream R, and slots must be reserved in stream order, so seq
+      // assignment and reservation happen under one dispenser lock
+      // (StagingBuffer::reserve enforces the ordering by throwing on any
+      // out-of-order seq).  Blocking on buffer space while holding the lock
+      // is safe — not because it is lock-free, but because of two
+      // invariants this class must preserve:
+      //   (a) the ring is FIFO, so position f+1 cannot be placed before
+      //       position f — a peer thread waiting on the dispenser could not
+      //       make progress anyway; and
+      //   (b) the party that creates space (the consumer via release()) and
+      //       the party that aborts the wait (stop()/close()) never acquire
+      //       dispense_mutex_, so the parked producer is always woken.
+      // DESIGN.md Sec. 2.1 discusses this trade-off.
       const std::scoped_lock lock(dispense_mutex_);
+      // Stop-responsive exit: do not park in reserve() for a stop()ed
+      // prefetcher — stop() closes the buffer before joining, but a thread
+      // that acquired the dispenser after close() would otherwise still
+      // attempt a reservation on a drained ring.
+      if (stop_.load(std::memory_order_relaxed)) return;
       seq = next_.load(std::memory_order_relaxed);
       if (seq >= stream_.size()) return;
       sample = stream_[seq];
       const auto bytes = static_cast<std::size_t>(dataset_.size_mb(sample) * 1024.0 * 1024.0);
       slot = buffer_.reserve(seq, sample, bytes);
-      if (!slot.has_value()) return;  // closed
+      if (!slot.has_value()) return;  // closed (stop() or external close)
       next_.store(seq + 1, std::memory_order_relaxed);
       if (transport_ != nullptr) transport_->publish_watermark(seq + 1);
     }

@@ -78,6 +78,9 @@ class StagingPrefetcher {
   StagingPrefetcher& operator=(const StagingPrefetcher&) = delete;
 
   void start();
+  /// Cooperative shutdown: closes the staging buffer (waking any producer
+  /// blocked in reserve()) and joins all threads.  Safe to call while
+  /// producers are parked waiting for ring space.
   void stop();
 
   /// Stream position reached by the dispenser (watermark basis).

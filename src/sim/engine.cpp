@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 #include "util/rng.hpp"
@@ -108,13 +109,14 @@ SimResult simulate(const SimConfig& config, const data::Dataset& dataset,
   std::vector<double> stall(static_cast<std::size_t>(n), 0.0);
   std::vector<double> compute(static_cast<std::size_t>(n), 0.0);
 
-  // Scratch for one iteration's resolved accesses.
-  struct Resolved {
-    data::SampleId sample;
-    AccessDecision decision;
-  };
-  std::vector<Resolved> scratch(static_cast<std::size_t>(n) * local_b);
+  // SoA scratch for one iteration's resolved accesses: phase 1 fills the
+  // sample ids (one contiguous run per worker, so a whole local batch can be
+  // handed to Policy::on_access_batch in one virtual call), phase 2 streams
+  // through samples and decisions as parallel arrays.
+  std::vector<data::SampleId> samples(static_cast<std::size_t>(n) * local_b);
+  std::vector<AccessDecision> decisions(static_cast<std::size_t>(n) * local_b);
   std::vector<std::uint32_t> counts(static_cast<std::size_t>(n));
+  const bool batched = policy.batchable() && !config.force_per_sample_dispatch;
 
   BatchRecorder rec_epoch0(result.batch_s_epoch0, config.max_batch_records,
                            config.seed ^ 0x5555);
@@ -124,29 +126,71 @@ SimResult simulate(const SimConfig& config, const data::Dataset& dataset,
   int gamma_prev = n;  // everyone starts cold on the PFS
   double barrier_time = prestage_s;
 
+  // Epoch-permutation source: sweeps opt into the shared memoized cache
+  // (concurrent grid points of one stream config then generate each epoch's
+  // shuffle once); plain library calls reuse a local buffer instead, so
+  // nothing outlives this simulate().  Both paths are value-identical.
+  std::vector<data::SampleId> order_buffer;
+  std::shared_ptr<const std::vector<data::SampleId>> order_shared;
+
   for (int e = 0; e < config.num_epochs; ++e) {
     policy.on_epoch_begin(ctx, e);
-    const auto order = gen.epoch_order(e);
+    if (config.share_epoch_orders) {
+      order_shared = gen.epoch_order_shared(e);
+    } else {
+      gen.epoch_order_into(e, order_buffer);
+    }
+    const auto& order = config.share_epoch_orders ? *order_shared : order_buffer;
     const double epoch_start = barrier_time;
 
     for (std::uint64_t h = 0; h < iters; ++h) {
       // Phase 1: resolve accesses and decisions.
       int gamma_now = 0;
       for (int i = 0; i < n; ++i) {
+        const std::size_t base = static_cast<std::size_t>(i) * local_b;
         std::uint32_t count = 0;
         bool hits_pfs = false;
-        for (std::uint64_t l = 0; l < local_b; ++l) {
-          const std::uint64_t local_index = h * local_b + l;
-          const std::uint64_t pos =
-              local_index * static_cast<std::uint64_t>(n) + static_cast<std::uint64_t>(i);
-          if (pos >= consumed) continue;
-          data::SampleId sample = policy.remap(i, e, local_index, order[pos]);
-          const AccessDecision decision =
-              zero_io ? AccessDecision{Location::kLocal, 0}
-                      : policy.on_access(ctx, i, e, sample, gamma_prev);
-          scratch[static_cast<std::size_t>(i) * local_b + count] = {sample, decision};
-          ++count;
-          if (decision.location == Location::kPfs) hits_pfs = true;
+        if (batched) {
+          // Resolve the worker's whole local batch, then decide it with one
+          // virtual call.  Safe because batchable() policies guarantee
+          // remap() does not observe on_access() mutations mid-batch.
+          for (std::uint64_t l = 0; l < local_b; ++l) {
+            const std::uint64_t local_index = h * local_b + l;
+            const std::uint64_t pos = local_index * static_cast<std::uint64_t>(n) +
+                                      static_cast<std::uint64_t>(i);
+            if (pos >= consumed) continue;
+            samples[base + count] = policy.remap(i, e, local_index, order[pos]);
+            ++count;
+          }
+          if (zero_io) {
+            std::fill_n(decisions.begin() + static_cast<std::ptrdiff_t>(base), count,
+                        AccessDecision{Location::kLocal, 0});
+          } else {
+            policy.on_access_batch(
+                ctx, i, e, std::span<const data::SampleId>(&samples[base], count),
+                gamma_prev, std::span<AccessDecision>(&decisions[base], count));
+          }
+          for (std::uint32_t a = 0; a < count; ++a) {
+            if (decisions[base + a].location == Location::kPfs) {
+              hits_pfs = true;
+              break;
+            }
+          }
+        } else {
+          for (std::uint64_t l = 0; l < local_b; ++l) {
+            const std::uint64_t local_index = h * local_b + l;
+            const std::uint64_t pos = local_index * static_cast<std::uint64_t>(n) +
+                                      static_cast<std::uint64_t>(i);
+            if (pos >= consumed) continue;
+            const data::SampleId sample = policy.remap(i, e, local_index, order[pos]);
+            const AccessDecision decision =
+                zero_io ? AccessDecision{Location::kLocal, 0}
+                        : policy.on_access(ctx, i, e, sample, gamma_prev);
+            samples[base + count] = sample;
+            decisions[base + count] = decision;
+            ++count;
+            if (decision.location == Location::kPfs) hits_pfs = true;
+          }
         }
         counts[static_cast<std::size_t>(i)] = count;
         if (hits_pfs) ++gamma_now;
@@ -157,18 +201,20 @@ SimResult simulate(const SimConfig& config, const data::Dataset& dataset,
       double iter_end = 0.0;
       for (int i = 0; i < n; ++i) {
         const auto count = counts[static_cast<std::size_t>(i)];
+        const std::size_t base = static_cast<std::size_t>(i) * local_b;
         double ti = t[static_cast<std::size_t>(i)];
         for (std::uint32_t a = 0; a < count; ++a) {
-          const auto& r = scratch[static_cast<std::size_t>(i) * local_b + a];
-          const double mb = dataset.size_mb(r.sample);
+          const data::SampleId sample = samples[base + a];
+          const AccessDecision decision = decisions[base + a];
+          const double mb = dataset.size_mb(sample);
           double fetch_s = 0.0;
           if (!zero_io) {
-            switch (r.decision.location) {
+            switch (decision.location) {
               case Location::kLocal:
-                fetch_s = model.fetch_local_s(mb, r.decision.storage_class);
+                fetch_s = model.fetch_local_s(mb, decision.storage_class);
                 break;
               case Location::kRemote:
-                fetch_s = model.fetch_remote_s(mb, r.decision.storage_class);
+                fetch_s = model.fetch_remote_s(mb, decision.storage_class);
                 break;
               case Location::kPfs:
                 fetch_s = model.fetch_pfs_s(mb, gamma);
@@ -178,7 +224,7 @@ SimResult simulate(const SimConfig& config, const data::Dataset& dataset,
             }
           }
           const double write_s = zero_io ? 0.0 : model.write_s(mb);
-          const int loc = static_cast<int>(r.decision.location);
+          const int loc = static_cast<int>(decision.location);
           const int staging = static_cast<int>(Location::kStagingWrite);
           result.location_s[loc] += fetch_s;
           result.location_s[staging] += write_s;
@@ -198,7 +244,7 @@ SimResult simulate(const SimConfig& config, const data::Dataset& dataset,
             // fetch does not: the worker is a single PFS client, so its p0
             // threads share one t(gamma)/gamma slice — threads cannot
             // multiply parallel-filesystem bandwidth.
-            if (r.decision.location == Location::kPfs) {
+            if (decision.location == Location::kPfs) {
               cum_read[static_cast<std::size_t>(i)] +=
                   fetch_s * static_cast<double>(p0) + write_s;
             } else {

@@ -65,6 +65,19 @@ double FirstTouchPolicy::setup(const SimContext& ctx) {
 AccessDecision FirstTouchPolicy::on_access(const SimContext& ctx, int worker,
                                            int /*epoch*/, data::SampleId sample,
                                            int /*gamma*/) {
+  return decide(ctx, worker, sample);
+}
+
+void FirstTouchPolicy::on_access_batch(const SimContext& ctx, int worker, int /*epoch*/,
+                                       std::span<const data::SampleId> samples,
+                                       int /*gamma*/, std::span<AccessDecision> out) {
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    out[i] = decide(ctx, worker, samples[i]);
+  }
+}
+
+AccessDecision FirstTouchPolicy::decide(const SimContext& ctx, int worker,
+                                        data::SampleId sample) {
   const int local_cls = table_.local_cached_class(sample, worker);
   if (local_cls >= 0) return {Location::kLocal, local_cls};
   int peer = -1;
@@ -175,12 +188,26 @@ data::SampleId ParallelStagingPolicy::remap(int worker, int /*epoch*/,
   return seq[local_index % seq.size()];
 }
 
-AccessDecision ParallelStagingPolicy::on_access(const SimContext& /*ctx*/, int worker,
-                                                int /*epoch*/, data::SampleId sample,
-                                                int /*gamma*/) {
+AccessDecision ParallelStagingPolicy::decide(int worker, data::SampleId sample) const {
   const int cls = table_.local_cached_class(sample, worker);
   if (cls >= 0) return {Location::kLocal, cls};
   return {Location::kPfs, -1};  // only with a degenerate empty shard
+}
+
+AccessDecision ParallelStagingPolicy::on_access(const SimContext& /*ctx*/, int worker,
+                                                int /*epoch*/, data::SampleId sample,
+                                                int /*gamma*/) {
+  return decide(worker, sample);
+}
+
+void ParallelStagingPolicy::on_access_batch(const SimContext& /*ctx*/, int worker,
+                                            int /*epoch*/,
+                                            std::span<const data::SampleId> samples,
+                                            int /*gamma*/,
+                                            std::span<AccessDecision> out) {
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    out[i] = decide(worker, samples[i]);
+  }
 }
 
 double ParallelStagingPolicy::accessed_fraction(const SimContext& ctx) const {
@@ -237,15 +264,28 @@ bool LbannPreloadPolicy::supported(const SimContext& ctx, std::string* why) cons
   return true;
 }
 
-AccessDecision LbannPreloadPolicy::on_access(const SimContext& /*ctx*/, int worker,
-                                             int /*epoch*/, data::SampleId sample,
-                                             int /*gamma*/) {
+AccessDecision LbannPreloadPolicy::decide(int worker, data::SampleId sample) const {
   const int local_cls = table_.local_cached_class(sample, worker);
   if (local_cls >= 0) return {Location::kLocal, local_cls};
   int peer = -1;
   const int remote_cls = table_.best_remote_class(sample, worker, &peer);
   if (remote_cls >= 0) return {Location::kRemote, remote_cls};
   return {Location::kPfs, -1};
+}
+
+AccessDecision LbannPreloadPolicy::on_access(const SimContext& /*ctx*/, int worker,
+                                             int /*epoch*/, data::SampleId sample,
+                                             int /*gamma*/) {
+  return decide(worker, sample);
+}
+
+void LbannPreloadPolicy::on_access_batch(const SimContext& /*ctx*/, int worker,
+                                         int /*epoch*/,
+                                         std::span<const data::SampleId> samples,
+                                         int /*gamma*/, std::span<AccessDecision> out) {
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    out[i] = decide(worker, samples[i]);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -318,11 +358,20 @@ double NoPFSPolicy::setup(const SimContext& ctx) {
   planned_mb_.assign(static_cast<std::size_t>(n), 0.0);
   if (node.classes.empty()) return 0.0;  // nothing to cache into
 
-  // Pass 1 (clairvoyance): who reads each sample in each epoch.
+  // Pass 1 (clairvoyance): who reads each sample in each epoch.  Sweeps
+  // share the permutations through the epoch-order cache (the engine will
+  // walk the same epochs right after this); plain calls stay transient.
   std::vector<std::uint16_t> owners(f * static_cast<std::uint64_t>(epochs), kNoOwner);
   const std::uint64_t consumed = consumed_per_epoch(ctx);
+  std::vector<data::SampleId> order_buffer;
+  std::shared_ptr<const std::vector<data::SampleId>> order_shared;
   for (int e = 0; e < epochs; ++e) {
-    const auto order = ctx.gen->epoch_order(e);
+    if (ctx.config->share_epoch_orders) {
+      order_shared = ctx.gen->epoch_order_shared(e);
+    } else {
+      ctx.gen->epoch_order_into(e, order_buffer);
+    }
+    const auto& order = ctx.config->share_epoch_orders ? *order_shared : order_buffer;
     for (std::uint64_t pos = 0; pos < consumed; ++pos) {
       owners[order[pos] * static_cast<std::uint64_t>(epochs) +
              static_cast<std::uint64_t>(e)] =
@@ -392,6 +441,19 @@ double NoPFSPolicy::setup(const SimContext& ctx) {
 
 AccessDecision NoPFSPolicy::on_access(const SimContext& ctx, int worker, int /*epoch*/,
                                       data::SampleId sample, int gamma) {
+  return decide(ctx, worker, sample, gamma);
+}
+
+void NoPFSPolicy::on_access_batch(const SimContext& ctx, int worker, int /*epoch*/,
+                                  std::span<const data::SampleId> samples, int gamma,
+                                  std::span<AccessDecision> out) {
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    out[i] = decide(ctx, worker, samples[i], gamma);
+  }
+}
+
+AccessDecision NoPFSPolicy::decide(const SimContext& ctx, int worker,
+                                   data::SampleId sample, int gamma) {
   const int local_cls = table_.local_cached_class(sample, worker);
   if (local_cls >= 0) return {Location::kLocal, local_cls};
 

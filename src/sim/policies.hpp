@@ -24,6 +24,7 @@
 // All policies express their cache state through HolderTable so the engine
 // prices accesses uniformly.
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -58,6 +59,7 @@ class PerfectPolicy final : public Policy {
                                          int) override {
     return {Location::kLocal, 0};
   }
+  [[nodiscard]] bool batchable() const override { return true; }
   [[nodiscard]] bool zero_io() const override { return true; }
 };
 
@@ -69,6 +71,11 @@ class NaivePolicy final : public Policy {
                                          int) override {
     return {Location::kPfs, -1};
   }
+  void on_access_batch(const SimContext&, int, int, std::span<const data::SampleId>,
+                       int, std::span<AccessDecision> out) override {
+    std::fill(out.begin(), out.end(), AccessDecision{Location::kPfs, -1});
+  }
+  [[nodiscard]] bool batchable() const override { return true; }
   [[nodiscard]] bool overlapped() const override { return false; }
 };
 
@@ -80,6 +87,11 @@ class StagingBufferPolicy final : public Policy {
                                          int) override {
     return {Location::kPfs, -1};
   }
+  void on_access_batch(const SimContext&, int, int, std::span<const data::SampleId>,
+                       int, std::span<AccessDecision> out) override {
+    std::fill(out.begin(), out.end(), AccessDecision{Location::kPfs, -1});
+  }
+  [[nodiscard]] bool batchable() const override { return true; }
 };
 
 /// Shared machinery: first-touch caching with optional remote fetches.
@@ -91,8 +103,20 @@ class FirstTouchPolicy : public Policy {
   double setup(const SimContext& ctx) override;
   [[nodiscard]] AccessDecision on_access(const SimContext& ctx, int worker, int epoch,
                                          data::SampleId sample, int gamma) override;
+  void on_access_batch(const SimContext& ctx, int worker, int epoch,
+                       std::span<const data::SampleId> samples, int gamma,
+                       std::span<AccessDecision> out) override;
+  /// First-touch caching mutates only holder/capacity state, which no
+  /// subclass remap() reads mid-batch (DeepIO opportunistic, which does,
+  /// re-overrides this to false).
+  [[nodiscard]] bool batchable() const override { return true; }
 
  protected:
+  /// The per-sample decision logic, devirtualized so on_access_batch can
+  /// amortize dispatch; on_access and the batch loop both call this, which
+  /// is what keeps the two paths bit-identical.
+  [[nodiscard]] AccessDecision decide(const SimContext& ctx, int worker,
+                                      data::SampleId sample);
   [[nodiscard]] HolderTable& table() noexcept { return table_; }
   [[nodiscard]] CapacityTracker& capacity() noexcept { return capacity_; }
   /// Samples cached per worker, in caching order (locality-aware reuse).
@@ -120,7 +144,20 @@ class DeepIOOpportunisticPolicy final : public FirstTouchPolicy {
                                      data::SampleId def) override;
   [[nodiscard]] AccessDecision on_access(const SimContext& ctx, int worker, int epoch,
                                          data::SampleId sample, int gamma) override;
+  /// Re-shadows the inherited FirstTouchPolicy batch override with the
+  /// base-class per-sample loop: the inherited decide() path would skip this
+  /// class's accessed_[] tracking and silently corrupt accessed_fraction().
+  void on_access_batch(const SimContext& ctx, int worker, int epoch,
+                       std::span<const data::SampleId> samples, int gamma,
+                       std::span<AccessDecision> out) override {
+    Policy::on_access_batch(ctx, worker, epoch, samples, gamma, out);
+  }
   [[nodiscard]] double accessed_fraction(const SimContext& ctx) const override;
+
+  /// remap() substitutes samples this worker cached, and on_access() grows
+  /// that cache — interleaving within a local batch is observable, so the
+  /// engine must keep the per-sample path for this policy.
+  [[nodiscard]] bool batchable() const override { return false; }
 
  private:
   std::vector<bool> accessed_;
@@ -136,9 +173,16 @@ class ParallelStagingPolicy final : public Policy {
                                      data::SampleId def) override;
   [[nodiscard]] AccessDecision on_access(const SimContext& ctx, int worker, int epoch,
                                          data::SampleId sample, int gamma) override;
+  void on_access_batch(const SimContext& ctx, int worker, int epoch,
+                       std::span<const data::SampleId> samples, int gamma,
+                       std::span<AccessDecision> out) override;
+  /// remap() reads only epoch_sequence_, which on_access() never touches.
+  [[nodiscard]] bool batchable() const override { return true; }
   [[nodiscard]] double accessed_fraction(const SimContext& ctx) const override;
 
  private:
+  [[nodiscard]] AccessDecision decide(int worker, data::SampleId sample) const;
+
   HolderTable table_;
   std::vector<std::vector<data::SampleId>> shards_;          ///< per worker
   std::vector<std::vector<data::SampleId>> epoch_sequence_;  ///< shuffled per epoch
@@ -159,8 +203,14 @@ class LbannPreloadPolicy final : public Policy {
   [[nodiscard]] bool supported(const SimContext& ctx, std::string* why) const override;
   [[nodiscard]] AccessDecision on_access(const SimContext& ctx, int worker, int epoch,
                                          data::SampleId sample, int gamma) override;
+  void on_access_batch(const SimContext& ctx, int worker, int epoch,
+                       std::span<const data::SampleId> samples, int gamma,
+                       std::span<AccessDecision> out) override;
+  [[nodiscard]] bool batchable() const override { return true; }
 
  private:
+  [[nodiscard]] AccessDecision decide(int worker, data::SampleId sample) const;
+
   HolderTable table_;
 };
 
@@ -193,6 +243,10 @@ class NoPFSPolicy final : public Policy {
   double setup(const SimContext& ctx) override;
   [[nodiscard]] AccessDecision on_access(const SimContext& ctx, int worker, int epoch,
                                          data::SampleId sample, int gamma) override;
+  void on_access_batch(const SimContext& ctx, int worker, int epoch,
+                       std::span<const data::SampleId> samples, int gamma,
+                       std::span<AccessDecision> out) override;
+  [[nodiscard]] bool batchable() const override { return true; }
 
   /// Total MB planned per worker (diagnostics / tests).
   [[nodiscard]] const std::vector<double>& planned_mb() const noexcept {
@@ -200,6 +254,9 @@ class NoPFSPolicy final : public Policy {
   }
 
  private:
+  [[nodiscard]] AccessDecision decide(const SimContext& ctx, int worker,
+                                      data::SampleId sample, int gamma);
+
   Options options_;
   HolderTable table_;
   std::vector<double> planned_mb_;

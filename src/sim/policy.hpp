@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "core/access_stream.hpp"
@@ -64,6 +65,30 @@ class Policy {
   [[nodiscard]] virtual AccessDecision on_access(const SimContext& ctx, int worker,
                                                  int epoch, data::SampleId sample,
                                                  int gamma_estimate) = 0;
+
+  /// Batched decision dispatch: one virtual call per local batch instead of
+  /// one per access.  `samples` is one worker's local batch in consumption
+  /// order; decisions go to `out[i]` for `samples[i]`.  The default loops
+  /// on_access(), so overriding is purely an optimization — implementations
+  /// MUST produce exactly the decisions (and the same internal state
+  /// mutations, in the same order) the per-sample loop would, so batched and
+  /// per-sample runs stay bit-identical (DESIGN.md Sec. 6.3).
+  virtual void on_access_batch(const SimContext& ctx, int worker, int epoch,
+                               std::span<const data::SampleId> samples,
+                               int gamma_estimate, std::span<AccessDecision> out) {
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      out[i] = on_access(ctx, worker, epoch, samples[i], gamma_estimate);
+    }
+  }
+
+  /// Opt-in to batched dispatch.  The engine may only resolve a whole local
+  /// batch via remap() before dispatching it when remap() does NOT read
+  /// state that on_access() mutates within the same batch (DeepIO
+  /// opportunistic is the counterexample).  That property cannot be checked
+  /// mechanically, so the default is the safe per-sample interleaving —
+  /// exactly the pre-batching engine — and each policy that satisfies the
+  /// property declares it by overriding this to true.
+  [[nodiscard]] virtual bool batchable() const { return false; }
 
   /// Fraction of the dataset read at least once over the whole run.
   [[nodiscard]] virtual double accessed_fraction(const SimContext& /*ctx*/) const {

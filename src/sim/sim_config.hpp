@@ -33,6 +33,18 @@ struct SimConfig {
   bool uniform_compute = true;
   /// Cap on retained per-iteration times (reservoir subsampling beyond).
   std::size_t max_batch_records = 200'000;
+  /// Route epoch permutations through the process-global EpochOrderCache so
+  /// concurrent simulations of the same stream config share them.  The
+  /// SweepRunner turns this on for its cells; it defaults to off so a plain
+  /// library simulate() call stays allocation-transient instead of pinning
+  /// permutations in process-global memory for the process lifetime.
+  /// Value-transparent either way: results are bit-identical.
+  bool share_epoch_orders = false;
+  /// Test/debug knob: route every decision through the per-sample
+  /// Policy::on_access() path even for batchable policies, bypassing
+  /// on_access_batch().  Results must be bit-identical either way (the
+  /// parity contract; enforced by tests/test_policy_batch.cpp).
+  bool force_per_sample_dispatch = false;
 
   [[nodiscard]] std::uint64_t global_batch() const noexcept {
     return per_worker_batch * static_cast<std::uint64_t>(system.num_workers);

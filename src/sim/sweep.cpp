@@ -1,0 +1,42 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/policies.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nopfs::sim {
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : num_threads_(options.num_threads > 0 ? options.num_threads
+                                           : util::ThreadPool::default_num_threads()) {}
+
+std::vector<SimResult> SweepRunner::run(const std::vector<SweepPoint>& points) const {
+  return run(points.size(), [&](std::size_t i) {
+    const SweepPoint& point = points[i];
+    if (point.dataset == nullptr) {
+      throw std::invalid_argument("SweepRunner: point has no dataset");
+    }
+    auto policy = make_policy(point.policy);
+    // Cells of one sweep share epoch permutations through the global cache
+    // (value-transparent, see SimConfig::share_epoch_orders).
+    SimConfig config = point.config;
+    config.share_epoch_orders = true;
+    return simulate(config, *point.dataset, *policy);
+  });
+}
+
+std::vector<SimResult> SweepRunner::run(
+    std::size_t count, const std::function<SimResult(std::size_t)>& evaluate) const {
+  std::vector<SimResult> results(count);
+  // Never spawn more workers than there are cells (a 4-point sweep on a
+  // 128-core host should not create 128 parked threads).
+  const int threads = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(num_threads_), count));
+  util::ThreadPool pool(threads);
+  pool.run_indexed(count, [&](std::size_t i) { results[i] = evaluate(i); });
+  return results;
+}
+
+}  // namespace nopfs::sim

@@ -1,0 +1,59 @@
+#pragma once
+// Parallel sweep engine (DESIGN.md Sec. 6).
+//
+// The paper's figures are grids: policy x system scale x dataset x batch
+// size, each cell one independent simulate() call.  SweepRunner evaluates
+// those cells concurrently on a util::ThreadPool while guaranteeing the
+// determinism contract (DESIGN.md Sec. 6.1):
+//
+//   * every cell constructs a fresh Policy and runs the unmodified serial
+//     simulate(), so a cell's SimResult is a pure function of
+//     (config, dataset, policy name);
+//   * results are returned in submission order, indexed like the input;
+//   * the only cross-cell shared state is the EpochOrderCache, which is
+//     value-transparent — a hit and a regeneration yield the same bytes.
+//
+// Together these make the output byte-identical for any thread count,
+// including 1 (which runs inline with no pool at all).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/policy.hpp"
+
+namespace nopfs::sim {
+
+/// One grid point of a sweep.
+struct SweepPoint {
+  SimConfig config;
+  const data::Dataset* dataset = nullptr;
+  std::string policy;  ///< make_policy() name
+};
+
+struct SweepOptions {
+  /// 0 = auto: NOPFS_SWEEP_THREADS env var, else hardware concurrency.
+  int num_threads = 0;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  [[nodiscard]] int num_threads() const noexcept { return num_threads_; }
+
+  /// Evaluates every grid point; results[i] corresponds to points[i].
+  /// Throws (after all cells drain) if any cell throws.
+  [[nodiscard]] std::vector<SimResult> run(const std::vector<SweepPoint>& points) const;
+
+  /// Generic variant for cells that need custom policy construction:
+  /// `evaluate(i)` must be safe to call concurrently for distinct i.
+  [[nodiscard]] std::vector<SimResult> run(
+      std::size_t count, const std::function<SimResult(std::size_t)>& evaluate) const;
+
+ private:
+  int num_threads_;
+};
+
+}  // namespace nopfs::sim

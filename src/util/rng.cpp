@@ -62,10 +62,15 @@ Rng Rng::for_stream(std::uint64_t seed, std::uint64_t stream) noexcept {
 }
 
 std::vector<std::uint64_t> shuffled_indices(std::size_t n, Rng& rng) {
-  std::vector<std::uint64_t> indices(n);
-  std::iota(indices.begin(), indices.end(), std::uint64_t{0});
-  fisher_yates_shuffle(std::span<std::uint64_t>(indices), rng);
+  std::vector<std::uint64_t> indices;
+  shuffled_indices_into(n, rng, indices);
   return indices;
+}
+
+void shuffled_indices_into(std::size_t n, Rng& rng, std::vector<std::uint64_t>& out) {
+  out.resize(n);
+  std::iota(out.begin(), out.end(), std::uint64_t{0});
+  fisher_yates_shuffle(std::span<std::uint64_t>(out), rng);
 }
 
 }  // namespace nopfs::util

@@ -137,4 +137,8 @@ void fisher_yates_shuffle(std::span<T> values, Rng& rng) {
 /// Returns the identity permutation [0, n) shuffled with `rng`.
 [[nodiscard]] std::vector<std::uint64_t> shuffled_indices(std::size_t n, Rng& rng);
 
+/// In-place variant: fills `out` (resized to n) with the shuffled identity
+/// permutation, reusing its existing allocation when large enough.
+void shuffled_indices_into(std::size_t n, Rng& rng, std::vector<std::uint64_t>& out);
+
 }  // namespace nopfs::util

@@ -72,6 +72,8 @@ BenchArgs parse_bench_args(int argc, char** argv) {
       args.scenario = argv[++i];
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      args.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     }
   }
   return args;

@@ -1,0 +1,149 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <utility>
+
+namespace nopfs::util {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  if (num_threads_ <= 1) return;
+  workers_.reserve(static_cast<std::size_t>(num_threads_));
+  try {
+    for (int t = 0; t < num_threads_; ++t) {
+      workers_.emplace_back([this] { worker_main(); });
+    }
+  } catch (...) {
+    // Thread creation failed partway (system_error on a thread-limited
+    // host): the destructor will not run for a half-constructed object, so
+    // join the workers already spawned here — destroying a joinable
+    // std::thread would std::terminate — then surface the error.
+    {
+      const std::scoped_lock lock(mutex_);
+      stop_ = true;
+    }
+    task_cv_.notify_all();
+    for (auto& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Match the pooled path: capture instead of throwing to the caller, so
+    // submit()-then-wait_idle() behaves identically for any pool size.
+    try {
+      task();
+    } catch (...) {
+      const std::scoped_lock lock(mutex_);
+      if (!pending_error_) pending_error_ = std::current_exception();
+    }
+    return;
+  }
+  {
+    const std::scoped_lock lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  if (!workers_.empty()) {
+    idle_cv_.wait(lock, [&] { return tasks_.empty() && in_flight_ == 0; });
+  }
+  if (pending_error_) {
+    std::exception_ptr error = std::exchange(pending_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::run_indexed(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (workers_.empty()) {
+    // Match the pooled path's contract: every index runs; the first
+    // exception is rethrown only after the whole range drains.
+    std::exception_ptr inline_error;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!inline_error) inline_error = std::current_exception();
+      }
+    }
+    if (inline_error) std::rethrow_exception(inline_error);
+    return;
+  }
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  try {
+    for (std::size_t i = 0; i < count; ++i) {
+      submit([&, i] {
+        try {
+          fn(i);
+        } catch (...) {
+          const std::scoped_lock lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+  } catch (...) {
+    // submit() itself threw (e.g. bad_alloc queuing the task): drain the
+    // already-queued tasks before unwinding, or they would run against
+    // dangling references into this destroyed frame.
+    wait_idle();
+    throw;
+  }
+  wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+int ThreadPool::default_num_threads() {
+  if (const char* env = std::getenv("NOPFS_SWEEP_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::worker_main() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_cv_.wait(lock, [&] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++in_flight_;
+    }
+    try {
+      task();
+    } catch (...) {
+      const std::scoped_lock lock(mutex_);
+      if (!pending_error_) pending_error_ = std::current_exception();
+    }
+    {
+      const std::scoped_lock lock(mutex_);
+      --in_flight_;
+      if (tasks_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace nopfs::util

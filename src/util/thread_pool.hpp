@@ -1,0 +1,73 @@
+#pragma once
+// A small fixed-size task-queue thread pool for the sweep engine.
+//
+// Design constraints (DESIGN.md Sec. 6): tasks are independent simulation
+// grid points, so the pool needs no work stealing — a single mutex-guarded
+// FIFO queue is contended only at task granularity (each task runs an
+// entire simulate() call, milliseconds to minutes).  Determinism is the
+// caller's job: run_indexed() hands every task its own result slot, so the
+// output order is the submission order regardless of which worker finishes
+// first, and with num_threads <= 1 everything runs inline on the calling
+// thread (byte-identical to a hand-written serial loop).
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace nopfs::util {
+
+class ThreadPool {
+ public:
+  /// `num_threads <= 1` creates no worker threads: submitted tasks run
+  /// inline in submit()/run_indexed(), which keeps single-threaded runs
+  /// free of scheduling effects.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int num_threads() const noexcept { return num_threads_; }
+
+  /// Enqueues one task.  Inline execution when the pool has no workers.
+  /// If the task throws, the first such exception (across all submitted
+  /// tasks, for any pool size) is captured and rethrown from the next
+  /// wait_idle(); an error never observed by wait_idle() is dropped at
+  /// destruction.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception a submitted task threw since the last wait_idle().
+  void wait_idle();
+
+  /// Runs fn(0..count-1) across the pool and waits for completion.  If any
+  /// invocation throws, the first exception (by completion time) is
+  /// rethrown on the calling thread after all tasks drain.
+  void run_indexed(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// Thread count to use when the caller passes 0 ("auto"): the
+  /// NOPFS_SWEEP_THREADS environment variable when set and positive,
+  /// otherwise std::thread::hardware_concurrency().
+  [[nodiscard]] static int default_num_threads();
+
+ private:
+  void worker_main();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable task_cv_;   ///< workers wait for tasks
+  std::condition_variable idle_cv_;   ///< wait_idle waits for drain
+  std::queue<std::function<void()>> tasks_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::exception_ptr pending_error_;  ///< first escaped task exception
+};
+
+}  // namespace nopfs::util

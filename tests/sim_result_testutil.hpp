@@ -1,0 +1,33 @@
+#pragma once
+// Shared helper for tests that assert the sweep/batch determinism contract:
+// two SimResults must be BIT-identical (exact double equality on every
+// field), not merely close — the parallel sweep, the batched dispatch path,
+// and the epoch-order cache all promise byte-equal outputs.
+
+#include <gtest/gtest.h>
+
+#include "sim/sim_config.hpp"
+
+namespace nopfs::sim {
+
+inline void expect_results_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.dataset, b.dataset);
+  EXPECT_EQ(a.supported, b.supported);
+  EXPECT_EQ(a.unsupported_reason, b.unsupported_reason);
+  EXPECT_EQ(a.total_s, b.total_s);
+  EXPECT_EQ(a.prestage_s, b.prestage_s);
+  EXPECT_EQ(a.stall_s, b.stall_s);
+  EXPECT_EQ(a.compute_s, b.compute_s);
+  EXPECT_EQ(a.epoch_s, b.epoch_s);
+  EXPECT_EQ(a.batch_s_epoch0, b.batch_s_epoch0);
+  EXPECT_EQ(a.batch_s_rest, b.batch_s_rest);
+  for (int l = 0; l < static_cast<int>(Location::kCount); ++l) {
+    EXPECT_EQ(a.location_s[l], b.location_s[l]) << "location_s[" << l << "]";
+    EXPECT_EQ(a.location_count[l], b.location_count[l]) << "location_count[" << l << "]";
+    EXPECT_EQ(a.location_mb[l], b.location_mb[l]) << "location_mb[" << l << "]";
+  }
+  EXPECT_EQ(a.accessed_fraction, b.accessed_fraction);
+}
+
+}  // namespace nopfs::sim

@@ -1,0 +1,165 @@
+// Tests for the epoch-order cache and the in-place epoch-order API: cached
+// and uncached permutations must be value-identical, the cache must
+// actually share (same pointer on a hit), eviction must respect the byte
+// budget, and concurrent access must be safe.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/access_stream.hpp"
+#include "core/epoch_order_cache.hpp"
+
+namespace nopfs::core {
+namespace {
+
+StreamConfig small_stream(std::uint64_t seed = 7, std::uint64_t f = 4096) {
+  StreamConfig config;
+  config.seed = seed;
+  config.num_samples = f;
+  config.num_workers = 4;
+  config.num_epochs = 3;
+  config.global_batch = 64;
+  return config;
+}
+
+// The global cache's budget comes from NOPFS_EPOCH_CACHE_MB; with it set to
+// 0 (caching disabled) pointer-sharing assertions would fail spuriously even
+// though values are still correct, so sharing checks are gated on this.
+bool global_cache_enabled() {
+  return EpochOrderCache::global().budget_bytes() > 0;
+}
+
+TEST(EpochOrderCache, CachedMatchesUncached) {
+  EpochOrderCache::global().clear();
+  const AccessStreamGenerator gen(small_stream());
+  for (int e = 0; e < 3; ++e) {
+    const auto uncached = gen.epoch_order(e);
+    const auto cached = gen.epoch_order_shared(e);
+    EXPECT_EQ(uncached, *cached) << "epoch " << e;
+    // Second lookup must be value-identical too (and the same object when
+    // the global cache is enabled).
+    const auto again = gen.epoch_order_shared(e);
+    if (global_cache_enabled()) {
+      EXPECT_EQ(cached.get(), again.get()) << "epoch " << e << " not shared";
+    }
+    EXPECT_EQ(uncached, *again);
+  }
+}
+
+TEST(EpochOrderCache, InPlaceMatchesAllocating) {
+  const AccessStreamGenerator gen(small_stream(11));
+  std::vector<data::SampleId> buffer;
+  for (int e = 0; e < 3; ++e) {
+    gen.epoch_order_into(e, buffer);  // reuses the allocation across epochs
+    EXPECT_EQ(buffer, gen.epoch_order(e)) << "epoch " << e;
+  }
+}
+
+TEST(EpochOrderCache, DistinctKeysDistinctOrders) {
+  EpochOrderCache::global().clear();
+  const AccessStreamGenerator gen_a(small_stream(1));
+  const AccessStreamGenerator gen_b(small_stream(2));
+  EXPECT_NE(*gen_a.epoch_order_shared(0), *gen_b.epoch_order_shared(0));
+  EXPECT_NE(*gen_a.epoch_order_shared(0), *gen_a.epoch_order_shared(1));
+  // Same (seed, epoch, F) from an unrelated generator instance hits.
+  const AccessStreamGenerator gen_c(small_stream(1));
+  if (global_cache_enabled()) {
+    EXPECT_EQ(gen_a.epoch_order_shared(0).get(), gen_c.epoch_order_shared(0).get());
+  } else {
+    EXPECT_EQ(*gen_a.epoch_order_shared(0), *gen_c.epoch_order_shared(0));
+  }
+}
+
+TEST(EpochOrderCache, HitMissAccounting) {
+  EpochOrderCache cache;
+  const AccessStreamGenerator gen(small_stream(23));
+  const auto generate = [&](std::vector<data::SampleId>& out) {
+    gen.epoch_order_into(0, out);
+  };
+  const EpochOrderCache::Key key{23, 0, 4096};
+  EXPECT_EQ(cache.misses(), 0u);
+  const auto first = cache.get(key, generate);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  const auto second = cache.get(key, generate);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(EpochOrderCache, EvictsLeastRecentlyUsedUnderBudget) {
+  // Budget for ~2 permutations of 100 samples (800 bytes each).
+  EpochOrderCache cache(2 * 100 * sizeof(data::SampleId));
+  StreamConfig config = small_stream(5, 100);
+  config.global_batch = 20;
+  const AccessStreamGenerator gen(config);
+  const auto generate_for = [&](int epoch) {
+    return [&gen, epoch](std::vector<data::SampleId>& out) {
+      gen.epoch_order_into(epoch, out);
+    };
+  };
+  const auto e0 = cache.get({5, 0, 100}, generate_for(0));
+  const auto e1 = cache.get({5, 1, 100}, generate_for(1));
+  EXPECT_EQ(cache.entries(), 2u);
+  const auto e2 = cache.get({5, 2, 100}, generate_for(2));  // evicts epoch 0
+  EXPECT_EQ(cache.entries(), 2u);
+  // The evicted shared_ptr stays valid for live holders.
+  EXPECT_EQ(e0->size(), 100u);
+  // Epoch 0 is regenerated on the next request, value-identical.
+  const auto e0_again = cache.get({5, 0, 100}, generate_for(0));
+  EXPECT_EQ(*e0, *e0_again);
+  EXPECT_NE(e0.get(), e0_again.get());  // different object: it was evicted
+}
+
+TEST(EpochOrderCache, EntryLargerThanBudgetIsNotPinned) {
+  // A permutation bigger than the whole budget must not stay resident: the
+  // caller's shared_ptr keeps it valid, but the cache must honor its cap.
+  EpochOrderCache cache(10 * sizeof(data::SampleId));  // budget < one entry
+  StreamConfig config = small_stream(9, 100);
+  config.global_batch = 20;
+  const AccessStreamGenerator gen(config);
+  const auto order = cache.get({9, 0, 100}, [&](std::vector<data::SampleId>& out) {
+    gen.epoch_order_into(0, out);
+  });
+  EXPECT_EQ(order->size(), 100u);   // caller's handle is intact
+  EXPECT_EQ(cache.entries(), 0u);   // but nothing stays pinned
+}
+
+TEST(EpochOrderCache, ZeroBudgetDisablesCachingButStaysCorrect) {
+  EpochOrderCache cache(0);
+  const AccessStreamGenerator gen(small_stream(31));
+  const auto generate = [&](std::vector<data::SampleId>& out) {
+    gen.epoch_order_into(0, out);
+  };
+  const auto a = cache.get({31, 0, 4096}, generate);
+  const auto b = cache.get({31, 0, 4096}, generate);
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(EpochOrderCache, ConcurrentGetsAgree) {
+  EpochOrderCache cache;
+  const AccessStreamGenerator gen(small_stream(77));
+  constexpr int kThreads = 8;
+  std::vector<EpochOrderCache::OrderPtr> seen(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        seen[static_cast<std::size_t>(t)] =
+            cache.get({77, t % 2, 4096}, [&, t](std::vector<data::SampleId>& out) {
+              gen.epoch_order_into(t % 2, out);
+            });
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(*seen[static_cast<std::size_t>(t)], gen.epoch_order(t % 2));
+  }
+}
+
+}  // namespace
+}  // namespace nopfs::core

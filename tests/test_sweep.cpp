@@ -1,0 +1,206 @@
+// Tests for the parallel sweep engine: results must be independent of the
+// thread count (the DESIGN.md Sec. 6.1 determinism contract), returned in
+// submission order, and identical to direct serial simulate() calls.  Also
+// covers the underlying util::ThreadPool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "sim/policies.hpp"
+#include "sim/sweep.hpp"
+#include "sim_result_testutil.hpp"
+#include "tiers/params.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nopfs::sim {
+namespace {
+
+std::vector<SweepPoint> small_grid(const data::Dataset& dataset) {
+  std::vector<SweepPoint> points;
+  for (const int workers : {2, 4, 8}) {
+    for (const char* policy : {"staging", "nopfs", "lbann-preload", "perfect"}) {
+      SweepPoint point;
+      point.config.system = tiers::presets::sim_cluster(workers);
+      point.config.num_epochs = 3;
+      point.config.per_worker_batch = 8;
+      point.config.seed = 4242;
+      point.dataset = &dataset;
+      point.policy = policy;
+      points.push_back(std::move(point));
+    }
+  }
+  return points;
+}
+
+TEST(SweepRunner, ThreadCountDoesNotChangeResults) {
+  const data::Dataset dataset("sweep-test", std::vector<float>(2048, 0.1f));
+  const auto points = small_grid(dataset);
+
+  const SweepRunner serial({1});
+  const SweepRunner parallel({4});
+  EXPECT_EQ(serial.num_threads(), 1);
+  EXPECT_EQ(parallel.num_threads(), 4);
+
+  const auto serial_results = serial.run(points);
+  const auto parallel_results = parallel.run(points);
+  ASSERT_EQ(serial_results.size(), points.size());
+  ASSERT_EQ(parallel_results.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i) + " (" + points[i].policy + ")");
+    expect_results_identical(serial_results[i], parallel_results[i]);
+  }
+}
+
+TEST(SweepRunner, MatchesDirectSimulateInSubmissionOrder) {
+  const data::Dataset dataset("sweep-test", std::vector<float>(2048, 0.1f));
+  const auto points = small_grid(dataset);
+  const SweepRunner runner({3});
+  const auto results = runner.run(points);
+  ASSERT_EQ(results.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto policy = make_policy(points[i].policy);
+    const SimResult direct = simulate(points[i].config, dataset, *policy);
+    SCOPED_TRACE("cell " + std::to_string(i) + " (" + points[i].policy + ")");
+    // Order check: the result in slot i is the simulation of point i.
+    EXPECT_EQ(results[i].policy, direct.policy);
+    expect_results_identical(results[i], direct);
+  }
+}
+
+TEST(SweepRunner, SharedEpochOrdersAreValueTransparent) {
+  // SweepRunner turns on SimConfig::share_epoch_orders for its cells; a
+  // shared (cached) permutation must not change any result relative to the
+  // default transient path.
+  const data::Dataset dataset("sweep-test", std::vector<float>(2048, 0.1f));
+  for (const char* name : {"staging", "nopfs", "locality-aware"}) {
+    SimConfig transient_config;
+    transient_config.system = tiers::presets::sim_cluster(4);
+    transient_config.num_epochs = 3;
+    transient_config.per_worker_batch = 8;
+    transient_config.seed = 4242;
+    SimConfig shared_config = transient_config;
+    shared_config.share_epoch_orders = true;
+
+    auto transient_policy = make_policy(name);
+    auto shared_policy = make_policy(name);
+    const SimResult transient =
+        simulate(transient_config, dataset, *transient_policy);
+    const SimResult shared = simulate(shared_config, dataset, *shared_policy);
+    SCOPED_TRACE(name);
+    expect_results_identical(transient, shared);
+  }
+}
+
+TEST(SweepRunner, PropagatesCellExceptions) {
+  const data::Dataset dataset("sweep-test", std::vector<float>(256, 0.1f));
+  std::vector<SweepPoint> points = small_grid(dataset);
+  points[2].policy = "no-such-policy";
+  const SweepRunner runner({4});
+  EXPECT_THROW((void)runner.run(points), std::invalid_argument);
+}
+
+TEST(SweepRunner, GenericEvaluatorVariant) {
+  const data::Dataset dataset("sweep-test", std::vector<float>(1024, 0.1f));
+  SimConfig config;
+  config.system = tiers::presets::sim_cluster(4);
+  config.num_epochs = 2;
+  config.per_worker_batch = 8;
+  const SweepRunner runner({2});
+  // Custom-constructed policies (the ablations path).
+  const auto results = runner.run(3, [&](std::size_t i) {
+    NoPFSPolicy::Options options;
+    options.frequency_aware = (i != 1);
+    NoPFSPolicy policy(options);
+    return simulate(config, dataset, policy);
+  });
+  ASSERT_EQ(results.size(), 3u);
+  expect_results_identical(results[0], results[2]);  // same options, same result
+  EXPECT_EQ(results[1].policy, "NoPFS");
+}
+
+TEST(ThreadPool, RunIndexedCoversAllIndicesOnce) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::atomic<int>> touched(257);
+  pool.run_indexed(touched.size(), [&](std::size_t i) {
+    touched[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, InlineWhenSingleThreaded) {
+  util::ThreadPool pool(1);
+  const auto main_id = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.run_indexed(1, [&](std::size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, main_id);  // no worker threads: tasks run on the caller
+}
+
+TEST(ThreadPool, RethrowsFirstException) {
+  util::ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.run_indexed(64, [&](std::size_t i) {
+      if (i == 13) throw std::runtime_error("boom");
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "boom");
+  }
+  // All other tasks still ran: the pool drains before rethrowing.
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPool, InlinePathAlsoDrainsBeforeRethrowing) {
+  // The num_threads <= 1 inline path must honor the same contract as the
+  // pooled path: every index runs, first exception rethrown at the end.
+  util::ThreadPool pool(1);
+  std::atomic<int> completed{0};
+  try {
+    pool.run_indexed(16, [&](std::size_t i) {
+      if (i == 3) throw std::runtime_error("inline-boom");
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "inline-boom");
+  }
+  EXPECT_EQ(completed.load(), 15);
+}
+
+TEST(ThreadPool, SubmitExceptionRethrownFromWaitIdle) {
+  // A throwing task submitted directly (not via run_indexed) must not
+  // std::terminate the worker; wait_idle() reports it — for any pool size.
+  for (const int threads : {1, 4}) {
+    util::ThreadPool pool(threads);
+    pool.submit([] { throw std::runtime_error("submit-boom"); });
+    pool.submit([] {});  // later tasks still run
+    try {
+      pool.wait_idle();
+      FAIL() << "expected exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "submit-boom");
+    }
+    pool.wait_idle();  // error was consumed: next wait is clean
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossRuns) {
+  util::ThreadPool pool(3);
+  std::atomic<std::uint64_t> sum{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.run_indexed(100, [&](std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 5u * (99u * 100u / 2u));
+}
+
+}  // namespace
+}  // namespace nopfs::sim
