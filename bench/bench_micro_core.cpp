@@ -28,6 +28,7 @@
 #include "core/perf_model.hpp"
 #include "core/staging_buffer.hpp"
 #include "data/dataset.hpp"
+#include "net/socket_transport.hpp"
 #include "sim/holder_table.hpp"
 #include "sim/policies.hpp"
 #include "sim/sweep.hpp"
@@ -187,6 +188,60 @@ double run_sweep_s(const std::vector<sim::SweepPoint>& points, int threads) {
   return elapsed;
 }
 
+/// Loopback fetch round-trips of the multi-process transport: a 2-rank
+/// socket world, rank 1 serving `sample_bytes` payloads, rank 0 fetching.
+/// Returns {fetches_per_second, mb_per_second}.
+std::pair<double, double> socket_fetch_throughput(std::size_t sample_bytes,
+                                                  int fetches) {
+  const std::uint16_t port = net::pick_free_port();
+  std::unique_ptr<net::SocketTransport> server;
+  // Both endpoint failure modes must reach the caller as an exception, not
+  // std::terminate: the server lambda swallows its own (the client then
+  // times out and reports), and the client path joins before rethrowing.
+  std::thread server_thread([&] {
+    try {
+      net::SocketOptions options;
+      options.rank = 1;
+      options.world_size = 2;
+      options.rendezvous_port = port;
+      options.timeout_s = 30.0;
+      server = std::make_unique<net::SocketTransport>(options);
+      server->set_serve_handler(
+          [sample_bytes](std::uint64_t id) -> std::optional<net::Bytes> {
+            return net::Bytes(sample_bytes, static_cast<std::uint8_t>(id));
+          });
+      server->barrier();  // handler installed
+      server->barrier();  // client done fetching
+    } catch (const std::exception& ex) {
+      std::cerr << "socket bench server: " << ex.what() << "\n";
+    }
+  });
+  try {
+    net::SocketOptions options;
+    options.rank = 0;
+    options.world_size = 2;
+    options.rendezvous_port = port;
+    options.timeout_s = 30.0;
+    net::SocketTransport client(options);
+    client.barrier();
+    const double start = now_s();
+    for (int i = 0; i < fetches; ++i) {
+      const auto bytes = client.fetch_sample(1, static_cast<std::uint64_t>(i));
+      if (!bytes.has_value() || bytes->size() != sample_bytes) {
+        throw std::runtime_error("socket bench: fetch failed");
+      }
+    }
+    const double elapsed = now_s() - start;
+    client.barrier();
+    server_thread.join();
+    const double per_s = elapsed > 0.0 ? fetches / elapsed : 0.0;
+    return {per_s, per_s * static_cast<double>(sample_bytes) / (1024.0 * 1024.0)};
+  } catch (...) {
+    if (server_thread.joinable()) server_thread.join();
+    throw;
+  }
+}
+
 int run_json_mode(const std::string& path) {
   // simulate() throughput: one NoPFS run, accesses / wall-clock.
   const std::uint64_t f = 200'000;
@@ -226,6 +281,11 @@ int run_json_mode(const std::string& path) {
   const double parallel_s = run_sweep_s(points, threads);
   const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
 
+  // SocketTransport loopback round-trips (the multi-process backend's hot
+  // path): small-sample RPC rate and large-sample streaming rate.
+  const auto [small_per_s, small_mbps] = socket_fetch_throughput(4 * 1024, 400);
+  const auto [large_per_s, large_mbps] = socket_fetch_throughput(1024 * 1024, 50);
+
   std::ofstream out(path);
   if (!out) {
     std::cerr << "cannot write " << path << "\n";
@@ -251,12 +311,19 @@ int run_json_mode(const std::string& path) {
       << "    \"serial_wall_s\": " << serial_s << ",\n"
       << "    \"parallel_wall_s\": " << parallel_s << ",\n"
       << "    \"speedup\": " << speedup << "\n"
+      << "  },\n"
+      << "  \"socket_transport\": {\n"
+      << "    \"fetch_4k_per_s\": " << small_per_s << ",\n"
+      << "    \"fetch_4k_mbps\": " << small_mbps << ",\n"
+      << "    \"fetch_1m_per_s\": " << large_per_s << ",\n"
+      << "    \"fetch_1m_mbps\": " << large_mbps << "\n"
       << "  }\n"
       << "}\n";
   out.close();
   std::cout << "simulate: " << samples_per_s << " samples/s  |  sweep: " << serial_s
             << " s @1t -> " << parallel_s << " s @" << threads << "t  ("
-            << speedup << "x)\nwrote " << path << "\n";
+            << speedup << "x)\nsocket fetch: " << small_per_s << " rpc/s @4K, "
+            << large_mbps << " MB/s @1M\nwrote " << path << "\n";
   return 0;
 }
 

@@ -1,0 +1,213 @@
+// nopfs_worker: one rank of a multi-process training run (the SocketTransport
+// launch path).  Start N copies, one per rank, pointing at the same
+// rendezvous address; rank 0 hosts the rendezvous:
+//
+//   ./nopfs_worker --rank 0 --world-size 2 --rendezvous 127.0.0.1:19777 &
+//   ./nopfs_worker --rank 1 --world-size 2 --rendezvous 127.0.0.1:19777
+//
+// Every rank must be launched with identical job flags (seed, samples,
+// epochs, batch, loader): the access streams are derived from them.  The
+// process prints (and with --json-out writes) the job-wide result, which is
+// identical on every rank — stats are allgathered at the end of the run.
+// Exit status is nonzero on any verification failure, making the binary
+// directly usable as a CI / ctest assertion.
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "baselines/loader.hpp"
+#include "runtime/harness.hpp"
+#include "tiers/params.hpp"
+#include "util/units.hpp"
+
+using namespace nopfs;
+
+namespace {
+
+struct Args {
+  int rank = 0;
+  int world_size = 1;
+  std::string rendezvous_host = "127.0.0.1";
+  std::uint16_t rendezvous_port = 0;
+  std::string loader = "nopfs";
+  std::uint64_t samples = 96;
+  int epochs = 2;
+  std::uint64_t seed = 2025;
+  std::uint64_t per_worker_batch = 4;
+  double time_scale = 50.0;
+  double timeout_s = 120.0;
+  bool verify = true;
+  std::string json_out;
+};
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " --rank R --world-size N --rendezvous HOST:PORT\n"
+         "          [--loader nopfs|naive|pytorch|dali|tfdata|sharded|lbann]\n"
+         "          [--samples F] [--epochs E] [--seed S] [--per-worker-batch B]\n"
+         "          [--time-scale X] [--timeout-s T] [--no-verify] [--json-out PATH]\n";
+}
+
+baselines::LoaderKind parse_loader(const std::string& name) {
+  if (name == "nopfs") return baselines::LoaderKind::kNoPFS;
+  if (name == "naive") return baselines::LoaderKind::kNaive;
+  if (name == "pytorch") return baselines::LoaderKind::kPyTorch;
+  if (name == "dali") return baselines::LoaderKind::kDali;
+  if (name == "tfdata") return baselines::LoaderKind::kTfData;
+  if (name == "sharded") return baselines::LoaderKind::kSharded;
+  if (name == "lbann") return baselines::LoaderKind::kLbann;
+  throw std::invalid_argument("unknown loader: " + name);
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) throw std::invalid_argument(std::string(argv[i]) + ": missing value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--rank") {
+      args.rank = std::stoi(value(i));
+    } else if (flag == "--world-size") {
+      args.world_size = std::stoi(value(i));
+    } else if (flag == "--rendezvous") {
+      const std::string addr = value(i);
+      const auto colon = addr.rfind(':');
+      if (colon == std::string::npos) {
+        throw std::invalid_argument("--rendezvous expects HOST:PORT");
+      }
+      args.rendezvous_host = addr.substr(0, colon);
+      const int port = std::stoi(addr.substr(colon + 1));
+      if (port < 1 || port > 65535) {
+        throw std::invalid_argument("--rendezvous port out of range: " +
+                                    std::to_string(port));
+      }
+      args.rendezvous_port = static_cast<std::uint16_t>(port);
+    } else if (flag == "--loader") {
+      args.loader = value(i);
+    } else if (flag == "--samples") {
+      args.samples = std::stoull(value(i));
+    } else if (flag == "--epochs") {
+      args.epochs = std::stoi(value(i));
+    } else if (flag == "--seed") {
+      args.seed = std::stoull(value(i));
+    } else if (flag == "--per-worker-batch") {
+      args.per_worker_batch = std::stoull(value(i));
+    } else if (flag == "--time-scale") {
+      args.time_scale = std::stod(value(i));
+    } else if (flag == "--timeout-s") {
+      args.timeout_s = std::stod(value(i));
+    } else if (flag == "--no-verify") {
+      args.verify = false;
+    } else if (flag == "--json-out") {
+      args.json_out = value(i);
+    } else if (flag == "--help" || flag == "-h") {
+      usage(argv[0]);
+      return false;
+    } else {
+      throw std::invalid_argument("unknown flag: " + flag);
+    }
+  }
+  if (args.rendezvous_port == 0) {
+    throw std::invalid_argument("--rendezvous HOST:PORT is required");
+  }
+  return true;
+}
+
+std::string result_json(const Args& args, const runtime::RuntimeResult& result) {
+  std::ostringstream out;
+  out.precision(6);
+  out << "{\n"
+      << "  \"rank\": " << args.rank << ",\n"
+      << "  \"world_size\": " << args.world_size << ",\n"
+      << "  \"loader\": \"" << args.loader << "\",\n"
+      << "  \"samples\": " << args.samples << ",\n"
+      << "  \"epochs\": " << args.epochs << ",\n"
+      << "  \"seed\": " << args.seed << ",\n"
+      << "  \"total_s\": " << result.total_s << ",\n"
+      << "  \"verified_samples\": " << result.verified_samples << ",\n"
+      << "  \"verification_failures\": " << result.verification_failures << ",\n"
+      << "  \"delivered_digest\": \"" << std::hex << result.delivered_digest
+      << std::dec << "\",\n"
+      << "  \"stats\": {\n"
+      << "    \"local_fetches\": " << result.stats.local_fetches << ",\n"
+      << "    \"remote_fetches\": " << result.stats.remote_fetches << ",\n"
+      << "    \"pfs_fetches\": " << result.stats.pfs_fetches << ",\n"
+      << "    \"remote_misses\": " << result.stats.remote_misses << ",\n"
+      << "    \"local_mb\": " << result.stats.local_mb << ",\n"
+      << "    \"remote_mb\": " << result.stats.remote_mb << ",\n"
+      << "    \"pfs_mb\": " << result.stats.pfs_mb << ",\n"
+      << "    \"cached_samples\": " << result.stats.cached_samples << "\n"
+      << "  }\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  try {
+    if (!parse_args(argc, argv, args)) return 0;
+
+    data::DatasetSpec spec;
+    spec.name = "worker";
+    spec.num_samples = args.samples;
+    spec.mean_size_mb = 0.2;
+    spec.stddev_size_mb = 0.05;
+    const auto dataset = data::Dataset::synthetic(spec, 5);
+
+    runtime::RuntimeConfig config;
+    config.system = tiers::presets::sim_cluster(args.world_size);
+    // Shrink the node to loopback-smoke scale: the preset's 5 GB staging
+    // ring alone costs tens of seconds of allocation per rank, which would
+    // dwarf a --samples 96 run.  Keep in sync with
+    // tests/test_distributed_runtime.cpp, which compares against this
+    // binary's results.
+    config.system.node.staging.capacity_mb = 0.5;
+    config.system.node.staging.prefetch_threads = 2;
+    config.system.node.classes[0].capacity_mb = 16.0;  // RAM
+    config.system.node.classes[1].capacity_mb = 32.0;  // "SSD" (memory-backed)
+    config.system.node.compute_mbps = 50.0;
+    config.system.node.preprocess_mbps = 500.0;
+    config.system.pfs.agg_read_mbps =
+        util::ThroughputCurve({{1, 20}, {2, 25}, {4, 30}});
+    config.loader_threads = 2;
+    config.lookahead = 8;
+    config.loader = parse_loader(args.loader);
+    config.seed = args.seed;
+    config.num_epochs = args.epochs;
+    config.per_worker_batch = args.per_worker_batch;
+    config.time_scale = args.time_scale;
+    config.verify_content = args.verify;
+
+    runtime::WorkerEndpoint endpoint;
+    endpoint.rank = args.rank;
+    endpoint.world_size = args.world_size;
+    endpoint.rendezvous_host = args.rendezvous_host;
+    endpoint.rendezvous_port = args.rendezvous_port;
+    endpoint.timeout_s = args.timeout_s;
+
+    const runtime::RuntimeResult result = runtime::run_distributed(dataset, config, endpoint);
+
+    const std::string json = result_json(args, result);
+    std::cout << json;
+    if (!args.json_out.empty()) {
+      std::ofstream out(args.json_out);
+      if (!out) {
+        std::cerr << "cannot write " << args.json_out << "\n";
+        return 2;
+      }
+      out << json;
+    }
+    return result.verification_failures == 0 ? 0 : 3;
+  } catch (const std::exception& ex) {
+    std::cerr << "nopfs_worker rank " << args.rank << ": " << ex.what() << "\n";
+    return 1;
+  }
+}

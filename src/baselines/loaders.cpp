@@ -390,6 +390,16 @@ class LbannLoader final : public Loader {
         [this](std::uint64_t pos) { return fetch(pos); });
   }
 
+  ~LbannLoader() override {
+    // Uninstall the serve handler before backend_ dies: a straggling peer
+    // fetch must become a miss, not a use-after-free.  (core::Job does the
+    // same in stop(); both transports hold their handler mutex across a
+    // serve, so after this call no serve can touch freed state.)
+    if (ctx_.transport != nullptr && ctx_.transport->world_size() > 1) {
+      ctx_.transport->set_serve_handler(net::Transport::ServeHandler{});
+    }
+  }
+
   void start() override {
     if (ctx_.transport != nullptr && ctx_.transport->world_size() > 1) {
       core::MemoryBackend* backend = backend_.get();

@@ -1,8 +1,9 @@
 #include "core/cache_policy.hpp"
 
 #include <algorithm>
-#include <cstring>
 #include <stdexcept>
+
+#include "net/wire.hpp"
 
 namespace nopfs::core {
 
@@ -71,39 +72,37 @@ CachePlan compute_cache_plan(const AccessStreamGenerator& gen, int rank,
 
 std::vector<std::uint8_t> encode_plan(const CachePlan& plan) {
   // Layout: u32 num_classes, then per class u64 count + count * u64 ids.
+  // Byte-explicit little-endian (net/wire.hpp): plans ride the transport's
+  // allgather, which with SocketTransport may cross machine boundaries.
   std::vector<std::uint8_t> bytes;
-  const auto append = [&bytes](const void* src, std::size_t n) {
-    const auto* p = static_cast<const std::uint8_t*>(src);
-    bytes.insert(bytes.end(), p, p + n);
-  };
-  const auto num_classes = static_cast<std::uint32_t>(plan.per_class.size());
-  append(&num_classes, sizeof(num_classes));
+  std::size_t total = sizeof(std::uint32_t);
   for (const auto& class_plan : plan.per_class) {
-    const auto count = static_cast<std::uint64_t>(class_plan.samples.size());
-    append(&count, sizeof(count));
-    append(class_plan.samples.data(), class_plan.samples.size() * sizeof(data::SampleId));
+    total += sizeof(std::uint64_t) * (1 + class_plan.samples.size());
+  }
+  bytes.reserve(total);
+  net::wire::put_u32(bytes, static_cast<std::uint32_t>(plan.per_class.size()));
+  for (const auto& class_plan : plan.per_class) {
+    net::wire::put_u64(bytes, static_cast<std::uint64_t>(class_plan.samples.size()));
+    for (const data::SampleId sample : class_plan.samples) {
+      net::wire::put_u64(bytes, sample);
+    }
   }
   return bytes;
 }
 
 CachePlan decode_plan(const std::vector<std::uint8_t>& bytes) {
   CachePlan plan;
-  std::size_t offset = 0;
-  const auto read = [&](void* dst, std::size_t n) {
-    if (offset + n > bytes.size()) {
-      throw std::runtime_error("decode_plan: truncated plan encoding");
+  net::wire::Reader reader(bytes);
+  try {
+    const std::uint32_t num_classes = reader.u32();
+    plan.per_class.resize(num_classes);
+    for (auto& class_plan : plan.per_class) {
+      const std::uint64_t count = reader.u64();
+      class_plan.samples.resize(count);
+      for (auto& sample : class_plan.samples) sample = reader.u64();
     }
-    std::memcpy(dst, bytes.data() + offset, n);
-    offset += n;
-  };
-  std::uint32_t num_classes = 0;
-  read(&num_classes, sizeof(num_classes));
-  plan.per_class.resize(num_classes);
-  for (auto& class_plan : plan.per_class) {
-    std::uint64_t count = 0;
-    read(&count, sizeof(count));
-    class_plan.samples.resize(count);
-    read(class_plan.samples.data(), count * sizeof(data::SampleId));
+  } catch (const std::runtime_error&) {
+    throw std::runtime_error("decode_plan: truncated plan encoding");
   }
   for (std::size_t c = 0; c < plan.per_class.size(); ++c) {
     for (data::SampleId sample : plan.per_class[c].samples) {

@@ -1,0 +1,614 @@
+#include "net/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "net/wire.hpp"
+#include "util/log.hpp"
+#include "util/units.hpp"
+
+namespace nopfs::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string("SocketTransport: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+void set_socket_timeout(int fd, int option, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  if (::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) != 0) {
+    throw_errno("setsockopt(timeout)");
+  }
+}
+
+/// Writes exactly `len` bytes; throws on any error (including timeout).
+void send_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads exactly `len` bytes.  Returns false on clean EOF before the first
+/// byte; throws on errors, timeouts, and mid-buffer EOF.
+bool recv_all(int fd, std::uint8_t* data, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw std::runtime_error("SocketTransport: recv timed out");
+      }
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return false;
+      throw std::runtime_error("SocketTransport: peer closed mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::uint32_t resolve_ipv4(const std::string& host) {
+  in_addr addr{};
+  if (::inet_pton(AF_INET, host.c_str(), &addr) != 1) {
+    throw std::invalid_argument("SocketTransport: host must be IPv4 dotted quad: " +
+                                host);
+  }
+  return addr.s_addr;  // network byte order
+}
+
+sockaddr_in make_addr(std::uint32_t ipv4_nbo, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = ipv4_nbo;
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+int make_tcp_socket() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Conn: RAII socket + framed I/O.
+
+class SocketTransport::Conn {
+ public:
+  explicit Conn(int fd) : fd_(fd) {}
+  ~Conn() { close(); }
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  void send_frame(wire::MsgType type, std::uint64_t arg, const std::uint8_t* payload,
+                  std::size_t len) {
+    if (len > wire::kMaxPayloadBytes) {
+      throw std::runtime_error("SocketTransport: frame payload too large");
+    }
+    std::uint8_t header[wire::kHeaderBytes];
+    wire::encode_header(header, type, arg, static_cast<std::uint32_t>(len));
+    send_all(fd_, header, sizeof(header));
+    if (len > 0) send_all(fd_, payload, len);
+  }
+
+  void send_frame(wire::MsgType type, std::uint64_t arg, const Bytes& payload) {
+    send_frame(type, arg, payload.data(), payload.size());
+  }
+
+  /// Returns false on clean EOF at a frame boundary.
+  bool recv_frame(wire::FrameHeader& header, Bytes& payload) {
+    std::uint8_t raw[wire::kHeaderBytes];
+    if (!recv_all(fd_, raw, sizeof(raw))) return false;
+    header = wire::decode_header(raw);
+    payload.resize(header.payload_len);
+    if (header.payload_len > 0 && !recv_all(fd_, payload.data(), payload.size())) {
+      throw std::runtime_error("SocketTransport: peer closed mid-frame");
+    }
+    return true;
+  }
+
+  /// Half-close both directions: unblocks any thread parked in recv().
+  void shutdown_both() noexcept {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  }
+
+  void close() noexcept {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+// ---------------------------------------------------------------------------
+
+SocketTransport::SocketTransport(const SocketOptions& options) : options_(options) {
+  if (options_.world_size <= 0) {
+    throw std::invalid_argument("SocketTransport: world_size must be > 0");
+  }
+  if (options_.rank < 0 || options_.rank >= options_.world_size) {
+    throw std::invalid_argument("SocketTransport: rank out of range");
+  }
+  if (options_.rendezvous_port == 0) {
+    throw std::invalid_argument("SocketTransport: rendezvous_port must be nonzero");
+  }
+  const auto world = static_cast<std::size_t>(options_.world_size);
+  endpoints_.resize(world);
+  channels_.resize(world);
+  channel_mutexes_.reserve(world);
+  for (std::size_t i = 0; i < world; ++i) {
+    channel_mutexes_.push_back(std::make_unique<std::mutex>());
+  }
+  watermarks_ = std::vector<std::atomic<std::uint64_t>>(world);
+  for (auto& w : watermarks_) w.store(0, std::memory_order_relaxed);
+
+  try {
+    // Serve listener first: by the time any peer learns this rank's port
+    // (the rendezvous completes strictly later), the listener is accepting.
+    // Bound to INADDR_ANY — this rank may live on a different host than the
+    // rendezvous; peers learn its *reachable* address from the rendezvous
+    // (getpeername of the control connection), not from this bind.
+    serve_listener_fd_ = make_tcp_socket();
+    sockaddr_in addr = make_addr(htonl(INADDR_ANY), 0);
+    if (::bind(serve_listener_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      throw_errno("bind(serve)");
+    }
+    socklen_t addr_len = sizeof(addr);
+    if (::getsockname(serve_listener_fd_, reinterpret_cast<sockaddr*>(&addr),
+                      &addr_len) != 0) {
+      throw_errno("getsockname(serve)");
+    }
+    serve_port_ = ntohs(addr.sin_port);
+    if (::listen(serve_listener_fd_, options_.world_size + 8) != 0) {
+      throw_errno("listen(serve)");
+    }
+    acceptor_ = std::thread([this] { serve_accept_loop(); });
+
+    if (options_.rank == 0) {
+      rendezvous_as_root();
+    } else {
+      rendezvous_as_peer();
+    }
+  } catch (...) {
+    teardown();
+    throw;
+  }
+}
+
+SocketTransport::~SocketTransport() { teardown(); }
+
+void SocketTransport::teardown() {
+  stopping_.store(true, std::memory_order_release);
+  // Close outbound fetch channels: peers' serve threads see EOF and exit.
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const std::scoped_lock lock(*channel_mutexes_[i]);
+    if (channels_[i]) channels_[i]->shutdown_both();
+  }
+  // Wake the acceptor with a throwaway self-connection, then join it.
+  // The serve listener is bound to INADDR_ANY, so loopback always reaches
+  // it no matter which host this rank lives on.
+  if (acceptor_.joinable()) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd >= 0) {
+      sockaddr_in self = make_addr(htonl(INADDR_LOOPBACK), serve_port_);
+      (void)::connect(fd, reinterpret_cast<sockaddr*>(&self), sizeof(self));
+      ::close(fd);
+    }
+    acceptor_.join();
+  }
+  if (serve_listener_fd_ >= 0) {
+    ::close(serve_listener_fd_);
+    serve_listener_fd_ = -1;
+  }
+  // Unblock and join the per-connection serve threads (the acceptor is
+  // gone, so serve_conns_/serve_threads_ are no longer mutated).
+  for (auto& conn : serve_conns_) conn->shutdown_both();
+  for (auto& thread : serve_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  serve_threads_.clear();
+  serve_conns_.clear();
+  control_.reset();
+  control_peers_.clear();
+  for (auto& channel : channels_) channel.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous.
+
+void SocketTransport::rendezvous_as_root() {
+  const int listener = make_tcp_socket();
+  struct ListenerGuard {
+    int fd;
+    ~ListenerGuard() { ::close(fd); }
+  } guard{listener};
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr =
+      make_addr(resolve_ipv4(options_.rendezvous_host), options_.rendezvous_port);
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("bind(rendezvous)");
+  }
+  if (::listen(listener, options_.world_size + 8) != 0) {
+    throw_errno("listen(rendezvous)");
+  }
+  set_socket_timeout(listener, SO_RCVTIMEO, options_.timeout_s);
+
+  endpoints_[0] = PeerEndpoint{0 /* "the address you dialed" */, serve_port_};
+  control_peers_.resize(static_cast<std::size_t>(options_.world_size));
+
+  int remaining = options_.world_size - 1;
+  while (remaining > 0) {
+    sockaddr_in peer_addr{};
+    socklen_t peer_len = sizeof(peer_addr);
+    const int fd =
+        ::accept(listener, reinterpret_cast<sockaddr*>(&peer_addr), &peer_len);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw std::runtime_error("SocketTransport: rendezvous timed out waiting for " +
+                                 std::to_string(remaining) + " rank(s)");
+      }
+      throw_errno("accept(rendezvous)");
+    }
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    set_socket_timeout(fd, SO_RCVTIMEO, options_.timeout_s);
+    set_socket_timeout(fd, SO_SNDTIMEO, options_.timeout_s);
+    auto conn = std::make_unique<Conn>(fd);
+
+    wire::FrameHeader header;
+    Bytes payload;
+    if (!conn->recv_frame(header, payload) || header.type != wire::MsgType::kHello) {
+      throw std::runtime_error("SocketTransport: expected kHello at rendezvous");
+    }
+    wire::Reader reader(payload);
+    const auto peer_world = static_cast<int>(reader.u32());
+    const std::uint16_t peer_serve_port = reader.u16();
+    const auto peer_rank = static_cast<int>(header.arg);
+    if (peer_world != options_.world_size) {
+      throw std::runtime_error("SocketTransport: rank " + std::to_string(peer_rank) +
+                               " disagrees on world size (" +
+                               std::to_string(peer_world) + " vs " +
+                               std::to_string(options_.world_size) + ")");
+    }
+    if (peer_rank <= 0 || peer_rank >= options_.world_size ||
+        control_peers_[static_cast<std::size_t>(peer_rank)] != nullptr) {
+      throw std::runtime_error("SocketTransport: duplicate or invalid rank " +
+                               std::to_string(peer_rank) + " at rendezvous");
+    }
+    endpoints_[static_cast<std::size_t>(peer_rank)] =
+        PeerEndpoint{peer_addr.sin_addr.s_addr, peer_serve_port};
+    control_peers_[static_cast<std::size_t>(peer_rank)] = std::move(conn);
+    --remaining;
+  }
+
+  // Broadcast the endpoint table.
+  Bytes table;
+  for (const PeerEndpoint& ep : endpoints_) {
+    wire::put_u32(table, ep.ipv4);
+    wire::put_u16(table, ep.port);
+  }
+  for (int r = 1; r < options_.world_size; ++r) {
+    control_peers_[static_cast<std::size_t>(r)]->send_frame(wire::MsgType::kWelcome,
+                                                            0, table);
+  }
+}
+
+void SocketTransport::rendezvous_as_peer() {
+  const std::uint32_t root_ipv4 = resolve_ipv4(options_.rendezvous_host);
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(options_.timeout_s));
+  // Rank 0 may not have bound the rendezvous port yet: dial until it has.
+  int fd = -1;
+  for (;;) {
+    fd = make_tcp_socket();
+    sockaddr_in addr = make_addr(root_ipv4, options_.rendezvous_port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) break;
+    ::close(fd);
+    fd = -1;
+    if (Clock::now() >= deadline) {
+      throw std::runtime_error("SocketTransport: rendezvous connect timed out (" +
+                               options_.rendezvous_host + ":" +
+                               std::to_string(options_.rendezvous_port) + ")");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  set_socket_timeout(fd, SO_RCVTIMEO, options_.timeout_s);
+  set_socket_timeout(fd, SO_SNDTIMEO, options_.timeout_s);
+  control_ = std::make_unique<Conn>(fd);
+
+  Bytes hello;
+  wire::put_u32(hello, static_cast<std::uint32_t>(options_.world_size));
+  wire::put_u16(hello, serve_port_);
+  control_->send_frame(wire::MsgType::kHello,
+                       static_cast<std::uint64_t>(options_.rank), hello);
+
+  wire::FrameHeader header;
+  Bytes payload;
+  if (!control_->recv_frame(header, payload) ||
+      header.type != wire::MsgType::kWelcome) {
+    throw std::runtime_error("SocketTransport: expected kWelcome from rendezvous");
+  }
+  wire::Reader reader(payload);
+  for (auto& endpoint : endpoints_) {
+    endpoint.ipv4 = reader.u32();
+    endpoint.port = reader.u16();
+  }
+  // Rank 0 advertises ipv4 == 0, "the address you dialed".
+  if (endpoints_[0].ipv4 == 0) endpoints_[0].ipv4 = root_ipv4;
+}
+
+// ---------------------------------------------------------------------------
+// Collectives: gather-to-root + broadcast over the control connections.
+
+std::vector<Bytes> SocketTransport::allgather(Bytes local) {
+  const std::scoped_lock lock(collective_mutex_);
+  const auto world = static_cast<std::size_t>(options_.world_size);
+  if (options_.rank == 0) {
+    std::vector<Bytes> slots(world);
+    slots[0] = std::move(local);
+    for (std::size_t r = 1; r < world; ++r) {
+      wire::FrameHeader header;
+      Bytes payload;
+      if (!control_peers_[r]->recv_frame(header, payload) ||
+          header.type != wire::MsgType::kGather ||
+          header.arg != static_cast<std::uint64_t>(r)) {
+        throw std::runtime_error(
+            "SocketTransport: collective out of step with rank " + std::to_string(r));
+      }
+      slots[r] = std::move(payload);
+    }
+    Bytes packed;
+    for (const Bytes& slot : slots) {
+      wire::put_u32(packed, static_cast<std::uint32_t>(slot.size()));
+      packed.insert(packed.end(), slot.begin(), slot.end());
+    }
+    for (std::size_t r = 1; r < world; ++r) {
+      control_peers_[r]->send_frame(wire::MsgType::kAllgather, 0, packed);
+    }
+    return slots;
+  }
+
+  control_->send_frame(wire::MsgType::kGather,
+                       static_cast<std::uint64_t>(options_.rank), local);
+  wire::FrameHeader header;
+  Bytes payload;
+  if (!control_->recv_frame(header, payload) ||
+      header.type != wire::MsgType::kAllgather) {
+    throw std::runtime_error("SocketTransport: lost the root mid-collective");
+  }
+  wire::Reader reader(payload);
+  std::vector<Bytes> slots(world);
+  for (auto& slot : slots) slot = reader.bytes(reader.u32());
+  return slots;
+}
+
+void SocketTransport::barrier() { (void)allgather(Bytes{}); }
+
+// ---------------------------------------------------------------------------
+// Serving.
+
+void SocketTransport::set_serve_handler(ServeHandler handler) {
+  const std::scoped_lock lock(handler_mutex_);
+  handler_ = std::move(handler);
+}
+
+void SocketTransport::serve_accept_loop() {
+  for (;;) {
+    const int fd = ::accept(serve_listener_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed or broken: we are shutting down
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    set_socket_timeout(fd, SO_SNDTIMEO, options_.timeout_s);
+    auto conn = std::make_shared<Conn>(fd);
+    const std::scoped_lock lock(serve_conns_mutex_);
+    serve_conns_.push_back(conn);
+    serve_threads_.emplace_back([this, conn] { serve_connection(conn); });
+  }
+}
+
+void SocketTransport::serve_connection(std::shared_ptr<Conn> conn) {
+  wire::FrameHeader header;
+  Bytes payload;
+  try {
+    while (conn->recv_frame(header, payload)) {
+      switch (header.type) {
+        case wire::MsgType::kFetch: {
+          std::optional<Bytes> sample;
+          {
+            const std::scoped_lock lock(handler_mutex_);
+            if (handler_) sample = handler_(header.arg);
+          }
+          if (sample.has_value()) {
+            // The server-side NIC charge: same rule as SimTransport, which
+            // prices a remote fetch on both endpoints' NICs.
+            if (options_.nic != nullptr) {
+              options_.nic->transfer(util::bytes_to_mb(sample->size()));
+            }
+            conn->send_frame(wire::MsgType::kHit, header.arg, *sample);
+          } else {
+            conn->send_frame(wire::MsgType::kMiss, header.arg, nullptr, 0);
+          }
+          break;
+        }
+        case wire::MsgType::kWatermark: {
+          wire::Reader reader(payload);
+          const auto peer = static_cast<int>(reader.u32());
+          if (peer >= 0 && peer < options_.world_size) {
+            watermarks_[static_cast<std::size_t>(peer)].store(
+                header.arg, std::memory_order_release);
+          }
+          break;
+        }
+        default:
+          throw std::runtime_error("SocketTransport: unexpected frame on serve conn");
+      }
+    }
+  } catch (const std::exception& ex) {
+    if (!stopping_.load(std::memory_order_acquire)) {
+      util::log_error("SocketTransport rank ", options_.rank, " serve: ", ex.what());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fetch + watermark channels.
+
+void SocketTransport::check_peer(int peer) const {
+  if (peer < 0 || peer >= options_.world_size) {
+    throw std::invalid_argument("SocketTransport: peer out of range");
+  }
+}
+
+SocketTransport::Conn* SocketTransport::peer_channel_locked(int peer) {
+  auto& channel = channels_[static_cast<std::size_t>(peer)];
+  if (channel != nullptr) return channel.get();
+  const PeerEndpoint endpoint = endpoints_[static_cast<std::size_t>(peer)];
+  const int fd = make_tcp_socket();
+  sockaddr_in addr = make_addr(endpoint.ipv4, endpoint.port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return nullptr;  // peer torn down: a recorded miss, not a crash
+  }
+  set_socket_timeout(fd, SO_RCVTIMEO, options_.timeout_s);
+  set_socket_timeout(fd, SO_SNDTIMEO, options_.timeout_s);
+  channel = std::make_unique<Conn>(fd);
+  return channel.get();
+}
+
+std::optional<Bytes> SocketTransport::fetch_sample(int peer, std::uint64_t id) {
+  check_peer(peer);
+  if (peer == options_.rank) {
+    throw std::invalid_argument("SocketTransport: fetch_sample from self");
+  }
+  try {
+    const std::scoped_lock lock(*channel_mutexes_[static_cast<std::size_t>(peer)]);
+    Conn* conn = peer_channel_locked(peer);
+    if (conn == nullptr) return std::nullopt;
+    conn->send_frame(wire::MsgType::kFetch, id, nullptr, 0);
+    wire::FrameHeader header;
+    Bytes payload;
+    if (!conn->recv_frame(header, payload)) {
+      channels_[static_cast<std::size_t>(peer)].reset();  // EOF: drop channel
+      return std::nullopt;
+    }
+    if (header.type == wire::MsgType::kMiss) return std::nullopt;
+    if (header.type != wire::MsgType::kHit || header.arg != id) {
+      throw std::runtime_error("SocketTransport: fetch reply out of step");
+    }
+    const double mb = util::bytes_to_mb(payload.size());
+    if (options_.nic != nullptr) {
+      options_.nic->transfer(mb);
+    } else {
+      // Atomic add (fetches may race from several prefetch threads).
+      double seen = transferred_mb_no_nic_.load(std::memory_order_relaxed);
+      while (!transferred_mb_no_nic_.compare_exchange_weak(
+          seen, seen + mb, std::memory_order_relaxed)) {
+      }
+    }
+    return payload;
+  } catch (const std::exception& ex) {
+    // Connection-level failures are detectable, non-fatal misses — exactly
+    // how the paper treats a peer that cannot (yet) serve a sample.
+    if (!stopping_.load(std::memory_order_acquire)) {
+      util::log_error("SocketTransport rank ", options_.rank, " fetch from ", peer,
+                      ": ", ex.what());
+    }
+    const std::scoped_lock lock(*channel_mutexes_[static_cast<std::size_t>(peer)]);
+    channels_[static_cast<std::size_t>(peer)].reset();
+    return std::nullopt;
+  }
+}
+
+void SocketTransport::publish_watermark(std::uint64_t position) {
+  watermarks_[static_cast<std::size_t>(options_.rank)].store(
+      position, std::memory_order_release);
+  Bytes who;
+  wire::put_u32(who, static_cast<std::uint32_t>(options_.rank));
+  for (int peer = 0; peer < options_.world_size; ++peer) {
+    if (peer == options_.rank) continue;
+    try {
+      const std::scoped_lock lock(*channel_mutexes_[static_cast<std::size_t>(peer)]);
+      Conn* conn = peer_channel_locked(peer);
+      if (conn != nullptr) conn->send_frame(wire::MsgType::kWatermark, position, who);
+    } catch (const std::exception&) {
+      // Watermarks are best-effort gossip; a dead peer just stays stale.
+      const std::scoped_lock lock(*channel_mutexes_[static_cast<std::size_t>(peer)]);
+      channels_[static_cast<std::size_t>(peer)].reset();
+    }
+  }
+}
+
+std::uint64_t SocketTransport::watermark_of(int peer) const {
+  check_peer(peer);
+  return watermarks_[static_cast<std::size_t>(peer)].load(std::memory_order_acquire);
+}
+
+double SocketTransport::transferred_mb() const {
+  if (options_.nic != nullptr) return options_.nic->total_transferred_mb();
+  return transferred_mb_no_nic_.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+
+std::uint16_t pick_free_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sockaddr_in addr = make_addr(htonl(INADDR_LOOPBACK), 0);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw_errno("bind(pick_free_port)");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    throw_errno("getsockname(pick_free_port)");
+  }
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+}  // namespace nopfs::net

@@ -1,0 +1,137 @@
+#pragma once
+// SocketTransport: the real multi-process Transport backend.
+//
+// Where SimTransport emulates MPI with threads in one process,
+// SocketTransport implements the same surface over TCP/loopback so every
+// rank can be its own OS process (examples/nopfs_worker.cpp is the per-rank
+// binary; runtime::run_distributed drives it).  The design mirrors a small
+// MPI-over-sockets runtime:
+//
+//   * Rendezvous: rank 0 listens on a well-known host:port; ranks 1..N-1
+//     connect, introduce themselves (kHello: rank + the ephemeral port of
+//     their serve listener) and receive the full endpoint table back
+//     (kWelcome).  The control connections stay open and carry collectives.
+//   * Collectives: gather-to-root + broadcast.  Non-roots send kGather on
+//     their control connection and block on the kAllgather reply; the root
+//     reads one kGather per peer (TCP keeps per-connection FIFO order, and
+//     the Transport contract requires all ranks to issue collectives in the
+//     same sequence, so no generation tags are needed).
+//   * Serving: every rank runs a serve listener + acceptor thread; each
+//     peer connection gets a reader thread answering kFetch with kHit/kMiss
+//     through the installed serve handler, and applying kWatermark gossip.
+//   * Time charging: byte-for-byte the SimTransport rules — a successful
+//     fetch charges the server's emulated NIC as it serves and the
+//     requester's NIC as it receives, so a run is priced identically no
+//     matter which backend carries it (DESIGN.md Sec. 7).
+//
+// Loopback only today: endpoints are exchanged as IPv4 addresses, so
+// spanning real nodes needs nothing new on the wire, just reachable
+// addresses.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "tiers/devices.hpp"
+
+namespace nopfs::net {
+
+struct SocketOptions {
+  int rank = 0;
+  int world_size = 1;
+  /// Rendezvous address rank 0 listens on and every other rank dials.
+  std::string rendezvous_host = "127.0.0.1";
+  std::uint16_t rendezvous_port = 0;  ///< must be nonzero
+  /// Wall-clock budget for the handshake and for any single blocking
+  /// socket operation; expiry throws rather than hanging a CI job.
+  double timeout_s = 120.0;
+  /// Optional emulated NIC: transfers are charged through it exactly as
+  /// SimTransport charges them.  May be null (untimed, bytes still counted).
+  tiers::EmulatedNic* nic = nullptr;
+};
+
+class SocketTransport final : public Transport {
+ public:
+  /// Blocks until the whole world has completed the rendezvous handshake.
+  /// Throws std::runtime_error on timeout or a malformed peer.
+  explicit SocketTransport(const SocketOptions& options);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  [[nodiscard]] int rank() const override { return options_.rank; }
+  [[nodiscard]] int world_size() const override { return options_.world_size; }
+
+  std::vector<Bytes> allgather(Bytes local) override;
+  void barrier() override;
+
+  void set_serve_handler(ServeHandler handler) override;
+  std::optional<Bytes> fetch_sample(int peer, std::uint64_t id) override;
+
+  void publish_watermark(std::uint64_t position) override;
+  [[nodiscard]] std::uint64_t watermark_of(int peer) const override;
+
+  [[nodiscard]] double transferred_mb() const override;
+
+  /// Port of this rank's serve listener (diagnostics / tests).
+  [[nodiscard]] std::uint16_t serve_port() const noexcept { return serve_port_; }
+
+ private:
+  struct PeerEndpoint {
+    std::uint32_t ipv4 = 0;  ///< network byte order
+    std::uint16_t port = 0;
+  };
+  class Conn;  // RAII socket with framed send/receive (socket_transport.cpp)
+
+  void rendezvous_as_root();
+  void rendezvous_as_peer();
+  void serve_accept_loop();
+  void serve_connection(std::shared_ptr<Conn> conn);
+  /// Control-channel connection to `peer`'s serve listener, dialing on
+  /// first use.  Returns null (a recorded miss) if the peer is gone.
+  [[nodiscard]] Conn* peer_channel_locked(int peer);
+  void check_peer(int peer) const;
+  /// Stops the serve side, closes every connection, joins all threads.
+  /// Used by both the destructor and constructor failure cleanup.
+  void teardown();
+
+  SocketOptions options_;
+
+  // Serve side.
+  int serve_listener_fd_ = -1;
+  std::uint16_t serve_port_ = 0;
+  std::thread acceptor_;
+  std::mutex serve_conns_mutex_;
+  std::vector<std::shared_ptr<Conn>> serve_conns_;
+  std::vector<std::thread> serve_threads_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex handler_mutex_;
+  ServeHandler handler_;
+
+  // Rendezvous / collectives.
+  std::unique_ptr<Conn> control_;               // rank>0: connection to root
+  std::vector<std::unique_ptr<Conn>> control_peers_;  // root: one per rank>0
+  std::mutex collective_mutex_;                 // collectives are one-at-a-time
+  std::vector<PeerEndpoint> endpoints_;
+
+  // Fetch channels, dialed lazily, one per peer, serialized per peer.
+  std::vector<std::unique_ptr<Conn>> channels_;
+  std::vector<std::unique_ptr<std::mutex>> channel_mutexes_;
+
+  std::vector<std::atomic<std::uint64_t>> watermarks_;
+  std::atomic<double> transferred_mb_no_nic_{0.0};
+};
+
+/// Reserves an OS-assigned free loopback port and releases it immediately:
+/// the caller hands it to a SocketTransport world (tests, process spawners).
+/// The tiny release-to-bind window is harmless on loopback.
+[[nodiscard]] std::uint16_t pick_free_port();
+
+}  // namespace nopfs::net

@@ -6,8 +6,10 @@
 // samples to remote workers and requesting samples from them, and (3) the
 // prefetch-progress heuristic (Sec. 5.2.2).  This interface captures exactly
 // that surface; `SimTransport` (sim_transport.hpp) provides the single-box
-// substitute where workers are threads and link bandwidth is emulated.
-// A real MPI backend would implement the same interface.
+// substitute where workers are threads and link bandwidth is emulated, and
+// `SocketTransport` (socket_transport.hpp) is the real multi-process
+// backend over TCP (DESIGN.md Sec. 7).  An MPI backend would implement the
+// same interface.
 
 #include <cstdint>
 #include <functional>

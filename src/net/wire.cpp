@@ -1,0 +1,94 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace nopfs::net::wire {
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void Reader::need(std::size_t n) const {
+  if (pos_ + n > size_) throw std::runtime_error("wire: truncated payload");
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double Reader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::vector<std::uint8_t> Reader::bytes(std::size_t n) {
+  need(n);
+  std::vector<std::uint8_t> out(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+void encode_header(std::uint8_t (&out)[kHeaderBytes], MsgType type,
+                   std::uint64_t arg, std::uint32_t payload_len) {
+  std::size_t pos = 0;
+  auto byte = [&](std::uint64_t v, int shift) {
+    out[pos++] = static_cast<std::uint8_t>((v >> shift) & 0xff);
+  };
+  for (int shift = 0; shift < 32; shift += 8) byte(kMagic, shift);
+  out[pos++] = static_cast<std::uint8_t>(type);
+  for (int shift = 0; shift < 64; shift += 8) byte(arg, shift);
+  for (int shift = 0; shift < 32; shift += 8) byte(payload_len, shift);
+}
+
+FrameHeader decode_header(const std::uint8_t (&in)[kHeaderBytes]) {
+  Reader reader(in, kHeaderBytes);
+  const std::uint32_t magic = reader.u32();
+  if (magic != kMagic) throw std::runtime_error("wire: bad frame magic");
+  FrameHeader header;
+  const auto raw = reader.bytes(1);
+  header.type = static_cast<MsgType>(raw[0]);
+  if (raw[0] < static_cast<std::uint8_t>(MsgType::kHello) ||
+      raw[0] > static_cast<std::uint8_t>(MsgType::kWatermark)) {
+    throw std::runtime_error("wire: unknown message type");
+  }
+  header.arg = reader.u64();
+  header.payload_len = reader.u32();
+  if (header.payload_len > kMaxPayloadBytes) {
+    throw std::runtime_error("wire: payload exceeds sanity cap");
+  }
+  return header;
+}
+
+}  // namespace nopfs::net::wire

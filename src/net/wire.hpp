@@ -1,0 +1,100 @@
+#pragma once
+// Wire format shared by SocketTransport and the distributed harness.
+//
+// Every socket message is one length-prefixed frame:
+//
+//   u32 magic ("NPFS") | u8 type | u64 arg | u32 payload_len | payload bytes
+//
+// All integers are little-endian regardless of host order (the encode/decode
+// helpers below are byte-explicit).  `arg` carries the small fixed operand of
+// each message (rank, sample id, watermark position) so the common cases —
+// barriers, fetch requests, watermark gossip — need no payload allocation.
+// The payload length is bounded by kMaxPayloadBytes so a corrupt or
+// truncated frame fails loudly instead of driving a gigabyte allocation.
+//
+// DESIGN.md Sec. 7 documents the message exchange on top of these frames.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nopfs::net::wire {
+
+inline constexpr std::uint32_t kMagic = 0x4E504653u;  // "NPFS"
+inline constexpr std::size_t kHeaderBytes = 4 + 1 + 8 + 4;
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;  // 1 GiB sanity cap
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,      ///< rank -> rendezvous: arg=rank, payload=[u32 world, u16 serve_port]
+  kWelcome = 2,    ///< rendezvous -> rank: payload = endpoint table
+  kGather = 3,     ///< rank -> root: arg=rank, payload = local contribution
+  kAllgather = 4,  ///< root -> rank: payload = world_size x [u32 len, bytes]
+  kFetch = 5,      ///< requester -> server: arg = sample id
+  kHit = 6,        ///< server -> requester: payload = sample bytes
+  kMiss = 7,       ///< server -> requester: sample not (yet) cached
+  kWatermark = 8,  ///< one-way gossip: arg = position, payload=[u32 rank]
+};
+
+struct FrameHeader {
+  MsgType type = MsgType::kMiss;
+  std::uint64_t arg = 0;
+  std::uint32_t payload_len = 0;
+};
+
+// --- byte-explicit integer packing -----------------------------------------
+
+inline void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+/// Packs a double by bit pattern (both ends are IEEE-754 here; the byte
+/// order is still made explicit so the wire format has one definition).
+void put_f64(std::vector<std::uint8_t>& out, double v);
+
+/// Bounds-checked cursor over a received payload.  Throws std::runtime_error
+/// on under-run — a malformed frame must never read past the buffer.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit Reader(const std::vector<std::uint8_t>& buf)
+      : Reader(buf.data(), buf.size()) {}
+
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::vector<std::uint8_t> bytes(std::size_t n);
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// --- frame header ----------------------------------------------------------
+
+/// Serializes a frame header into exactly kHeaderBytes.
+void encode_header(std::uint8_t (&out)[kHeaderBytes], MsgType type,
+                   std::uint64_t arg, std::uint32_t payload_len);
+
+/// Parses and validates a frame header (magic, payload bound).  Throws
+/// std::runtime_error on a malformed header.
+[[nodiscard]] FrameHeader decode_header(const std::uint8_t (&in)[kHeaderBytes]);
+
+}  // namespace nopfs::net::wire

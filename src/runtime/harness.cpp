@@ -2,6 +2,8 @@
 
 #include <barrier>
 #include <chrono>
+#include <functional>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
@@ -9,6 +11,8 @@
 #include "core/sample_source.hpp"
 #include "data/materialize.hpp"
 #include "net/sim_transport.hpp"
+#include "net/socket_transport.hpp"
+#include "net/wire.hpp"
 #include "tiers/clock.hpp"
 #include "tiers/devices.hpp"
 #include "util/log.hpp"
@@ -16,11 +20,202 @@
 namespace nopfs::runtime {
 
 namespace {
+
 double now_s() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+/// What one rank produces beyond timings: everything that must be
+/// aggregated job-wide (and is deterministic, unlike wall-clock).
+struct WorkerOutcome {
+  core::JobStats stats;
+  std::uint64_t verified = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t digest = 0;
+};
+
+// FNV-1a over the bytes of each delivered sample id, in delivery order.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void digest_push(std::uint64_t& digest, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    digest = (digest ^ ((value >> shift) & 0xff)) * kFnvPrime;
+  }
+}
+
+/// Rank-keyed finalizer (splitmix64): per-rank digests are combined by XOR,
+/// so the combination is world-order independent but still rank-sensitive.
+std::uint64_t digest_of_rank(int rank, std::uint64_t digest) {
+  std::uint64_t z =
+      digest + 0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(rank) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+net::Bytes pack_outcome(const WorkerOutcome& outcome) {
+  net::Bytes out;
+  net::wire::put_u64(out, outcome.stats.local_fetches);
+  net::wire::put_u64(out, outcome.stats.remote_fetches);
+  net::wire::put_u64(out, outcome.stats.pfs_fetches);
+  net::wire::put_u64(out, outcome.stats.remote_misses);
+  net::wire::put_u64(out, outcome.stats.cached_samples);
+  net::wire::put_f64(out, outcome.stats.local_mb);
+  net::wire::put_f64(out, outcome.stats.remote_mb);
+  net::wire::put_f64(out, outcome.stats.pfs_mb);
+  net::wire::put_f64(out, outcome.stats.stall_s);
+  net::wire::put_u64(out, outcome.verified);
+  net::wire::put_u64(out, outcome.failures);
+  net::wire::put_u64(out, outcome.digest);
+  return out;
+}
+
+WorkerOutcome unpack_outcome(const net::Bytes& bytes) {
+  net::wire::Reader reader(bytes);
+  WorkerOutcome outcome;
+  outcome.stats.local_fetches = reader.u64();
+  outcome.stats.remote_fetches = reader.u64();
+  outcome.stats.pfs_fetches = reader.u64();
+  outcome.stats.remote_misses = reader.u64();
+  outcome.stats.cached_samples = reader.u64();
+  outcome.stats.local_mb = reader.f64();
+  outcome.stats.remote_mb = reader.f64();
+  outcome.stats.pfs_mb = reader.f64();
+  outcome.stats.stall_s = reader.f64();
+  outcome.verified = reader.u64();
+  outcome.failures = reader.u64();
+  outcome.digest = reader.u64();
+  return outcome;
+}
+
+void accumulate(RuntimeResult& result, int rank, const WorkerOutcome& outcome) {
+  result.stats.local_fetches += outcome.stats.local_fetches;
+  result.stats.remote_fetches += outcome.stats.remote_fetches;
+  result.stats.pfs_fetches += outcome.stats.pfs_fetches;
+  result.stats.remote_misses += outcome.stats.remote_misses;
+  result.stats.local_mb += outcome.stats.local_mb;
+  result.stats.remote_mb += outcome.stats.remote_mb;
+  result.stats.pfs_mb += outcome.stats.pfs_mb;
+  result.stats.stall_s += outcome.stats.stall_s;
+  result.stats.cached_samples += outcome.stats.cached_samples;
+  result.verified_samples += outcome.verified;
+  result.verification_failures += outcome.failures;
+  result.delivered_digest ^= digest_of_rank(rank, outcome.digest);
+}
+
+/// Wall-clock marks the recording rank advances as the run progresses.
+struct TimingMarks {
+  double run_start = 0.0;
+  double epoch_mark = 0.0;
+  double batch_mark = 0.0;
+};
+
+/// Validated stream geometry shared by both launch modes.
+core::StreamConfig make_stream_config(const data::Dataset& dataset,
+                                      const RuntimeConfig& config) {
+  core::StreamConfig stream_config;
+  stream_config.seed = config.seed;
+  stream_config.num_samples = dataset.num_samples();
+  stream_config.num_workers = config.system.num_workers;
+  stream_config.num_epochs = config.num_epochs;
+  stream_config.global_batch = config.global_batch();
+  stream_config.drop_last = config.drop_last;
+  stream_config.validate();
+  if (!config.drop_last) {
+    throw std::invalid_argument("runtime harness: lockstep requires drop_last");
+  }
+  return stream_config;
+}
+
+/// The per-rank training loop, identical across launch modes.  `sync` is
+/// the per-iteration allreduce stand-in (std::barrier or Transport
+/// barrier); when `record` is set this rank writes timings into `result`.
+void worker_loop(const data::Dataset& dataset, const RuntimeConfig& config,
+                 baselines::Loader& loader, std::uint64_t iters,
+                 std::uint64_t local_batch, const std::function<void()>& sync,
+                 bool record, TimingMarks& marks, RuntimeResult& result,
+                 WorkerOutcome& outcome) {
+  const double compute_mbps = config.system.node.compute_mbps;
+  outcome.digest = kFnvOffset;
+  for (int e = 0; e < config.num_epochs; ++e) {
+    for (std::uint64_t h = 0; h < iters; ++h) {
+      for (std::uint64_t l = 0; l < local_batch; ++l) {
+        auto sample = loader.next();
+        if (!sample.has_value()) {
+          throw std::runtime_error(loader.name() + ": stream exhausted prematurely");
+        }
+        digest_push(outcome.digest, sample->id());
+        if (config.verify_content) {
+          if (data::verify_sample_content(sample->id(), sample->view())) {
+            ++outcome.verified;
+          } else {
+            ++outcome.failures;
+          }
+        }
+        if (!config.skip_compute && compute_mbps > 0.0) {
+          const double virtual_s = dataset.size_mb(sample->id()) / compute_mbps;
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(virtual_s / config.time_scale));
+        }
+      }
+      // The allreduce: every worker waits for the slowest.
+      sync();
+      if (record) {
+        const double t = now_s();
+        const double batch_virtual = (t - marks.batch_mark) * config.time_scale;
+        if (e == 0) {
+          result.batch_s_epoch0.push_back(batch_virtual);
+        } else {
+          result.batch_s_rest.push_back(batch_virtual);
+        }
+        marks.batch_mark = t;
+      }
+      sync();  // recording done; next iteration may start
+    }
+    if (record) {
+      const double t = now_s();
+      result.epoch_s.push_back((t - marks.epoch_mark) * config.time_scale);
+      marks.epoch_mark = t;
+    }
+  }
+  outcome.stats = loader.stats();
+}
+
+/// total_s must not include post-run teardown skew; the epoch times are
+/// the precise measurement, so reconcile to their sum when available.
+void reconcile_total(RuntimeResult& result, double run_start, double time_scale) {
+  result.total_s = (now_s() - run_start) * time_scale;
+  double epoch_total = 0.0;
+  for (const double e : result.epoch_s) epoch_total += e;
+  if (epoch_total > 0.0) result.total_s = epoch_total;
+}
+
+baselines::LoaderContext make_loader_context(const data::Dataset& dataset,
+                                             const RuntimeConfig& config, int rank,
+                                             core::SampleSource& source,
+                                             net::Transport* transport,
+                                             tiers::WorkerDevices* devices) {
+  baselines::LoaderContext ctx;
+  ctx.dataset = &dataset;
+  ctx.system = &config.system;
+  ctx.rank = rank;
+  ctx.source = &source;
+  ctx.transport = transport;
+  ctx.devices = devices;
+  ctx.seed = config.seed;
+  ctx.num_epochs = config.num_epochs;
+  ctx.global_batch = config.global_batch();
+  ctx.drop_last = config.drop_last;
+  ctx.time_scale = config.time_scale;
+  ctx.threads = config.loader_threads;
+  ctx.lookahead = config.lookahead;
+  ctx.router = config.router;
+  return ctx;
+}
+
 }  // namespace
 
 RuntimeResult run_training(const data::Dataset& dataset, const RuntimeConfig& config) {
@@ -33,109 +228,37 @@ RuntimeResult run_training(const data::Dataset& dataset, const RuntimeConfig& co
   auto transports = net::make_sim_transports(n, &cluster);
   core::SyntheticPfsSource source(dataset, &cluster.pfs());
 
-  // Stream geometry (identical for every loader kind).
-  core::StreamConfig stream_config;
-  stream_config.seed = config.seed;
-  stream_config.num_samples = dataset.num_samples();
-  stream_config.num_workers = n;
-  stream_config.num_epochs = config.num_epochs;
-  stream_config.global_batch = config.global_batch();
-  stream_config.drop_last = config.drop_last;
-  stream_config.validate();
-  if (!config.drop_last) {
-    throw std::invalid_argument(
-        "run_training: the lockstep harness requires drop_last");
-  }
+  const core::StreamConfig stream_config = make_stream_config(dataset, config);
   const std::uint64_t iters = stream_config.iterations_per_epoch();
   const std::uint64_t local_b = stream_config.local_batch();
 
   RuntimeResult result;
-  std::vector<core::JobStats> worker_stats(static_cast<std::size_t>(n));
-  std::vector<std::uint64_t> verified(static_cast<std::size_t>(n), 0);
-  std::vector<std::uint64_t> failures(static_cast<std::size_t>(n), 0);
-  std::vector<std::string> errors(static_cast<std::size_t>(n));
+  std::vector<WorkerOutcome> outcomes(static_cast<std::size_t>(n));
 
   std::barrier sync(n);
   // Timing starts after every loader is ready (post-start barrier): loader
   // setup is real CPU work that must not be multiplied by time_scale.
-  double run_start = 0.0;
-  double epoch_mark = 0.0;
-  double batch_mark = 0.0;
+  TimingMarks marks;
 
   auto worker_main = [&](int rank) {
     try {
-      baselines::LoaderContext ctx;
-      ctx.dataset = &dataset;
-      ctx.system = &config.system;
-      ctx.rank = rank;
-      ctx.source = &source;
-      ctx.transport = transports[static_cast<std::size_t>(rank)].get();
-      ctx.devices = &cluster.worker(rank);
-      ctx.seed = config.seed;
-      ctx.num_epochs = config.num_epochs;
-      ctx.global_batch = config.global_batch();
-      ctx.drop_last = config.drop_last;
-      ctx.time_scale = config.time_scale;
-      ctx.threads = config.loader_threads;
-      ctx.lookahead = config.lookahead;
-      ctx.router = config.router;
-
+      auto ctx = make_loader_context(dataset, config, rank, source,
+                                     transports[static_cast<std::size_t>(rank)].get(),
+                                     &cluster.worker(rank));
       auto loader = baselines::make_loader(config.loader, ctx);
       loader->start();
       sync.arrive_and_wait();  // everyone ready
       if (rank == 0) {
-        run_start = now_s();
-        epoch_mark = run_start;
-        batch_mark = run_start;
+        marks.run_start = now_s();
+        marks.epoch_mark = marks.run_start;
+        marks.batch_mark = marks.run_start;
       }
       sync.arrive_and_wait();  // clock set; start together
 
-      const double compute_mbps = config.system.node.compute_mbps;
-      for (int e = 0; e < config.num_epochs; ++e) {
-        for (std::uint64_t h = 0; h < iters; ++h) {
-          for (std::uint64_t l = 0; l < local_b; ++l) {
-            auto sample = loader->next();
-            if (!sample.has_value()) {
-              throw std::runtime_error(loader->name() +
-                                       ": stream exhausted prematurely");
-            }
-            if (config.verify_content) {
-              if (data::verify_sample_content(sample->id(), sample->view())) {
-                ++verified[static_cast<std::size_t>(rank)];
-              } else {
-                ++failures[static_cast<std::size_t>(rank)];
-              }
-            }
-            if (!config.skip_compute && compute_mbps > 0.0) {
-              const double virtual_s =
-                  dataset.size_mb(sample->id()) / compute_mbps;
-              std::this_thread::sleep_for(std::chrono::duration<double>(
-                  virtual_s / config.time_scale));
-            }
-          }
-          // The allreduce: every worker waits for the slowest.
-          sync.arrive_and_wait();
-          if (rank == 0) {
-            const double t = now_s();
-            const double batch_virtual = (t - batch_mark) * config.time_scale;
-            if (e == 0) {
-              result.batch_s_epoch0.push_back(batch_virtual);
-            } else {
-              result.batch_s_rest.push_back(batch_virtual);
-            }
-            batch_mark = t;
-          }
-          sync.arrive_and_wait();  // rank 0 finished recording
-        }
-        if (rank == 0) {
-          const double t = now_s();
-          result.epoch_s.push_back((t - epoch_mark) * config.time_scale);
-          epoch_mark = t;
-        }
-      }
-      worker_stats[static_cast<std::size_t>(rank)] = loader->stats();
+      worker_loop(dataset, config, *loader, iters, local_b,
+                  [&sync] { sync.arrive_and_wait(); }, rank == 0, marks, result,
+                  outcomes[static_cast<std::size_t>(rank)]);
     } catch (const std::exception& ex) {
-      errors[static_cast<std::size_t>(rank)] = ex.what();
       util::log_error("worker ", rank, " failed: ", ex.what());
       // Release peers stuck on the barrier by aborting the run.
       std::terminate();
@@ -147,27 +270,86 @@ RuntimeResult run_training(const data::Dataset& dataset, const RuntimeConfig& co
   for (int rank = 0; rank < n; ++rank) workers.emplace_back(worker_main, rank);
   for (auto& worker : workers) worker.join();
 
-  result.total_s = (now_s() - run_start) * config.time_scale;
-  // total_s must not include post-run teardown skew; the epoch times are
-  // the precise measurement, so reconcile to their sum.
-  double epoch_total = 0.0;
-  for (const double e : result.epoch_s) epoch_total += e;
-  if (epoch_total > 0.0) result.total_s = epoch_total;
+  reconcile_total(result, marks.run_start, config.time_scale);
   for (int rank = 0; rank < n; ++rank) {
-    const auto& s = worker_stats[static_cast<std::size_t>(rank)];
-    result.stats.local_fetches += s.local_fetches;
-    result.stats.remote_fetches += s.remote_fetches;
-    result.stats.pfs_fetches += s.pfs_fetches;
-    result.stats.remote_misses += s.remote_misses;
-    result.stats.local_mb += s.local_mb;
-    result.stats.remote_mb += s.remote_mb;
-    result.stats.pfs_mb += s.pfs_mb;
-    result.stats.stall_s += s.stall_s;
-    result.stats.cached_samples += s.cached_samples;
-    result.verified_samples += verified[static_cast<std::size_t>(rank)];
-    result.verification_failures += failures[static_cast<std::size_t>(rank)];
+    accumulate(result, rank, outcomes[static_cast<std::size_t>(rank)]);
   }
   return result;
+}
+
+RuntimeResult run_distributed(const data::Dataset& dataset, const RuntimeConfig& config,
+                              net::Transport& transport,
+                              tiers::EmulatedCluster* cluster) {
+  const int rank = transport.rank();
+  const int n = transport.world_size();
+  if (config.system.num_workers != n) {
+    throw std::invalid_argument(
+        "run_distributed: config.system.num_workers must equal the transport's "
+        "world size");
+  }
+
+  // Per-process substrate.  Unlike run_training there is no process-wide
+  // cluster: each rank prices its own devices, and the PFS contention curve
+  // sees only this process's readers (DESIGN.md Sec. 7).
+  std::optional<tiers::RealClock> own_clock;
+  std::optional<tiers::EmulatedCluster> own_cluster;
+  if (cluster == nullptr) {
+    own_clock.emplace();
+    own_cluster.emplace(*own_clock, config.system, config.time_scale);
+    cluster = &*own_cluster;
+  }
+  core::SyntheticPfsSource source(dataset, &cluster->pfs());
+
+  const core::StreamConfig stream_config = make_stream_config(dataset, config);
+  const std::uint64_t iters = stream_config.iterations_per_epoch();
+  const std::uint64_t local_b = stream_config.local_batch();
+
+  RuntimeResult result;
+  WorkerOutcome outcome;
+  auto ctx = make_loader_context(dataset, config, rank, source, &transport,
+                                 &cluster->worker(rank));
+  auto loader = baselines::make_loader(config.loader, ctx);
+  loader->start();
+  transport.barrier();  // everyone ready
+  TimingMarks marks;
+  marks.run_start = now_s();
+  marks.epoch_mark = marks.run_start;
+  marks.batch_mark = marks.run_start;
+  transport.barrier();  // clocks set; start together
+
+  // Every rank records its own timings: the barriers keep them in lockstep,
+  // and each process must return a complete RuntimeResult.
+  worker_loop(dataset, config, *loader, iters, local_b,
+              [&transport] { transport.barrier(); }, /*record=*/true, marks, result,
+              outcome);
+  reconcile_total(result, marks.run_start, config.time_scale);
+
+  // Job-wide aggregation: allgather each rank's outcome so every process
+  // reports identical totals (and the digest is world-combined).
+  const auto all = transport.allgather(pack_outcome(outcome));
+  for (int r = 0; r < n; ++r) {
+    accumulate(result, r, unpack_outcome(all[static_cast<std::size_t>(r)]));
+  }
+  return result;
+}
+
+RuntimeResult run_distributed(const data::Dataset& dataset, const RuntimeConfig& config,
+                              const WorkerEndpoint& endpoint) {
+  if (config.system.num_workers != endpoint.world_size) {
+    throw std::invalid_argument(
+        "run_distributed: config.system.num_workers must equal world_size");
+  }
+  tiers::RealClock clock;
+  tiers::EmulatedCluster cluster(clock, config.system, config.time_scale);
+  net::SocketOptions options;
+  options.rank = endpoint.rank;
+  options.world_size = endpoint.world_size;
+  options.rendezvous_host = endpoint.rendezvous_host;
+  options.rendezvous_port = endpoint.rendezvous_port;
+  options.timeout_s = endpoint.timeout_s;
+  options.nic = cluster.worker(endpoint.rank).nic.get();
+  net::SocketTransport transport(options);
+  return run_distributed(dataset, config, transport, &cluster);
 }
 
 }  // namespace nopfs::runtime

@@ -1,12 +1,21 @@
 #pragma once
-// Runtime harness: executes a real multi-worker training run in one process.
+// Runtime harness: executes a real multi-worker training run.
 //
-// N worker threads each drive a Loader (NoPFS or a baseline) against the
-// emulated storage substrate: devices are rate-limited token buckets, the
-// PFS is contention-aware, remote fetches ride the SimTransport.  Compute
-// is emulated by sleeping s_k/c (scaled); each iteration ends with a
-// barrier, the gradient allreduce of data-parallel training.  All reported
-// times are virtual seconds (real seconds x time_scale).
+// Two launch modes share one per-rank training loop:
+//
+//   * run_training — N worker threads in this process, wired by SimTransport.
+//   * run_distributed — ONE rank of an N-process job, wired by any
+//     net::Transport (SocketTransport in production; examples/nopfs_worker.cpp
+//     is the per-rank binary).  Collectives replace the std::barrier, and the
+//     final stats aggregation is an allgather, so every rank returns the same
+//     job-wide totals.
+//
+// Each rank drives a Loader (NoPFS or a baseline) against the emulated
+// storage substrate: devices are rate-limited token buckets, the PFS is
+// contention-aware, remote fetches ride the transport.  Compute is emulated
+// by sleeping s_k/c (scaled); each iteration ends with a barrier, the
+// gradient allreduce of data-parallel training.  All reported times are
+// virtual seconds (real seconds x time_scale).
 //
 // This is the "real system" half of the evaluation: it exercises the
 // production NoPFS code paths (staging buffer, prefetchers, metadata,
@@ -14,10 +23,13 @@
 // of workers analytically.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "baselines/loader.hpp"
 #include "data/dataset.hpp"
+#include "net/transport.hpp"
+#include "tiers/devices.hpp"
 #include "tiers/params.hpp"
 #include "util/stats.hpp"
 
@@ -55,14 +67,51 @@ struct RuntimeResult {
   core::JobStats stats;                 ///< summed over workers
   std::uint64_t verified_samples = 0;
   std::uint64_t verification_failures = 0;
+  /// Order-sensitive FNV digest of every delivered sample id, combined
+  /// across ranks by a rank-keyed mix: two runs delivered exactly the same
+  /// samples in the same per-rank order iff their digests are equal.  This
+  /// is the bit-for-bit contract between launch modes — a world-size-1
+  /// SocketTransport run must reproduce the SimTransport digest.
+  std::uint64_t delivered_digest = 0;
 
   [[nodiscard]] util::Summary batch_summary_rest() const {
     return util::summarize(batch_s_rest);
   }
 };
 
-/// Runs one complete training job and returns aggregate timings.
+/// Runs one complete training job with thread-workers and returns aggregate
+/// timings.
 [[nodiscard]] RuntimeResult run_training(const data::Dataset& dataset,
                                          const RuntimeConfig& config);
+
+/// Runs THIS rank of a multi-process training job over an already
+/// established transport.  `config.system.num_workers` must equal the
+/// transport's world size; every rank must use an identical config.
+/// Timings are measured locally (the barriers keep ranks in lockstep);
+/// stats, verification counts and the delivered digest are allgathered, so
+/// every rank returns the same job-wide totals.  `cluster` supplies this
+/// rank's emulated devices; pass nullptr to have the harness build one
+/// (each process then prices PFS contention against its local view only —
+/// see DESIGN.md Sec. 7).
+[[nodiscard]] RuntimeResult run_distributed(const data::Dataset& dataset,
+                                            const RuntimeConfig& config,
+                                            net::Transport& transport,
+                                            tiers::EmulatedCluster* cluster = nullptr);
+
+/// One rank's identity in a socket-launched world (examples/nopfs_worker).
+struct WorkerEndpoint {
+  int rank = 0;
+  int world_size = 1;
+  std::string rendezvous_host = "127.0.0.1";
+  std::uint16_t rendezvous_port = 0;
+  double timeout_s = 120.0;
+};
+
+/// Convenience launcher: builds this rank's emulated devices, performs the
+/// SocketTransport rendezvous (charging transfers to this rank's emulated
+/// NIC), and runs the distributed job.
+[[nodiscard]] RuntimeResult run_distributed(const data::Dataset& dataset,
+                                            const RuntimeConfig& config,
+                                            const WorkerEndpoint& endpoint);
 
 }  // namespace nopfs::runtime

@@ -159,7 +159,7 @@ TEST(Timeline, HandComputedRecurrence) {
 
 TEST(Timeline, LengthMismatchThrows) {
   EXPECT_THROW(
-      evaluate_timeline(std::vector<double>{1.0}, std::vector<double>{}, 1.0, 1),
+      (void)evaluate_timeline(std::vector<double>{1.0}, std::vector<double>{}, 1.0, 1),
       std::invalid_argument);
 }
 

@@ -9,6 +9,17 @@
 #include "tiers/params.hpp"
 #include "util/units.hpp"
 
+// Sanitizer instrumentation (2-20x slowdown, uneven across thread counts)
+// invalidates wall-clock A/B assertions; CI runs those tests but skips the
+// timing comparison itself.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define NOPFS_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define NOPFS_UNDER_SANITIZER 1
+#endif
+#endif
+
 namespace nopfs::runtime {
 namespace {
 
@@ -95,6 +106,9 @@ TEST(Runtime, NoPFSUsesCachesAfterEpochZero) {
 }
 
 TEST(Runtime, NoPFSFasterThanPyTorchOnContendedPfs) {
+#ifdef NOPFS_UNDER_SANITIZER
+  GTEST_SKIP() << "wall-clock A/B is not meaningful under sanitizers";
+#endif
   // The headline end-to-end claim at miniature scale: with a slow, contended
   // PFS and ample local storage, NoPFS beats double buffering.
   auto nopfs_config = small_config(baselines::LoaderKind::kNoPFS);
