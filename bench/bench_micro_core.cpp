@@ -21,6 +21,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include <condition_variable>
+#include <mutex>
+
 #include "core/access_stream.hpp"
 #include "core/cache_policy.hpp"
 #include "core/epoch_order_cache.hpp"
@@ -242,6 +245,70 @@ std::pair<double, double> socket_fetch_throughput(std::size_t sample_bytes,
   }
 }
 
+/// SharedPfs contention-protocol round-trips over loopback: rank 1 sends
+/// kPfsAcquire/kPfsRelease to the rank-0 authoritative counter and waits
+/// for the kPfsGamma gossip to come back — one full acquire/release cycle
+/// is two round trips.  Returns cycles per second.
+double pfs_acquire_release_throughput(int cycles) {
+  const std::uint16_t port = net::pick_free_port();
+  std::unique_ptr<net::SocketTransport> root;
+  std::thread root_thread([&] {
+    try {
+      net::SocketOptions options;
+      options.rank = 0;
+      options.world_size = 2;
+      options.rendezvous_port = port;
+      options.timeout_s = 30.0;
+      root = std::make_unique<net::SocketTransport>(options);
+      root->barrier();  // world up
+      root->barrier();  // client done
+    } catch (const std::exception& ex) {
+      std::cerr << "pfs bench root: " << ex.what() << "\n";
+    }
+  });
+  try {
+    net::SocketOptions options;
+    options.rank = 1;
+    options.world_size = 2;
+    options.rendezvous_port = port;
+    options.timeout_s = 30.0;
+    net::SocketTransport client(options);
+    client.barrier();
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    int gamma = -1;
+    client.set_pfs_listener([&](int g) {
+      const std::scoped_lock lock(mutex);
+      gamma = g;
+      cv.notify_all();
+    });
+    auto await_gamma = [&](int want) {
+      std::unique_lock lock(mutex);
+      if (!cv.wait_for(lock, std::chrono::seconds(10),
+                       [&] { return gamma == want; })) {
+        throw std::runtime_error("pfs bench: gamma gossip timed out");
+      }
+    };
+
+    const double start = now_s();
+    for (int i = 0; i < cycles; ++i) {
+      client.pfs_adjust(+1);
+      await_gamma(1);
+      client.pfs_adjust(-1);
+      await_gamma(0);
+    }
+    const double elapsed = now_s() - start;
+    client.set_pfs_listener({});
+    client.barrier();
+    root_thread.join();
+    return elapsed > 0.0 ? cycles / elapsed : 0.0;
+  } catch (...) {
+    if (root_thread.joinable()) root_thread.join();
+    throw;
+  }
+}
+
 int run_json_mode(const std::string& path) {
   // simulate() throughput: one NoPFS run, accesses / wall-clock.
   const std::uint64_t f = 200'000;
@@ -282,9 +349,11 @@ int run_json_mode(const std::string& path) {
   const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
 
   // SocketTransport loopback round-trips (the multi-process backend's hot
-  // path): small-sample RPC rate and large-sample streaming rate.
+  // path): small-sample RPC rate, large-sample streaming rate, and the
+  // SharedPfs contention protocol's acquire/release cycle rate.
   const auto [small_per_s, small_mbps] = socket_fetch_throughput(4 * 1024, 400);
   const auto [large_per_s, large_mbps] = socket_fetch_throughput(1024 * 1024, 50);
+  const double pfs_cycles_per_s = pfs_acquire_release_throughput(200);
 
   std::ofstream out(path);
   if (!out) {
@@ -316,14 +385,16 @@ int run_json_mode(const std::string& path) {
       << "    \"fetch_4k_per_s\": " << small_per_s << ",\n"
       << "    \"fetch_4k_mbps\": " << small_mbps << ",\n"
       << "    \"fetch_1m_per_s\": " << large_per_s << ",\n"
-      << "    \"fetch_1m_mbps\": " << large_mbps << "\n"
+      << "    \"fetch_1m_mbps\": " << large_mbps << ",\n"
+      << "    \"pfs_acquire_release_cycles_per_s\": " << pfs_cycles_per_s << "\n"
       << "  }\n"
       << "}\n";
   out.close();
   std::cout << "simulate: " << samples_per_s << " samples/s  |  sweep: " << serial_s
             << " s @1t -> " << parallel_s << " s @" << threads << "t  ("
             << speedup << "x)\nsocket fetch: " << small_per_s << " rpc/s @4K, "
-            << large_mbps << " MB/s @1M\nwrote " << path << "\n";
+            << large_mbps << " MB/s @1M  |  pfs acquire/release: "
+            << pfs_cycles_per_s << " cycles/s\nwrote " << path << "\n";
   return 0;
 }
 

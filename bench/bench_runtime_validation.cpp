@@ -4,10 +4,20 @@
 // should agree on the *ordering* of loaders and roughly on magnitudes —
 // this is the evidence that the large-scale simulated figures (10-16) are
 // grounded in the production code paths.
+//
+// `--socket` adds the multi-process cross-check: the NoPFS workload re-run
+// as a 2-rank in-process socket world (SharedPfs pricing job-wide PFS
+// contention) against the 2-thread harness — digest, PFS traffic and the
+// gamma envelope side by side.
 
+#include <array>
+#include <cstring>
 #include <iostream>
+#include <sstream>
+#include <thread>
 
 #include "bench_common.hpp"
+#include "net/socket_transport.hpp"
 #include "runtime/harness.hpp"
 
 using namespace nopfs;
@@ -24,6 +34,74 @@ tiers::SystemParams mini_system(int workers) {
   sys.node.preprocess_mbps = 500.0;
   sys.pfs.agg_read_mbps = util::ThroughputCurve({{1, 20}, {2, 25}, {4, 30}});
   return sys;
+}
+
+std::string hex_digest(std::uint64_t digest) {
+  std::ostringstream out;
+  out << std::hex << digest;
+  return out.str();
+}
+
+/// The 2-rank socket cross-check: both ranks in this process, each with its
+/// own SocketTransport, devices and SharedPfs — the full multi-process code
+/// path minus fork/exec.
+void run_socket_mode(const data::Dataset& dataset, const util::BenchArgs& args,
+                     int epochs) {
+  runtime::RuntimeConfig rt;
+  rt.system = mini_system(2);
+  rt.loader = baselines::LoaderKind::kNoPFS;
+  rt.seed = args.seed;
+  rt.num_epochs = epochs;
+  rt.per_worker_batch = 4;
+  rt.time_scale = 50.0;
+
+  const runtime::RuntimeResult threaded = runtime::run_training(dataset, rt);
+
+  const std::uint16_t port = net::pick_free_port();
+  std::array<runtime::RuntimeResult, 2> socket_results;
+  std::array<std::string, 2> errors;
+  std::vector<std::thread> ranks;
+  for (int r = 0; r < 2; ++r) {
+    ranks.emplace_back([&, r] {
+      try {
+        runtime::WorkerEndpoint endpoint;
+        endpoint.rank = r;
+        endpoint.world_size = 2;
+        endpoint.rendezvous_port = port;
+        endpoint.timeout_s = 60.0;
+        socket_results[static_cast<std::size_t>(r)] =
+            run_distributed(dataset, rt, endpoint);
+      } catch (const std::exception& ex) {
+        errors[static_cast<std::size_t>(r)] = ex.what();
+      }
+    });
+  }
+  for (auto& t : ranks) t.join();
+  for (int r = 0; r < 2; ++r) {
+    if (!errors[static_cast<std::size_t>(r)].empty()) {
+      std::cout << "socket mode failed on rank " << r << ": "
+                << errors[static_cast<std::size_t>(r)] << "\n";
+      return;
+    }
+  }
+  const runtime::RuntimeResult& socket = socket_results[0];
+
+  util::Table table({"Launch mode", "total", "pfs fetches", "pfs MB",
+                     "peak gamma", "digest"});
+  table.add_row({"threaded (SimTransport)", util::format_seconds(threaded.total_s),
+                 std::to_string(threaded.stats.pfs_fetches),
+                 util::Table::num(threaded.stats.pfs_mb, 1),
+                 std::to_string(threaded.pfs_peak_gamma),
+                 hex_digest(threaded.delivered_digest)});
+  table.add_row({"2-rank socket (SharedPfs)", util::format_seconds(socket.total_s),
+                 std::to_string(socket.stats.pfs_fetches),
+                 util::Table::num(socket.stats.pfs_mb, 1),
+                 std::to_string(socket.pfs_peak_gamma),
+                 hex_digest(socket.delivered_digest)});
+  bench::emit(table, args, "Threaded vs multi-process harness (NoPFS loader)");
+  if (socket.delivered_digest != threaded.delivered_digest) {
+    std::cout << "WARNING: launch-mode digest mismatch — identity contract broken\n";
+  }
 }
 
 }  // namespace
@@ -85,5 +163,12 @@ int main(int argc, char** argv) {
                " at this miniature scale; what validates the simulator is that the\n"
                " PFS read counts match and the caching loaders (LBANN, NoPFS) beat\n"
                " the PFS-bound ones (Naive, PyTorch) in both columns)\n";
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      run_socket_mode(dataset, args, epochs);
+      break;
+    }
+  }
   return 0;
 }

@@ -41,6 +41,7 @@ struct Args {
   double time_scale = 50.0;
   double timeout_s = 120.0;
   bool verify = true;
+  bool per_process_pfs = false;
   std::string json_out;
 };
 
@@ -50,7 +51,8 @@ void usage(const char* argv0) {
       << " --rank R --world-size N --rendezvous HOST:PORT\n"
          "          [--loader nopfs|naive|pytorch|dali|tfdata|sharded|lbann]\n"
          "          [--samples F] [--epochs E] [--seed S] [--per-worker-batch B]\n"
-         "          [--time-scale X] [--timeout-s T] [--no-verify] [--json-out PATH]\n";
+         "          [--time-scale X] [--timeout-s T] [--no-verify] [--json-out PATH]\n"
+         "          [--per-process-pfs]   (opt out of job-wide PFS contention)\n";
 }
 
 baselines::LoaderKind parse_loader(const std::string& name) {
@@ -104,6 +106,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.timeout_s = std::stod(value(i));
     } else if (flag == "--no-verify") {
       args.verify = false;
+    } else if (flag == "--per-process-pfs") {
+      args.per_process_pfs = true;
     } else if (flag == "--json-out") {
       args.json_out = value(i);
     } else if (flag == "--help" || flag == "-h") {
@@ -134,6 +138,7 @@ std::string result_json(const Args& args, const runtime::RuntimeResult& result) 
       << "  \"verification_failures\": " << result.verification_failures << ",\n"
       << "  \"delivered_digest\": \"" << std::hex << result.delivered_digest
       << std::dec << "\",\n"
+      << "  \"pfs_peak_gamma\": " << result.pfs_peak_gamma << ",\n"
       << "  \"stats\": {\n"
       << "    \"local_fetches\": " << result.stats.local_fetches << ",\n"
       << "    \"remote_fetches\": " << result.stats.remote_fetches << ",\n"
@@ -185,6 +190,7 @@ int main(int argc, char** argv) {
     config.per_worker_batch = args.per_worker_batch;
     config.time_scale = args.time_scale;
     config.verify_content = args.verify;
+    config.shared_pfs_contention = !args.per_process_pfs;
 
     runtime::WorkerEndpoint endpoint;
     endpoint.rank = args.rank;

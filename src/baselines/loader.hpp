@@ -18,7 +18,7 @@
 #include "core/sample_source.hpp"
 #include "data/dataset.hpp"
 #include "net/transport.hpp"
-#include "tiers/devices.hpp"
+#include "tiers/device_iface.hpp"
 
 namespace nopfs::baselines {
 

@@ -29,7 +29,7 @@
 #include "core/perf_model.hpp"
 #include "core/sample_source.hpp"
 #include "net/transport.hpp"
-#include "tiers/devices.hpp"
+#include "tiers/device_iface.hpp"
 
 namespace nopfs::core {
 
@@ -68,10 +68,7 @@ struct FetchStats {
   std::atomic<double> pfs_mb{0.0};
 
   void add_mb(std::atomic<double>& counter, double mb) {
-    double current = counter.load(std::memory_order_relaxed);
-    while (!counter.compare_exchange_weak(current, current + mb,
-                                          std::memory_order_relaxed)) {
-    }
+    counter.fetch_add(mb, std::memory_order_relaxed);
   }
 };
 

@@ -29,7 +29,7 @@
 #include "core/sample_source.hpp"
 #include "core/staging_buffer.hpp"
 #include "net/transport.hpp"
-#include "tiers/devices.hpp"
+#include "tiers/device_iface.hpp"
 
 namespace nopfs::core {
 

@@ -5,7 +5,7 @@
 namespace nopfs::core {
 
 SyntheticPfsSource::SyntheticPfsSource(const data::Dataset& dataset,
-                                       tiers::EmulatedPfs* pfs)
+                                       tiers::PfsDevice* pfs)
     : dataset_(dataset), pfs_(pfs) {}
 
 Bytes SyntheticPfsSource::read(int worker, data::SampleId id) {
@@ -22,7 +22,7 @@ double SyntheticPfsSource::size_mb(data::SampleId id) const {
 
 DirectoryPfsSource::DirectoryPfsSource(const data::Dataset& dataset,
                                        const data::MaterializedDataset& files,
-                                       tiers::EmulatedPfs* pfs)
+                                       tiers::PfsDevice* pfs)
     : dataset_(dataset), files_(files), pfs_(pfs) {}
 
 Bytes DirectoryPfsSource::read(int worker, data::SampleId id) {

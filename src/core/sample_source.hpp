@@ -3,7 +3,7 @@
 //
 // Per MLPerf-HPC rules (and the paper's setup), training data begins on a
 // shared PFS that every worker can read.  SyntheticPfsSource emulates that:
-// reads charge the contention-aware EmulatedPfs device and the bytes are
+// reads charge the attached contention-aware PfsDevice and the bytes are
 // synthesized deterministically (data/materialize.hpp), so reads anywhere
 // downstream remain verifiable without terabytes on disk.
 // DirectoryPfsSource reads real files (integration tests, examples).
@@ -14,7 +14,7 @@
 #include "core/storage_backend.hpp"
 #include "data/dataset.hpp"
 #include "data/materialize.hpp"
-#include "tiers/devices.hpp"
+#include "tiers/device_iface.hpp"
 
 namespace nopfs::core {
 
@@ -31,18 +31,18 @@ class SampleSource {
   [[nodiscard]] virtual double size_mb(data::SampleId id) const = 0;
 };
 
-/// Emulated-PFS source with deterministic synthetic content.
+/// PFS-device-backed source with deterministic synthetic content.
 class SyntheticPfsSource final : public SampleSource {
  public:
   /// `pfs` may be nullptr (untimed unit tests).
-  SyntheticPfsSource(const data::Dataset& dataset, tiers::EmulatedPfs* pfs);
+  SyntheticPfsSource(const data::Dataset& dataset, tiers::PfsDevice* pfs);
 
   [[nodiscard]] Bytes read(int worker, data::SampleId id) override;
   [[nodiscard]] double size_mb(data::SampleId id) const override;
 
  private:
   const data::Dataset& dataset_;
-  tiers::EmulatedPfs* pfs_;
+  tiers::PfsDevice* pfs_;
 };
 
 /// Real-file source over a materialized dataset directory.
@@ -50,7 +50,7 @@ class DirectoryPfsSource final : public SampleSource {
  public:
   /// `pfs` may be nullptr to read at native disk speed.
   DirectoryPfsSource(const data::Dataset& dataset,
-                     const data::MaterializedDataset& files, tiers::EmulatedPfs* pfs);
+                     const data::MaterializedDataset& files, tiers::PfsDevice* pfs);
 
   [[nodiscard]] Bytes read(int worker, data::SampleId id) override;
   [[nodiscard]] double size_mb(data::SampleId id) const override;
@@ -58,7 +58,7 @@ class DirectoryPfsSource final : public SampleSource {
  private:
   const data::Dataset& dataset_;
   const data::MaterializedDataset& files_;
-  tiers::EmulatedPfs* pfs_;
+  tiers::PfsDevice* pfs_;
 };
 
 }  // namespace nopfs::core

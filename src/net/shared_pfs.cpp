@@ -1,0 +1,72 @@
+#include "net/shared_pfs.hpp"
+
+#include <stdexcept>
+
+namespace nopfs::net {
+
+SharedPfs::SharedPfs(tiers::Clock& clock, const tiers::PfsParams& params,
+                     double time_scale, Transport& transport)
+    : params_(params),
+      time_scale_(time_scale),
+      transport_(transport),
+      bucket_(clock, params.agg_read_mbps.at(1) * time_scale) {
+  transport_.set_pfs_listener([this](int gamma) { on_gamma(gamma); });
+}
+
+SharedPfs::~SharedPfs() {
+  // Withdrawal fences (Transport contract): after this line no transport
+  // thread is inside on_gamma, so the members may be destroyed.
+  transport_.set_pfs_listener({});
+}
+
+void SharedPfs::on_gamma(int gamma) {
+  const std::scoped_lock lock(mutex_);
+  // This process's own activity is ground truth; a transport without
+  // contention accounting (pfs_adjust == 0) degrades to per-process gamma.
+  const int floor = local_outstanding_ > 0 ? 1 : 0;
+  gamma_ = gamma > floor ? gamma : floor;
+  if (gamma_ > peak_gamma_) peak_gamma_ = gamma_;
+  const int g = gamma_ > 0 ? gamma_ : 1;
+  bucket_.set_rate(params_.agg_read_mbps.at(g) / g * time_scale_);
+}
+
+void SharedPfs::read(int worker, double mb) {
+  if (worker < 0) throw std::invalid_argument("SharedPfs: negative worker id");
+  // transition_mutex_ keeps the outstanding-count edge and its pfs_adjust
+  // on the wire as one unit: without it, a racing release/acquire pair
+  // could invert (T1 computes 1->0, T2 sends its +1, then T1's -1 lands),
+  // leaving this rank marked idle at rank 0 for the rest of T2's read.
+  // It must NOT be mutex_: the transport invokes the gamma listener
+  // (-> on_gamma -> mutex_) from its own threads while pfs_adjust blocks.
+  {
+    const std::scoped_lock transition_lock(transition_mutex_);
+    bool transition = false;
+    {
+      const std::scoped_lock lock(mutex_);
+      transition = local_outstanding_++ == 0;
+    }
+    if (transition) on_gamma(transport_.pfs_adjust(+1));
+  }
+  bucket_.acquire(mb);
+  {
+    const std::scoped_lock transition_lock(transition_mutex_);
+    bool transition = false;
+    {
+      const std::scoped_lock lock(mutex_);
+      transition = --local_outstanding_ == 0;
+    }
+    if (transition) on_gamma(transport_.pfs_adjust(-1));
+  }
+}
+
+int SharedPfs::active_clients() const {
+  const std::scoped_lock lock(mutex_);
+  return gamma_;
+}
+
+int SharedPfs::peak_clients() const {
+  const std::scoped_lock lock(mutex_);
+  return peak_gamma_;
+}
+
+}  // namespace nopfs::net

@@ -1,0 +1,76 @@
+#pragma once
+// SharedPfs: the job-wide PFS contention view of a multi-process world.
+//
+// The threaded harness prices t(gamma) exactly because every worker shares
+// ONE EmulatedPfs object.  Separate processes cannot share an object, so
+// each rank's SharedPfs keeps a local token bucket tuned to its FAIR SHARE
+// of the job-wide aggregate, t(gamma)/gamma, where gamma is the number of
+// ranks with a PFS read in flight anywhere in the job:
+//
+//   aggregate delivered = gamma ranks x t(gamma)/gamma = t(gamma),
+//
+// exactly the curve one shared bucket grants gamma concurrent readers.
+// Gamma itself comes from the transport's contention surface
+// (Transport::pfs_adjust + the gamma listener): rank 0 hosts the
+// authoritative counter; kPfsAcquire/kPfsRelease/kPfsGamma frames carry
+// transitions and updates (DESIGN.md Sec. 7.4).  A stale gamma can only
+// skew pricing — never which sample is delivered — so the launch-mode
+// digest identity contract (Sec. 7.3) is unaffected.
+
+#include <mutex>
+
+#include "net/transport.hpp"
+#include "tiers/device_iface.hpp"
+#include "tiers/params.hpp"
+#include "tiers/token_bucket.hpp"
+
+namespace nopfs::net {
+
+class SharedPfs final : public tiers::PfsDevice {
+ public:
+  /// Registers this device as `transport`'s gamma listener; the transport
+  /// must outlive it.  `time_scale`: virtual seconds per real second.
+  SharedPfs(tiers::Clock& clock, const tiers::PfsParams& params, double time_scale,
+            Transport& transport);
+  ~SharedPfs() override;
+
+  SharedPfs(const SharedPfs&) = delete;
+  SharedPfs& operator=(const SharedPfs&) = delete;
+
+  /// Reads `mb` at this rank's share of t(gamma).  The first outstanding
+  /// read announces this rank to the job (pfs_adjust(+1)); the last one
+  /// leaving retracts it.
+  void read(int worker, double mb) override;
+
+  /// Latest job-wide gamma estimate (authoritative on rank 0, gossip-fresh
+  /// elsewhere; never below this process's own activity).
+  [[nodiscard]] int active_clients() const override;
+
+  [[nodiscard]] int peak_clients() const override;
+
+  /// MB read by THIS rank (job-wide totals are the harness's allgather).
+  [[nodiscard]] double total_read_mb() const override {
+    return bucket_.total_granted();
+  }
+
+ private:
+  /// Applies a gamma update (own transition or transport gossip) and
+  /// retunes the bucket to t(gamma)/gamma.  Never called with locks held
+  /// by read(); the transport invokes it from its own threads.
+  void on_gamma(int gamma);
+
+  tiers::PfsParams params_;
+  double time_scale_;
+  Transport& transport_;
+  tiers::TokenBucket bucket_;
+  /// Serializes outstanding-count transitions WITH their pfs_adjust calls,
+  /// so acquire/release edges reach the wire in the order they happened.
+  /// Lock order: transition_mutex_ before mutex_, never the reverse.
+  std::mutex transition_mutex_;
+  mutable std::mutex mutex_;
+  int local_outstanding_ = 0;  ///< reads in flight in this process
+  int gamma_ = 0;              ///< job-wide active ranks (latest estimate)
+  int peak_gamma_ = 0;
+};
+
+}  // namespace nopfs::net

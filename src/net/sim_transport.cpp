@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "tiers/devices.hpp"
 #include "util/units.hpp"
 
 namespace nopfs::net {
@@ -17,10 +18,12 @@ SimFabric::SimFabric(int world_size) : world_size_(world_size) {
   watermarks_ = std::vector<std::atomic<std::uint64_t>>(static_cast<std::size_t>(world_size));
   for (auto& w : watermarks_) w.store(0, std::memory_order_relaxed);
   nics_.resize(static_cast<std::size_t>(world_size), nullptr);
+  pfs_active_.resize(static_cast<std::size_t>(world_size), 0);
+  pfs_listeners_.resize(static_cast<std::size_t>(world_size));
 }
 
 SimTransport::SimTransport(std::shared_ptr<SimFabric> fabric, int rank,
-                           tiers::EmulatedNic* nic)
+                           tiers::NicDevice* nic)
     : fabric_(std::move(fabric)), rank_(rank), nic_(nic) {
   if (fabric_ == nullptr) throw std::invalid_argument("SimTransport: null fabric");
   if (rank < 0 || rank >= fabric_->world_size()) {
@@ -84,7 +87,7 @@ std::optional<Bytes> SimTransport::fetch_sample(int peer, std::uint64_t id) {
   }
   if (result.has_value()) {
     const double mb = util::bytes_to_mb(result->size());
-    tiers::EmulatedNic* peer_nic = fabric_->nics_[static_cast<std::size_t>(peer)];
+    tiers::NicDevice* peer_nic = fabric_->nics_[static_cast<std::size_t>(peer)];
     if (peer_nic != nullptr) peer_nic->transfer(mb);
     if (nic_ != nullptr) {
       nic_->transfer(mb);
@@ -93,6 +96,27 @@ std::optional<Bytes> SimTransport::fetch_sample(int peer, std::uint64_t id) {
     }
   }
   return result;
+}
+
+int SimTransport::pfs_adjust(int delta) {
+  const std::scoped_lock lock(fabric_->pfs_mutex_);
+  fabric_->pfs_active_[static_cast<std::size_t>(rank_)] = delta > 0 ? 1 : 0;
+  int gamma = 0;
+  for (const char active : fabric_->pfs_active_) gamma += active;
+  // Shared memory makes the "gossip" exact and immediate: every other
+  // rank's listener sees the new gamma before this call returns.
+  for (int r = 0; r < fabric_->world_size(); ++r) {
+    if (r == rank_) continue;
+    const Transport::PfsListener& listener =
+        fabric_->pfs_listeners_[static_cast<std::size_t>(r)];
+    if (listener) listener(gamma);
+  }
+  return gamma;
+}
+
+void SimTransport::set_pfs_listener(PfsListener listener) {
+  const std::scoped_lock lock(fabric_->pfs_mutex_);
+  fabric_->pfs_listeners_[static_cast<std::size_t>(rank_)] = std::move(listener);
 }
 
 void SimTransport::publish_watermark(std::uint64_t position) {
@@ -118,7 +142,7 @@ std::vector<std::unique_ptr<SimTransport>> make_sim_transports(
   std::vector<std::unique_ptr<SimTransport>> endpoints;
   endpoints.reserve(static_cast<std::size_t>(world_size));
   for (int r = 0; r < world_size; ++r) {
-    tiers::EmulatedNic* nic =
+    tiers::NicDevice* nic =
         cluster != nullptr ? cluster->worker(r).nic.get() : nullptr;
     endpoints.push_back(std::make_unique<SimTransport>(fabric, r, nic));
   }

@@ -19,7 +19,11 @@
 #include <vector>
 
 #include "net/transport.hpp"
-#include "tiers/devices.hpp"
+#include "tiers/device_iface.hpp"
+
+namespace nopfs::tiers {
+class EmulatedCluster;
+}
 
 namespace nopfs::net {
 
@@ -56,7 +60,16 @@ class SimFabric {
   std::vector<std::atomic<std::uint64_t>> watermarks_;
 
   // Optional NICs (may be null: then transfers are free / untimed).
-  std::vector<tiers::EmulatedNic*> nics_;
+  std::vector<tiers::NicDevice*> nics_;
+
+  // Job-wide PFS contention accounting: which ranks have a PFS read in
+  // flight, and the per-rank gamma listeners.  Listeners are invoked under
+  // pfs_mutex_ so withdrawal (set_pfs_listener({})) fences as the Transport
+  // contract requires; this cannot deadlock because SharedPfs never holds
+  // its own lock across a pfs_adjust call.
+  std::mutex pfs_mutex_;
+  std::vector<char> pfs_active_;
+  std::vector<Transport::PfsListener> pfs_listeners_;
 };
 
 /// One rank's endpoint on a SimFabric.
@@ -64,7 +77,7 @@ class SimTransport final : public Transport {
  public:
   /// `nic` may be nullptr for untimed tests.
   SimTransport(std::shared_ptr<SimFabric> fabric, int rank,
-               tiers::EmulatedNic* nic = nullptr);
+               tiers::NicDevice* nic = nullptr);
 
   [[nodiscard]] int rank() const override { return rank_; }
   [[nodiscard]] int world_size() const override;
@@ -75,6 +88,9 @@ class SimTransport final : public Transport {
   void set_serve_handler(ServeHandler handler) override;
   std::optional<Bytes> fetch_sample(int peer, std::uint64_t id) override;
 
+  int pfs_adjust(int delta) override;
+  void set_pfs_listener(PfsListener listener) override;
+
   void publish_watermark(std::uint64_t position) override;
   [[nodiscard]] std::uint64_t watermark_of(int peer) const override;
 
@@ -83,7 +99,7 @@ class SimTransport final : public Transport {
  private:
   std::shared_ptr<SimFabric> fabric_;
   int rank_;
-  tiers::EmulatedNic* nic_;
+  tiers::NicDevice* nic_;
   double transferred_mb_no_nic_ = 0.0;
 };
 

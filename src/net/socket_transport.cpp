@@ -173,6 +173,7 @@ SocketTransport::SocketTransport(const SocketOptions& options) : options_(option
   }
   watermarks_ = std::vector<std::atomic<std::uint64_t>>(world);
   for (auto& w : watermarks_) w.store(0, std::memory_order_relaxed);
+  pfs_active_.resize(world, 0);
 
   try {
     // Serve listener first: by the time any peer learns this rank's port
@@ -482,6 +483,26 @@ void SocketTransport::serve_connection(std::shared_ptr<Conn> conn) {
           }
           break;
         }
+        case wire::MsgType::kPfsAcquire:
+        case wire::MsgType::kPfsRelease: {
+          if (options_.rank != 0) {
+            throw std::runtime_error(
+                "SocketTransport: PFS contention frame at non-root rank");
+          }
+          const auto who = static_cast<int>(header.arg);
+          if (who > 0 && who < options_.world_size) {
+            pfs_root_set_active(who, header.type == wire::MsgType::kPfsAcquire,
+                                /*notify_local=*/true);
+          }
+          break;
+        }
+        case wire::MsgType::kPfsGamma: {
+          if (options_.rank == 0) {
+            throw std::runtime_error("SocketTransport: kPfsGamma at the root");
+          }
+          pfs_apply_gamma(static_cast<int>(header.arg));
+          break;
+        }
         default:
           throw std::runtime_error("SocketTransport: unexpected frame on serve conn");
       }
@@ -543,10 +564,7 @@ std::optional<Bytes> SocketTransport::fetch_sample(int peer, std::uint64_t id) {
       options_.nic->transfer(mb);
     } else {
       // Atomic add (fetches may race from several prefetch threads).
-      double seen = transferred_mb_no_nic_.load(std::memory_order_relaxed);
-      while (!transferred_mb_no_nic_.compare_exchange_weak(
-          seen, seen + mb, std::memory_order_relaxed)) {
-      }
+      transferred_mb_no_nic_.fetch_add(mb, std::memory_order_relaxed);
     }
     return payload;
   } catch (const std::exception& ex) {
@@ -560,6 +578,82 @@ std::optional<Bytes> SocketTransport::fetch_sample(int peer, std::uint64_t id) {
     channels_[static_cast<std::size_t>(peer)].reset();
     return std::nullopt;
   }
+}
+
+// ---------------------------------------------------------------------------
+// PFS contention accounting (DESIGN.md Sec. 7.4).
+
+int SocketTransport::pfs_root_set_active(int rank, bool active, bool notify_local) {
+  const std::scoped_lock lock(pfs_mutex_);
+  pfs_active_[static_cast<std::size_t>(rank)] = active ? 1 : 0;
+  int gamma = 0;
+  for (const char a : pfs_active_) gamma += a;
+  pfs_gamma_ = gamma;
+  if (notify_local && pfs_listener_) pfs_listener_(gamma);
+  // Broadcast while still holding pfs_mutex_: two racing transitions must
+  // reach every peer in the same order, or a peer could be left believing
+  // the stale count forever.
+  const auto arg = static_cast<std::uint64_t>(gamma);
+  for (int peer = 1; peer < options_.world_size; ++peer) {
+    try {
+      const std::scoped_lock channel_lock(
+          *channel_mutexes_[static_cast<std::size_t>(peer)]);
+      Conn* conn = peer_channel_locked(peer);
+      if (conn != nullptr) {
+        conn->send_frame(wire::MsgType::kPfsGamma, arg, nullptr, 0);
+      }
+    } catch (const std::exception&) {
+      // Gossip is best-effort, like watermarks; a dead peer stays stale.
+      const std::scoped_lock channel_lock(
+          *channel_mutexes_[static_cast<std::size_t>(peer)]);
+      channels_[static_cast<std::size_t>(peer)].reset();
+    }
+  }
+  return gamma;
+}
+
+void SocketTransport::pfs_apply_gamma(int gamma) {
+  const std::scoped_lock lock(pfs_mutex_);
+  pfs_gamma_ = gamma;
+  if (pfs_listener_) pfs_listener_(gamma);
+}
+
+int SocketTransport::pfs_adjust(int delta) {
+  const bool active = delta > 0;
+  if (options_.rank == 0) {
+    // The caller learns the new gamma from the return value; its listener
+    // is only for changes it did not initiate.
+    return pfs_root_set_active(0, active, /*notify_local=*/false);
+  }
+  int estimate = 0;
+  {
+    // Optimistic local estimate until the authoritative kPfsGamma arrives
+    // (staleness bound: one control round-trip to rank 0).
+    const std::scoped_lock lock(pfs_mutex_);
+    pfs_gamma_ += delta;
+    const int floor = active ? 1 : 0;
+    if (pfs_gamma_ < floor) pfs_gamma_ = floor;
+    if (pfs_gamma_ > options_.world_size) pfs_gamma_ = options_.world_size;
+    estimate = pfs_gamma_;
+  }
+  try {
+    const std::scoped_lock lock(*channel_mutexes_[0]);
+    Conn* conn = peer_channel_locked(0);
+    if (conn != nullptr) {
+      conn->send_frame(active ? wire::MsgType::kPfsAcquire
+                              : wire::MsgType::kPfsRelease,
+                       static_cast<std::uint64_t>(options_.rank), nullptr, 0);
+    }
+  } catch (const std::exception&) {
+    const std::scoped_lock lock(*channel_mutexes_[0]);
+    channels_[0].reset();
+  }
+  return estimate;
+}
+
+void SocketTransport::set_pfs_listener(PfsListener listener) {
+  const std::scoped_lock lock(pfs_mutex_);
+  pfs_listener_ = std::move(listener);
 }
 
 void SocketTransport::publish_watermark(std::uint64_t position) {

@@ -23,6 +23,12 @@
 //     fetch charges the server's emulated NIC as it serves and the
 //     requester's NIC as it receives, so a run is priced identically no
 //     matter which backend carries it (DESIGN.md Sec. 7).
+//   * PFS contention accounting (DESIGN.md Sec. 7.4): rank 0 hosts the
+//     authoritative job-wide active-reader counter.  Ranks send
+//     kPfsAcquire/kPfsRelease on their fetch channel to rank 0 when their
+//     local PFS activity transitions; rank 0 broadcasts the new gamma as
+//     kPfsGamma gossip on the same per-peer channels the watermarks ride.
+//     net::SharedPfs consumes this surface to retune its token bucket.
 //
 // Loopback only today: endpoints are exchanged as IPv4 addresses, so
 // spanning real nodes needs nothing new on the wire, just reachable
@@ -37,7 +43,7 @@
 #include <vector>
 
 #include "net/transport.hpp"
-#include "tiers/devices.hpp"
+#include "tiers/device_iface.hpp"
 
 namespace nopfs::net {
 
@@ -52,7 +58,7 @@ struct SocketOptions {
   double timeout_s = 120.0;
   /// Optional emulated NIC: transfers are charged through it exactly as
   /// SimTransport charges them.  May be null (untimed, bytes still counted).
-  tiers::EmulatedNic* nic = nullptr;
+  tiers::NicDevice* nic = nullptr;
 };
 
 class SocketTransport final : public Transport {
@@ -73,6 +79,9 @@ class SocketTransport final : public Transport {
 
   void set_serve_handler(ServeHandler handler) override;
   std::optional<Bytes> fetch_sample(int peer, std::uint64_t id) override;
+
+  int pfs_adjust(int delta) override;
+  void set_pfs_listener(PfsListener listener) override;
 
   void publish_watermark(std::uint64_t position) override;
   [[nodiscard]] std::uint64_t watermark_of(int peer) const override;
@@ -97,6 +106,12 @@ class SocketTransport final : public Transport {
   /// first use.  Returns null (a recorded miss) if the peer is gone.
   [[nodiscard]] Conn* peer_channel_locked(int peer);
   void check_peer(int peer) const;
+  /// Rank-0 side of the contention protocol: records `rank`'s PFS activity,
+  /// recomputes the authoritative gamma, notifies the local listener and
+  /// broadcasts kPfsGamma to every peer.  Returns the new gamma.
+  int pfs_root_set_active(int rank, bool active, bool notify_local);
+  /// Non-root side: applies a kPfsGamma update from rank 0.
+  void pfs_apply_gamma(int gamma);
   /// Stops the serve side, closes every connection, joins all threads.
   /// Used by both the destructor and constructor failure cleanup.
   void teardown();
@@ -127,6 +142,15 @@ class SocketTransport final : public Transport {
 
   std::vector<std::atomic<std::uint64_t>> watermarks_;
   std::atomic<double> transferred_mb_no_nic_{0.0};
+
+  // PFS contention state.  pfs_mutex_ orders every gamma change and is held
+  // across the kPfsGamma broadcast (so peers never see updates out of
+  // order) and across listener invocation (so set_pfs_listener({}) fences).
+  // Lock order: pfs_mutex_ before channel mutexes, never the reverse.
+  std::mutex pfs_mutex_;
+  std::vector<char> pfs_active_;  ///< rank 0 only: per-rank activity
+  int pfs_gamma_ = 0;             ///< authoritative (rank 0) / estimate (others)
+  PfsListener pfs_listener_;
 };
 
 /// Reserves an OS-assigned free loopback port and releases it immediately:

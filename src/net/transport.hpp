@@ -50,6 +50,28 @@ class Transport {
   /// non-fatal miss.  Blocking; network time is charged by the transport.
   virtual std::optional<Bytes> fetch_sample(int peer, std::uint64_t id) = 0;
 
+  /// Invoked with the new job-wide PFS active-reader count gamma whenever
+  /// it changes because of ANOTHER rank's activity (this rank's own changes
+  /// are reported through pfs_adjust's return value).  May be called from
+  /// transport-internal threads.
+  using PfsListener = std::function<void(int)>;
+
+  /// Job-wide PFS contention accounting (DESIGN.md Sec. 7.4).  A rank calls
+  /// pfs_adjust(+1) when it goes from zero to one outstanding PFS read and
+  /// pfs_adjust(-1) on the reverse transition; the return value is the
+  /// caller's freshest estimate of the job-wide active-reader count.  The
+  /// default implementation supports no accounting (returns 0), which makes
+  /// net::SharedPfs degrade to per-process contention pricing.
+  virtual int pfs_adjust(int delta) {
+    (void)delta;
+    return 0;
+  }
+
+  /// Installs (or, with an empty function, withdraws) the gamma listener.
+  /// Withdrawal must fence: after it returns, the previous listener is
+  /// neither running nor about to run.
+  virtual void set_pfs_listener(PfsListener listener) { (void)listener; }
+
   /// Publishes this rank's prefetch progress (position in its access
   /// stream); peers read it via watermark_of().  Used by the remote-cache
   /// readiness heuristic (Sec. 5.2.2).

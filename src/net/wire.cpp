@@ -80,7 +80,7 @@ FrameHeader decode_header(const std::uint8_t (&in)[kHeaderBytes]) {
   const auto raw = reader.bytes(1);
   header.type = static_cast<MsgType>(raw[0]);
   if (raw[0] < static_cast<std::uint8_t>(MsgType::kHello) ||
-      raw[0] > static_cast<std::uint8_t>(MsgType::kWatermark)) {
+      raw[0] > static_cast<std::uint8_t>(MsgType::kPfsGamma)) {
     throw std::runtime_error("wire: unknown message type");
   }
   header.arg = reader.u64();

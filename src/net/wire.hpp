@@ -33,6 +33,11 @@ enum class MsgType : std::uint8_t {
   kHit = 6,        ///< server -> requester: payload = sample bytes
   kMiss = 7,       ///< server -> requester: sample not (yet) cached
   kWatermark = 8,  ///< one-way gossip: arg = position, payload=[u32 rank]
+  // PFS contention accounting (DESIGN.md Sec. 7.4): rank 0 hosts the
+  // authoritative job-wide active-reader counter.
+  kPfsAcquire = 9,   ///< rank -> rank 0: arg = rank with a PFS read in flight
+  kPfsRelease = 10,  ///< rank -> rank 0: arg = rank now idle on the PFS
+  kPfsGamma = 11,    ///< rank 0 -> everyone: arg = job-wide gamma
 };
 
 struct FrameHeader {

@@ -10,6 +10,7 @@
 #include "core/access_stream.hpp"
 #include "core/sample_source.hpp"
 #include "data/materialize.hpp"
+#include "net/shared_pfs.hpp"
 #include "net/sim_transport.hpp"
 #include "net/socket_transport.hpp"
 #include "net/wire.hpp"
@@ -34,6 +35,7 @@ struct WorkerOutcome {
   std::uint64_t verified = 0;
   std::uint64_t failures = 0;
   std::uint64_t digest = 0;
+  int pfs_peak_gamma = 0;
 };
 
 // FNV-1a over the bytes of each delivered sample id, in delivery order.
@@ -70,6 +72,7 @@ net::Bytes pack_outcome(const WorkerOutcome& outcome) {
   net::wire::put_u64(out, outcome.verified);
   net::wire::put_u64(out, outcome.failures);
   net::wire::put_u64(out, outcome.digest);
+  net::wire::put_u32(out, static_cast<std::uint32_t>(outcome.pfs_peak_gamma));
   return out;
 }
 
@@ -88,6 +91,7 @@ WorkerOutcome unpack_outcome(const net::Bytes& bytes) {
   outcome.verified = reader.u64();
   outcome.failures = reader.u64();
   outcome.digest = reader.u64();
+  outcome.pfs_peak_gamma = static_cast<int>(reader.u32());
   return outcome;
 }
 
@@ -104,6 +108,9 @@ void accumulate(RuntimeResult& result, int rank, const WorkerOutcome& outcome) {
   result.verified_samples += outcome.verified;
   result.verification_failures += outcome.failures;
   result.delivered_digest ^= digest_of_rank(rank, outcome.digest);
+  if (outcome.pfs_peak_gamma > result.pfs_peak_gamma) {
+    result.pfs_peak_gamma = outcome.pfs_peak_gamma;
+  }
 }
 
 /// Wall-clock marks the recording rank advances as the run progresses.
@@ -274,7 +281,29 @@ RuntimeResult run_training(const data::Dataset& dataset, const RuntimeConfig& co
   for (int rank = 0; rank < n; ++rank) {
     accumulate(result, rank, outcomes[static_cast<std::size_t>(rank)]);
   }
+  result.pfs_peak_gamma = cluster.pfs().peak_clients();
   return result;
+}
+
+RankDevices make_rank_devices(const RuntimeConfig& config, net::Transport& transport,
+                              tiers::EmulatedCluster* existing) {
+  RankDevices devices;
+  if (existing == nullptr) {
+    auto clock = std::make_unique<tiers::RealClock>();
+    devices.cluster = std::make_unique<tiers::EmulatedCluster>(
+        *clock, config.system, config.time_scale);
+    devices.clock = std::move(clock);
+    existing = devices.cluster.get();
+  }
+  devices.worker = &existing->worker(transport.rank());
+  if (transport.world_size() > 1 && config.shared_pfs_contention) {
+    devices.shared_pfs = std::make_unique<net::SharedPfs>(
+        existing->clock(), config.system.pfs, config.time_scale, transport);
+    devices.pfs = devices.shared_pfs.get();
+  } else {
+    devices.pfs = &existing->pfs();
+  }
+  return devices;
 }
 
 RuntimeResult run_distributed(const data::Dataset& dataset, const RuntimeConfig& config,
@@ -288,17 +317,12 @@ RuntimeResult run_distributed(const data::Dataset& dataset, const RuntimeConfig&
         "world size");
   }
 
-  // Per-process substrate.  Unlike run_training there is no process-wide
-  // cluster: each rank prices its own devices, and the PFS contention curve
-  // sees only this process's readers (DESIGN.md Sec. 7).
-  std::optional<tiers::RealClock> own_clock;
-  std::optional<tiers::EmulatedCluster> own_cluster;
-  if (cluster == nullptr) {
-    own_clock.emplace();
-    own_cluster.emplace(*own_clock, config.system, config.time_scale);
-    cluster = &*own_cluster;
-  }
-  core::SyntheticPfsSource source(dataset, &cluster->pfs());
+  // Per-rank substrate via the device-factory seam: tiers and NIC are
+  // always this process's own, the PFS view is shared-contention by default
+  // (net::SharedPfs over the transport's gamma protocol) or per-process
+  // when opted out (DESIGN.md Sec. 7.4).
+  RankDevices devices = make_rank_devices(config, transport, cluster);
+  core::SyntheticPfsSource source(dataset, devices.pfs);
 
   const core::StreamConfig stream_config = make_stream_config(dataset, config);
   const std::uint64_t iters = stream_config.iterations_per_epoch();
@@ -307,7 +331,7 @@ RuntimeResult run_distributed(const data::Dataset& dataset, const RuntimeConfig&
   RuntimeResult result;
   WorkerOutcome outcome;
   auto ctx = make_loader_context(dataset, config, rank, source, &transport,
-                                 &cluster->worker(rank));
+                                 devices.worker);
   auto loader = baselines::make_loader(config.loader, ctx);
   loader->start();
   transport.barrier();  // everyone ready
@@ -323,6 +347,7 @@ RuntimeResult run_distributed(const data::Dataset& dataset, const RuntimeConfig&
               [&transport] { transport.barrier(); }, /*record=*/true, marks, result,
               outcome);
   reconcile_total(result, marks.run_start, config.time_scale);
+  outcome.pfs_peak_gamma = devices.pfs->peak_clients();
 
   // Job-wide aggregation: allgather each rank's outcome so every process
   // reports identical totals (and the digest is world-combined).

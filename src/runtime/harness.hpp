@@ -53,6 +53,11 @@ struct RuntimeConfig {
   bool verify_content = false;
   /// Skip the compute sleep entirely (pure I/O benchmark).
   bool skip_compute = false;
+  /// Multi-process runs: price PFS contention against the JOB-WIDE reader
+  /// count via net::SharedPfs and the transport's gamma protocol (DESIGN.md
+  /// Sec. 7.4).  Opt out to restore the historical per-process pricing,
+  /// where each process's t(gamma) curve sees only its own readers.
+  bool shared_pfs_contention = true;
 
   [[nodiscard]] std::uint64_t global_batch() const noexcept {
     return per_worker_batch * static_cast<std::uint64_t>(system.num_workers);
@@ -73,6 +78,11 @@ struct RuntimeResult {
   /// is the bit-for-bit contract between launch modes — a world-size-1
   /// SocketTransport run must reproduce the SimTransport digest.
   std::uint64_t delivered_digest = 0;
+  /// Highest PFS gamma any rank's PFS device observed (job-wide max after
+  /// the stats allgather).  The gamma-trace envelope: in shared-contention
+  /// mode it matches the threaded harness; in per-process mode it cannot
+  /// exceed 1, which is exactly the documented historical deviation.
+  int pfs_peak_gamma = 0;
 
   [[nodiscard]] util::Summary batch_summary_rest() const {
     return util::summarize(batch_s_rest);
@@ -84,15 +94,37 @@ struct RuntimeResult {
 [[nodiscard]] RuntimeResult run_training(const data::Dataset& dataset,
                                          const RuntimeConfig& config);
 
+/// The emulated substrate one rank of a distributed job runs against: its
+/// node devices plus the PFS view its reads are priced under.  Built by
+/// make_rank_devices — the device-factory seam between launch modes.
+struct RankDevices {
+  tiers::WorkerDevices* worker = nullptr;  ///< this rank's node devices
+  tiers::PfsDevice* pfs = nullptr;         ///< shared or per-process PFS view
+
+  // Ownership; populated only for the parts the factory had to build.
+  std::unique_ptr<tiers::Clock> clock;
+  std::unique_ptr<tiers::EmulatedCluster> cluster;
+  std::unique_ptr<tiers::PfsDevice> shared_pfs;
+};
+
+/// Builds the devices for the rank `transport` represents.  With
+/// `config.shared_pfs_contention` and a world size above one the PFS view
+/// is a net::SharedPfs wired to the transport's gamma protocol; otherwise
+/// it is the cluster's per-process EmulatedPfs.  Pass `existing` to reuse
+/// an already built cluster (it must outlive the result).
+[[nodiscard]] RankDevices make_rank_devices(const RuntimeConfig& config,
+                                            net::Transport& transport,
+                                            tiers::EmulatedCluster* existing = nullptr);
+
 /// Runs THIS rank of a multi-process training job over an already
 /// established transport.  `config.system.num_workers` must equal the
 /// transport's world size; every rank must use an identical config.
 /// Timings are measured locally (the barriers keep ranks in lockstep);
 /// stats, verification counts and the delivered digest are allgathered, so
 /// every rank returns the same job-wide totals.  `cluster` supplies this
-/// rank's emulated devices; pass nullptr to have the harness build one
-/// (each process then prices PFS contention against its local view only —
-/// see DESIGN.md Sec. 7).
+/// rank's emulated devices; pass nullptr to have the harness build one.
+/// Either way the PFS view is chosen by make_rank_devices: job-wide shared
+/// contention by default, per-process when opted out (DESIGN.md Sec. 7.4).
 [[nodiscard]] RuntimeResult run_distributed(const data::Dataset& dataset,
                                             const RuntimeConfig& config,
                                             net::Transport& transport,

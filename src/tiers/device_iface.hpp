@@ -1,0 +1,83 @@
+#pragma once
+// Abstract emulated-device interfaces.
+//
+// Core code (FetchRouter, prefetchers, loaders, SampleSource) depends on
+// these surfaces only; the concrete rate-limited implementations live in
+// tiers/devices.hpp (EmulatedTier/EmulatedPfs/EmulatedNic, threaded
+// harness) and net/shared_pfs.hpp (SharedPfs, the job-wide contention view
+// of a multi-process world).  Keeping the interface free of any concrete
+// type is what lets run_training and run_distributed share every fetch and
+// prefetch path while pricing the PFS differently.
+//
+// Devices charge *time*, not capacity; capacity accounting is the storage
+// backend's job (src/core/storage_backend.hpp).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nopfs::tiers {
+
+/// One worker's storage class j: rate-limited read/write channels.
+class TierDevice {
+ public:
+  virtual ~TierDevice() = default;
+
+  /// Blocks for the emulated duration of reading `mb` from this tier.
+  virtual void read(double mb) = 0;
+
+  /// Blocks for the emulated duration of writing `mb` to this tier.
+  virtual void write(double mb) = 0;
+
+  [[nodiscard]] virtual const std::string& name() const noexcept = 0;
+  [[nodiscard]] virtual double capacity_mb() const noexcept = 0;
+  [[nodiscard]] virtual double total_read_mb() const = 0;
+  [[nodiscard]] virtual double total_written_mb() const = 0;
+};
+
+/// The shared parallel filesystem: reads are priced under the paper's
+/// t(gamma) contention curve, where gamma is the number of workers with a
+/// read in flight (Sec. 4: "PFS bandwidth is heavily dependent on the
+/// number of clients").  Which workers count toward gamma is the
+/// implementation's contract: EmulatedPfs sees every reader sharing the
+/// object (the threaded harness), SharedPfs sees every rank of the job
+/// (the multi-process harness).
+class PfsDevice {
+ public:
+  virtual ~PfsDevice() = default;
+
+  /// Reads `mb` on behalf of `worker`; the worker counts toward gamma for
+  /// the duration of the call.
+  virtual void read(int worker, double mb) = 0;
+
+  /// Number of workers currently reading (this device's view of gamma).
+  [[nodiscard]] virtual int active_clients() const = 0;
+
+  /// Highest gamma observed so far (the gamma-trace envelope; tests compare
+  /// it across launch modes).
+  [[nodiscard]] virtual int peak_clients() const = 0;
+
+  /// MB read through this device (this process's share in a multi-process
+  /// world; job-wide totals come from the harness's stats allgather).
+  [[nodiscard]] virtual double total_read_mb() const = 0;
+};
+
+/// A worker's NIC: caps combined remote-fetch traffic at b_c.
+class NicDevice {
+ public:
+  virtual ~NicDevice() = default;
+
+  /// Blocks for the emulated duration of transferring `mb`.
+  virtual void transfer(double mb) = 0;
+
+  [[nodiscard]] virtual double total_transferred_mb() const = 0;
+};
+
+/// All emulated devices of one worker node.
+struct WorkerDevices {
+  std::vector<std::unique_ptr<TierDevice>> tiers;  ///< classes 1..J
+  std::unique_ptr<TierDevice> staging;             ///< class 0
+  std::unique_ptr<NicDevice> nic;
+};
+
+}  // namespace nopfs::tiers

@@ -22,6 +22,7 @@ EmulatedPfs::EmulatedPfs(Clock& clock, const PfsParams& params, double time_scal
 
 void EmulatedPfs::retune_locked() {
   const int gamma = active_workers_ > 0 ? active_workers_ : 1;
+  if (active_workers_ > peak_workers_) peak_workers_ = active_workers_;
   bucket_.set_rate(params_.agg_read_mbps.at(gamma) * time_scale_);
 }
 
@@ -46,6 +47,11 @@ void EmulatedPfs::read(int worker, double mb) {
 int EmulatedPfs::active_clients() const {
   const std::scoped_lock lock(mutex_);
   return active_workers_;
+}
+
+int EmulatedPfs::peak_clients() const {
+  const std::scoped_lock lock(mutex_);
+  return peak_workers_;
 }
 
 EmulatedNic::EmulatedNic(Clock& clock, double bandwidth_mbps, double time_scale)

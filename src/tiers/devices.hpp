@@ -1,44 +1,46 @@
 #pragma once
 // Emulated storage devices for the threaded runtime.
 //
+// Concrete implementations of the device interfaces (device_iface.hpp):
 // EmulatedTier models one storage class of one worker: reads and writes
 // draw from token buckets refilling at r_j(p_j) * time_scale and
 // w_j(p_j) * time_scale respectively.  EmulatedPfs models the shared
 // parallel filesystem: a single bucket whose rate follows t(gamma) as the
 // number of active client workers gamma changes — exactly the contention
 // behaviour the paper measures (Sec. 4: "PFS bandwidth is heavily dependent
-// on the number of clients").
-//
-// These devices charge *time*, not capacity; capacity accounting is the
-// storage backend's job (src/core/storage_backend.hpp).
+// on the number of clients").  One EmulatedPfs shared by every worker of a
+// process prices job-wide contention (run_training); a multi-process job
+// uses net::SharedPfs instead, which gossips gamma over the transport.
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
+#include "tiers/device_iface.hpp"
 #include "tiers/params.hpp"
 #include "tiers/token_bucket.hpp"
 
 namespace nopfs::tiers {
 
 /// One worker's storage class j: rate-limited read/write channels.
-class EmulatedTier {
+class EmulatedTier final : public TierDevice {
  public:
   /// `time_scale`: virtual seconds emulated per real second.
   EmulatedTier(Clock& clock, const StorageClassParams& params, double time_scale);
 
-  /// Blocks for the emulated duration of reading `mb` from this tier.
-  void read(double mb);
+  void read(double mb) override;
+  void write(double mb) override;
 
-  /// Blocks for the emulated duration of writing `mb` to this tier.
-  void write(double mb);
-
-  [[nodiscard]] const std::string& name() const noexcept { return name_; }
-  [[nodiscard]] double capacity_mb() const noexcept { return capacity_mb_; }
-  [[nodiscard]] double total_read_mb() const { return read_bucket_.total_granted(); }
-  [[nodiscard]] double total_written_mb() const { return write_bucket_.total_granted(); }
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] double capacity_mb() const noexcept override { return capacity_mb_; }
+  [[nodiscard]] double total_read_mb() const override {
+    return read_bucket_.total_granted();
+  }
+  [[nodiscard]] double total_written_mb() const override {
+    return write_bucket_.total_granted();
+  }
 
  private:
   std::string name_;
@@ -48,18 +50,23 @@ class EmulatedTier {
 };
 
 /// The shared PFS: one aggregate-rate bucket retuned as clients come and go.
-class EmulatedPfs {
+class EmulatedPfs final : public PfsDevice {
  public:
   EmulatedPfs(Clock& clock, const PfsParams& params, double time_scale);
 
   /// Reads `mb` on behalf of `worker`.  While the call is in flight the
   /// worker counts toward gamma; the aggregate rate is t(gamma)*scale.
-  void read(int worker, double mb);
+  void read(int worker, double mb) override;
 
   /// Number of workers currently reading (gamma).
-  [[nodiscard]] int active_clients() const;
+  [[nodiscard]] int active_clients() const override;
 
-  [[nodiscard]] double total_read_mb() const { return bucket_.total_granted(); }
+  /// Highest gamma observed so far.
+  [[nodiscard]] int peak_clients() const override;
+
+  [[nodiscard]] double total_read_mb() const override {
+    return bucket_.total_granted();
+  }
 
  private:
   void retune_locked();
@@ -70,27 +77,22 @@ class EmulatedPfs {
   mutable std::mutex mutex_;
   std::vector<int> active_per_worker_;  // outstanding requests per worker id
   int active_workers_ = 0;
+  int peak_workers_ = 0;
 };
 
 /// A worker's NIC: caps combined remote-fetch traffic at b_c.
-class EmulatedNic {
+class EmulatedNic final : public NicDevice {
  public:
   EmulatedNic(Clock& clock, double bandwidth_mbps, double time_scale);
 
-  /// Blocks for the emulated duration of transferring `mb`.
-  void transfer(double mb);
+  void transfer(double mb) override;
 
-  [[nodiscard]] double total_transferred_mb() const { return bucket_.total_granted(); }
+  [[nodiscard]] double total_transferred_mb() const override {
+    return bucket_.total_granted();
+  }
 
  private:
   TokenBucket bucket_;
-};
-
-/// All emulated devices of one worker node plus handles to shared ones.
-struct WorkerDevices {
-  std::vector<std::unique_ptr<EmulatedTier>> tiers;  ///< classes 1..J
-  std::unique_ptr<EmulatedTier> staging;             ///< class 0
-  std::unique_ptr<EmulatedNic> nic;
 };
 
 /// Builds the full device set for an N-worker system.

@@ -1,0 +1,84 @@
+// Direct unit tests for core::RemoteReadiness, the prefetch-progress
+// heuristic of paper Sec. 5.2.2 ("if local prefetching has reached the
+// corresponding access stream location, the remote worker likely has,
+// too").  Previously covered only indirectly through the router tests.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cache_policy.hpp"
+#include "core/fetch_router.hpp"
+
+namespace nopfs::core {
+namespace {
+
+/// Two workers, two storage classes each, disjoint sample sets.
+std::vector<CachePlan> two_worker_plans() {
+  std::vector<CachePlan> plans(2);
+  for (auto& plan : plans) plan.per_class.resize(2);
+  plans[0].per_class[0].samples = {10, 11, 12};  // worker 0, class 0
+  plans[0].per_class[1].samples = {20, 21};      // worker 0, class 1
+  plans[1].per_class[0].samples = {30, 31, 32, 33};
+  plans[1].per_class[1].samples = {40};
+  return plans;
+}
+
+TEST(RemoteReadiness, PositionMapsFollowPrefetchOrder) {
+  const RemoteReadiness readiness(two_worker_plans());
+  EXPECT_EQ(readiness.position(0, 0, 10), 0);
+  EXPECT_EQ(readiness.position(0, 0, 12), 2);
+  EXPECT_EQ(readiness.position(0, 1, 21), 1);
+  EXPECT_EQ(readiness.position(1, 0, 33), 3);
+  EXPECT_EQ(readiness.position(1, 1, 40), 0);
+}
+
+TEST(RemoteReadiness, UnknownSamplePeerOrClassIsNotFound) {
+  const RemoteReadiness readiness(two_worker_plans());
+  EXPECT_EQ(readiness.position(0, 0, 999), -1);  // not in the plan
+  EXPECT_EQ(readiness.position(0, 1, 10), -1);   // wrong class
+  EXPECT_EQ(readiness.position(1, 0, 10), -1);   // wrong peer
+  EXPECT_EQ(readiness.position(2, 0, 10), -1);   // peer out of range
+  EXPECT_EQ(readiness.position(-1, 0, 10), -1);
+  EXPECT_EQ(readiness.position(0, 2, 10), -1);   // class out of range
+  EXPECT_EQ(readiness.position(0, -1, 10), -1);
+}
+
+TEST(RemoteReadiness, LikelyCachedBoundaryAtSelfProgress) {
+  const RemoteReadiness readiness(two_worker_plans());
+  // Sample 31 sits at position 1 of peer 1's class-0 order.  The heuristic
+  // is strict: own progress must have PASSED the position, so equality
+  // (progress == position) is still "not yet".
+  EXPECT_FALSE(readiness.likely_cached(1, 0, 31, 0));
+  EXPECT_FALSE(readiness.likely_cached(1, 0, 31, 1));  // boundary
+  EXPECT_TRUE(readiness.likely_cached(1, 0, 31, 2));
+  EXPECT_TRUE(readiness.likely_cached(1, 0, 31, 1000));
+  // First-position samples flip as soon as any local progress exists.
+  EXPECT_FALSE(readiness.likely_cached(1, 0, 30, 0));
+  EXPECT_TRUE(readiness.likely_cached(1, 0, 30, 1));
+}
+
+TEST(RemoteReadiness, UnplannedSamplesNeverReady) {
+  const RemoteReadiness readiness(two_worker_plans());
+  EXPECT_FALSE(readiness.likely_cached(0, 0, 999, 1'000'000));
+  EXPECT_FALSE(readiness.likely_cached(5, 0, 10, 1'000'000));
+}
+
+TEST(RemoteReadiness, MultiClassPlansAreIndependent) {
+  const RemoteReadiness readiness(two_worker_plans());
+  // Class-1 progress says nothing about class 0: each class has its own
+  // prefetcher and its own position space.
+  EXPECT_TRUE(readiness.likely_cached(0, 1, 20, 1));
+  EXPECT_FALSE(readiness.likely_cached(0, 0, 20, 1));  // 20 lives in class 1
+  // The same position index resolves per class.
+  EXPECT_EQ(readiness.position(0, 0, 10), readiness.position(0, 1, 20));
+}
+
+TEST(RemoteReadiness, DefaultConstructedIsEmpty) {
+  const RemoteReadiness readiness;
+  EXPECT_EQ(readiness.position(0, 0, 1), -1);
+  EXPECT_FALSE(readiness.likely_cached(0, 0, 1, 100));
+}
+
+}  // namespace
+}  // namespace nopfs::core
