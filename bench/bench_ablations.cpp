@@ -4,8 +4,9 @@
 //   3. watermark readiness heuristic on/off/no-remote (threaded runtime:
 //      counts the heuristic's false positives, paper Sec. 5.2.2 "very few")
 //
-// Run on ImageNet-1k / Piz Daint at 64 GPUs (simulator ablations) and a
-// miniature 4-worker cluster (runtime ablation).
+// Run on ImageNet-1k / Piz Daint at 256 GPUs (simulator ablations, the
+// "ablation-nopfs-design" scenario) and a miniature 4-worker cluster (the
+// "ablation-watermark" scenario).
 
 #include <iostream>
 
@@ -16,22 +17,14 @@ using namespace nopfs;
 
 int main(int argc, char** argv) {
   const util::BenchArgs args = util::parse_bench_args(argc, argv);
-  const double scale = args.quick ? 1.0 / 16.0 : 1.0 / 4.0;
 
   // --- Simulator ablations -------------------------------------------------
   {
-    data::DatasetSpec spec = bench::scaled(data::presets::imagenet1k(), scale);
-    const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
-    sim::SimConfig config;
-    // 256 GPUs: the PFS-bound regime where design choices matter; RAM
-    // tightened so each worker can cache only part of its working set
-    // (frequency-aware placement then has something to decide).
-    config.system = tiers::presets::piz_daint(256);
-    bench::scale_capacities(config.system, scale);
-    config.system.node.classes[0].capacity_mb /= 16.0;
-    config.seed = args.seed;
-    config.num_epochs = 4;
-    config.per_worker_batch = 64;
+    const scenario::Scenario& scn = scenario::get("ablation-nopfs-design");
+    const double scale = scenario::pick_scale(scn, args.quick, false);
+    const data::Dataset dataset = scenario::sim_dataset(scn, scale, args.seed);
+    const sim::SimConfig config =
+        scenario::sim_config(scn, scn.sim.gpu_counts.front(), scale, args.seed);
 
     struct Variant {
       std::string label;
@@ -73,27 +66,10 @@ int main(int argc, char** argv) {
 
   // --- Runtime ablation: watermark heuristic -------------------------------
   {
-    runtime::RuntimeConfig config;
-    config.system = tiers::presets::sim_cluster(4);
-    config.system.node.staging.capacity_mb = 1.0;
-    config.system.node.staging.prefetch_threads = 2;
-    config.system.node.classes[0].capacity_mb = 16.0;
-    config.system.node.classes[1].capacity_mb = 32.0;
-    config.system.node.compute_mbps = 50.0;
-    config.system.pfs.agg_read_mbps =
-        util::ThroughputCurve({{1, 30}, {2, 40}, {4, 50}});
-    config.loader = baselines::LoaderKind::kNoPFS;
+    const scenario::Scenario& scn = scenario::get("ablation-watermark");
+    runtime::RuntimeConfig config = scenario::runtime_config(scn);
     config.seed = args.seed;
-    config.num_epochs = 3;
-    config.per_worker_batch = 4;
-    config.time_scale = 100.0;
-
-    data::DatasetSpec spec;
-    spec.name = "ablate";
-    spec.num_samples = 192;
-    spec.mean_size_mb = 0.1;
-    spec.stddev_size_mb = 0.03;
-    const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
+    const data::Dataset dataset = scenario::worker_dataset(scn, args.seed);
 
     util::Table table({"Watermark heuristic", "Total", "remote fetches",
                        "false positives", "pfs fetches"});

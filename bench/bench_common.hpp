@@ -7,35 +7,24 @@
 //   --quick      reduced problem sizes (scaled dataset, same shape)
 //   --seed <n>   override the clairvoyance seed
 //
-// Reduced-scale runs shrink F together with all capacities by the same
-// factor, which preserves the regime boundaries (S vs d1, D, N*D) the paper
-// organizes its scenarios around.
+// System/dataset/run-shape declarations live in the scenario registry
+// (src/scenario, DESIGN.md Sec. 8): a bench resolves its scenario with
+// scenario::get("figN-...") and builds configs through scenario::sim_config
+// / scenario::sim_dataset, so no bench declares a local SystemParams or
+// dataset struct.  Reduced-scale runs shrink F together with all capacities
+// by the same factor (scenario::pick_scale), which preserves the regime
+// boundaries (S vs d1, D, N*D) the paper organizes its scenarios around.
 
 #include <iostream>
 #include <string>
 
-#include "data/dataset.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/engine.hpp"
 #include "sim/policies.hpp"
-#include "tiers/params.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
 namespace nopfs::bench {
-
-/// Scales a dataset spec's sample count (sizes untouched).
-inline data::DatasetSpec scaled(data::DatasetSpec spec, double factor) {
-  spec.num_samples =
-      std::max<std::uint64_t>(1'000, static_cast<std::uint64_t>(
-                                         static_cast<double>(spec.num_samples) * factor));
-  return spec;
-}
-
-/// Scales all node storage capacities (staging excluded) by `factor`.
-inline void scale_capacities(tiers::SystemParams& system, double factor) {
-  for (auto& sc : system.node.classes) sc.capacity_mb *= factor;
-  system.node.staging.capacity_mb *= factor;
-}
 
 /// Runs one simulation with a fresh policy instance.
 inline sim::SimResult run_policy(const sim::SimConfig& config,

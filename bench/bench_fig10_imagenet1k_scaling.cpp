@@ -14,23 +14,18 @@ using namespace nopfs;
 
 int main(int argc, char** argv) {
   const util::BenchArgs args = util::parse_bench_args(argc, argv);
-  const double scale = args.quick ? 1.0 / 8.0 : 1.0;
+  const scenario::Scenario& daint = scenario::get("fig10-imagenet1k");
+  const scenario::Scenario& lassen = scenario::get("fig10-imagenet1k-lassen");
+  const double scale = scenario::pick_scale(daint, args.quick, false);
 
-  data::DatasetSpec spec = bench::scaled(data::presets::imagenet1k(), scale);
-  const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
+  // Both halves share the ImageNet-1k dataset.
+  const data::Dataset dataset = scenario::sim_dataset(daint, scale, args.seed);
 
   {
     bench::ScalingOptions options;
-    options.system_factory = [scale](int gpus) {
-      tiers::SystemParams sys = tiers::presets::piz_daint(gpus);
-      bench::scale_capacities(sys, scale);
-      return sys;
-    };
-    options.gpu_counts = {32, 64, 128, 256};
+    options.scenario = &daint;
+    options.scale = scale;
     options.loaders = bench::pytorch_dali_nopfs();
-    options.dataset = spec;
-    options.epochs = 3;
-    options.per_worker_batch = 64;  // paper: per-GPU batch 64 on Piz Daint
     options.seed = args.seed;
     options.num_threads = args.threads;
     const auto grid = bench::run_scaling(options, dataset);
@@ -39,16 +34,9 @@ int main(int argc, char** argv) {
   }
   {
     bench::ScalingOptions options;
-    options.system_factory = [scale](int gpus) {
-      tiers::SystemParams sys = tiers::presets::lassen(gpus);
-      bench::scale_capacities(sys, scale);
-      return sys;
-    };
-    options.gpu_counts = {32, 64, 128, 256, 512, 1024};
+    options.scenario = &lassen;
+    options.scale = scale;
     options.loaders = bench::pytorch_lbann_nopfs();
-    options.dataset = spec;
-    options.epochs = 3;
-    options.per_worker_batch = 120;  // paper: per-GPU batch 120 on Lassen
     options.seed = args.seed;
     options.num_threads = args.threads;
     const auto grid = bench::run_scaling(options, dataset);

@@ -12,34 +12,26 @@ using namespace nopfs;
 
 int main(int argc, char** argv) {
   const util::BenchArgs args = util::parse_bench_args(argc, argv);
-  const double scale = args.quick ? 1.0 / 8.0 : 1.0;
-
-  data::DatasetSpec spec = bench::scaled(data::presets::imagenet1k(), scale);
-  const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
+  const scenario::Scenario& scn = scenario::get("fig11-epoch0");
+  const double scale = scenario::pick_scale(scn, args.quick, false);
+  const data::Dataset dataset = scenario::sim_dataset(scn, scale, args.seed);
 
   bench::ScalingOptions options;
-  options.system_factory = [scale](int gpus) {
-    tiers::SystemParams sys = tiers::presets::piz_daint(gpus);
-    bench::scale_capacities(sys, scale);
-    return sys;
-  };
-  options.gpu_counts = {32, 64, 128, 256};
+  options.scenario = &scn;
+  options.scale = scale;
   options.loaders = bench::pytorch_dali_nopfs();
-  options.dataset = spec;
-  options.epochs = 2;  // epoch 0 + one reference epoch
-  options.per_worker_batch = 64;
   options.seed = args.seed;
   const auto grid = bench::run_scaling(options, dataset);
 
   util::Table table({"#GPUs", "Loader", "epoch0 med", "epoch0 p95", "epoch0 max",
                      "epoch1+ med", "epoch1+ max"});
-  for (std::size_t g = 0; g < options.gpu_counts.size(); ++g) {
+  for (std::size_t g = 0; g < scn.sim.gpu_counts.size(); ++g) {
     for (std::size_t l = 0; l < options.loaders.size(); ++l) {
       const auto& cell = grid[g][l];
       if (!cell.result.supported) continue;
       const util::Summary e0 = cell.result.batch_summary_epoch0();
       const util::Summary rest = cell.result.batch_summary_rest();
-      table.add_row({std::to_string(options.gpu_counts[g]), options.loaders[l].label,
+      table.add_row({std::to_string(scn.sim.gpu_counts[g]), options.loaders[l].label,
                      util::Table::num(e0.median, 3), util::Table::num(e0.p95, 3),
                      util::Table::num(e0.max, 3), util::Table::num(rest.median, 3),
                      util::Table::num(rest.max, 3)});

@@ -14,21 +14,16 @@ using namespace nopfs;
 
 int main(int argc, char** argv) {
   const util::BenchArgs args = util::parse_bench_args(argc, argv);
-  const double scale = args.quick ? 1.0 / 8.0 : 1.0;
-
-  data::DatasetSpec spec = bench::scaled(data::presets::imagenet1k(), scale);
-  const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
+  const scenario::Scenario& scn = scenario::get("fig12-cache-stats");
+  const double scale = scenario::pick_scale(scn, args.quick, false);
+  const data::Dataset dataset = scenario::sim_dataset(scn, scale, args.seed);
 
   util::Table table({"#GPUs", "Stall time", "local %", "remote %", "pfs %",
                      "PFS MB read"});
-  for (const int gpus : {32, 64, 128, 256}) {
-    sim::SimConfig config;
-    config.system = tiers::presets::piz_daint(gpus);
-    bench::scale_capacities(config.system, scale);
-    config.seed = args.seed;
-    config.num_epochs = 3;
-    config.per_worker_batch = 64;
-    const sim::SimResult result = bench::run_policy(config, dataset, "nopfs");
+  for (const int gpus : scn.sim.gpu_counts) {
+    const sim::SimConfig config = scenario::sim_config(scn, gpus, scale, args.seed);
+    const sim::SimResult result =
+        bench::run_policy(config, dataset, scn.sim.policies.front());
     table.add_row(
         {std::to_string(gpus), util::format_seconds(result.stall_s),
          util::Table::num(result.count_share(sim::Location::kLocal) * 100.0, 1),

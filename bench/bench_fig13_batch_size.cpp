@@ -11,24 +11,20 @@ using namespace nopfs;
 
 int main(int argc, char** argv) {
   const util::BenchArgs args = util::parse_bench_args(argc, argv);
-  const double scale = args.quick ? 1.0 / 8.0 : 1.0;
-
-  data::DatasetSpec spec = bench::scaled(data::presets::imagenet1k(), scale);
-  const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
+  const scenario::Scenario& scn = scenario::get("fig13-batch-size");
+  const double scale = scenario::pick_scale(scn, args.quick, false);
+  const data::Dataset dataset = scenario::sim_dataset(scn, scale, args.seed);
   const auto loaders = bench::pytorch_nopfs();
+  const int gpus = scn.sim.gpu_counts.front();
 
   // Batch-size x loader grid, evaluated concurrently by the sweep engine.
-  const std::uint64_t batches[] = {32, 64, 96, 120};
   std::vector<sim::SweepPoint> points;
   std::vector<std::pair<std::uint64_t, std::string>> labels;
-  for (const std::uint64_t batch : batches) {
+  for (const std::uint64_t batch : scn.sim.batch_sizes) {
     for (const auto& loader : loaders) {
       sim::SweepPoint point;
-      point.config.system = tiers::presets::lassen(128);
-      bench::scale_capacities(point.config.system, scale);
+      point.config = scenario::sim_config(scn, gpus, scale, args.seed);
       point.config.system.node.preprocess_mbps *= loader.preprocess_mult;
-      point.config.seed = args.seed;
-      point.config.num_epochs = 3;
       point.config.per_worker_batch = batch;
       point.dataset = &dataset;
       point.policy = loader.policy;

@@ -18,22 +18,14 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) full = true;
   }
-  const double scale = full ? 1.0 : (args.quick ? 1.0 / 16.0 : 1.0 / 4.0);
-
-  data::DatasetSpec spec = bench::scaled(data::presets::imagenet22k(), scale);
-  const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
+  const scenario::Scenario& scn = scenario::get("fig14-imagenet22k");
+  const double scale = scenario::pick_scale(scn, args.quick, full);
+  const data::Dataset dataset = scenario::sim_dataset(scn, scale, args.seed);
 
   bench::ScalingOptions options;
-  options.system_factory = [scale](int gpus) {
-    tiers::SystemParams sys = tiers::presets::lassen(gpus);
-    bench::scale_capacities(sys, scale);
-    return sys;
-  };
-  options.gpu_counts = {32, 64, 128, 256, 512, 1024};
+  options.scenario = &scn;
+  options.scale = scale;
   options.loaders = bench::pytorch_nopfs();
-  options.dataset = spec;
-  options.epochs = 3;  // the paper also uses 3 epochs for ImageNet-22k
-  options.per_worker_batch = 120;
   options.seed = args.seed;
   options.num_threads = args.threads;
   const auto grid = bench::run_scaling(options, dataset);

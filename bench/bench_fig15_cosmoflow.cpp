@@ -12,26 +12,14 @@ using namespace nopfs;
 
 int main(int argc, char** argv) {
   const util::BenchArgs args = util::parse_bench_args(argc, argv);
-  const double scale = args.quick ? 1.0 / 8.0 : 1.0;
-
-  data::DatasetSpec spec = bench::scaled(data::presets::cosmoflow(), scale);
-  const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
+  const scenario::Scenario& scn = scenario::get("fig15-cosmoflow");
+  const double scale = scenario::pick_scale(scn, args.quick, false);
+  const data::Dataset dataset = scenario::sim_dataset(scn, scale, args.seed);
 
   bench::ScalingOptions options;
-  options.system_factory = [scale](int gpus) {
-    tiers::SystemParams sys = tiers::presets::lassen(gpus);
-    bench::scale_capacities(sys, scale);
-    return sys;
-  };
-  options.gpu_counts = {32, 64, 128, 256, 512, 1024};
+  options.scenario = &scn;
+  options.scale = scale;
   options.loaders = bench::pytorch_nopfs();
-  options.dataset = spec;
-  options.epochs = 3;
-  options.per_worker_batch = 16;  // paper: per-GPU batch 16
-  // CosmoFlow's 3D CNN consumes large samples fast: ~82 samples/s on a
-  // V100 at 16.8 MB/sample; log-normalization preprocessing is cheap.
-  options.compute_mbps = 1'375.0;
-  options.preprocess_mbps = 4'000.0;
   options.seed = args.seed;
   options.num_threads = args.threads;
   const auto grid = bench::run_scaling(options, dataset);

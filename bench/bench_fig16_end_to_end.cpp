@@ -13,11 +13,11 @@ using namespace nopfs;
 
 int main(int argc, char** argv) {
   const util::BenchArgs args = util::parse_bench_args(argc, argv);
-  const double scale = args.quick ? 1.0 / 8.0 : 1.0;
-
-  data::DatasetSpec spec = bench::scaled(data::presets::imagenet1k(), scale);
-  const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
-  const int epochs = 90;
+  const scenario::Scenario& scn = scenario::get("fig16-end-to-end");
+  const double scale = scenario::pick_scale(scn, args.quick, false);
+  const data::Dataset dataset = scenario::sim_dataset(scn, scale, args.seed);
+  const int epochs = scn.sim.epochs;
+  const int gpus = scn.sim.gpu_counts.front();
 
   struct Run {
     std::string label;
@@ -26,12 +26,7 @@ int main(int argc, char** argv) {
   };
   std::vector<Run> runs = {{"PyTorch", "staging", {}}, {"NoPFS", "nopfs", {}}};
   for (auto& run : runs) {
-    sim::SimConfig config;
-    config.system = tiers::presets::lassen(256);
-    bench::scale_capacities(config.system, scale);
-    config.seed = args.seed;
-    config.num_epochs = epochs;
-    config.per_worker_batch = 32;  // global batch 8192
+    const sim::SimConfig config = scenario::sim_config(scn, gpus, scale, args.seed);
     run.result = bench::run_policy(config, dataset, run.policy);
   }
 

@@ -4,7 +4,8 @@
 //
 // Default runs use a 1/16-scaled dataset+storage (same regime boundaries,
 // see DESIGN.md); pass --full for paper-scale F.  --scenario <name>
-// restricts to one scenario.
+// restricts to one scenario (the registry name, or its short key without
+// the "fig8-" prefix).
 
 #include <cstring>
 #include <iostream>
@@ -16,21 +17,17 @@ using namespace nopfs;
 
 namespace {
 
-struct Scenario {
-  std::string key;
-  std::string regime;     ///< the paper's cache-capacity regime label
-  std::string dataset;    ///< preset name
-  int workers = 4;
-  std::uint64_t per_worker_batch = 32;
+/// Presentation labels of the six Fig. 8 panels; everything else (system,
+/// dataset, run shape) comes from the registry entry.
+struct PanelLabel {
+  const char* key;     ///< registry name minus the "fig8-" prefix
+  const char* regime;  ///< the paper's cache-capacity regime label
 };
 
-const Scenario kScenarios[] = {
-    {"mnist", "S < d1", "mnist", 4, 32},
-    {"imagenet1k", "d1 < S < D", "imagenet1k", 4, 32},
-    {"openimages", "d1 < S < N*D", "openimages", 4, 32},
-    {"imagenet22k", "D < S < N*D", "imagenet22k", 4, 32},
-    {"cosmoflow", "N*D < S", "cosmoflow", 4, 16},
-    {"cosmoflow512", "N*D < S (N=8)", "cosmoflow512", 8, 1},
+const PanelLabel kPanels[] = {
+    {"mnist", "S < d1"},          {"imagenet1k", "d1 < S < D"},
+    {"openimages", "d1 < S < N*D"}, {"imagenet22k", "D < S < N*D"},
+    {"cosmoflow", "N*D < S"},     {"cosmoflow512", "N*D < S (N=8)"},
 };
 
 }  // namespace
@@ -41,33 +38,26 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) full = true;
   }
-  const double scale = full ? 1.0 : 1.0 / 16.0;
 
-  for (const auto& scenario : kScenarios) {
-    if (!args.scenario.empty() && args.scenario != scenario.key) continue;
-
-    sim::SimConfig config;
-    config.system = tiers::presets::sim_cluster(scenario.workers);
-    config.seed = args.seed;
-    config.num_epochs = args.quick ? 3 : 5;
-    config.per_worker_batch = scenario.per_worker_batch;
-    bench::scale_capacities(config.system, scale);
-
-    data::DatasetSpec spec = data::presets::by_name(scenario.dataset);
-    spec = bench::scaled(spec, scale);
-    // CosmoFlow 512^3 has only 10k samples; do not scale it below its
-    // batch geometry.
-    if (scenario.key == "cosmoflow512") {
-      spec.num_samples = std::max<std::uint64_t>(spec.num_samples, 2'000);
+  for (const auto& panel : kPanels) {
+    const std::string name = std::string("fig8-") + panel.key;
+    if (!args.scenario.empty() && args.scenario != panel.key && args.scenario != name) {
+      continue;
     }
-    const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
+    const scenario::Scenario& scn = scenario::get(name);
+    const double scale = scenario::pick_scale(scn, args.quick, full);
+    const int workers = scn.sim.gpu_counts.front();
+
+    sim::SimConfig config = scenario::sim_config(scn, workers, scale, args.seed);
+    config.num_epochs = scenario::pick_epochs(scn, args.quick);
+    const data::Dataset dataset = scenario::sim_dataset(scn, scale, args.seed);
 
     // All ~10 policies share the stream config, so the sweep engine
     // evaluates them concurrently and the epoch-order cache generates each
     // epoch's permutation once instead of once per policy.
     std::vector<sim::SweepPoint> points;
-    for (const auto& name : sim::all_policy_names()) {
-      points.push_back({config, &dataset, name});
+    for (const auto& policy : scn.sim.policies) {
+      points.push_back({config, &dataset, policy});
     }
     const sim::SweepRunner runner({args.threads});
     const std::vector<sim::SimResult> results = runner.run(points);
@@ -102,10 +92,9 @@ int main(int argc, char** argv) {
                      pct(sim::Location::kRemote), pct(sim::Location::kPfs), notes});
     }
     bench::emit(table, args,
-                "Fig. 8 (" + scenario.key + "): " + scenario.regime + ", " +
+                "Fig. 8 (" + std::string(panel.key) + "): " + panel.regime + ", " +
                     util::format_size_mb(dataset.total_mb()) + ", N=" +
-                    std::to_string(scenario.workers) +
-                    (full ? "" : ", 1/16 scale"));
+                    std::to_string(workers) + (full ? "" : ", 1/16 scale"));
   }
   return 0;
 }

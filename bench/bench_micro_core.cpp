@@ -4,11 +4,13 @@
 // data structures.
 //
 // `--json [path]` switches to the perf-trajectory mode: instead of the
-// google-benchmark suite, it measures simulate() throughput
-// (samples-simulated-per-second) and the sweep engine's wall-clock at 1
-// thread vs NOPFS_SWEEP_THREADS/8 threads on a 4-policy x 4-scale grid,
-// and writes the numbers as JSON (default BENCH_micro.json) so future
-// changes have a baseline to compare against.
+// google-benchmark suite, it measures simulate() throughput on the
+// "micro-core" registry scenario, the sweep engine's 1-thread vs
+// NOPFS_SWEEP_THREADS/8-thread wall-clock on the "micro-sweep" scenario
+// grid, and SocketTransport loopback round-trips, and writes the numbers as
+// a flat `"results"` map (default BENCH_micro.json) whose keys are
+// `<scenario>.<metric>` — stable across PRs, which is what lets CI diff
+// them against bench/BENCH_baseline.json (tools/compare_bench.py).
 
 #include <benchmark/benchmark.h>
 
@@ -32,6 +34,7 @@
 #include "core/staging_buffer.hpp"
 #include "data/dataset.hpp"
 #include "net/socket_transport.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/holder_table.hpp"
 #include "sim/policies.hpp"
 #include "sim/sweep.hpp"
@@ -161,18 +164,15 @@ double now_s() {
       .count();
 }
 
-/// The 4-policy x 4-scale sweep grid the speedup target is defined on.
+/// The 4-policy x 4-scale sweep grid ("micro-sweep" scenario) the speedup
+/// target is defined on.
 std::vector<sim::SweepPoint> sweep_grid(const data::Dataset& dataset) {
-  const char* policies[] = {"staging", "lbann-preload", "locality-aware", "nopfs"};
-  const int scales[] = {4, 8, 16, 32};
+  const scenario::Scenario& scn = scenario::get("micro-sweep");
   std::vector<sim::SweepPoint> points;
-  for (const int n : scales) {
-    for (const char* policy : policies) {
+  for (const int n : scn.sim.gpu_counts) {
+    for (const std::string& policy : scn.sim.policies) {
       sim::SweepPoint point;
-      point.config.system = tiers::presets::sim_cluster(n);
-      point.config.seed = 0xC0FFEE;
-      point.config.num_epochs = 4;
-      point.config.per_worker_batch = 16;
+      point.config = scenario::sim_config(scn, n, 1.0, scn.sim.seed);
       point.dataset = &dataset;
       point.policy = policy;
       points.push_back(std::move(point));
@@ -309,23 +309,35 @@ double pfs_acquire_release_throughput(int cycles) {
   }
 }
 
-int run_json_mode(const std::string& path) {
-  // simulate() throughput: one NoPFS run, accesses / wall-clock.
-  const std::uint64_t f = 200'000;
-  const data::Dataset dataset("micro",
-                              std::vector<float>(f, 0.05f));
-  sim::SimConfig config;
-  config.system = tiers::presets::sim_cluster(8);
-  config.seed = 0xC0FFEE;
-  config.num_epochs = 4;
-  config.per_worker_batch = 32;
+/// Best-of-N wall-clock for gated throughput keys: scheduler noise on a
+/// shared CI runner only ever makes a run SLOWER, so the max over a few
+/// repetitions estimates the machine's capability; a genuine regression
+/// slows every repetition and still trips the gate.
+template <typename Fn>
+double best_of(int repetitions, Fn&& measure) {
+  double best = 0.0;
+  for (int i = 0; i < repetitions; ++i) best = std::max(best, measure());
+  return best;
+}
 
-  auto policy = sim::make_policy("nopfs");
-  const double sim_start = now_s();
-  const sim::SimResult result = sim::simulate(config, dataset, *policy);
-  const double sim_s = now_s() - sim_start;
+int run_json_mode(const std::string& path) {
+  // simulate() throughput: NoPFS runs of the "micro-core" scenario,
+  // accesses / wall-clock.
+  const scenario::Scenario& micro = scenario::get("micro-core");
+  const data::Dataset dataset = scenario::sim_dataset(micro, 1.0, micro.sim.seed);
+  const sim::SimConfig config =
+      scenario::sim_config(micro, micro.sim.gpu_counts.front(), 1.0, micro.sim.seed);
+
+  sim::SimResult result;
+  double sim_s = 1e300;
+  for (int i = 0; i < 3; ++i) {
+    auto policy = sim::make_policy(micro.sim.policies.front());
+    const double sim_start = now_s();
+    result = sim::simulate(config, dataset, *policy);
+    sim_s = std::min(sim_s, now_s() - sim_start);
+  }
   core::StreamConfig stream;
-  stream.num_samples = f;
+  stream.num_samples = dataset.num_samples();
   stream.num_workers = config.system.num_workers;
   stream.num_epochs = config.num_epochs;
   stream.global_batch = config.global_batch();
@@ -350,10 +362,23 @@ int run_json_mode(const std::string& path) {
 
   // SocketTransport loopback round-trips (the multi-process backend's hot
   // path): small-sample RPC rate, large-sample streaming rate, and the
-  // SharedPfs contention protocol's acquire/release cycle rate.
-  const auto [small_per_s, small_mbps] = socket_fetch_throughput(4 * 1024, 400);
-  const auto [large_per_s, large_mbps] = socket_fetch_throughput(1024 * 1024, 50);
-  const double pfs_cycles_per_s = pfs_acquire_release_throughput(200);
+  // SharedPfs contention protocol's acquire/release cycle rate.  These gate
+  // the PR, so each takes the best of 3 runs long enough (thousands of
+  // round-trips) that scheduler noise stays under the comparison tolerance.
+  double small_mbps = 0.0;
+  double large_mbps = 0.0;
+  const double small_per_s = best_of(3, [&] {
+    const auto [per_s, mbps] = socket_fetch_throughput(4 * 1024, 4'000);
+    small_mbps = std::max(small_mbps, mbps);
+    return per_s;
+  });
+  const double large_per_s = best_of(3, [&] {
+    const auto [per_s, mbps] = socket_fetch_throughput(1024 * 1024, 300);
+    large_mbps = std::max(large_mbps, mbps);
+    return per_s;
+  });
+  const double pfs_cycles_per_s =
+      best_of(3, [&] { return pfs_acquire_release_throughput(2'000); });
 
   std::ofstream out(path);
   if (!out) {
@@ -361,32 +386,30 @@ int run_json_mode(const std::string& path) {
     return 1;
   }
   out.precision(6);
+  // Flat scenario-tagged keys: tools/compare_bench.py diffs `results`
+  // against bench/BENCH_baseline.json, so keys must stay stable across PRs.
+  // Throughput keys (`*_per_s`, `*_mbps`) gate the PR; wall-clock and
+  // speedup keys are advisory (meaningless on 1-core CI runners).
   out << "{\n"
-      << "  \"simulate\": {\n"
-      << "    \"policy\": \"nopfs\",\n"
-      << "    \"num_samples\": " << f << ",\n"
-      << "    \"num_workers\": " << config.system.num_workers << ",\n"
-      << "    \"num_epochs\": " << config.num_epochs << ",\n"
-      << "    \"accesses\": " << static_cast<std::uint64_t>(accesses) << ",\n"
-      << "    \"wall_s\": " << sim_s << ",\n"
-      << "    \"samples_simulated_per_second\": " << samples_per_s << ",\n"
-      << "    \"total_sim_time_s\": " << result.total_s << "\n"
-      << "  },\n"
-      << "  \"sweep\": {\n"
-      << "    \"grid\": \"4 policies x 4 scales\",\n"
-      << "    \"cells\": " << points.size() << ",\n"
-      << "    \"threads\": " << threads << ",\n"
+      << "  \"schema\": 2,\n"
+      << "  \"meta\": {\n"
       << "    \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n"
-      << "    \"serial_wall_s\": " << serial_s << ",\n"
-      << "    \"parallel_wall_s\": " << parallel_s << ",\n"
-      << "    \"speedup\": " << speedup << "\n"
+      << "    \"sweep_threads\": " << threads << ",\n"
+      << "    \"sweep_cells\": " << points.size() << ",\n"
+      << "    \"simulate_accesses\": " << static_cast<std::uint64_t>(accesses) << ",\n"
+      << "    \"simulate_total_sim_time_s\": " << result.total_s << "\n"
       << "  },\n"
-      << "  \"socket_transport\": {\n"
-      << "    \"fetch_4k_per_s\": " << small_per_s << ",\n"
-      << "    \"fetch_4k_mbps\": " << small_mbps << ",\n"
-      << "    \"fetch_1m_per_s\": " << large_per_s << ",\n"
-      << "    \"fetch_1m_mbps\": " << large_mbps << ",\n"
-      << "    \"pfs_acquire_release_cycles_per_s\": " << pfs_cycles_per_s << "\n"
+      << "  \"results\": {\n"
+      << "    \"micro-core.simulate.samples_per_s\": " << samples_per_s << ",\n"
+      << "    \"micro-core.simulate.wall_s\": " << sim_s << ",\n"
+      << "    \"micro-sweep.serial_wall_s\": " << serial_s << ",\n"
+      << "    \"micro-sweep.parallel_wall_s\": " << parallel_s << ",\n"
+      << "    \"micro-sweep.speedup\": " << speedup << ",\n"
+      << "    \"socket-loopback.fetch_4k_per_s\": " << small_per_s << ",\n"
+      << "    \"socket-loopback.fetch_4k_mbps\": " << small_mbps << ",\n"
+      << "    \"socket-loopback.fetch_1m_per_s\": " << large_per_s << ",\n"
+      << "    \"socket-loopback.fetch_1m_mbps\": " << large_mbps << ",\n"
+      << "    \"socket-loopback.pfs_cycles_per_s\": " << pfs_cycles_per_s << "\n"
       << "  }\n"
       << "}\n";
   out.close();

@@ -1,9 +1,10 @@
-// Simulator-vs-runtime cross-validation: the same miniature workload is
-// executed (a) by the threaded runtime with real NoPFS code on emulated
-// devices and (b) by the analytic simulator, for several loaders.  The two
-// should agree on the *ordering* of loaders and roughly on magnitudes —
-// this is the evidence that the large-scale simulated figures (10-16) are
-// grounded in the production code paths.
+// Simulator-vs-runtime cross-validation: the same miniature workload (the
+// "runtime-validation" scenario) is executed (a) by the threaded runtime
+// with real NoPFS code on emulated devices and (b) by the analytic
+// simulator, for several loaders.  The two should agree on the *ordering*
+// of loaders and roughly on magnitudes — this is the evidence that the
+// large-scale simulated figures (10-16) are grounded in the production code
+// paths.
 //
 // `--socket` adds the multi-process cross-check: the NoPFS workload re-run
 // as a 2-rank in-process socket world (SharedPfs pricing job-wide PFS
@@ -24,18 +25,6 @@ using namespace nopfs;
 
 namespace {
 
-tiers::SystemParams mini_system(int workers) {
-  tiers::SystemParams sys = tiers::presets::sim_cluster(workers);
-  sys.node.staging.capacity_mb = 1.0;
-  sys.node.staging.prefetch_threads = 2;
-  sys.node.classes[0].capacity_mb = 16.0;
-  sys.node.classes[1].capacity_mb = 32.0;
-  sys.node.compute_mbps = 50.0;
-  sys.node.preprocess_mbps = 500.0;
-  sys.pfs.agg_read_mbps = util::ThroughputCurve({{1, 20}, {2, 25}, {4, 30}});
-  return sys;
-}
-
 std::string hex_digest(std::uint64_t digest) {
   std::ostringstream out;
   out << std::hex << digest;
@@ -45,15 +34,10 @@ std::string hex_digest(std::uint64_t digest) {
 /// The 2-rank socket cross-check: both ranks in this process, each with its
 /// own SocketTransport, devices and SharedPfs — the full multi-process code
 /// path minus fork/exec.
-void run_socket_mode(const data::Dataset& dataset, const util::BenchArgs& args,
-                     int epochs) {
-  runtime::RuntimeConfig rt;
-  rt.system = mini_system(2);
-  rt.loader = baselines::LoaderKind::kNoPFS;
+void run_socket_mode(const scenario::Scenario& scn, const data::Dataset& dataset,
+                     const util::BenchArgs& args) {
+  runtime::RuntimeConfig rt = scenario::runtime_config(scn, 2);
   rt.seed = args.seed;
-  rt.num_epochs = epochs;
-  rt.per_worker_batch = 4;
-  rt.time_scale = 50.0;
 
   const runtime::RuntimeResult threaded = runtime::run_training(dataset, rt);
 
@@ -108,15 +92,9 @@ void run_socket_mode(const data::Dataset& dataset, const util::BenchArgs& args,
 
 int main(int argc, char** argv) {
   const util::BenchArgs args = util::parse_bench_args(argc, argv);
-
-  data::DatasetSpec spec;
-  spec.name = "validate";
-  spec.num_samples = 192;
-  spec.mean_size_mb = 0.2;
-  spec.stddev_size_mb = 0.05;
-  const data::Dataset dataset = data::Dataset::synthetic(spec, args.seed);
-  const int workers = 4;
-  const int epochs = 3;
+  const scenario::Scenario& scn = scenario::get("runtime-validation");
+  const data::Dataset dataset = scenario::worker_dataset(scn, args.seed);
+  const int workers = scn.worker.world_size;
 
   struct Pair {
     baselines::LoaderKind kind;
@@ -132,20 +110,12 @@ int main(int argc, char** argv) {
   util::Table table({"Loader", "runtime total", "simulated total", "ratio",
                      "runtime pfs", "sim pfs"});
   for (const auto& pair : pairs) {
-    runtime::RuntimeConfig rt;
-    rt.system = mini_system(workers);
+    runtime::RuntimeConfig rt = scenario::runtime_config(scn);
     rt.loader = pair.kind;
     rt.seed = args.seed;
-    rt.num_epochs = epochs;
-    rt.per_worker_batch = 4;
-    rt.time_scale = 50.0;
     const runtime::RuntimeResult real = runtime::run_training(dataset, rt);
 
-    sim::SimConfig sc;
-    sc.system = mini_system(workers);
-    sc.seed = args.seed;
-    sc.num_epochs = epochs;
-    sc.per_worker_batch = 4;
+    const sim::SimConfig sc = scenario::sim_config(scn, workers, 1.0, args.seed);
     const sim::SimResult simulated = bench::run_policy(sc, dataset, pair.policy);
 
     table.add_row(
@@ -166,7 +136,7 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--socket") == 0) {
-      run_socket_mode(dataset, args, epochs);
+      run_socket_mode(scn, dataset, args);
       break;
     }
   }

@@ -1,9 +1,10 @@
 #pragma once
 // Shared scaffolding for the Figs. 10/11/13/14/15 scaling studies: run a
-// set of loaders across GPU counts on a system preset and print the
-// paper's epoch-time and batch-time series.
+// set of loaders across the scenario's GPU counts and print the paper's
+// epoch-time and batch-time series.  The system, dataset, GPU axis and run
+// shape come from the scenario registry; only the loader presentation
+// (labels, DALI preprocessing multiplier) is declared here.
 
-#include <functional>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -39,15 +40,10 @@ inline std::vector<LoaderSpec> pytorch_nopfs() {
 }
 
 struct ScalingOptions {
-  std::function<tiers::SystemParams(int)> system_factory;
-  std::vector<int> gpu_counts;
+  const scenario::Scenario* scenario = nullptr;  ///< registry entry (required)
+  double scale = 1.0;            ///< scenario::pick_scale(...) result
   std::vector<LoaderSpec> loaders;
-  data::DatasetSpec dataset;
-  int epochs = 3;
-  std::uint64_t per_worker_batch = 32;
   std::uint64_t seed = 0xC0FFEE;
-  double compute_mbps = 0.0;     ///< 0 = preset default
-  double preprocess_mbps = 0.0;  ///< 0 = preset default
   int num_threads = 0;           ///< sweep concurrency (0 = auto)
 };
 
@@ -57,26 +53,18 @@ struct ScalingCell {
 };
 
 /// Runs the full grid concurrently (grid points are independent and the
-/// sweep engine is deterministic, so the result is identical to the old
-/// serial loop); results indexed [gpu][loader].
+/// sweep engine is deterministic, so the result is identical to a serial
+/// loop); results indexed [gpu][loader].
 inline std::vector<std::vector<ScalingCell>> run_scaling(const ScalingOptions& options,
                                                          const data::Dataset& dataset) {
+  const scenario::Scenario& scn = *options.scenario;
   std::vector<sim::SweepPoint> points;
-  points.reserve(options.gpu_counts.size() * options.loaders.size());
-  for (const int gpus : options.gpu_counts) {
+  points.reserve(scn.sim.gpu_counts.size() * options.loaders.size());
+  for (const int gpus : scn.sim.gpu_counts) {
     for (const auto& loader : options.loaders) {
       sim::SweepPoint point;
-      point.config.system = options.system_factory(gpus);
-      if (options.compute_mbps > 0.0) {
-        point.config.system.node.compute_mbps = options.compute_mbps;
-      }
-      if (options.preprocess_mbps > 0.0) {
-        point.config.system.node.preprocess_mbps = options.preprocess_mbps;
-      }
+      point.config = scenario::sim_config(scn, gpus, options.scale, options.seed);
       point.config.system.node.preprocess_mbps *= loader.preprocess_mult;
-      point.config.seed = options.seed;
-      point.config.num_epochs = options.epochs;
-      point.config.per_worker_batch = options.per_worker_batch;
       point.dataset = &dataset;
       point.policy = loader.policy;
       points.push_back(std::move(point));
@@ -87,7 +75,7 @@ inline std::vector<std::vector<ScalingCell>> run_scaling(const ScalingOptions& o
 
   std::vector<std::vector<ScalingCell>> grid;
   std::size_t flat = 0;
-  for (std::size_t g = 0; g < options.gpu_counts.size(); ++g) {
+  for (std::size_t g = 0; g < scn.sim.gpu_counts.size(); ++g) {
     std::vector<ScalingCell> row;
     for (std::size_t l = 0; l < options.loaders.size(); ++l) {
       ScalingCell cell{std::move(results[flat++]), 0.0};
@@ -104,13 +92,14 @@ inline std::vector<std::vector<ScalingCell>> run_scaling(const ScalingOptions& o
 inline void print_scaling_tables(const ScalingOptions& options,
                                  const std::vector<std::vector<ScalingCell>>& grid,
                                  const util::BenchArgs& args, const std::string& title) {
+  const std::vector<int>& gpu_counts = options.scenario->sim.gpu_counts;
   {
     std::vector<std::string> header = {"#GPUs"};
     for (const auto& loader : options.loaders) header.push_back(loader.label);
     header.push_back("NoPFS speedup vs " + options.loaders.front().label);
     util::Table table(header);
-    for (std::size_t g = 0; g < options.gpu_counts.size(); ++g) {
-      std::vector<std::string> row = {std::to_string(options.gpu_counts[g])};
+    for (std::size_t g = 0; g < gpu_counts.size(); ++g) {
+      std::vector<std::string> row = {std::to_string(gpu_counts[g])};
       double base = 0.0;
       double nopfs = 0.0;
       for (std::size_t l = 0; l < options.loaders.size(); ++l) {
@@ -131,12 +120,12 @@ inline void print_scaling_tables(const ScalingOptions& options,
   {
     util::Table table({"#GPUs", "Loader", "batch med", "batch p95", "batch p99",
                        "batch max"});
-    for (std::size_t g = 0; g < options.gpu_counts.size(); ++g) {
+    for (std::size_t g = 0; g < gpu_counts.size(); ++g) {
       for (std::size_t l = 0; l < options.loaders.size(); ++l) {
         const auto& cell = grid[g][l];
         if (!cell.result.supported) continue;
         const util::Summary s = cell.result.batch_summary_rest();
-        table.add_row({std::to_string(options.gpu_counts[g]),
+        table.add_row({std::to_string(gpu_counts[g]),
                        options.loaders[l].label, util::Table::num(s.median, 3),
                        util::Table::num(s.p95, 3), util::Table::num(s.p99, 3),
                        util::Table::num(s.max, 3)});

@@ -33,17 +33,12 @@ int main(int argc, char** argv) {
   // Measured columns: run each policy on a dataset larger than aggregate
   // RAM but cacheable across tiers, and check (a) whether the full dataset
   // is read (full randomization preserved) and (b) dataset scalability
-  // (supported at all when S exceeds aggregate RAM).
-  sim::SimConfig config;
-  config.system = tiers::presets::sim_cluster(4);
-  config.system.node.classes[0].capacity_mb = 32.0;  // RAM
-  config.system.node.classes[1].capacity_mb = 96.0;  // SSD
-  config.num_epochs = 3;
-  config.per_worker_batch = 8;
-  config.seed = args.seed;
-  // Dataset larger than the cluster's entire storage (4 x 128 MB): a
-  // strategy is dataset-scalable only if it still trains on (all of) it.
-  const data::Dataset dataset("tab1", std::vector<float>(6000, 0.1f));  // 600 MB
+  // (supported at all when S exceeds aggregate RAM).  The 600 MB dataset
+  // vs 512 MB aggregate-storage shape is the "tab1-frameworks" scenario.
+  const scenario::Scenario& scn = scenario::get("tab1-frameworks");
+  const sim::SimConfig config =
+      scenario::sim_config(scn, scn.sim.gpu_counts.front(), 1.0, args.seed);
+  const data::Dataset dataset = scenario::sim_dataset(scn, 1.0, args.seed);
 
   const Verdict verdicts[] = {
       {"Double-buffering (PyTorch)", "staging", false, false, true, true},

@@ -1,16 +1,28 @@
-// nopfs_worker: one rank of a multi-process training run (the SocketTransport
-// launch path).  Start N copies, one per rank, pointing at the same
-// rendezvous address; rank 0 hosts the rendezvous:
+// nopfs_worker: run a registered scenario (src/scenario) single- or
+// multi-process from the command line.
+//
+// Multi-process (the SocketTransport launch path): start N copies, one per
+// rank, pointing at the same rendezvous address; rank 0 hosts the
+// rendezvous:
 //
 //   ./nopfs_worker --rank 0 --world-size 2 --rendezvous 127.0.0.1:19777 &
 //   ./nopfs_worker --rank 1 --world-size 2 --rendezvous 127.0.0.1:19777
 //
-// Every rank must be launched with identical job flags (seed, samples,
-// epochs, batch, loader): the access streams are derived from them.  The
-// process prints (and with --json-out writes) the job-wide result, which is
-// identical on every rank — stats are allgathered at the end of the run.
-// Exit status is nonzero on any verification failure, making the binary
-// directly usable as a CI / ctest assertion.
+// Single-process (no --rendezvous): the scenario's whole world runs as
+// threads in this process (runtime::run_training), which is what the CI
+// scenario matrix drives:
+//
+//   ./nopfs_worker --scenario contention-pfs --quick
+//   ./nopfs_worker --list-scenarios
+//
+// The scenario (default "worker-loopback") supplies the system, dataset and
+// run shape; explicit flags (--samples, --epochs, ...) override it.  Every
+// rank of a multi-process job must be launched with identical job flags:
+// the access streams are derived from them.  The process prints (and with
+// --json-out writes) the job-wide result, which is identical on every rank
+// — stats are allgathered at the end of the run.  Exit status is nonzero on
+// any verification failure, making the binary directly usable as a CI /
+// ctest assertion.
 
 #include <cstdint>
 #include <cstring>
@@ -21,7 +33,7 @@
 
 #include "baselines/loader.hpp"
 #include "runtime/harness.hpp"
-#include "tiers/params.hpp"
+#include "scenario/scenario.hpp"
 #include "util/units.hpp"
 
 using namespace nopfs;
@@ -29,16 +41,24 @@ using namespace nopfs;
 namespace {
 
 struct Args {
+  std::string scenario = "worker-loopback";
   int rank = 0;
-  int world_size = 1;
+  int world_size = 0;  ///< 0 = scenario default (or 1 with --rendezvous)
   std::string rendezvous_host = "127.0.0.1";
   std::uint16_t rendezvous_port = 0;
-  std::string loader = "nopfs";
-  std::uint64_t samples = 96;
-  int epochs = 2;
-  std::uint64_t seed = 2025;
-  std::uint64_t per_worker_batch = 4;
-  double time_scale = 50.0;
+  bool have_rendezvous = false;
+  bool list_scenarios = false;
+  bool quick = false;
+  // Scenario overrides; "have_" flags distinguish "not passed" from any
+  // sentinel value so explicit flags always win over the registry shape.
+  std::string loader;
+  std::uint64_t samples = 0;
+  bool have_samples = false;
+  int epochs = 0;
+  std::uint64_t seed = 0;
+  bool have_seed = false;
+  std::uint64_t per_worker_batch = 0;
+  double time_scale = 0.0;
   double timeout_s = 120.0;
   bool verify = true;
   bool per_process_pfs = false;
@@ -48,11 +68,15 @@ struct Args {
 void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
-      << " --rank R --world-size N --rendezvous HOST:PORT\n"
+      << " [--scenario NAME] [--list-scenarios]\n"
+         "          [--rank R --world-size N --rendezvous HOST:PORT]  (multi-process)\n"
          "          [--loader nopfs|naive|pytorch|dali|tfdata|sharded|lbann]\n"
          "          [--samples F] [--epochs E] [--seed S] [--per-worker-batch B]\n"
-         "          [--time-scale X] [--timeout-s T] [--no-verify] [--json-out PATH]\n"
-         "          [--per-process-pfs]   (opt out of job-wide PFS contention)\n";
+         "          [--time-scale X] [--timeout-s T] [--quick] [--no-verify]\n"
+         "          [--json-out PATH]\n"
+         "          [--per-process-pfs]   (opt out of job-wide PFS contention)\n"
+         "Without --rendezvous the scenario's world runs as threads in this\n"
+         "process; with it this process is ONE rank (world size defaults to 1).\n";
 }
 
 baselines::LoaderKind parse_loader(const std::string& name) {
@@ -66,6 +90,19 @@ baselines::LoaderKind parse_loader(const std::string& name) {
   throw std::invalid_argument("unknown loader: " + name);
 }
 
+const char* loader_flag_name(baselines::LoaderKind kind) {
+  switch (kind) {
+    case baselines::LoaderKind::kNoPFS: return "nopfs";
+    case baselines::LoaderKind::kNaive: return "naive";
+    case baselines::LoaderKind::kPyTorch: return "pytorch";
+    case baselines::LoaderKind::kDali: return "dali";
+    case baselines::LoaderKind::kTfData: return "tfdata";
+    case baselines::LoaderKind::kSharded: return "sharded";
+    case baselines::LoaderKind::kLbann: return "lbann";
+  }
+  return "nopfs";
+}
+
 bool parse_args(int argc, char** argv, Args& args) {
   auto value = [&](int& i) -> const char* {
     if (i + 1 >= argc) throw std::invalid_argument(std::string(argv[i]) + ": missing value");
@@ -73,7 +110,11 @@ bool parse_args(int argc, char** argv, Args& args) {
   };
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
-    if (flag == "--rank") {
+    if (flag == "--scenario") {
+      args.scenario = value(i);
+    } else if (flag == "--list-scenarios") {
+      args.list_scenarios = true;
+    } else if (flag == "--rank") {
       args.rank = std::stoi(value(i));
     } else if (flag == "--world-size") {
       args.world_size = std::stoi(value(i));
@@ -90,20 +131,25 @@ bool parse_args(int argc, char** argv, Args& args) {
                                     std::to_string(port));
       }
       args.rendezvous_port = static_cast<std::uint16_t>(port);
+      args.have_rendezvous = true;
     } else if (flag == "--loader") {
       args.loader = value(i);
     } else if (flag == "--samples") {
       args.samples = std::stoull(value(i));
+      args.have_samples = true;
     } else if (flag == "--epochs") {
       args.epochs = std::stoi(value(i));
     } else if (flag == "--seed") {
       args.seed = std::stoull(value(i));
+      args.have_seed = true;
     } else if (flag == "--per-worker-batch") {
       args.per_worker_batch = std::stoull(value(i));
     } else if (flag == "--time-scale") {
       args.time_scale = std::stod(value(i));
     } else if (flag == "--timeout-s") {
       args.timeout_s = std::stod(value(i));
+    } else if (flag == "--quick") {
+      args.quick = true;
     } else if (flag == "--no-verify") {
       args.verify = false;
     } else if (flag == "--per-process-pfs") {
@@ -117,22 +163,23 @@ bool parse_args(int argc, char** argv, Args& args) {
       throw std::invalid_argument("unknown flag: " + flag);
     }
   }
-  if (args.rendezvous_port == 0) {
-    throw std::invalid_argument("--rendezvous HOST:PORT is required");
-  }
   return true;
 }
 
-std::string result_json(const Args& args, const runtime::RuntimeResult& result) {
+std::string result_json(const Args& args, const std::string& mode, int world_size,
+                        std::uint64_t samples, int epochs, std::uint64_t seed,
+                        const std::string& loader, const runtime::RuntimeResult& result) {
   std::ostringstream out;
   out.precision(6);
   out << "{\n"
+      << "  \"scenario\": \"" << args.scenario << "\",\n"
+      << "  \"mode\": \"" << mode << "\",\n"
       << "  \"rank\": " << args.rank << ",\n"
-      << "  \"world_size\": " << args.world_size << ",\n"
-      << "  \"loader\": \"" << args.loader << "\",\n"
-      << "  \"samples\": " << args.samples << ",\n"
-      << "  \"epochs\": " << args.epochs << ",\n"
-      << "  \"seed\": " << args.seed << ",\n"
+      << "  \"world_size\": " << world_size << ",\n"
+      << "  \"loader\": \"" << loader << "\",\n"
+      << "  \"samples\": " << samples << ",\n"
+      << "  \"epochs\": " << epochs << ",\n"
+      << "  \"seed\": " << seed << ",\n"
       << "  \"total_s\": " << result.total_s << ",\n"
       << "  \"verified_samples\": " << result.verified_samples << ",\n"
       << "  \"verification_failures\": " << result.verification_failures << ",\n"
@@ -160,48 +207,64 @@ int main(int argc, char** argv) {
   try {
     if (!parse_args(argc, argv, args)) return 0;
 
-    data::DatasetSpec spec;
-    spec.name = "worker";
-    spec.num_samples = args.samples;
-    spec.mean_size_mb = 0.2;
-    spec.stddev_size_mb = 0.05;
-    const auto dataset = data::Dataset::synthetic(spec, 5);
+    if (args.list_scenarios) {
+      for (const std::string& name : scenario::names()) std::cout << name << "\n";
+      return 0;
+    }
 
-    runtime::RuntimeConfig config;
-    config.system = tiers::presets::sim_cluster(args.world_size);
-    // Shrink the node to loopback-smoke scale: the preset's 5 GB staging
-    // ring alone costs tens of seconds of allocation per rank, which would
-    // dwarf a --samples 96 run.  Keep in sync with
-    // tests/test_distributed_runtime.cpp, which compares against this
-    // binary's results.
-    config.system.node.staging.capacity_mb = 0.5;
-    config.system.node.staging.prefetch_threads = 2;
-    config.system.node.classes[0].capacity_mb = 16.0;  // RAM
-    config.system.node.classes[1].capacity_mb = 32.0;  // "SSD" (memory-backed)
-    config.system.node.compute_mbps = 50.0;
-    config.system.node.preprocess_mbps = 500.0;
-    config.system.pfs.agg_read_mbps =
-        util::ThroughputCurve({{1, 20}, {2, 25}, {4, 30}});
-    config.loader_threads = 2;
-    config.lookahead = 8;
-    config.loader = parse_loader(args.loader);
-    config.seed = args.seed;
-    config.num_epochs = args.epochs;
-    config.per_worker_batch = args.per_worker_batch;
-    config.time_scale = args.time_scale;
+    const scenario::Scenario& scn = scenario::get(args.scenario);
+
+    // Scenario shape with CLI overrides on top.
+    const int world_size = args.world_size > 0     ? args.world_size
+                           : args.have_rendezvous ? 1
+                                                  : scn.worker.world_size;
+    data::DatasetSpec spec = scn.worker.dataset;
+    if (args.have_samples) spec.num_samples = args.samples;
+    int epochs = args.epochs > 0 ? args.epochs : scn.worker.epochs;
+    if (args.quick) {
+      // CI smoke shape: a couple of epochs over at most 64 samples, but
+      // never below one global batch — and never overriding a dimension the
+      // user pinned explicitly (explicit flags always win).
+      const std::uint64_t global =
+          (args.per_worker_batch > 0 ? args.per_worker_batch
+                                     : scn.worker.per_worker_batch) *
+          static_cast<std::uint64_t>(world_size);
+      if (!args.have_samples) {
+        spec.num_samples =
+            std::max(std::min<std::uint64_t>(spec.num_samples, 64), global);
+      }
+      if (args.epochs <= 0) epochs = std::min(epochs, 2);
+    }
+    const auto dataset = data::Dataset::synthetic(spec, scn.worker.dataset_seed);
+
+    runtime::RuntimeConfig config = scenario::runtime_config(scn, world_size);
+    if (!args.loader.empty()) config.loader = parse_loader(args.loader);
+    if (args.have_seed) config.seed = args.seed;
+    config.num_epochs = epochs;
+    if (args.per_worker_batch > 0) config.per_worker_batch = args.per_worker_batch;
+    if (args.time_scale > 0.0) config.time_scale = args.time_scale;
     config.verify_content = args.verify;
     config.shared_pfs_contention = !args.per_process_pfs;
 
-    runtime::WorkerEndpoint endpoint;
-    endpoint.rank = args.rank;
-    endpoint.world_size = args.world_size;
-    endpoint.rendezvous_host = args.rendezvous_host;
-    endpoint.rendezvous_port = args.rendezvous_port;
-    endpoint.timeout_s = args.timeout_s;
+    runtime::RuntimeResult result;
+    std::string mode;
+    if (args.have_rendezvous) {
+      mode = "multi-process";
+      runtime::WorkerEndpoint endpoint;
+      endpoint.rank = args.rank;
+      endpoint.world_size = world_size;
+      endpoint.rendezvous_host = args.rendezvous_host;
+      endpoint.rendezvous_port = args.rendezvous_port;
+      endpoint.timeout_s = args.timeout_s;
+      result = runtime::run_distributed(dataset, config, endpoint);
+    } else {
+      mode = "single-process";
+      result = runtime::run_training(dataset, config);
+    }
 
-    const runtime::RuntimeResult result = runtime::run_distributed(dataset, config, endpoint);
-
-    const std::string json = result_json(args, result);
+    const std::string json = result_json(
+        args, mode, world_size, dataset.num_samples(), config.num_epochs, config.seed,
+        args.loader.empty() ? loader_flag_name(config.loader) : args.loader, result);
     std::cout << json;
     if (!args.json_out.empty()) {
       std::ofstream out(args.json_out);

@@ -174,6 +174,7 @@ SocketTransport::SocketTransport(const SocketOptions& options) : options_(option
   watermarks_ = std::vector<std::atomic<std::uint64_t>>(world);
   for (auto& w : watermarks_) w.store(0, std::memory_order_relaxed);
   pfs_active_.resize(world, 0);
+  pfs_owner_.resize(world, nullptr);
 
   try {
     // Serve listener first: by the time any peer learns this rank's port
@@ -453,6 +454,13 @@ void SocketTransport::serve_accept_loop() {
 void SocketTransport::serve_connection(std::shared_ptr<Conn> conn) {
   wire::FrameHeader header;
   Bytes payload;
+  // Rank 0 only: the rank whose kPfsAcquire arrived on THIS connection and
+  // has not been released yet.  A rank sends its contention frames on its
+  // single fetch channel to the root, so when that channel dies (the rank
+  // crashed or tore down mid-read) the root must drop the orphaned acquire —
+  // otherwise the dead rank pins gamma, overpricing t(gamma) for every
+  // surviving rank until job teardown (the leak noted in ROADMAP.md).
+  int pfs_rank_on_conn = -1;
   try {
     while (conn->recv_frame(header, payload)) {
       switch (header.type) {
@@ -491,8 +499,9 @@ void SocketTransport::serve_connection(std::shared_ptr<Conn> conn) {
           }
           const auto who = static_cast<int>(header.arg);
           if (who > 0 && who < options_.world_size) {
-            pfs_root_set_active(who, header.type == wire::MsgType::kPfsAcquire,
-                                /*notify_local=*/true);
+            const bool active = header.type == wire::MsgType::kPfsAcquire;
+            pfs_rank_on_conn = active ? who : -1;
+            pfs_root_set_active(who, active, /*notify_local=*/true, conn.get());
           }
           break;
         }
@@ -511,6 +520,16 @@ void SocketTransport::serve_connection(std::shared_ptr<Conn> conn) {
     if (!stopping_.load(std::memory_order_acquire)) {
       util::log_error("SocketTransport rank ", options_.rank, " serve: ", ex.what());
     }
+  }
+  // Connection gone (clean EOF or error): release the peer's outstanding
+  // acquire so a crashed rank no longer pins gamma.  Skipped during our own
+  // teardown — every channel is closing at once and the counter dies with
+  // the job.  require_owner guards the race where the rank redialed and
+  // re-acquired on a newer connection before this cleanup ran: only the
+  // connection still recorded as the acquire's owner may release it.
+  if (pfs_rank_on_conn > 0 && !stopping_.load(std::memory_order_acquire)) {
+    pfs_root_set_active(pfs_rank_on_conn, false, /*notify_local=*/true, conn.get(),
+                        /*require_owner=*/true);
   }
 }
 
@@ -583,9 +602,16 @@ std::optional<Bytes> SocketTransport::fetch_sample(int peer, std::uint64_t id) {
 // ---------------------------------------------------------------------------
 // PFS contention accounting (DESIGN.md Sec. 7.4).
 
-int SocketTransport::pfs_root_set_active(int rank, bool active, bool notify_local) {
+int SocketTransport::pfs_root_set_active(int rank, bool active, bool notify_local,
+                                         const void* conn_tag, bool require_owner) {
   const std::scoped_lock lock(pfs_mutex_);
+  if (require_owner && pfs_owner_[static_cast<std::size_t>(rank)] != conn_tag) {
+    // The rank re-acquired on a newer connection after this one went stale:
+    // its acquire is live, not orphaned.  Leave the counter alone.
+    return pfs_gamma_;
+  }
   pfs_active_[static_cast<std::size_t>(rank)] = active ? 1 : 0;
+  pfs_owner_[static_cast<std::size_t>(rank)] = active ? conn_tag : nullptr;
   int gamma = 0;
   for (const char a : pfs_active_) gamma += a;
   pfs_gamma_ = gamma;

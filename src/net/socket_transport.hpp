@@ -109,7 +109,14 @@ class SocketTransport final : public Transport {
   /// Rank-0 side of the contention protocol: records `rank`'s PFS activity,
   /// recomputes the authoritative gamma, notifies the local listener and
   /// broadcasts kPfsGamma to every peer.  Returns the new gamma.
-  int pfs_root_set_active(int rank, bool active, bool notify_local);
+  /// `conn_tag` identifies the serve connection the frame arrived on (null
+  /// for rank 0's own transitions); an acquire records it as the rank's
+  /// owner so the disconnect cleanup can tell a stale connection's orphan
+  /// from a live acquire made on a redialed channel.  `require_owner`
+  /// makes the call a no-op unless the tag still owns the rank's acquire.
+  int pfs_root_set_active(int rank, bool active, bool notify_local,
+                          const void* conn_tag = nullptr,
+                          bool require_owner = false);
   /// Non-root side: applies a kPfsGamma update from rank 0.
   void pfs_apply_gamma(int gamma);
   /// Stops the serve side, closes every connection, joins all threads.
@@ -149,6 +156,10 @@ class SocketTransport final : public Transport {
   // Lock order: pfs_mutex_ before channel mutexes, never the reverse.
   std::mutex pfs_mutex_;
   std::vector<char> pfs_active_;  ///< rank 0 only: per-rank activity
+  /// Rank 0 only: the serve connection holding each rank's outstanding
+  /// acquire (null = none) — lets the disconnect cleanup skip ranks that
+  /// re-acquired on a newer channel.
+  std::vector<const void*> pfs_owner_;
   int pfs_gamma_ = 0;             ///< authoritative (rank 0) / estimate (others)
   PfsListener pfs_listener_;
 };

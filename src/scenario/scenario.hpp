@@ -1,0 +1,157 @@
+#pragma once
+// Named scenario registry (DESIGN.md Sec. 8).
+//
+// The paper organizes its evaluation around a fixed set of system/dataset
+// scenarios (the Sec. 6.1 regime studies, the ImageNet/CosmoFlow scaling
+// figures, the runtime cross-checks).  Historically every bench and test
+// re-declared its own near-identical mini-system (`worker_config`,
+// `mini_system`, `contention_config`, per-figure `system_factory` lambdas).
+// This module hoists them into ONE registry mapping a string name to a full
+// run specification, consumed by three kinds of clients:
+//
+//   * per-figure benches build simulator configs via sim_config()/sim_dataset()
+//     (bit-identical to the structs they used to declare locally — pinned by
+//     tests/test_scenario.cpp golden digests);
+//   * the runtime tests and examples/nopfs_worker build harness configs via
+//     runtime_config()/worker_dataset() (the `--scenario NAME` CLI surface);
+//   * CI enumerates names() to run the scenario smoke matrix, and validate()
+//     makes an unbuildable or inconsistent entry fail the PR in one ctest.
+//
+// Naming convention: `<figure|study>-<subject>[-<variant>]`, lower-case
+// kebab, e.g. "fig10-imagenet1k", "fig10-imagenet1k-lassen",
+// "contention-pfs".  Adding a scenario = one make_*() entry in
+// scenario.cpp; validate() (run by test_scenario and CI) checks it resolves,
+// its policies exist, and its worker projection stays loopback-runnable.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/loader.hpp"
+#include "data/dataset.hpp"
+#include "runtime/harness.hpp"
+#include "sim/sim_config.hpp"
+#include "tiers/params.hpp"
+
+namespace nopfs::scenario {
+
+/// Builds the (unscaled) system for a worker/GPU count.
+using SystemFactory = std::function<tiers::SystemParams(int num_workers)>;
+
+/// Run shape of the simulator view: what a figure's grid iterates over and
+/// the knobs every cell shares.
+struct SimShape {
+  std::vector<std::string> policies;        ///< sim::make_policy names
+  std::vector<int> gpu_counts = {4};        ///< figure x-axis; front() = default N
+  std::vector<std::uint64_t> batch_sizes;   ///< batch sweep; empty = {per_worker_batch}
+  int epochs = 3;
+  int quick_epochs = 0;                     ///< epochs under --quick (0 = same)
+  std::uint64_t per_worker_batch = 32;
+  std::uint64_t seed = 0xC0FFEE;
+  double default_scale = 1.0;               ///< bench default dataset+capacity scale
+  double quick_scale = 1.0 / 8.0;           ///< scale under --quick
+  std::uint64_t min_samples = 0;            ///< clamp after scaling (0 = none)
+  double compute_mbps = 0.0;                ///< override c (0 = system preset)
+  double preprocess_mbps = 0.0;             ///< override beta (0 = system preset)
+};
+
+/// Runtime-harness projection: the miniature shape the scenario runs at in
+/// real time — the worker CLI (single- or multi-process) and the
+/// distributed/contention tests.  Shapes must stay loopback-smoke scale
+/// (seconds, not hours); validate() enforces it.
+struct WorkerShape {
+  /// Miniature system for the harness.  Null = loopback_system(world_size),
+  /// the standard shrink (0.5 MB staging, 16/32 MB tiers, slow PFS).
+  SystemFactory system;
+  data::DatasetSpec dataset{"worker", 96, 0.2, 0.05};
+  std::uint64_t dataset_seed = 5;
+  baselines::LoaderKind loader = baselines::LoaderKind::kNoPFS;
+  int world_size = 2;
+  int epochs = 2;
+  std::uint64_t per_worker_batch = 4;
+  std::uint64_t seed = 2025;
+  double time_scale = 50.0;
+  int loader_threads = 2;
+  int lookahead = 8;
+  bool use_remote = true;  ///< RouterOptions::use_remote
+};
+
+/// One named scenario: a full run specification.
+struct Scenario {
+  std::string name;
+  std::string summary;     ///< one line for --list-scenarios / docs
+  SystemFactory system;    ///< simulator-view system (unscaled, paper shape)
+  data::DatasetSpec dataset;  ///< simulator-view dataset (paper scale)
+  SimShape sim;
+  WorkerShape worker;
+};
+
+/// The registry, built once (thread-safe since C++11 statics).
+[[nodiscard]] const std::map<std::string, Scenario>& registry();
+
+/// Looks a scenario up; throws std::invalid_argument listing all names on a
+/// miss so a CLI typo is self-diagnosing.
+[[nodiscard]] const Scenario& get(const std::string& name);
+
+/// All registered names, sorted.
+[[nodiscard]] std::vector<std::string> names();
+
+/// Validates one entry; returns human-readable problems (empty = valid).
+[[nodiscard]] std::vector<std::string> validate(const Scenario& scenario);
+
+/// Validates every registry entry (the CI scenario gate).
+[[nodiscard]] std::vector<std::string> validate();
+
+// --- shared scaling helpers (hoisted from bench_common.hpp) ----------------
+
+/// Scales a dataset spec's sample count (sizes untouched, >= 1000 floor).
+[[nodiscard]] data::DatasetSpec scaled_spec(data::DatasetSpec spec, double factor);
+
+/// Scales all node storage capacities (staging included) by `factor`.
+void scale_capacities(tiers::SystemParams& system, double factor);
+
+/// The scale a bench run uses: 1.0 with --full, sim.quick_scale with
+/// --quick, sim.default_scale otherwise.
+[[nodiscard]] double pick_scale(const Scenario& scenario, bool quick, bool full);
+
+/// The epoch count a bench run uses (sim.quick_epochs under --quick).
+[[nodiscard]] int pick_epochs(const Scenario& scenario, bool quick);
+
+/// The standard loopback miniature of the Sec. 6.1 cluster: the shape every
+/// real-time harness consumer uses unless its scenario declares its own.
+[[nodiscard]] tiers::SystemParams loopback_system(int num_workers,
+                                                  double staging_mb = 0.5);
+
+// --- simulator view --------------------------------------------------------
+
+/// System for `gpus` workers at `scale`: factory output, capacities scaled,
+/// compute/preprocess overrides applied — exactly the construction order the
+/// per-figure benches used before the registry (bit-identical contract).
+[[nodiscard]] tiers::SystemParams sim_system(const Scenario& scenario, int gpus,
+                                             double scale);
+
+/// Full simulator config for one grid cell (seed from the CLI; the
+/// registered sim.seed is the default).
+[[nodiscard]] sim::SimConfig sim_config(const Scenario& scenario, int gpus,
+                                        double scale, std::uint64_t seed);
+
+/// The scenario's dataset at `scale` (min_samples clamp applied).
+[[nodiscard]] data::Dataset sim_dataset(const Scenario& scenario, double scale,
+                                        std::uint64_t seed);
+
+// --- runtime view ----------------------------------------------------------
+
+/// Harness config from the worker shape.  `world_size` 0 = the registered
+/// shape's world size.
+[[nodiscard]] runtime::RuntimeConfig runtime_config(const Scenario& scenario,
+                                                    int world_size = 0);
+
+/// The miniature dataset of the worker shape.
+[[nodiscard]] data::Dataset worker_dataset(const Scenario& scenario);
+/// Same with an explicit generation seed (benches honouring --seed).
+[[nodiscard]] data::Dataset worker_dataset(const Scenario& scenario,
+                                           std::uint64_t seed);
+
+}  // namespace nopfs::scenario

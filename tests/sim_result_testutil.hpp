@@ -1,10 +1,14 @@
 #pragma once
-// Shared helper for tests that assert the sweep/batch determinism contract:
+// Shared helpers for tests that assert the sweep/batch determinism contract:
 // two SimResults must be BIT-identical (exact double equality on every
 // field), not merely close — the parallel sweep, the batched dispatch path,
 // and the epoch-order cache all promise byte-equal outputs.
+// fnv_digest() collapses a whole SimResult into one order-sensitive hash so
+// golden results can be pinned as a single constant (test_scenario.cpp).
 
 #include <gtest/gtest.h>
+
+#include <cstring>
 
 #include "sim/sim_config.hpp"
 
@@ -28,6 +32,58 @@ inline void expect_results_identical(const SimResult& a, const SimResult& b) {
     EXPECT_EQ(a.location_mb[l], b.location_mb[l]) << "location_mb[" << l << "]";
   }
   EXPECT_EQ(a.accessed_fraction, b.accessed_fraction);
+}
+
+/// Order-sensitive FNV-1a over every SimResult field (doubles hashed by bit
+/// pattern): equal digests <=> bit-identical results.
+class SimResultFnv {
+ public:
+  void bytes(const void* data, std::size_t len) {
+    const auto* b = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      hash_ ^= b[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  [[nodiscard]] std::uint64_t hash() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+inline std::uint64_t fnv_digest(const SimResult& r) {
+  SimResultFnv f;
+  f.str(r.policy);
+  f.str(r.dataset);
+  f.u64(r.supported ? 1 : 0);
+  f.str(r.unsupported_reason);
+  f.f64(r.total_s);
+  f.f64(r.prestage_s);
+  f.f64(r.stall_s);
+  f.f64(r.compute_s);
+  f.u64(r.epoch_s.size());
+  for (double v : r.epoch_s) f.f64(v);
+  f.u64(r.batch_s_epoch0.size());
+  for (double v : r.batch_s_epoch0) f.f64(v);
+  f.u64(r.batch_s_rest.size());
+  for (double v : r.batch_s_rest) f.f64(v);
+  for (int l = 0; l < static_cast<int>(Location::kCount); ++l) {
+    f.f64(r.location_s[l]);
+    f.u64(r.location_count[l]);
+    f.f64(r.location_mb[l]);
+  }
+  f.f64(r.accessed_fraction);
+  return f.hash();
 }
 
 }  // namespace nopfs::sim

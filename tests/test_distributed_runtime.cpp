@@ -23,48 +23,33 @@
 
 #include "net/socket_transport.hpp"
 #include "runtime/harness.hpp"
-#include "tiers/params.hpp"
+#include "scenario/scenario.hpp"
 #include "util/units.hpp"
 
 namespace nopfs::runtime {
 namespace {
 
-constexpr std::uint64_t kSamples = 96;
+// The job shape is the "worker-loopback" registry entry — the same entry
+// examples/nopfs_worker resolves by default, which is what lets the spawn
+// test compare in-process results against the spawned binaries.
+constexpr std::uint64_t kSamples = 96;    // pinned against the registry below
 constexpr int kEpochs = 2;
 constexpr std::uint64_t kSeed = 2025;
 constexpr std::uint64_t kPerWorkerBatch = 4;
-constexpr double kTimeScale = 50.0;
 
 data::Dataset worker_dataset() {
-  // Must match examples/nopfs_worker.cpp: the spawn test compares results
-  // of the spawned binaries against this in-process dataset.
-  data::DatasetSpec spec;
-  spec.name = "worker";
-  spec.num_samples = kSamples;
-  spec.mean_size_mb = 0.2;
-  spec.stddev_size_mb = 0.05;
-  return data::Dataset::synthetic(spec, 5);
+  const scenario::Scenario& s = scenario::get("worker-loopback");
+  EXPECT_EQ(s.worker.dataset.num_samples, kSamples);
+  return scenario::worker_dataset(s);
 }
 
 RuntimeConfig worker_config(int world_size, baselines::LoaderKind kind) {
-  // Must match examples/nopfs_worker.cpp's loopback-smoke system shape (the
-  // spawn test compares in-process results against the spawned binaries).
-  RuntimeConfig config;
-  config.system = tiers::presets::sim_cluster(world_size);
-  config.system.node.staging.capacity_mb = 0.5;
-  config.system.node.staging.prefetch_threads = 2;
-  config.system.node.classes[0].capacity_mb = 16.0;
-  config.system.node.classes[1].capacity_mb = 32.0;
-  config.system.node.compute_mbps = 50.0;
-  config.system.node.preprocess_mbps = 500.0;
-  config.system.pfs.agg_read_mbps = util::ThroughputCurve({{1, 20}, {2, 25}, {4, 30}});
-  config.loader_threads = 2;
-  config.lookahead = 8;
+  const scenario::Scenario& s = scenario::get("worker-loopback");
+  EXPECT_EQ(s.worker.epochs, kEpochs);
+  EXPECT_EQ(s.worker.seed, kSeed);
+  EXPECT_EQ(s.worker.per_worker_batch, kPerWorkerBatch);
+  RuntimeConfig config = scenario::runtime_config(s, world_size);
   config.loader = kind;
-  config.seed = kSeed;
-  config.num_epochs = kEpochs;
-  config.per_worker_batch = kPerWorkerBatch;
-  config.time_scale = kTimeScale;
   config.verify_content = true;
   return config;
 }

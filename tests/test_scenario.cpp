@@ -1,0 +1,240 @@
+// The named scenario registry (ISSUE 4 acceptance):
+//
+//   * every registered name resolves and validate() accepts every entry —
+//     this is the ctest half of the CI scenario gate (the workflow half runs
+//     `nopfs_worker --scenario <each> --quick` over --list-scenarios);
+//   * validate() rejects malformed entries (unknown policy, paper-scale
+//     worker projection, inconsistent factories);
+//   * the registry reproduces the EXACT SimResult the pre-refactor benches
+//     produced: the historical config construction is inlined here verbatim
+//     and compared bit-for-bit, plus golden FNV digests recorded from the
+//     pre-refactor binaries pin the absolute values;
+//   * the runtime projection of "worker-loopback" equals the historical
+//     worker_config/nopfs_worker shape field by field, and runs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "scenario/scenario.hpp"
+#include "sim/engine.hpp"
+#include "sim/policies.hpp"
+#include "sim_result_testutil.hpp"
+
+namespace nopfs {
+namespace {
+
+sim::SimResult run_cell(const sim::SimConfig& config, const data::Dataset& dataset,
+                        const std::string& policy_name) {
+  const auto policy = sim::make_policy(policy_name);
+  return sim::simulate(config, dataset, *policy);
+}
+
+TEST(ScenarioRegistry, EveryNameResolves) {
+  const std::vector<std::string> all = scenario::names();
+  ASSERT_FALSE(all.empty());
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+  EXPECT_EQ(std::set<std::string>(all.begin(), all.end()).size(), all.size());
+  for (const std::string& name : all) {
+    const scenario::Scenario& s = scenario::get(name);
+    EXPECT_EQ(s.name, name);
+    EXPECT_FALSE(s.summary.empty()) << name;
+  }
+  // The entries the refactored benches/tests/worker resolve by name.
+  for (const char* required :
+       {"fig8-imagenet1k", "fig9-env-imagenet22k", "fig10-imagenet1k",
+        "fig10-imagenet1k-lassen", "fig11-epoch0", "fig12-cache-stats",
+        "fig13-batch-size", "fig14-imagenet22k", "fig15-cosmoflow",
+        "fig16-end-to-end", "tab1-frameworks", "ablation-nopfs-design",
+        "ablation-watermark", "runtime-validation", "worker-loopback",
+        "contention-pfs", "micro-core", "micro-sweep"}) {
+    EXPECT_NO_THROW((void)scenario::get(required)) << required;
+  }
+}
+
+TEST(ScenarioRegistry, UnknownNameThrowsListingAllNames) {
+  try {
+    (void)scenario::get("no-such-scenario");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& ex) {
+    const std::string what = ex.what();
+    EXPECT_NE(what.find("no-such-scenario"), std::string::npos);
+    EXPECT_NE(what.find("fig10-imagenet1k"), std::string::npos);
+  }
+}
+
+TEST(ScenarioRegistry, ValidateAcceptsEveryEntry) {
+  const std::vector<std::string> problems = scenario::validate();
+  EXPECT_TRUE(problems.empty());
+  for (const std::string& problem : problems) ADD_FAILURE() << problem;
+}
+
+TEST(ScenarioRegistry, ValidateRejectsMalformedEntries) {
+  const auto problems_mentioning = [](const scenario::Scenario& s,
+                                      const std::string& needle) {
+    const std::vector<std::string> problems = scenario::validate(s);
+    return std::any_of(problems.begin(), problems.end(), [&](const std::string& p) {
+      return p.find(needle) != std::string::npos;
+    });
+  };
+
+  scenario::Scenario base = scenario::get("worker-loopback");
+
+  scenario::Scenario bad_policy = base;
+  bad_policy.sim.policies = {"nopfs", "not-a-policy"};
+  EXPECT_TRUE(problems_mentioning(bad_policy, "unknown policy"));
+
+  scenario::Scenario bad_name = base;
+  bad_name.name = "Not A Name";
+  EXPECT_TRUE(problems_mentioning(bad_name, "kebab"));
+
+  scenario::Scenario no_gpus = base;
+  no_gpus.sim.gpu_counts.clear();
+  EXPECT_TRUE(problems_mentioning(no_gpus, "GPU counts"));
+
+  scenario::Scenario zero_batch = base;
+  zero_batch.worker.per_worker_batch = 0;
+  EXPECT_TRUE(problems_mentioning(zero_batch, "batch"));
+
+  // A paper-scale system leaking into the CLI projection must be caught:
+  // the worker view is what CI runs on every PR.
+  scenario::Scenario paper_worker = base;
+  paper_worker.worker.system = [](int n) { return tiers::presets::lassen(n); };
+  EXPECT_TRUE(problems_mentioning(paper_worker, "loopback scale"));
+
+  scenario::Scenario tiny_dataset = base;
+  tiny_dataset.worker.dataset.num_samples = 1;
+  EXPECT_TRUE(problems_mentioning(tiny_dataset, "global batch"));
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identical contract: the registry reproduces the pre-refactor benches.
+
+/// The historical construction of the Fig. 10 left cell, copied verbatim
+/// from bench_fig10_imagenet1k_scaling.cpp as of PR 3 (scaled() and
+/// scale_capacities() were bench_common.hpp helpers with these exact bodies).
+sim::SimConfig fig10_config_pre_refactor(int gpus, double scale) {
+  sim::SimConfig config;
+  config.system = tiers::presets::piz_daint(gpus);
+  for (auto& sc : config.system.node.classes) sc.capacity_mb *= scale;
+  config.system.node.staging.capacity_mb *= scale;
+  config.system.node.preprocess_mbps *= 1.0;  // loader preprocess_mult
+  config.seed = 0xC0FFEE;
+  config.num_epochs = 3;
+  config.per_worker_batch = 64;
+  return config;
+}
+
+data::Dataset fig10_dataset_pre_refactor(double scale) {
+  data::DatasetSpec spec = data::presets::imagenet1k();
+  spec.num_samples = std::max<std::uint64_t>(
+      1'000,
+      static_cast<std::uint64_t>(static_cast<double>(spec.num_samples) * scale));
+  return data::Dataset::synthetic(spec, 0xC0FFEE);
+}
+
+TEST(ScenarioGolden, Fig10ImageNet1kReproducesPreRefactorResults) {
+  const scenario::Scenario& s = scenario::get("fig10-imagenet1k");
+  const double scale = 1.0 / 8.0;  // the bench's --quick scale
+  ASSERT_EQ(scenario::pick_scale(s, /*quick=*/true, /*full=*/false), scale);
+
+  const data::Dataset old_dataset = fig10_dataset_pre_refactor(scale);
+  const data::Dataset new_dataset = scenario::sim_dataset(s, scale, 0xC0FFEE);
+  ASSERT_EQ(old_dataset.num_samples(), new_dataset.num_samples());
+  ASSERT_EQ(old_dataset.sizes(), new_dataset.sizes());
+
+  // Golden digests recorded from the pre-refactor binaries (same toolchain
+  // and libm; refreshing them must be a deliberate act — it means simulate()
+  // semantics changed).  The in-process old-vs-new comparison below is the
+  // portable half of the contract.
+  const struct {
+    const char* policy;
+    std::uint64_t digest;
+  } cells[] = {
+      {"staging", 0x33b34c858355f876ULL},
+      {"nopfs", 0xaa927b28dec75241ULL},
+      {"perfect", 0xe0d44b849233f03aULL},
+  };
+  for (const auto& cell : cells) {
+    const sim::SimResult before =
+        run_cell(fig10_config_pre_refactor(32, scale), old_dataset, cell.policy);
+    const sim::SimResult after =
+        run_cell(scenario::sim_config(s, 32, scale, 0xC0FFEE), new_dataset, cell.policy);
+    expect_results_identical(before, after);
+    EXPECT_EQ(sim::fnv_digest(after), cell.digest) << cell.policy;
+  }
+}
+
+TEST(ScenarioGolden, Fig8AndTab1ReproducePreRefactorDigests) {
+  {
+    // fig8-imagenet1k at the bench default (1/16 scale, 5 epochs).
+    const scenario::Scenario& s = scenario::get("fig8-imagenet1k");
+    const double scale = scenario::pick_scale(s, false, false);
+    ASSERT_EQ(scale, 1.0 / 16.0);
+    const sim::SimConfig config = scenario::sim_config(s, 4, scale, 0xC0FFEE);
+    ASSERT_EQ(config.num_epochs, 5);
+    const data::Dataset dataset = scenario::sim_dataset(s, scale, 0xC0FFEE);
+    const sim::SimResult result = run_cell(config, dataset, "nopfs");
+    EXPECT_EQ(sim::fnv_digest(result), 0xb1882edf5f25e647ULL);
+  }
+  {
+    // tab1: the registry's synthetic fixed-size dataset must equal the
+    // explicit std::vector<float>(6000, 0.1f) the bench used to declare.
+    const scenario::Scenario& s = scenario::get("tab1-frameworks");
+    const data::Dataset dataset = scenario::sim_dataset(s, 1.0, 0xC0FFEE);
+    const data::Dataset explicit_sizes("tab1", std::vector<float>(6'000, 0.1f));
+    ASSERT_EQ(dataset.sizes(), explicit_sizes.sizes());
+    const sim::SimConfig config = scenario::sim_config(s, 4, 1.0, 0xC0FFEE);
+    const sim::SimResult result = run_cell(config, dataset, "nopfs");
+    EXPECT_EQ(sim::fnv_digest(result), 0x1694468fb5246456ULL);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime projection.
+
+TEST(ScenarioRuntime, WorkerLoopbackMatchesHistoricalWorkerConfig) {
+  const scenario::Scenario& s = scenario::get("worker-loopback");
+  const runtime::RuntimeConfig config = scenario::runtime_config(s);
+  // The shape examples/nopfs_worker and tests/test_distributed_runtime
+  // hard-coded before the registry.
+  EXPECT_EQ(config.system.num_workers, 2);
+  EXPECT_EQ(config.system.node.staging.capacity_mb, 0.5);
+  EXPECT_EQ(config.system.node.staging.prefetch_threads, 2);
+  EXPECT_EQ(config.system.node.classes[0].capacity_mb, 16.0);
+  EXPECT_EQ(config.system.node.classes[1].capacity_mb, 32.0);
+  EXPECT_EQ(config.system.node.compute_mbps, 50.0);
+  EXPECT_EQ(config.system.node.preprocess_mbps, 500.0);
+  EXPECT_EQ(config.system.pfs.agg_read_mbps.at(1), 20.0);
+  EXPECT_EQ(config.system.pfs.agg_read_mbps.at(4), 30.0);
+  EXPECT_EQ(config.loader, baselines::LoaderKind::kNoPFS);
+  EXPECT_EQ(config.seed, 2025u);
+  EXPECT_EQ(config.num_epochs, 2);
+  EXPECT_EQ(config.per_worker_batch, 4u);
+  EXPECT_EQ(config.time_scale, 50.0);
+  EXPECT_EQ(config.loader_threads, 2);
+  EXPECT_EQ(config.lookahead, 8);
+
+  const data::Dataset dataset = scenario::worker_dataset(s);
+  EXPECT_EQ(dataset.num_samples(), 96u);
+  EXPECT_EQ(dataset.name(), "worker");
+}
+
+TEST(ScenarioRuntime, WorkerProjectionRunsEndToEnd) {
+  // One registry entry driven through the real threaded harness — the same
+  // code path `nopfs_worker --scenario` takes in single-process mode.
+  const scenario::Scenario& s = scenario::get("worker-loopback");
+  runtime::RuntimeConfig config = scenario::runtime_config(s);
+  config.verify_content = true;
+  const data::Dataset dataset = scenario::worker_dataset(s);
+  const runtime::RuntimeResult result = runtime::run_training(dataset, config);
+  EXPECT_EQ(result.verification_failures, 0u);
+  const std::uint64_t global = config.global_batch();
+  EXPECT_EQ(result.verified_samples,
+            static_cast<std::uint64_t>(config.num_epochs) *
+                (dataset.num_samples() / global) * global);
+}
+
+}  // namespace
+}  // namespace nopfs

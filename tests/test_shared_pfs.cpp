@@ -29,6 +29,7 @@
 #include "net/sim_transport.hpp"
 #include "net/socket_transport.hpp"
 #include "runtime/harness.hpp"
+#include "scenario/scenario.hpp"
 #include "tiers/clock.hpp"
 #include "tiers/params.hpp"
 #include "util/units.hpp"
@@ -47,12 +48,11 @@ bool eventually(const std::function<bool()>& predicate) {
 }
 
 tiers::PfsParams slow_pfs() {
-  // Deliberately glacial: the PFS must stay the bottleneck (reads blocking
-  // in the token bucket, gamma overlap across ranks) even on a loaded
-  // single-core runner or under a ~10x sanitizer slowdown.
-  tiers::PfsParams params;
-  params.agg_read_mbps = util::ThroughputCurve({{1, 2}, {2, 2.5}, {4, 3}});
-  return params;
+  // The "contention-pfs" scenario's deliberately glacial PFS: it must stay
+  // the bottleneck (reads blocking in the token bucket, gamma overlap
+  // across ranks) even on a loaded single-core runner or under a ~10x
+  // sanitizer slowdown.
+  return scenario::runtime_config(scenario::get("contention-pfs"), 1).system.pfs;
 }
 
 TEST(SharedPfs, GammaGossipOverSocketLoopback) {
@@ -98,6 +98,47 @@ TEST(SharedPfs, GammaGossipOverSocketLoopback) {
 
   transports[0]->set_pfs_listener({});
   transports[1]->set_pfs_listener({});
+}
+
+TEST(SharedPfs, RootReleasesOutstandingAcquireOnPeerDisconnect) {
+  // Wire-level regression for the gamma leak: a rank that dies while
+  // holding a kPfsAcquire must not pin the job-wide counter.  Rank 1
+  // acquires, then its transport is destroyed mid-read (the crash); rank
+  // 0's serve connection sees EOF and must release the orphaned acquire.
+  const std::uint16_t port = net::pick_free_port();
+  std::array<std::unique_ptr<net::SocketTransport>, 2> transports;
+  std::vector<std::thread> dialers;
+  for (int r = 0; r < 2; ++r) {
+    dialers.emplace_back([&, r] {
+      net::SocketOptions options;
+      options.rank = r;
+      options.world_size = 2;
+      options.rendezvous_port = port;
+      options.timeout_s = 30.0;
+      transports[static_cast<std::size_t>(r)] =
+          std::make_unique<net::SocketTransport>(options);
+    });
+  }
+  for (auto& t : dialers) t.join();
+  ASSERT_NE(transports[0], nullptr);
+  ASSERT_NE(transports[1], nullptr);
+
+  std::atomic<int> gamma_at_root{-1};
+  transports[0]->set_pfs_listener([&](int gamma) { gamma_at_root = gamma; });
+
+  transports[1]->pfs_adjust(+1);
+  ASSERT_TRUE(eventually([&] { return gamma_at_root.load() == 1; }));
+
+  // Rank 1 "crashes" while its acquire is outstanding.
+  transports[1].reset();
+  EXPECT_TRUE(eventually([&] { return gamma_at_root.load() == 0; }))
+      << "dead rank still pins gamma at " << gamma_at_root.load();
+
+  // And a clean acquire/release pair must not be double-released by the
+  // later disconnect: after release the counter is 0 and stays 0.
+  EXPECT_EQ(transports[0]->pfs_adjust(+1), 1);
+  EXPECT_EQ(transports[0]->pfs_adjust(-1), 0);
+  transports[0]->set_pfs_listener({});
 }
 
 TEST(SharedPfs, ConcurrentRanksSeeJobWideGamma) {
@@ -157,50 +198,25 @@ TEST(SharedPfs, TransportWithoutAccountingDegradesToLocalGamma) {
 // ---------------------------------------------------------------------------
 // Launch-mode parity on a contention-heavy configuration.
 
-constexpr std::uint64_t kSamples = 64;
-constexpr int kEpochs = 3;
-
 data::Dataset contention_dataset() {
-  data::DatasetSpec spec;
-  spec.name = "contention";
-  spec.num_samples = kSamples;
-  spec.mean_size_mb = 0.2;
-  spec.stddev_size_mb = 0.05;
-  return data::Dataset::synthetic(spec, 7);
+  return scenario::worker_dataset(scenario::get("contention-pfs"));
 }
 
-/// Contention-heavy by construction: no local cache capacity, so EVERY
-/// access is a PFS read, and a low time_scale so the cumulative read time
-/// far exceeds the token bucket's burst credit — reads genuinely block and
-/// overlap across ranks, making a wrong gamma measurable.
+/// The "contention-pfs" registry entry: contention-heavy by construction —
+/// no local cache capacity, so EVERY access is a PFS read, and a low
+/// time_scale so the cumulative read time far exceeds the token bucket's
+/// burst credit — reads genuinely block and overlap across ranks, making a
+/// wrong gamma measurable.  (The 8 MB ring, far larger than the stream,
+/// lets the producers stream ahead without consumer gating: both ranks
+/// issue PFS reads back-to-back from t=0, so in-flight overlap (gamma = 2)
+/// is structural, not a scheduling accident — it survives single-core hosts
+/// under sanitizer slowdowns, where lockstep-gated fetch bursts can
+/// interleave in antiphase.  Remote fetches are off: with no cache there is
+/// nothing to serve remotely, and every access is a PFS fetch — the PFS
+/// counts and MB become a pure function of the access stream, exact across
+/// launch modes, while the prefetch threads still race for gamma overlap.)
 runtime::RuntimeConfig contention_config(int world_size) {
-  runtime::RuntimeConfig config;
-  config.system = tiers::presets::sim_cluster(world_size);
-  // A ring far larger than the stream lets the producers stream ahead
-  // without consumer gating: both ranks issue PFS reads back-to-back from
-  // t=0, so in-flight overlap (gamma = 2) is structural, not a scheduling
-  // accident — it survives single-core hosts under sanitizer slowdowns,
-  // where lockstep-gated fetch bursts can interleave in antiphase.
-  config.system.node.staging.capacity_mb = 8.0;
-  config.system.node.staging.prefetch_threads = 2;
-  config.system.node.classes[0].capacity_mb = 0.0;
-  config.system.node.classes[1].capacity_mb = 0.0;
-  config.system.node.compute_mbps = 50.0;
-  config.system.node.preprocess_mbps = 500.0;
-  config.system.pfs = slow_pfs();
-  config.loader_threads = 2;
-  config.lookahead = 8;
-  config.loader = baselines::LoaderKind::kNoPFS;
-  // Remote fetches off: with no cache there is nothing to serve remotely,
-  // and every access is a PFS fetch — the PFS counts and MB become a pure
-  // function of the access stream, exact across launch modes, while the
-  // prefetch threads still race each other for real gamma overlap.
-  config.router.use_remote = false;
-  config.seed = 99;
-  config.num_epochs = kEpochs;
-  config.per_worker_batch = 4;
-  config.time_scale = 10.0;
-  return config;
+  return scenario::runtime_config(scenario::get("contention-pfs"), world_size);
 }
 
 runtime::RuntimeResult run_socket_rank(const data::Dataset& dataset,

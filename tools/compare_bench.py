@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff a BENCH_micro.json against the committed
+baseline and fail on throughput regressions.
+
+Usage:
+    tools/compare_bench.py bench/BENCH_baseline.json BENCH_micro.json \
+        [--tolerance 0.30]
+
+Key classification (schema 2: a flat ``results`` map of
+``<scenario>.<metric>`` produced by ``bench_micro_core --json``):
+
+* GATED — throughput keys (``*_per_s``, ``*_mbps``): higher is better and,
+  while absolute values shift with runner hardware, a >30% drop against a
+  baseline recorded on the same runner class is a real regression.  The
+  job fails if ``current < baseline * (1 - tolerance)``.
+* ADVISORY — wall-clock and speedup keys: on 1-core CI runners the sweep
+  parallel/serial ratio is ~1 and wall-clock jitter dominates, so these are
+  printed but never fail the job.
+
+Keys present in only one file are reported (a removed key breaks the
+trajectory and fails; a new key is advisory until the baseline is
+refreshed).
+
+Baseline refresh (one line, run on the CI runner class you gate on —
+locally that is simply):
+
+    ./build/bench_micro_core --json bench/BENCH_baseline.json
+
+or download the ``BENCH_micro`` artifact from a green main run and commit
+it as ``bench/BENCH_baseline.json``.
+
+Tolerance: ``--tolerance`` or the ``NOPFS_BENCH_TOLERANCE`` env var
+(fraction, default 0.30).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+GATED_SUFFIXES = ("_per_s", "_mbps")
+
+
+def load_results(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "results" not in doc:
+        raise SystemExit(f"{path}: not a schema-2 BENCH json (no 'results' map)")
+    results = doc["results"]
+    if not isinstance(results, dict) or not results:
+        raise SystemExit(f"{path}: empty 'results' map")
+    return {k: float(v) for k, v in results.items()}
+
+
+def is_gated(key):
+    return key.endswith(GATED_SUFFIXES)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("NOPFS_BENCH_TOLERANCE", "0.30")),
+        help="allowed fractional drop on gated keys (default 0.30)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_results(args.baseline)
+    current = load_results(args.current)
+
+    failures = []
+    width = max(len(k) for k in sorted(set(baseline) | set(current)))
+    print(f"{'key':<{width}}  {'baseline':>12}  {'current':>12}  {'ratio':>7}  verdict")
+    for key in sorted(set(baseline) | set(current)):
+        gated = is_gated(key)
+        if key not in current:
+            verdict = "MISSING (fails)" if gated else "missing (advisory)"
+            print(f"{key:<{width}}  {baseline[key]:>12.4g}  {'-':>12}  {'-':>7}  {verdict}")
+            if gated:
+                failures.append(f"{key}: present in baseline but not in current run")
+            continue
+        if key not in baseline:
+            print(
+                f"{key:<{width}}  {'-':>12}  {current[key]:>12.4g}  {'-':>7}  "
+                "new key (advisory; refresh baseline)"
+            )
+            continue
+        base, cur = baseline[key], current[key]
+        ratio = cur / base if base > 0 else float("inf")
+        if not gated:
+            verdict = "advisory"
+        elif base <= 0:
+            verdict = "skip (zero baseline)"
+        elif cur < base * (1.0 - args.tolerance):
+            verdict = f"REGRESSION (> {args.tolerance:.0%} drop)"
+            failures.append(f"{key}: {base:.4g} -> {cur:.4g} ({ratio:.2f}x)")
+        else:
+            verdict = "ok"
+        print(f"{key:<{width}}  {base:>12.4g}  {cur:>12.4g}  {ratio:>7.2f}  {verdict}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} gated key(s) regressed beyond "
+              f"{args.tolerance:.0%}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print(
+            "\nIf this is an accepted trade-off or a runner-class change, refresh "
+            "the baseline:\n  ./build/bench_micro_core --json bench/BENCH_baseline.json",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nOK: no gated key regressed beyond the tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
