@@ -5,43 +5,15 @@
 // Paper shapes to reproduce: NoPFS up to ~2.2x faster than PyTorch on
 // Piz Daint and up to ~5.4x on Lassen; PyTorch stops scaling once the PFS
 // saturates; NoPFS batch-time tails an order of magnitude smaller.
-
-#include <iostream>
+//
+// `--scenario NAME` swaps in any registry entry (and `--full` lifts it to
+// paper scale); the loader lines come from the entry either way.
 
 #include "bench_scaling_common.hpp"
 
 using namespace nopfs;
 
 int main(int argc, char** argv) {
-  const util::BenchArgs args = util::parse_bench_args(argc, argv);
-  const scenario::Scenario& daint = scenario::get("fig10-imagenet1k");
-  const scenario::Scenario& lassen = scenario::get("fig10-imagenet1k-lassen");
-  const double scale = scenario::pick_scale(daint, args.quick, false);
-
-  // Both halves share the ImageNet-1k dataset.
-  const data::Dataset dataset = scenario::sim_dataset(daint, scale, args.seed);
-
-  {
-    bench::ScalingOptions options;
-    options.scenario = &daint;
-    options.scale = scale;
-    options.loaders = bench::pytorch_dali_nopfs();
-    options.seed = args.seed;
-    options.num_threads = args.threads;
-    const auto grid = bench::run_scaling(options, dataset);
-    bench::print_scaling_tables(options, grid, args,
-                                "Fig. 10 left: ImageNet-1k on Piz Daint");
-  }
-  {
-    bench::ScalingOptions options;
-    options.scenario = &lassen;
-    options.scale = scale;
-    options.loaders = bench::pytorch_lbann_nopfs();
-    options.seed = args.seed;
-    options.num_threads = args.threads;
-    const auto grid = bench::run_scaling(options, dataset);
-    bench::print_scaling_tables(options, grid, args,
-                                "Fig. 10 right: ImageNet-1k on Lassen");
-  }
-  return 0;
+  return bench::scaling_main(argc, argv,
+                             {"fig10-imagenet1k", "fig10-imagenet1k-lassen"});
 }

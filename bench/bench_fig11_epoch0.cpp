@@ -2,7 +2,9 @@
 // first epoch every loader must pull data from the PFS, so NoPFS shows only
 // slightly lower variance — while in later epochs (Fig. 10) PyTorch/DALI
 // keep their epoch-0-like variance ("without caching, it is always the
-// first epoch for a data loader").
+// first epoch for a data loader").  `--scenario NAME` swaps in any registry
+// entry (loader lines come from the entry); `--full` lifts it to paper
+// scale.
 
 #include <iostream>
 
@@ -12,31 +14,29 @@ using namespace nopfs;
 
 int main(int argc, char** argv) {
   const util::BenchArgs args = util::parse_bench_args(argc, argv);
-  const scenario::Scenario& scn = scenario::get("fig11-epoch0");
-  const double scale = scenario::pick_scale(scn, args.quick, false);
-  const data::Dataset dataset = scenario::sim_dataset(scn, scale, args.seed);
+  for (const scenario::Scenario* scn :
+       bench::resolve_scenarios(args, {"fig11-epoch0"})) {
+    const bench::ScalingOptions options = bench::scaling_options(*scn, args);
+    const data::Dataset dataset =
+        scenario::sim_dataset(*scn, options.scale, args.seed);
+    const auto grid = bench::run_scaling(options, dataset);
 
-  bench::ScalingOptions options;
-  options.scenario = &scn;
-  options.scale = scale;
-  options.loaders = bench::pytorch_dali_nopfs();
-  options.seed = args.seed;
-  const auto grid = bench::run_scaling(options, dataset);
-
-  util::Table table({"#GPUs", "Loader", "epoch0 med", "epoch0 p95", "epoch0 max",
-                     "epoch1+ med", "epoch1+ max"});
-  for (std::size_t g = 0; g < scn.sim.gpu_counts.size(); ++g) {
-    for (std::size_t l = 0; l < options.loaders.size(); ++l) {
-      const auto& cell = grid[g][l];
-      if (!cell.result.supported) continue;
-      const util::Summary e0 = cell.result.batch_summary_epoch0();
-      const util::Summary rest = cell.result.batch_summary_rest();
-      table.add_row({std::to_string(scn.sim.gpu_counts[g]), options.loaders[l].label,
-                     util::Table::num(e0.median, 3), util::Table::num(e0.p95, 3),
-                     util::Table::num(e0.max, 3), util::Table::num(rest.median, 3),
-                     util::Table::num(rest.max, 3)});
+    util::Table table({"#GPUs", "Loader", "epoch0 med", "epoch0 p95", "epoch0 max",
+                       "epoch1+ med", "epoch1+ max"});
+    for (std::size_t g = 0; g < scn->sim.gpu_counts.size(); ++g) {
+      for (std::size_t l = 0; l < options.loaders.size(); ++l) {
+        const auto& cell = grid[g][l];
+        if (!cell.result.supported) continue;
+        const util::Summary e0 = cell.result.batch_summary_epoch0();
+        const util::Summary rest = cell.result.batch_summary_rest();
+        table.add_row({std::to_string(scn->sim.gpu_counts[g]),
+                       options.loaders[l].label, util::Table::num(e0.median, 3),
+                       util::Table::num(e0.p95, 3), util::Table::num(e0.max, 3),
+                       util::Table::num(rest.median, 3),
+                       util::Table::num(rest.max, 3)});
+      }
     }
+    bench::emit(table, args, scn->summary + " — epoch-0 batch times [s]");
   }
-  bench::emit(table, args, "Fig. 11: epoch-0 batch times, ImageNet-1k on Piz Daint [s]");
   return 0;
 }

@@ -1,7 +1,9 @@
 // Figure 13: batch-size sweep for ResNet-50 on ImageNet-1k with 128 GPUs
 // on Lassen.  Paper shapes: NoPFS faster at every batch size; PyTorch's
 // batch-time variance grows with the batch (more I/O pressure per rank)
-// while NoPFS's stays roughly constant.
+// while NoPFS's stays roughly constant.  `--scenario NAME` swaps in any
+// registry entry (its batch_sizes axis, or its per-worker batch when it
+// declares none); `--full` lifts it to paper scale.
 
 #include <iostream>
 
@@ -11,41 +13,44 @@ using namespace nopfs;
 
 int main(int argc, char** argv) {
   const util::BenchArgs args = util::parse_bench_args(argc, argv);
-  const scenario::Scenario& scn = scenario::get("fig13-batch-size");
-  const double scale = scenario::pick_scale(scn, args.quick, false);
-  const data::Dataset dataset = scenario::sim_dataset(scn, scale, args.seed);
-  const auto loaders = bench::pytorch_nopfs();
-  const int gpus = scn.sim.gpu_counts.front();
+  for (const scenario::Scenario* scn :
+       bench::resolve_scenarios(args, {"fig13-batch-size"})) {
+    const bench::ScalingOptions options = bench::scaling_options(*scn, args);
+    const data::Dataset dataset =
+        scenario::sim_dataset(*scn, options.scale, args.seed);
+    const int gpus = scn->sim.gpu_counts.front();
+    std::vector<std::uint64_t> batches = scn->sim.batch_sizes;
+    if (batches.empty()) batches = {scn->sim.per_worker_batch};
 
-  // Batch-size x loader grid, evaluated concurrently by the sweep engine.
-  std::vector<sim::SweepPoint> points;
-  std::vector<std::pair<std::uint64_t, std::string>> labels;
-  for (const std::uint64_t batch : scn.sim.batch_sizes) {
-    for (const auto& loader : loaders) {
-      sim::SweepPoint point;
-      point.config = scenario::sim_config(scn, gpus, scale, args.seed);
-      point.config.system.node.preprocess_mbps *= loader.preprocess_mult;
-      point.config.per_worker_batch = batch;
-      point.dataset = &dataset;
-      point.policy = loader.policy;
-      points.push_back(std::move(point));
-      labels.emplace_back(batch, loader.label);
+    // Batch-size x loader grid, evaluated concurrently by the sweep engine.
+    std::vector<sim::SweepPoint> points;
+    std::vector<std::pair<std::uint64_t, std::string>> labels;
+    for (const std::uint64_t batch : batches) {
+      for (const auto& loader : options.loaders) {
+        sim::SweepPoint point;
+        point.config = scenario::sim_config(*scn, gpus, options.scale, args.seed);
+        point.config.system.node.preprocess_mbps *= loader.preprocess_mult;
+        point.config.per_worker_batch = batch;
+        point.dataset = &dataset;
+        point.policy = loader.policy;
+        points.push_back(std::move(point));
+        labels.emplace_back(batch, loader.label);
+      }
     }
-  }
-  const sim::SweepRunner runner({args.threads});
-  const auto results = runner.run(points);
+    const sim::SweepRunner runner({args.threads});
+    const auto results = runner.run(points);
 
-  util::Table table({"Batch size", "Loader", "batch med", "batch p95", "batch max",
-                     "stddev"});
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const sim::SimResult& result = results[i];
-    if (!result.supported) continue;
-    const util::Summary s = result.batch_summary_rest();
-    table.add_row({std::to_string(labels[i].first), labels[i].second,
-                   util::Table::num(s.median, 3), util::Table::num(s.p95, 3),
-                   util::Table::num(s.max, 3), util::Table::num(s.stddev, 4)});
+    util::Table table({"Batch size", "Loader", "batch med", "batch p95", "batch max",
+                       "stddev"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const sim::SimResult& result = results[i];
+      if (!result.supported) continue;
+      const util::Summary s = result.batch_summary_rest();
+      table.add_row({std::to_string(labels[i].first), labels[i].second,
+                     util::Table::num(s.median, 3), util::Table::num(s.p95, 3),
+                     util::Table::num(s.max, 3), util::Table::num(s.stddev, 4)});
+    }
+    bench::emit(table, args, scn->summary + " — batch-size sweep [s]");
   }
-  bench::emit(table, args,
-              "Fig. 13: batch-size sweep, ImageNet-1k, 128 GPUs on Lassen [s]");
   return 0;
 }

@@ -3,34 +3,12 @@
 // to ~2.4x faster at 1024 GPUs.
 //
 // Defaults to a 1/4-scaled dataset+storage (same regimes); --full runs the
-// paper-scale 14.2M samples.
-
-#include <cstring>
-#include <iostream>
+// paper-scale 14.2M samples.  `--scenario NAME` swaps in any registry entry.
 
 #include "bench_scaling_common.hpp"
 
 using namespace nopfs;
 
 int main(int argc, char** argv) {
-  const util::BenchArgs args = util::parse_bench_args(argc, argv);
-  bool full = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--full") == 0) full = true;
-  }
-  const scenario::Scenario& scn = scenario::get("fig14-imagenet22k");
-  const double scale = scenario::pick_scale(scn, args.quick, full);
-  const data::Dataset dataset = scenario::sim_dataset(scn, scale, args.seed);
-
-  bench::ScalingOptions options;
-  options.scenario = &scn;
-  options.scale = scale;
-  options.loaders = bench::pytorch_nopfs();
-  options.seed = args.seed;
-  options.num_threads = args.threads;
-  const auto grid = bench::run_scaling(options, dataset);
-  bench::print_scaling_tables(options, grid, args,
-                              std::string("Fig. 14: ImageNet-22k on Lassen") +
-                                  (full ? "" : " (1/4 scale)"));
-  return 0;
+  return bench::scaling_main(argc, argv, {"fig14-imagenet22k"});
 }

@@ -2,27 +2,13 @@
 // samples) on Lassen, 32-1024 GPUs: PyTorch vs NoPFS vs No I/O.  Paper
 // shapes: NoPFS up to ~2.1x faster, very close to the no-I/O bound, and a
 // bimodal batch-time distribution (identical sample sizes make the fetch
-// location the only variable).
-
-#include <iostream>
+// location the only variable).  `--scenario NAME` swaps in any registry
+// entry; `--full` lifts it to paper scale.
 
 #include "bench_scaling_common.hpp"
 
 using namespace nopfs;
 
 int main(int argc, char** argv) {
-  const util::BenchArgs args = util::parse_bench_args(argc, argv);
-  const scenario::Scenario& scn = scenario::get("fig15-cosmoflow");
-  const double scale = scenario::pick_scale(scn, args.quick, false);
-  const data::Dataset dataset = scenario::sim_dataset(scn, scale, args.seed);
-
-  bench::ScalingOptions options;
-  options.scenario = &scn;
-  options.scale = scale;
-  options.loaders = bench::pytorch_nopfs();
-  options.seed = args.seed;
-  options.num_threads = args.threads;
-  const auto grid = bench::run_scaling(options, dataset);
-  bench::print_scaling_tables(options, grid, args, "Fig. 15: CosmoFlow on Lassen");
-  return 0;
+  return bench::scaling_main(argc, argv, {"fig15-cosmoflow"});
 }

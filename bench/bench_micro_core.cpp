@@ -309,6 +309,81 @@ double pfs_acquire_release_throughput(int cycles) {
   }
 }
 
+/// Batched gamma-gossip transition rate: same 2-rank world, but the client
+/// transport batches (5 ms flush windows, 256-transition batches), so a
+/// pfs_adjust is an enqueue + local-estimate update — the per-transition
+/// send cost is OFF the reader thread.  The client pumps `transitions`
+/// alternating +1/-1 edges back to back, then a final held acquire is
+/// awaited end-to-end so every queued frame is provably drained before the
+/// clock stops.  Returns transitions per second.
+double pfs_gossip_throughput(int transitions) {
+  const std::uint16_t port = net::pick_free_port();
+  std::unique_ptr<net::SocketTransport> root;
+  std::thread root_thread([&] {
+    try {
+      net::SocketOptions options;
+      options.rank = 0;
+      options.world_size = 2;
+      options.rendezvous_port = port;
+      options.timeout_s = 30.0;
+      root = std::make_unique<net::SocketTransport>(options);
+      root->barrier();  // world up
+      root->barrier();  // client done
+    } catch (const std::exception& ex) {
+      std::cerr << "pfs gossip bench root: " << ex.what() << "\n";
+    }
+  });
+  try {
+    net::SocketOptions options;
+    options.rank = 1;
+    options.world_size = 2;
+    options.rendezvous_port = port;
+    options.timeout_s = 30.0;
+    options.gossip = net::GossipConfig{0.005, 256};
+    options.time_scale = 1.0;
+    net::SocketTransport client(options);
+    client.barrier();
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    int gamma = -1;
+    client.set_pfs_listener([&](int g) {
+      const std::scoped_lock lock(mutex);
+      gamma = g;
+      cv.notify_all();
+    });
+
+    const double start = now_s();
+    for (int i = 0; i < transitions / 2; ++i) {
+      client.pfs_adjust(+1);
+      client.pfs_adjust(-1);
+    }
+    // Drain marker: hold a WEIGHT-2 acquire until the root's authoritative
+    // view of it comes back.  Gamma 2 is unreachable while the +1/-1 pump
+    // is in flight, so a stale broadcast from an earlier window's peak
+    // cannot satisfy the wait — and every earlier frame rides the same
+    // FIFO channel, so seeing 2 proves the queue fully drained.
+    client.pfs_adjust(+2);
+    client.flush_pfs_gossip();
+    {
+      std::unique_lock lock(mutex);
+      if (!cv.wait_for(lock, std::chrono::seconds(10), [&] { return gamma == 2; })) {
+        throw std::runtime_error("pfs gossip bench: drain marker timed out");
+      }
+    }
+    const double elapsed = now_s() - start;
+    client.pfs_adjust(-2);
+    client.flush_pfs_gossip();
+    client.set_pfs_listener({});
+    client.barrier();
+    root_thread.join();
+    return elapsed > 0.0 ? (transitions + 1) / elapsed : 0.0;
+  } catch (...) {
+    if (root_thread.joinable()) root_thread.join();
+    throw;
+  }
+}
+
 /// Best-of-N wall-clock for gated throughput keys: scheduler noise on a
 /// shared CI runner only ever makes a run SLOWER, so the max over a few
 /// repetitions estimates the machine's capability; a genuine regression
@@ -379,6 +454,8 @@ int run_json_mode(const std::string& path) {
   });
   const double pfs_cycles_per_s =
       best_of(3, [&] { return pfs_acquire_release_throughput(2'000); });
+  const double pfs_gossip_per_s =
+      best_of(3, [&] { return pfs_gossip_throughput(200'000); });
 
   std::ofstream out(path);
   if (!out) {
@@ -409,7 +486,9 @@ int run_json_mode(const std::string& path) {
       << "    \"socket-loopback.fetch_4k_mbps\": " << small_mbps << ",\n"
       << "    \"socket-loopback.fetch_1m_per_s\": " << large_per_s << ",\n"
       << "    \"socket-loopback.fetch_1m_mbps\": " << large_mbps << ",\n"
-      << "    \"socket-loopback.pfs_cycles_per_s\": " << pfs_cycles_per_s << "\n"
+      << "    \"socket-loopback.pfs_cycles_per_s\": " << pfs_cycles_per_s << ",\n"
+      << "    \"socket-loopback.pfs_gossip_transitions_per_s\": " << pfs_gossip_per_s
+      << "\n"
       << "  }\n"
       << "}\n";
   out.close();
@@ -417,7 +496,8 @@ int run_json_mode(const std::string& path) {
             << " s @1t -> " << parallel_s << " s @" << threads << "t  ("
             << speedup << "x)\nsocket fetch: " << small_per_s << " rpc/s @4K, "
             << large_mbps << " MB/s @1M  |  pfs acquire/release: "
-            << pfs_cycles_per_s << " cycles/s\nwrote " << path << "\n";
+            << pfs_cycles_per_s << " cycles/s  |  batched gossip: "
+            << pfs_gossip_per_s << " transitions/s\nwrote " << path << "\n";
   return 0;
 }
 

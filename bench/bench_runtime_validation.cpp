@@ -96,20 +96,11 @@ int main(int argc, char** argv) {
   const data::Dataset dataset = scenario::worker_dataset(scn, args.seed);
   const int workers = scn.worker.world_size;
 
-  struct Pair {
-    baselines::LoaderKind kind;
-    std::string policy;
-  };
-  const Pair pairs[] = {
-      {baselines::LoaderKind::kNaive, "naive"},
-      {baselines::LoaderKind::kPyTorch, "staging"},
-      {baselines::LoaderKind::kLbann, "lbann-dynamic"},
-      {baselines::LoaderKind::kNoPFS, "nopfs"},
-  };
-
+  // The runtime-vs-simulator pairs come from the scenario's own loader
+  // presentation list (labels, LoaderKind, matching sim policy).
   util::Table table({"Loader", "runtime total", "simulated total", "ratio",
                      "runtime pfs", "sim pfs"});
-  for (const auto& pair : pairs) {
+  for (const scenario::LoaderLine& pair : scn.worker.loaders) {
     runtime::RuntimeConfig rt = scenario::runtime_config(scn);
     rt.loader = pair.kind;
     rt.seed = args.seed;

@@ -1,9 +1,11 @@
 #pragma once
 // Shared scaffolding for the Figs. 10/11/13/14/15 scaling studies: run a
 // set of loaders across the scenario's GPU counts and print the paper's
-// epoch-time and batch-time series.  The system, dataset, GPU axis and run
-// shape come from the scenario registry; only the loader presentation
-// (labels, DALI preprocessing multiplier) is declared here.
+// epoch-time and batch-time series.  The system, dataset, GPU axis, run
+// shape AND the loader presentation (labels, DALI preprocessing
+// multiplier) all come from the scenario registry — a bench binary only
+// names its default entries, so `--scenario NAME [--full]` can run ANY
+// registry entry at paper scale from the CLI.
 
 #include <vector>
 
@@ -12,40 +14,41 @@
 
 namespace nopfs::bench {
 
-/// One loader line in a scaling figure.
-struct LoaderSpec {
-  std::string label;          ///< "PyTorch", "PyTorch+DALI", "LBANN", "NoPFS", "No I/O"
-  std::string policy;         ///< simulator policy name
-  double preprocess_mult = 1.0;  ///< DALI: GPU-offloaded preprocessing
-};
-
-inline std::vector<LoaderSpec> pytorch_dali_nopfs() {
-  return {{"PyTorch", "staging", 1.0},
-          {"PyTorch+DALI", "staging", 8.0},
-          {"NoPFS", "nopfs", 1.0},
-          {"No I/O", "perfect", 1.0}};
-}
-
-inline std::vector<LoaderSpec> pytorch_lbann_nopfs() {
-  return {{"PyTorch", "staging", 1.0},
-          {"LBANN", "lbann-dynamic", 1.0},
-          {"NoPFS", "nopfs", 1.0},
-          {"No I/O", "perfect", 1.0}};
-}
-
-inline std::vector<LoaderSpec> pytorch_nopfs() {
-  return {{"PyTorch", "staging", 1.0},
-          {"NoPFS", "nopfs", 1.0},
-          {"No I/O", "perfect", 1.0}};
-}
-
 struct ScalingOptions {
   const scenario::Scenario* scenario = nullptr;  ///< registry entry (required)
   double scale = 1.0;            ///< scenario::pick_scale(...) result
-  std::vector<LoaderSpec> loaders;
+  std::vector<scenario::LoaderLine> loaders;  ///< scenario::sim_loaders(...)
   std::uint64_t seed = 0xC0FFEE;
   int num_threads = 0;           ///< sweep concurrency (0 = auto)
 };
+
+/// Fills an options struct from a registry entry + the common CLI flags.
+inline ScalingOptions scaling_options(const scenario::Scenario& scn,
+                                      const util::BenchArgs& args) {
+  ScalingOptions options;
+  options.scenario = &scn;
+  options.scale = scenario::pick_scale(scn, args.quick, args.full);
+  options.loaders = scenario::sim_loaders(scn);
+  options.seed = args.seed;
+  options.num_threads = args.threads;
+  return options;
+}
+
+/// The scenarios a scaling bench runs: the `--scenario NAME` override when
+/// given (any registry entry), otherwise the bench's own default entries.
+inline std::vector<const scenario::Scenario*> resolve_scenarios(
+    const util::BenchArgs& args, const std::vector<std::string>& default_names) {
+  std::vector<const scenario::Scenario*> scenarios;
+  if (!args.scenario.empty()) {
+    scenarios.push_back(&scenario::get(args.scenario));
+    return scenarios;
+  }
+  scenarios.reserve(default_names.size());
+  for (const std::string& name : default_names) {
+    scenarios.push_back(&scenario::get(name));
+  }
+  return scenarios;
+}
 
 struct ScalingCell {
   sim::SimResult result;
@@ -110,7 +113,10 @@ inline void print_scaling_tables(const ScalingOptions& options,
         }
         row.push_back(util::format_seconds(cell.epoch_median));
         if (l == 0) base = cell.epoch_median;
-        if (options.loaders[l].label == "NoPFS") nopfs = cell.epoch_median;
+        if (options.loaders[l].label == "NoPFS" ||
+            options.loaders[l].policy == "nopfs") {
+          nopfs = cell.epoch_median;
+        }
       }
       row.push_back(nopfs > 0.0 ? speedup(base, nopfs) : "-");
       table.add_row(row);
@@ -133,6 +139,22 @@ inline void print_scaling_tables(const ScalingOptions& options,
     }
     emit(table, args, title + " - batch time distribution [s] (excl. epoch 0)");
   }
+}
+
+/// The whole driver most scaling benches are: resolve scenarios (honouring
+/// `--scenario`), build each scenario's dataset at the picked scale, run
+/// the grid, print the two standard tables titled by the entry's summary.
+inline int scaling_main(int argc, char** argv,
+                        const std::vector<std::string>& default_names) {
+  const util::BenchArgs args = util::parse_bench_args(argc, argv);
+  for (const scenario::Scenario* scn : resolve_scenarios(args, default_names)) {
+    const ScalingOptions options = scaling_options(*scn, args);
+    const data::Dataset dataset =
+        scenario::sim_dataset(*scn, options.scale, args.seed);
+    const auto grid = run_scaling(options, dataset);
+    print_scaling_tables(options, grid, args, scn->summary);
+  }
+  return 0;
 }
 
 }  // namespace nopfs::bench

@@ -62,6 +62,12 @@ struct Args {
   double timeout_s = 120.0;
   bool verify = true;
   bool per_process_pfs = false;
+  // Gamma-gossip overrides (scenario defaults otherwise; DESIGN.md
+  // Sec. 7.4).  flush < 0 = "not passed".
+  double pfs_flush_virtual_s = -1.0;
+  int pfs_max_batch = 0;
+  bool thread_weighted_gamma = false;
+  bool have_thread_weighted = false;
   std::string json_out;
 };
 
@@ -70,37 +76,17 @@ void usage(const char* argv0) {
       << "usage: " << argv0
       << " [--scenario NAME] [--list-scenarios]\n"
          "          [--rank R --world-size N --rendezvous HOST:PORT]  (multi-process)\n"
-         "          [--loader nopfs|naive|pytorch|dali|tfdata|sharded|lbann]\n"
+         "          [--loader "
+      << baselines::loader_flag_names()
+      << "]\n"
          "          [--samples F] [--epochs E] [--seed S] [--per-worker-batch B]\n"
          "          [--time-scale X] [--timeout-s T] [--quick] [--no-verify]\n"
          "          [--json-out PATH]\n"
          "          [--per-process-pfs]   (opt out of job-wide PFS contention)\n"
+         "          [--pfs-flush-interval VIRT_S] [--pfs-max-batch N]\n"
+         "          [--thread-weighted-gamma]   (gamma counts reader threads)\n"
          "Without --rendezvous the scenario's world runs as threads in this\n"
          "process; with it this process is ONE rank (world size defaults to 1).\n";
-}
-
-baselines::LoaderKind parse_loader(const std::string& name) {
-  if (name == "nopfs") return baselines::LoaderKind::kNoPFS;
-  if (name == "naive") return baselines::LoaderKind::kNaive;
-  if (name == "pytorch") return baselines::LoaderKind::kPyTorch;
-  if (name == "dali") return baselines::LoaderKind::kDali;
-  if (name == "tfdata") return baselines::LoaderKind::kTfData;
-  if (name == "sharded") return baselines::LoaderKind::kSharded;
-  if (name == "lbann") return baselines::LoaderKind::kLbann;
-  throw std::invalid_argument("unknown loader: " + name);
-}
-
-const char* loader_flag_name(baselines::LoaderKind kind) {
-  switch (kind) {
-    case baselines::LoaderKind::kNoPFS: return "nopfs";
-    case baselines::LoaderKind::kNaive: return "naive";
-    case baselines::LoaderKind::kPyTorch: return "pytorch";
-    case baselines::LoaderKind::kDali: return "dali";
-    case baselines::LoaderKind::kTfData: return "tfdata";
-    case baselines::LoaderKind::kSharded: return "sharded";
-    case baselines::LoaderKind::kLbann: return "lbann";
-  }
-  return "nopfs";
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -154,6 +140,19 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.verify = false;
     } else if (flag == "--per-process-pfs") {
       args.per_process_pfs = true;
+    } else if (flag == "--pfs-flush-interval") {
+      args.pfs_flush_virtual_s = std::stod(value(i));
+      if (args.pfs_flush_virtual_s < 0.0) {
+        throw std::invalid_argument("--pfs-flush-interval must be >= 0");
+      }
+    } else if (flag == "--pfs-max-batch") {
+      args.pfs_max_batch = std::stoi(value(i));
+      if (args.pfs_max_batch < 1) {
+        throw std::invalid_argument("--pfs-max-batch must be >= 1");
+      }
+    } else if (flag == "--thread-weighted-gamma") {
+      args.thread_weighted_gamma = true;
+      args.have_thread_weighted = true;
     } else if (flag == "--json-out") {
       args.json_out = value(i);
     } else if (flag == "--help" || flag == "-h") {
@@ -238,13 +237,22 @@ int main(int argc, char** argv) {
     const auto dataset = data::Dataset::synthetic(spec, scn.worker.dataset_seed);
 
     runtime::RuntimeConfig config = scenario::runtime_config(scn, world_size);
-    if (!args.loader.empty()) config.loader = parse_loader(args.loader);
+    if (!args.loader.empty()) {
+      config.loader = baselines::parse_loader_kind(args.loader);
+    }
     if (args.have_seed) config.seed = args.seed;
     config.num_epochs = epochs;
     if (args.per_worker_batch > 0) config.per_worker_batch = args.per_worker_batch;
     if (args.time_scale > 0.0) config.time_scale = args.time_scale;
     config.verify_content = args.verify;
     config.shared_pfs_contention = !args.per_process_pfs;
+    if (args.pfs_flush_virtual_s >= 0.0) {
+      config.pfs_gossip.flush_virtual_s = args.pfs_flush_virtual_s;
+    }
+    if (args.pfs_max_batch > 0) config.pfs_gossip.max_batch = args.pfs_max_batch;
+    if (args.have_thread_weighted) {
+      config.pfs_thread_weighted_gamma = args.thread_weighted_gamma;
+    }
 
     runtime::RuntimeResult result;
     std::string mode;
@@ -264,7 +272,8 @@ int main(int argc, char** argv) {
 
     const std::string json = result_json(
         args, mode, world_size, dataset.num_samples(), config.num_epochs, config.seed,
-        args.loader.empty() ? loader_flag_name(config.loader) : args.loader, result);
+        args.loader.empty() ? baselines::loader_flag_name(config.loader) : args.loader,
+        result);
     std::cout << json;
     if (!args.json_out.empty()) {
       std::ofstream out(args.json_out);

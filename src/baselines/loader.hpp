@@ -75,6 +75,16 @@ enum class LoaderKind {
 
 [[nodiscard]] const char* loader_kind_name(LoaderKind kind) noexcept;
 
+/// The CLI spelling of a loader kind ("nopfs", "naive", "pytorch", ...).
+[[nodiscard]] const char* loader_flag_name(LoaderKind kind) noexcept;
+
+/// Parses a CLI spelling; throws std::invalid_argument listing every known
+/// name on a miss, so a typo is self-diagnosing.
+[[nodiscard]] LoaderKind parse_loader_kind(const std::string& name);
+
+/// Every CLI spelling joined with '|' ("nopfs|naive|..."), for usage text.
+[[nodiscard]] const std::string& loader_flag_names();
+
 /// Everything a loader needs about its environment.
 struct LoaderContext {
   const data::Dataset* dataset = nullptr;

@@ -7,7 +7,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <unordered_set>
+#include <utility>
 
 #include "baselines/loader.hpp"
 #include "baselines/pipelined_fetcher.hpp"
@@ -496,6 +498,44 @@ const char* loader_kind_name(LoaderKind kind) noexcept {
     case LoaderKind::kLbann: return "LBANN";
   }
   return "?";
+}
+
+namespace {
+
+constexpr std::pair<LoaderKind, const char*> kLoaderFlags[] = {
+    {LoaderKind::kNoPFS, "nopfs"},     {LoaderKind::kNaive, "naive"},
+    {LoaderKind::kPyTorch, "pytorch"}, {LoaderKind::kDali, "dali"},
+    {LoaderKind::kTfData, "tfdata"},   {LoaderKind::kSharded, "sharded"},
+    {LoaderKind::kLbann, "lbann"},
+};
+
+}  // namespace
+
+const char* loader_flag_name(LoaderKind kind) noexcept {
+  for (const auto& [k, name] : kLoaderFlags) {
+    if (k == kind) return name;
+  }
+  return "nopfs";
+}
+
+LoaderKind parse_loader_kind(const std::string& name) {
+  for (const auto& [kind, flag] : kLoaderFlags) {
+    if (name == flag) return kind;
+  }
+  throw std::invalid_argument("unknown loader '" + name + "'; known: " +
+                              loader_flag_names());
+}
+
+const std::string& loader_flag_names() {
+  static const std::string joined = [] {
+    std::string out;
+    for (const auto& [kind, flag] : kLoaderFlags) {
+      if (!out.empty()) out += '|';
+      out += flag;
+    }
+    return out;
+  }();
+  return joined;
 }
 
 std::unique_ptr<Loader> make_loader(LoaderKind kind, const LoaderContext& ctx) {

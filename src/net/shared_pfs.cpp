@@ -19,43 +19,60 @@ SharedPfs::~SharedPfs() {
   transport_.set_pfs_listener({});
 }
 
+void SharedPfs::set_reader_threads(int worker, int threads) {
+  if (worker < 0) throw std::invalid_argument("SharedPfs: negative worker id");
+  const std::scoped_lock transition_lock(transition_mutex_);
+  const std::scoped_lock lock(mutex_);
+  if (local_outstanding_ > 0) {
+    throw std::logic_error("SharedPfs: reader weight changed with reads in flight");
+  }
+  weight_ = threads > 1 ? threads : 1;
+}
+
 void SharedPfs::on_gamma(int gamma) {
   const std::scoped_lock lock(mutex_);
   // This process's own activity is ground truth; a transport without
   // contention accounting (pfs_adjust == 0) degrades to per-process gamma.
-  const int floor = local_outstanding_ > 0 ? 1 : 0;
+  const int floor = local_outstanding_ > 0 ? weight_ : 0;
   gamma_ = gamma > floor ? gamma : floor;
   if (gamma_ > peak_gamma_) peak_gamma_ = gamma_;
   const int g = gamma_ > 0 ? gamma_ : 1;
-  bucket_.set_rate(params_.agg_read_mbps.at(g) / g * time_scale_);
+  // Fair share per reader unit, times this rank's weight: gamma ranks'
+  // buckets aggregate to t(gamma) no matter how the weights are spread.
+  bucket_.set_rate(params_.agg_read_mbps.at(g) / g * weight_ * time_scale_);
 }
 
 void SharedPfs::read(int worker, double mb) {
   if (worker < 0) throw std::invalid_argument("SharedPfs: negative worker id");
   // transition_mutex_ keeps the outstanding-count edge and its pfs_adjust
-  // on the wire as one unit: without it, a racing release/acquire pair
-  // could invert (T1 computes 1->0, T2 sends its +1, then T1's -1 lands),
-  // leaving this rank marked idle at rank 0 for the rest of T2's read.
-  // It must NOT be mutex_: the transport invokes the gamma listener
-  // (-> on_gamma -> mutex_) from its own threads while pfs_adjust blocks.
+  // on the wire (or in the gossip queue) as one unit: without it, a racing
+  // release/acquire pair could invert (T1 computes 1->0, T2 enqueues its
+  // +w, then T1's -w lands), leaving this rank marked idle at rank 0 for
+  // the rest of T2's read.  It must NOT be mutex_: the transport invokes
+  // the gamma listener (-> on_gamma -> mutex_) from its own threads while
+  // pfs_adjust blocks.
   {
     const std::scoped_lock transition_lock(transition_mutex_);
     bool transition = false;
+    int weight = 1;
     {
       const std::scoped_lock lock(mutex_);
       transition = local_outstanding_++ == 0;
+      weight = weight_;
     }
-    if (transition) on_gamma(transport_.pfs_adjust(+1));
+    if (transition) on_gamma(transport_.pfs_adjust(+weight));
   }
   bucket_.acquire(mb);
   {
     const std::scoped_lock transition_lock(transition_mutex_);
     bool transition = false;
+    int weight = 1;
     {
       const std::scoped_lock lock(mutex_);
       transition = --local_outstanding_ == 0;
+      weight = weight_;
     }
-    if (transition) on_gamma(transport_.pfs_adjust(-1));
+    if (transition) on_gamma(transport_.pfs_adjust(-weight));
   }
 }
 

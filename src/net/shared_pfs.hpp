@@ -4,18 +4,23 @@
 // The threaded harness prices t(gamma) exactly because every worker shares
 // ONE EmulatedPfs object.  Separate processes cannot share an object, so
 // each rank's SharedPfs keeps a local token bucket tuned to its FAIR SHARE
-// of the job-wide aggregate, t(gamma)/gamma, where gamma is the number of
-// ranks with a PFS read in flight anywhere in the job:
+// of the job-wide aggregate, t(gamma) * w/gamma, where w is this rank's
+// reader weight (its declared reader-thread fan-out, 1 by default) and
+// gamma is the job-wide sum of active ranks' weights:
 //
-//   aggregate delivered = gamma ranks x t(gamma)/gamma = t(gamma),
+//   aggregate delivered = sum over active ranks of t(gamma) * w_i/gamma
+//                       = t(gamma),
 //
 // exactly the curve one shared bucket grants gamma concurrent readers.
-// Gamma itself comes from the transport's contention surface
-// (Transport::pfs_adjust + the gamma listener): rank 0 hosts the
-// authoritative counter; kPfsAcquire/kPfsRelease/kPfsGamma frames carry
-// transitions and updates (DESIGN.md Sec. 7.4).  A stale gamma can only
-// skew pricing — never which sample is delivered — so the launch-mode
-// digest identity contract (Sec. 7.3) is unaffected.
+// With all weights at 1 this is the historical per-rank fair share
+// t(gamma)/gamma.  Gamma itself comes from the transport's contention
+// surface (Transport::pfs_adjust + the gamma listener): a rank's first
+// outstanding read enqueues a +w delta, the last one leaving a -w delta;
+// rank 0 folds the (possibly batched) kPfsDelta frames into the
+// authoritative counter and gossips coalesced kPfsGamma updates (DESIGN.md
+// Sec. 7.4).  A stale gamma can only skew pricing — never which sample is
+// delivered — so the launch-mode digest identity contract (Sec. 7.3) is
+// unaffected.
 
 #include <mutex>
 
@@ -38,9 +43,15 @@ class SharedPfs final : public tiers::PfsDevice {
   SharedPfs& operator=(const SharedPfs&) = delete;
 
   /// Reads `mb` at this rank's share of t(gamma).  The first outstanding
-  /// read announces this rank to the job (pfs_adjust(+1)); the last one
-  /// leaving retracts it.
+  /// read announces this rank to the job (pfs_adjust(+weight)); the last
+  /// one leaving retracts it.
   void read(int worker, double mb) override;
+
+  /// Declares this rank's reader-thread fan-out (the acquire/release
+  /// delta weight).  `worker` is accepted for interface symmetry — a
+  /// SharedPfs is one rank's view, so the weight applies to this rank.
+  /// Must be called before the first read.
+  void set_reader_threads(int worker, int threads) override;
 
   /// Latest job-wide gamma estimate (authoritative on rank 0, gossip-fresh
   /// elsewhere; never below this process's own activity).
@@ -55,8 +66,8 @@ class SharedPfs final : public tiers::PfsDevice {
 
  private:
   /// Applies a gamma update (own transition or transport gossip) and
-  /// retunes the bucket to t(gamma)/gamma.  Never called with locks held
-  /// by read(); the transport invokes it from its own threads.
+  /// retunes the bucket to t(gamma) * weight/gamma.  Never called with
+  /// locks held by read(); the transport invokes it from its own threads.
   void on_gamma(int gamma);
 
   tiers::PfsParams params_;
@@ -64,12 +75,14 @@ class SharedPfs final : public tiers::PfsDevice {
   Transport& transport_;
   tiers::TokenBucket bucket_;
   /// Serializes outstanding-count transitions WITH their pfs_adjust calls,
-  /// so acquire/release edges reach the wire in the order they happened.
-  /// Lock order: transition_mutex_ before mutex_, never the reverse.
+  /// so acquire/release edges reach the gossip queue in the order they
+  /// happened.  Lock order: transition_mutex_ before mutex_, never the
+  /// reverse.
   std::mutex transition_mutex_;
   mutable std::mutex mutex_;
   int local_outstanding_ = 0;  ///< reads in flight in this process
-  int gamma_ = 0;              ///< job-wide active ranks (latest estimate)
+  int weight_ = 1;             ///< this rank's reader-thread fan-out
+  int gamma_ = 0;              ///< job-wide reader count (latest estimate)
   int peak_gamma_ = 0;
 };
 

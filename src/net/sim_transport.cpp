@@ -18,7 +18,7 @@ SimFabric::SimFabric(int world_size) : world_size_(world_size) {
   watermarks_ = std::vector<std::atomic<std::uint64_t>>(static_cast<std::size_t>(world_size));
   for (auto& w : watermarks_) w.store(0, std::memory_order_relaxed);
   nics_.resize(static_cast<std::size_t>(world_size), nullptr);
-  pfs_active_.resize(static_cast<std::size_t>(world_size), 0);
+  pfs_readers_.resize(static_cast<std::size_t>(world_size), 0);
   pfs_listeners_.resize(static_cast<std::size_t>(world_size));
 }
 
@@ -100,9 +100,11 @@ std::optional<Bytes> SimTransport::fetch_sample(int peer, std::uint64_t id) {
 
 int SimTransport::pfs_adjust(int delta) {
   const std::scoped_lock lock(fabric_->pfs_mutex_);
-  fabric_->pfs_active_[static_cast<std::size_t>(rank_)] = delta > 0 ? 1 : 0;
+  int& readers = fabric_->pfs_readers_[static_cast<std::size_t>(rank_)];
+  readers += delta;
+  if (readers < 0) readers = 0;  // a release of an idle rank is a no-op
   int gamma = 0;
-  for (const char active : fabric_->pfs_active_) gamma += active;
+  for (const int r : fabric_->pfs_readers_) gamma += r;
   // Shared memory makes the "gossip" exact and immediate: every other
   // rank's listener sees the new gamma before this call returns.
   for (int r = 0; r < fabric_->world_size(); ++r) {

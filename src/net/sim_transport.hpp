@@ -62,13 +62,17 @@ class SimFabric {
   // Optional NICs (may be null: then transfers are free / untimed).
   std::vector<tiers::NicDevice*> nics_;
 
-  // Job-wide PFS contention accounting: which ranks have a PFS read in
-  // flight, and the per-rank gamma listeners.  Listeners are invoked under
-  // pfs_mutex_ so withdrawal (set_pfs_listener({})) fences as the Transport
-  // contract requires; this cannot deadlock because SharedPfs never holds
-  // its own lock across a pfs_adjust call.
+  // Job-wide PFS contention accounting: each rank's current reader-count
+  // contribution (its reader-thread fan-out while it has a read in flight,
+  // 0 while idle), and the per-rank gamma listeners.  Shared memory makes
+  // this the exact parity oracle for the batched socket gossip: every
+  // pfs_adjust is folded and visible to all listeners before it returns.
+  // Listeners are invoked under pfs_mutex_ so withdrawal
+  // (set_pfs_listener({})) fences as the Transport contract requires; this
+  // cannot deadlock because SharedPfs never holds its own lock across a
+  // pfs_adjust call.
   std::mutex pfs_mutex_;
-  std::vector<char> pfs_active_;
+  std::vector<int> pfs_readers_;
   std::vector<Transport::PfsListener> pfs_listeners_;
 };
 

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -102,6 +103,9 @@ int make_tcp_socket() {
 
 class SocketTransport::Conn {
  public:
+  /// Payloads at or below this size are copied into the header's send().
+  static constexpr std::size_t kInlineSendBytes = 64;
+
   explicit Conn(int fd) : fd_(fd) {}
   ~Conn() { close(); }
   Conn(const Conn&) = delete;
@@ -116,6 +120,16 @@ class SocketTransport::Conn {
     }
     std::uint8_t header[wire::kHeaderBytes];
     wire::encode_header(header, type, arg, static_cast<std::uint32_t>(len));
+    if (len > 0 && len <= kInlineSendBytes) {
+      // Small control payloads (contention deltas, watermark tags) ride in
+      // the same send() as the header: one syscall and, with TCP_NODELAY,
+      // one segment instead of two on the latency-sensitive gossip path.
+      std::uint8_t frame[wire::kHeaderBytes + kInlineSendBytes];
+      std::memcpy(frame, header, sizeof(header));
+      std::memcpy(frame + sizeof(header), payload, len);
+      send_all(fd_, frame, sizeof(header) + len);
+      return;
+    }
     send_all(fd_, header, sizeof(header));
     if (len > 0) send_all(fd_, payload, len);
   }
@@ -173,8 +187,11 @@ SocketTransport::SocketTransport(const SocketOptions& options) : options_(option
   }
   watermarks_ = std::vector<std::atomic<std::uint64_t>>(world);
   for (auto& w : watermarks_) w.store(0, std::memory_order_relaxed);
-  pfs_active_.resize(world, 0);
+  pfs_readers_.resize(world, 0);
   pfs_owner_.resize(world, nullptr);
+  pfs_rank_seq_.resize(world, 0);
+  if (options_.gossip.max_batch < 1) options_.gossip.max_batch = 1;
+  if (options_.time_scale <= 0.0) options_.time_scale = 1.0;
 
   try {
     // Serve listener first: by the time any peer learns this rank's port
@@ -204,6 +221,11 @@ SocketTransport::SocketTransport(const SocketOptions& options) : options_(option
     } else {
       rendezvous_as_peer();
     }
+    // Batched contention gossip needs its drain thread; the unary mode
+    // (flush interval 0) sends inline from the caller and never starts one.
+    if (options_.world_size > 1 && options_.gossip.flush_virtual_s > 0.0) {
+      gossip_thread_ = std::thread([this] { gossip_loop(); });
+    }
   } catch (...) {
     teardown();
     throw;
@@ -213,6 +235,18 @@ SocketTransport::SocketTransport(const SocketOptions& options) : options_(option
 SocketTransport::~SocketTransport() { teardown(); }
 
 void SocketTransport::teardown() {
+  // Cooperative gossip drain FIRST, while the channels are still open: a
+  // queued release must reach rank 0's counter (it must drain to zero on a
+  // clean shutdown, not lean on the dead-rank cleanup), and rank 0's final
+  // coalesced gamma must reach the survivors.
+  {
+    const std::scoped_lock lock(gossip_mutex_);
+    gossip_stop_ = true;
+  }
+  gossip_cv_.notify_all();
+  if (gossip_thread_.joinable()) gossip_thread_.join();
+  flush_pfs_gossip();
+
   stopping_.store(true, std::memory_order_release);
   // Close outbound fetch channels: peers' serve threads see EOF and exit.
   for (std::size_t i = 0; i < channels_.size(); ++i) {
@@ -298,9 +332,17 @@ void SocketTransport::rendezvous_as_root() {
       throw std::runtime_error("SocketTransport: expected kHello at rendezvous");
     }
     wire::Reader reader(payload);
+    const std::uint32_t peer_protocol = reader.u32();
+    const auto peer_rank = static_cast<int>(header.arg);
+    if (peer_protocol != wire::kProtocolVersion) {
+      throw std::runtime_error(
+          "SocketTransport: rank " + std::to_string(peer_rank) +
+          " speaks protocol " + std::to_string(peer_protocol) + ", this rank " +
+          std::to_string(wire::kProtocolVersion) +
+          " — mixed-version world rejected at the handshake");
+    }
     const auto peer_world = static_cast<int>(reader.u32());
     const std::uint16_t peer_serve_port = reader.u16();
-    const auto peer_rank = static_cast<int>(header.arg);
     if (peer_world != options_.world_size) {
       throw std::runtime_error("SocketTransport: rank " + std::to_string(peer_rank) +
                                " disagrees on world size (" +
@@ -318,8 +360,10 @@ void SocketTransport::rendezvous_as_root() {
     --remaining;
   }
 
-  // Broadcast the endpoint table.
+  // Broadcast the endpoint table (led by the protocol version, so a peer
+  // can likewise reject a root from the wrong rollout generation).
   Bytes table;
+  wire::put_u32(table, wire::kProtocolVersion);
   for (const PeerEndpoint& ep : endpoints_) {
     wire::put_u32(table, ep.ipv4);
     wire::put_u16(table, ep.port);
@@ -355,6 +399,7 @@ void SocketTransport::rendezvous_as_peer() {
   control_ = std::make_unique<Conn>(fd);
 
   Bytes hello;
+  wire::put_u32(hello, wire::kProtocolVersion);
   wire::put_u32(hello, static_cast<std::uint32_t>(options_.world_size));
   wire::put_u16(hello, serve_port_);
   control_->send_frame(wire::MsgType::kHello,
@@ -367,6 +412,12 @@ void SocketTransport::rendezvous_as_peer() {
     throw std::runtime_error("SocketTransport: expected kWelcome from rendezvous");
   }
   wire::Reader reader(payload);
+  const std::uint32_t root_protocol = reader.u32();
+  if (root_protocol != wire::kProtocolVersion) {
+    throw std::runtime_error("SocketTransport: rendezvous speaks protocol " +
+                             std::to_string(root_protocol) + ", this rank " +
+                             std::to_string(wire::kProtocolVersion));
+  }
   for (auto& endpoint : endpoints_) {
     endpoint.ipv4 = reader.u32();
     endpoint.port = reader.u16();
@@ -454,12 +505,12 @@ void SocketTransport::serve_accept_loop() {
 void SocketTransport::serve_connection(std::shared_ptr<Conn> conn) {
   wire::FrameHeader header;
   Bytes payload;
-  // Rank 0 only: the rank whose kPfsAcquire arrived on THIS connection and
-  // has not been released yet.  A rank sends its contention frames on its
-  // single fetch channel to the root, so when that channel dies (the rank
-  // crashed or tore down mid-read) the root must drop the orphaned acquire —
-  // otherwise the dead rank pins gamma, overpricing t(gamma) for every
-  // surviving rank until job teardown (the leak noted in ROADMAP.md).
+  // Rank 0 only: the rank whose kPfsDelta frames arrived on THIS
+  // connection.  A rank sends its contention deltas on its single fetch
+  // channel to the root, so when that channel dies (the rank crashed or
+  // tore down mid-read) the root must drop the rank's outstanding
+  // reader-count contribution — otherwise the dead rank pins gamma,
+  // overpricing t(gamma) for every surviving rank until job teardown.
   int pfs_rank_on_conn = -1;
   try {
     while (conn->recv_frame(header, payload)) {
@@ -491,17 +542,17 @@ void SocketTransport::serve_connection(std::shared_ptr<Conn> conn) {
           }
           break;
         }
-        case wire::MsgType::kPfsAcquire:
-        case wire::MsgType::kPfsRelease: {
+        case wire::MsgType::kPfsDelta: {
           if (options_.rank != 0) {
             throw std::runtime_error(
                 "SocketTransport: PFS contention frame at non-root rank");
           }
           const auto who = static_cast<int>(header.arg);
           if (who > 0 && who < options_.world_size) {
-            const bool active = header.type == wire::MsgType::kPfsAcquire;
-            pfs_rank_on_conn = active ? who : -1;
-            pfs_root_set_active(who, active, /*notify_local=*/true, conn.get());
+            const wire::PfsDelta delta = wire::decode_pfs_delta(payload);
+            pfs_rank_on_conn = who;
+            pfs_root_fold(who, delta.reader_delta, /*notify_local=*/true,
+                          conn.get(), delta.seq);
           }
           break;
         }
@@ -509,7 +560,7 @@ void SocketTransport::serve_connection(std::shared_ptr<Conn> conn) {
           if (options_.rank == 0) {
             throw std::runtime_error("SocketTransport: kPfsGamma at the root");
           }
-          pfs_apply_gamma(static_cast<int>(header.arg));
+          pfs_apply_gamma(wire::decode_pfs_gamma(payload));
           break;
         }
         default:
@@ -521,15 +572,15 @@ void SocketTransport::serve_connection(std::shared_ptr<Conn> conn) {
       util::log_error("SocketTransport rank ", options_.rank, " serve: ", ex.what());
     }
   }
-  // Connection gone (clean EOF or error): release the peer's outstanding
-  // acquire so a crashed rank no longer pins gamma.  Skipped during our own
-  // teardown — every channel is closing at once and the counter dies with
-  // the job.  require_owner guards the race where the rank redialed and
-  // re-acquired on a newer connection before this cleanup ran: only the
-  // connection still recorded as the acquire's owner may release it.
+  // Connection gone (clean EOF or error): drop the peer's outstanding
+  // reader-count contribution so a crashed rank no longer pins gamma.
+  // Skipped during our own teardown — every channel is closing at once and
+  // the counter dies with the job.  The owner tag guards the race where
+  // the rank redialed and its live deltas moved to a newer connection
+  // before this cleanup ran: only the connection still recorded as the
+  // contribution's owner may zero it.
   if (pfs_rank_on_conn > 0 && !stopping_.load(std::memory_order_acquire)) {
-    pfs_root_set_active(pfs_rank_on_conn, false, /*notify_local=*/true, conn.get(),
-                        /*require_owner=*/true);
+    pfs_root_drop_dead_rank(pfs_rank_on_conn, conn.get());
   }
 }
 
@@ -602,31 +653,82 @@ std::optional<Bytes> SocketTransport::fetch_sample(int peer, std::uint64_t id) {
 // ---------------------------------------------------------------------------
 // PFS contention accounting (DESIGN.md Sec. 7.4).
 
-int SocketTransport::pfs_root_set_active(int rank, bool active, bool notify_local,
-                                         const void* conn_tag, bool require_owner) {
+double SocketTransport::flush_interval_s() const noexcept {
+  return options_.gossip.flush_virtual_s / options_.time_scale;
+}
+
+int SocketTransport::pfs_root_fold(int rank, int delta, bool notify_local,
+                                   const void* conn_tag, std::uint32_t seq) {
   const std::scoped_lock lock(pfs_mutex_);
-  if (require_owner && pfs_owner_[static_cast<std::size_t>(rank)] != conn_tag) {
-    // The rank re-acquired on a newer connection after this one went stale:
-    // its acquire is live, not orphaned.  Leave the counter alone.
-    return pfs_gamma_;
+  if (seq != 0) {
+    std::uint32_t& last = pfs_rank_seq_[static_cast<std::size_t>(rank)];
+    if (seq <= last) return pfs_gamma_;  // duplicate / reordered frame
+    last = seq;
   }
-  pfs_active_[static_cast<std::size_t>(rank)] = active ? 1 : 0;
-  pfs_owner_[static_cast<std::size_t>(rank)] = active ? conn_tag : nullptr;
+  return pfs_fold_locked(rank, delta, notify_local, conn_tag);
+}
+
+int SocketTransport::pfs_fold_locked(int rank, int delta, bool notify_local,
+                                     const void* conn_tag) {
+  int& readers = pfs_readers_[static_cast<std::size_t>(rank)];
+  readers += delta;
+  // A release folded after a dead-rank cleanup (or a lost acquire) must
+  // not drive the contribution negative — mirroring the unary protocol,
+  // where releasing an idle rank was a no-op.
+  if (readers < 0) readers = 0;
+  pfs_owner_[static_cast<std::size_t>(rank)] = readers > 0 ? conn_tag : nullptr;
   int gamma = 0;
-  for (const char a : pfs_active_) gamma += a;
+  for (const int r : pfs_readers_) gamma += r;
+  if (gamma == pfs_gamma_) return gamma;  // coalesced to a no-op
   pfs_gamma_ = gamma;
   if (notify_local && pfs_listener_) pfs_listener_(gamma);
-  // Broadcast while still holding pfs_mutex_: two racing transitions must
-  // reach every peer in the same order, or a peer could be left believing
-  // the stale count forever.
-  const auto arg = static_cast<std::uint64_t>(gamma);
+  if (flush_interval_s() > 0.0) {
+    // Batched mode: the gossip thread broadcasts within one flush interval
+    // — many folds coalesce into one window (that interval, plus the RTT,
+    // is the staleness bound), with the window's PEAK remembered so the
+    // envelope survives the coalescing.
+    pfs_broadcast_pending_ = true;
+    if (gamma > pfs_broadcast_peak_) pfs_broadcast_peak_ = gamma;
+  } else {
+    // Unary mode: broadcast while still holding pfs_mutex_, so two racing
+    // transitions reach every peer in the order they were folded.
+    pfs_broadcast_gamma_locked(gamma);
+  }
+  return gamma;
+}
+
+void SocketTransport::pfs_emit_pending_broadcast_locked() {
+  if (!pfs_broadcast_pending_) return;
+  pfs_broadcast_pending_ = false;
+  if (pfs_broadcast_peak_ > pfs_gamma_) {
+    pfs_broadcast_gamma_locked(pfs_broadcast_peak_);
+  }
+  pfs_broadcast_peak_ = pfs_gamma_;
+  pfs_broadcast_gamma_locked(pfs_gamma_);
+}
+
+void SocketTransport::pfs_root_drop_dead_rank(int rank, const void* conn_tag) {
+  const std::scoped_lock lock(pfs_mutex_);
+  if (pfs_owner_[static_cast<std::size_t>(rank)] != conn_tag) {
+    // The rank's live deltas moved to a newer connection after this one
+    // went stale: its contribution is current, not orphaned.
+    return;
+  }
+  const int outstanding = pfs_readers_[static_cast<std::size_t>(rank)];
+  if (outstanding == 0) return;
+  (void)pfs_fold_locked(rank, -outstanding, /*notify_local=*/true, conn_tag);
+}
+
+void SocketTransport::pfs_broadcast_gamma_locked(int gamma_value) {
+  const Bytes payload =
+      wire::encode_pfs_gamma({gamma_value, ++pfs_gamma_seq_});
   for (int peer = 1; peer < options_.world_size; ++peer) {
     try {
       const std::scoped_lock channel_lock(
           *channel_mutexes_[static_cast<std::size_t>(peer)]);
       Conn* conn = peer_channel_locked(peer);
       if (conn != nullptr) {
-        conn->send_frame(wire::MsgType::kPfsGamma, arg, nullptr, 0);
+        conn->send_frame(wire::MsgType::kPfsGamma, 0, payload);
       }
     } catch (const std::exception&) {
       // Gossip is best-effort, like watermarks; a dead peer stays stale.
@@ -635,45 +737,146 @@ int SocketTransport::pfs_root_set_active(int rank, bool active, bool notify_loca
       channels_[static_cast<std::size_t>(peer)].reset();
     }
   }
-  return gamma;
 }
 
-void SocketTransport::pfs_apply_gamma(int gamma) {
+void SocketTransport::pfs_apply_gamma(const wire::PfsGamma& update) {
   const std::scoped_lock lock(pfs_mutex_);
-  pfs_gamma_ = gamma;
-  if (pfs_listener_) pfs_listener_(gamma);
+  if (update.seq <= pfs_gamma_seen_) return;  // stale broadcast
+  pfs_gamma_seen_ = update.seq;
+  // Own in-flight transitions may not have reached the root yet: never let
+  // the authoritative count talk this rank below its own activity.
+  pfs_gamma_ = update.gamma > pfs_local_readers_ ? update.gamma : pfs_local_readers_;
+  if (pfs_listener_) pfs_listener_(pfs_gamma_);
 }
 
-int SocketTransport::pfs_adjust(int delta) {
-  const bool active = delta > 0;
-  if (options_.rank == 0) {
-    // The caller learns the new gamma from the return value; its listener
-    // is only for changes it did not initiate.
-    return pfs_root_set_active(0, active, /*notify_local=*/false);
-  }
-  int estimate = 0;
+void SocketTransport::pfs_flush_deltas() {
+  // Flushers (gossip thread, unary-mode callers, teardown) serialize here,
+  // which pins the frame order on the channel to seq order; the queue lock
+  // is dropped before the send so enqueueing reader threads never wait on
+  // the socket.
+  const std::scoped_lock flush_lock(pfs_flush_mutex_);
+  int net = 0;
+  int peak = 0;
+  std::uint32_t first_seq = 0;
+  int frames = 0;
   {
-    // Optimistic local estimate until the authoritative kPfsGamma arrives
-    // (staleness bound: one control round-trip to rank 0).
-    const std::scoped_lock lock(pfs_mutex_);
-    pfs_gamma_ += delta;
-    const int floor = active ? 1 : 0;
-    if (pfs_gamma_ < floor) pfs_gamma_ = floor;
-    if (pfs_gamma_ > options_.world_size) pfs_gamma_ = options_.world_size;
-    estimate = pfs_gamma_;
+    const std::scoped_lock lock(gossip_mutex_);
+    net = pending_delta_;
+    peak = pending_max_prefix_;
+    pending_delta_ = 0;
+    pending_max_prefix_ = 0;
+    pending_transitions_ = 0;
+    // Preserve the window's EXTREME, not just its endpoint: if the queued
+    // transitions peaked above the net (an acquire/release pair inside one
+    // window), send the peak first and the correction after, so the active
+    // period still touches rank 0's counter trajectory.  Nothing to say
+    // only when the trajectory never left its last-flushed value.
+    frames = peak > net && peak > 0 ? 2 : (net != 0 ? 1 : 0);
+    if (frames == 0) return;
+    first_seq = delta_seq_ + 1;
+    delta_seq_ += static_cast<std::uint32_t>(frames);
   }
   try {
     const std::scoped_lock lock(*channel_mutexes_[0]);
     Conn* conn = peer_channel_locked(0);
     if (conn != nullptr) {
-      conn->send_frame(active ? wire::MsgType::kPfsAcquire
-                              : wire::MsgType::kPfsRelease,
-                       static_cast<std::uint64_t>(options_.rank), nullptr, 0);
+      if (frames == 2) {
+        const Bytes up = wire::encode_pfs_delta({peak, first_seq});
+        conn->send_frame(wire::MsgType::kPfsDelta,
+                         static_cast<std::uint64_t>(options_.rank), up);
+        const Bytes down = wire::encode_pfs_delta({net - peak, first_seq + 1});
+        conn->send_frame(wire::MsgType::kPfsDelta,
+                         static_cast<std::uint64_t>(options_.rank), down);
+      } else {
+        const Bytes payload = wire::encode_pfs_delta({net, first_seq});
+        conn->send_frame(wire::MsgType::kPfsDelta,
+                         static_cast<std::uint64_t>(options_.rank), payload);
+      }
     }
   } catch (const std::exception&) {
+    // Best-effort, like the unary frames: a lost delta self-heals through
+    // the root's per-rank clamp and the dead-rank cleanup.
     const std::scoped_lock lock(*channel_mutexes_[0]);
     channels_[0].reset();
   }
+}
+
+void SocketTransport::pfs_enqueue_delta(int delta) {
+  bool flush_now = false;
+  bool batch_full = false;
+  {
+    const std::scoped_lock lock(gossip_mutex_);
+    pending_delta_ += delta;
+    if (pending_delta_ > pending_max_prefix_) pending_max_prefix_ = pending_delta_;
+    ++pending_transitions_;
+    // Unary mode (and the post-teardown stragglers of any mode) flushes
+    // from the calling thread, the historical behaviour.
+    flush_now = flush_interval_s() <= 0.0 || gossip_stop_;
+    batch_full = pending_transitions_ >= options_.gossip.max_batch;
+  }
+  if (flush_now) {
+    pfs_flush_deltas();
+  } else if (batch_full) {
+    gossip_cv_.notify_all();
+  }
+}
+
+void SocketTransport::gossip_loop() {
+  const auto interval = std::chrono::duration<double>(
+      std::max(flush_interval_s(), 50e-6));  // never a busy spin
+  std::unique_lock lock(gossip_mutex_);
+  while (!gossip_stop_) {
+    gossip_cv_.wait_for(lock, interval, [this] {
+      return gossip_stop_ || pending_transitions_ >= options_.gossip.max_batch;
+    });
+    if (gossip_stop_) break;
+    const bool have_deltas = pending_transitions_ > 0;
+    lock.unlock();
+    if (have_deltas) pfs_flush_deltas();
+    if (options_.rank == 0) {
+      const std::scoped_lock pfs_lock(pfs_mutex_);
+      pfs_emit_pending_broadcast_locked();
+    }
+    lock.lock();
+  }
+}
+
+void SocketTransport::flush_pfs_gossip() {
+  pfs_flush_deltas();
+  if (options_.rank == 0) {
+    const std::scoped_lock lock(pfs_mutex_);
+    pfs_emit_pending_broadcast_locked();
+  }
+}
+
+int SocketTransport::pfs_adjust(int delta) {
+  if (options_.rank == 0) {
+    // Rank 0 folds its own transitions directly under the counter lock (the
+    // caller learns the authoritative gamma from the return value; its
+    // listener is only for changes it did not initiate) — only the
+    // BROADCAST batches, so a root reader thread never touches the wire in
+    // batched mode.
+    return pfs_root_fold(0, delta, /*notify_local=*/false);
+  }
+  int estimate = 0;
+  {
+    // Local estimate until the authoritative kPfsGamma arrives (staleness
+    // bound: one flush interval + a control round-trip).  Optimism is
+    // asymmetric on purpose: a release lowers the estimate immediately
+    // (underpricing briefly is the historical staleness behaviour), but an
+    // acquire only floors it at this rank's own reader count — adding the
+    // delta on top of a broadcast that may ALREADY count this rank (its
+    // coalesced release never left the queue) would double-count and
+    // inflate the gamma envelope above the job-wide truth.
+    const std::scoped_lock lock(pfs_mutex_);
+    pfs_local_readers_ += delta;
+    if (pfs_local_readers_ < 0) pfs_local_readers_ = 0;
+    if (delta < 0) pfs_gamma_ += delta;
+    if (pfs_gamma_ < pfs_local_readers_) pfs_gamma_ = pfs_local_readers_;
+    if (pfs_gamma_ < 0) pfs_gamma_ = 0;
+    estimate = pfs_gamma_;
+  }
+  pfs_enqueue_delta(delta);
   return estimate;
 }
 

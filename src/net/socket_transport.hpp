@@ -24,17 +24,23 @@
 //     requester's NIC as it receives, so a run is priced identically no
 //     matter which backend carries it (DESIGN.md Sec. 7).
 //   * PFS contention accounting (DESIGN.md Sec. 7.4): rank 0 hosts the
-//     authoritative job-wide active-reader counter.  Ranks send
-//     kPfsAcquire/kPfsRelease on their fetch channel to rank 0 when their
-//     local PFS activity transitions; rank 0 broadcasts the new gamma as
-//     kPfsGamma gossip on the same per-peer channels the watermarks ride.
-//     net::SharedPfs consumes this surface to retune its token bucket.
+//     authoritative job-wide active-reader counter.  Reader threads only
+//     ENQUEUE their weighted transitions (pfs_adjust); a dedicated gossip
+//     thread drains the queue as one net kPfsDelta frame per flush window
+//     (GossipConfig: bounded interval in virtual time + max batch) on the
+//     fetch channel to rank 0.  Rank 0 folds deltas under its counter lock
+//     and broadcasts coalesced kPfsGamma updates on the same per-peer
+//     channels the watermarks ride.  net::SharedPfs consumes this surface
+//     to retune its token bucket.  Teardown flushes queued deltas before
+//     closing channels, so a cooperative shutdown drains rank 0's counter
+//     to zero without the dead-rank cleanup path.
 //
 // Loopback only today: endpoints are exchanged as IPv4 addresses, so
 // spanning real nodes needs nothing new on the wire, just reachable
 // addresses.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -44,6 +50,10 @@
 
 #include "net/transport.hpp"
 #include "tiers/device_iface.hpp"
+
+namespace nopfs::net::wire {
+struct PfsGamma;
+}
 
 namespace nopfs::net {
 
@@ -59,6 +69,14 @@ struct SocketOptions {
   /// Optional emulated NIC: transfers are charged through it exactly as
   /// SimTransport charges them.  May be null (untimed, bytes still counted).
   tiers::NicDevice* nic = nullptr;
+  /// Contention-gossip batching.  The raw-transport default (flush 0)
+  /// sends every transition synchronously — the unary-equivalence mode
+  /// wire-level tests and the acquire/release cycle bench rely on; the
+  /// harness passes its RuntimeConfig::pfs_gossip shape for batched worlds.
+  GossipConfig gossip{0.0, 128};
+  /// Virtual seconds per real second: converts gossip.flush_virtual_s to a
+  /// real flush cadence (matches RuntimeConfig::time_scale in the harness).
+  double time_scale = 1.0;
 };
 
 class SocketTransport final : public Transport {
@@ -91,6 +109,12 @@ class SocketTransport final : public Transport {
   /// Port of this rank's serve listener (diagnostics / tests).
   [[nodiscard]] std::uint16_t serve_port() const noexcept { return serve_port_; }
 
+  /// Drains any queued contention deltas (and, on rank 0, any pending
+  /// coalesced gamma broadcast) right now, ahead of the flush cadence.
+  /// Tests use it to make batched-mode assertions deterministic; teardown
+  /// calls it so cooperative shutdown never drops a queued release.
+  void flush_pfs_gossip();
+
  private:
   struct PeerEndpoint {
     std::uint32_t ipv4 = 0;  ///< network byte order
@@ -106,19 +130,48 @@ class SocketTransport final : public Transport {
   /// first use.  Returns null (a recorded miss) if the peer is gone.
   [[nodiscard]] Conn* peer_channel_locked(int peer);
   void check_peer(int peer) const;
-  /// Rank-0 side of the contention protocol: records `rank`'s PFS activity,
-  /// recomputes the authoritative gamma, notifies the local listener and
-  /// broadcasts kPfsGamma to every peer.  Returns the new gamma.
-  /// `conn_tag` identifies the serve connection the frame arrived on (null
-  /// for rank 0's own transitions); an acquire records it as the rank's
-  /// owner so the disconnect cleanup can tell a stale connection's orphan
-  /// from a live acquire made on a redialed channel.  `require_owner`
-  /// makes the call a no-op unless the tag still owns the rank's acquire.
-  int pfs_root_set_active(int rank, bool active, bool notify_local,
-                          const void* conn_tag = nullptr,
-                          bool require_owner = false);
+  /// Rank-0 side of the contention protocol: folds `delta` into `rank`'s
+  /// reader-count contribution under pfs_mutex_, recomputes the
+  /// authoritative gamma, optionally notifies the local listener and queues
+  /// (or, in unary mode, sends) the kPfsGamma broadcast.  Returns the new
+  /// gamma.  `conn_tag` identifies the serve connection the frame arrived
+  /// on (null for rank 0's own transitions); it is recorded as the rank's
+  /// owner while the contribution is nonzero so the disconnect cleanup can
+  /// tell a stale connection's orphan from live deltas on a redialed
+  /// channel.
+  /// `seq` is the sender's frame sequence (0 for rank 0's own transitions,
+  /// which need no duplicate guard).
+  int pfs_root_fold(int rank, int delta, bool notify_local,
+                    const void* conn_tag = nullptr, std::uint32_t seq = 0);
+  /// The fold body (contribution update, gamma recompute, listener,
+  /// broadcast-or-queue).  Caller must hold pfs_mutex_.
+  int pfs_fold_locked(int rank, int delta, bool notify_local,
+                      const void* conn_tag);
+  /// Rank-0 disconnect cleanup: zeroes `rank`'s contribution iff `conn_tag`
+  /// still owns it (a redialed channel's live contribution is left alone).
+  void pfs_root_drop_dead_rank(int rank, const void* conn_tag);
+  /// Rank-0: broadcasts `gamma_value` to every peer.  Caller must hold
+  /// pfs_mutex_ (broadcast order == fold order).
+  void pfs_broadcast_gamma_locked(int gamma_value);
+  /// Rank-0, batched mode: emits the pending coalesced broadcast — the
+  /// window's peak first when it exceeds the settle value, so the envelope
+  /// survives coalescing.  Caller must hold pfs_mutex_.
+  void pfs_emit_pending_broadcast_locked();
   /// Non-root side: applies a kPfsGamma update from rank 0.
-  void pfs_apply_gamma(int gamma);
+  void pfs_apply_gamma(const wire::PfsGamma& update);
+  /// Non-root: enqueues a transition for the gossip thread, or flushes it
+  /// inline when flush_virtual_s == 0 (unary-equivalence mode).
+  void pfs_enqueue_delta(int delta);
+  /// Drains the queue as one net kPfsDelta to rank 0.  Self-locking:
+  /// concurrent flushers serialize on pfs_flush_mutex_ (so frames reach the
+  /// channel in seq order) while gossip_mutex_ is held only for the
+  /// snapshot — reader threads never wait on a socket send.
+  void pfs_flush_deltas();
+  /// The gossip thread: drains the delta queue / pending broadcast at the
+  /// configured cadence until teardown.
+  void gossip_loop();
+  /// Real-seconds flush cadence (gossip.flush_virtual_s / time_scale).
+  [[nodiscard]] double flush_interval_s() const noexcept;
   /// Stops the serve side, closes every connection, joins all threads.
   /// Used by both the destructor and constructor failure cleanup.
   void teardown();
@@ -153,15 +206,48 @@ class SocketTransport final : public Transport {
   // PFS contention state.  pfs_mutex_ orders every gamma change and is held
   // across the kPfsGamma broadcast (so peers never see updates out of
   // order) and across listener invocation (so set_pfs_listener({}) fences).
-  // Lock order: pfs_mutex_ before channel mutexes, never the reverse.
+  // Lock order: pfs_mutex_ before channel mutexes, never the reverse;
+  // gossip_mutex_ before channel mutexes; pfs_mutex_ and gossip_mutex_ are
+  // never held together.
   std::mutex pfs_mutex_;
-  std::vector<char> pfs_active_;  ///< rank 0 only: per-rank activity
-  /// Rank 0 only: the serve connection holding each rank's outstanding
-  /// acquire (null = none) — lets the disconnect cleanup skip ranks that
-  /// re-acquired on a newer channel.
+  std::vector<int> pfs_readers_;  ///< rank 0 only: per-rank reader count
+  /// Rank 0 only: the serve connection that last carried each rank's
+  /// deltas while its contribution is nonzero (null = idle) — lets the
+  /// disconnect cleanup skip ranks whose deltas moved to a newer channel.
   std::vector<const void*> pfs_owner_;
+  std::vector<std::uint32_t> pfs_rank_seq_;  ///< rank 0: last applied delta seq
   int pfs_gamma_ = 0;             ///< authoritative (rank 0) / estimate (others)
+  int pfs_local_readers_ = 0;     ///< this rank's own net contribution
+  std::uint32_t pfs_gamma_seq_ = 0;       ///< rank 0: broadcast seq (sent)
+  std::uint32_t pfs_gamma_seen_ = 0;      ///< non-root: last applied broadcast
+  bool pfs_broadcast_pending_ = false;    ///< rank 0, batched mode
+  /// Rank 0, batched mode: highest gamma folded since the last broadcast.
+  /// A coalesced broadcast whose window saw a higher transient emits the
+  /// peak first, then the settle value — so the gamma ENVELOPE survives
+  /// coalescing, not just the endpoint (tests pin envelope parity).
+  int pfs_broadcast_peak_ = 0;
   PfsListener pfs_listener_;
+
+  // The gossip queue (non-root deltas; rank 0 reuses only the thread, for
+  // coalesced broadcasts).  Reader threads append under gossip_mutex_ and
+  // return; gossip_thread_ drains at the flush cadence.  pfs_flush_mutex_
+  // serializes flushers across their sends (seq order on the channel);
+  // lock order: pfs_flush_mutex_ before gossip_mutex_ before channel.
+  std::mutex pfs_flush_mutex_;
+  std::mutex gossip_mutex_;
+  std::condition_variable gossip_cv_;
+  std::thread gossip_thread_;
+  int pending_delta_ = 0;         ///< net queued reader-count change
+  /// Highest prefix sum the queued transitions reached: the rank's peak
+  /// contribution within the window, relative to its last-flushed value.
+  /// A flush whose peak exceeds the net sends the peak first, then the
+  /// correction down to the net, so a brief acquire/release pair inside
+  /// one window still registers on rank 0's counter trajectory instead of
+  /// silently coalescing to nothing.
+  int pending_max_prefix_ = 0;
+  int pending_transitions_ = 0;   ///< transitions coalesced into it
+  std::uint32_t delta_seq_ = 0;   ///< non-root: kPfsDelta frames sent
+  bool gossip_stop_ = false;
 };
 
 /// Reserves an OS-assigned free loopback port and releases it immediately:

@@ -21,6 +21,23 @@ namespace nopfs::net {
 /// Sample payload bytes.
 using Bytes = std::vector<std::uint8_t>;
 
+/// Shape of the batched PFS contention gossip (DESIGN.md Sec. 7.4).  A
+/// reader-count transition is enqueued, not sent: a gossip thread drains
+/// the queue as one net kPfsDelta frame every `flush_virtual_s` VIRTUAL
+/// seconds (the transport divides by its time scale), or sooner once
+/// `max_batch` transitions are pending.  `flush_virtual_s == 0` selects the
+/// unary-equivalence mode: every transition is sent synchronously from the
+/// calling thread, reproducing the historical per-transition protocol
+/// (tests pin that both modes deliver identical digests and gamma
+/// envelopes).  The defaults here are THE batched harness defaults —
+/// RuntimeConfig and the scenario registry inherit them, so the flush
+/// window is tuned in exactly one place; raw SocketOptions overrides to
+/// flush 0.  Transports without contention accounting ignore this.
+struct GossipConfig {
+  double flush_virtual_s = 0.005;
+  int max_batch = 128;
+};
+
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -57,10 +74,14 @@ class Transport {
   using PfsListener = std::function<void(int)>;
 
   /// Job-wide PFS contention accounting (DESIGN.md Sec. 7.4).  A rank calls
-  /// pfs_adjust(+1) when it goes from zero to one outstanding PFS read and
-  /// pfs_adjust(-1) on the reverse transition; the return value is the
-  /// caller's freshest estimate of the job-wide active-reader count.  The
-  /// default implementation supports no accounting (returns 0), which makes
+  /// pfs_adjust(+w) when it goes from zero to any outstanding PFS reads and
+  /// pfs_adjust(-w) on the reverse transition, where `w` is the rank's local
+  /// reader-thread fan-out (1 for an unweighted client) — so the job-wide
+  /// count gamma prices t(gamma) per reader thread, not per rank.  The
+  /// return value is the caller's freshest estimate of gamma.  Transports
+  /// may batch the transition into a later gossip frame (GossipConfig);
+  /// only the returned local estimate is synchronous.  The default
+  /// implementation supports no accounting (returns 0), which makes
   /// net::SharedPfs degrade to per-process contention pricing.
   virtual int pfs_adjust(int delta) {
     (void)delta;

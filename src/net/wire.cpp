@@ -35,6 +35,8 @@ std::uint32_t Reader::u32() {
   return v;
 }
 
+std::int32_t Reader::i32() { return static_cast<std::int32_t>(u32()); }
+
 std::uint64_t Reader::u64() {
   need(8);
   std::uint64_t v = 0;
@@ -70,6 +72,38 @@ void encode_header(std::uint8_t (&out)[kHeaderBytes], MsgType type,
   out[pos++] = static_cast<std::uint8_t>(type);
   for (int shift = 0; shift < 64; shift += 8) byte(arg, shift);
   for (int shift = 0; shift < 32; shift += 8) byte(payload_len, shift);
+}
+
+std::vector<std::uint8_t> encode_pfs_delta(const PfsDelta& delta) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8);
+  put_i32(out, delta.reader_delta);
+  put_u32(out, delta.seq);
+  return out;
+}
+
+PfsDelta decode_pfs_delta(const std::vector<std::uint8_t>& payload) {
+  Reader reader(payload);
+  PfsDelta delta;
+  delta.reader_delta = reader.i32();
+  delta.seq = reader.u32();
+  return delta;
+}
+
+std::vector<std::uint8_t> encode_pfs_gamma(const PfsGamma& gamma) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8);
+  put_i32(out, gamma.gamma);
+  put_u32(out, gamma.seq);
+  return out;
+}
+
+PfsGamma decode_pfs_gamma(const std::vector<std::uint8_t>& payload) {
+  Reader reader(payload);
+  PfsGamma gamma;
+  gamma.gamma = reader.i32();
+  gamma.seq = reader.u32();
+  return gamma;
 }
 
 FrameHeader decode_header(const std::uint8_t (&in)[kHeaderBytes]) {

@@ -24,9 +24,19 @@ inline constexpr std::uint32_t kMagic = 0x4E504653u;  // "NPFS"
 inline constexpr std::size_t kHeaderBytes = 4 + 1 + 8 + 4;
 inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;  // 1 GiB sanity cap
 
+/// Protocol revision carried in the rendezvous handshake (kHello leads with
+/// it, kWelcome echoes it back).  Bumped whenever a frame's meaning changes
+/// — revision 2 replaced the unary kPfsAcquire/kPfsRelease contention
+/// frames with batched kPfsDelta — so a mixed-version world fails loudly at
+/// the handshake instead of misreading contention frames mid-rollout.  The
+/// high bytes spell "NP", so the version field can never be confused with a
+/// plausible world size (the field an unversioned peer sends first).
+inline constexpr std::uint32_t kProtocolVersion = 0x4E500002u;
+
 enum class MsgType : std::uint8_t {
-  kHello = 1,      ///< rank -> rendezvous: arg=rank, payload=[u32 world, u16 serve_port]
-  kWelcome = 2,    ///< rendezvous -> rank: payload = endpoint table
+  kHello = 1,      ///< rank -> rendezvous: arg=rank,
+                   ///<   payload=[u32 protocol, u32 world, u16 serve_port]
+  kWelcome = 2,    ///< rendezvous -> rank: payload=[u32 protocol, endpoint table]
   kGather = 3,     ///< rank -> root: arg=rank, payload = local contribution
   kAllgather = 4,  ///< root -> rank: payload = world_size x [u32 len, bytes]
   kFetch = 5,      ///< requester -> server: arg = sample id
@@ -34,10 +44,27 @@ enum class MsgType : std::uint8_t {
   kMiss = 7,       ///< server -> requester: sample not (yet) cached
   kWatermark = 8,  ///< one-way gossip: arg = position, payload=[u32 rank]
   // PFS contention accounting (DESIGN.md Sec. 7.4): rank 0 hosts the
-  // authoritative job-wide active-reader counter.
-  kPfsAcquire = 9,   ///< rank -> rank 0: arg = rank with a PFS read in flight
-  kPfsRelease = 10,  ///< rank -> rank 0: arg = rank now idle on the PFS
-  kPfsGamma = 11,    ///< rank 0 -> everyone: arg = job-wide gamma
+  // authoritative job-wide active-reader counter.  One kPfsDelta frame
+  // carries the NET effect of any number of coalesced acquire/release
+  // transitions, each weighted by the rank's local reader-thread fan-out.
+  kPfsDelta = 9,  ///< rank -> rank 0: arg = rank, payload = PfsDelta below
+  kPfsGamma = 10, ///< rank 0 -> everyone: payload = PfsGamma below
+};
+
+/// Payload of kPfsDelta: the sender's net reader-count change since its
+/// previous frame, plus a per-sender sequence number (monotone across
+/// redials) so rank 0 can drop duplicated or reordered frames defensively.
+struct PfsDelta {
+  std::int32_t reader_delta = 0;
+  std::uint32_t seq = 0;
+};
+
+/// Payload of kPfsGamma: the authoritative job-wide active-reader count and
+/// rank 0's broadcast sequence number (a receiver ignores anything at or
+/// below the last seq it applied).
+struct PfsGamma {
+  std::int32_t gamma = 0;
+  std::uint32_t seq = 0;
 };
 
 struct FrameHeader {
@@ -47,6 +74,14 @@ struct FrameHeader {
 };
 
 // --- byte-explicit integer packing -----------------------------------------
+
+inline void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  // Two's-complement bit pattern, little-endian (mirrors Reader::i32).
+  const auto bits = static_cast<std::uint32_t>(v);
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((bits >> shift) & 0xff));
+  }
+}
 
 inline void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v & 0xff));
@@ -79,6 +114,7 @@ class Reader {
 
   [[nodiscard]] std::uint16_t u16();
   [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::int32_t i32();
   [[nodiscard]] std::uint64_t u64();
   [[nodiscard]] double f64();
   [[nodiscard]] std::vector<std::uint8_t> bytes(std::size_t n);
@@ -101,5 +137,13 @@ void encode_header(std::uint8_t (&out)[kHeaderBytes], MsgType type,
 /// Parses and validates a frame header (magic, payload bound).  Throws
 /// std::runtime_error on a malformed header.
 [[nodiscard]] FrameHeader decode_header(const std::uint8_t (&in)[kHeaderBytes]);
+
+// --- contention frame payloads ---------------------------------------------
+
+[[nodiscard]] std::vector<std::uint8_t> encode_pfs_delta(const PfsDelta& delta);
+[[nodiscard]] PfsDelta decode_pfs_delta(const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_pfs_gamma(const PfsGamma& gamma);
+[[nodiscard]] PfsGamma decode_pfs_gamma(const std::vector<std::uint8_t>& payload);
 
 }  // namespace nopfs::net::wire

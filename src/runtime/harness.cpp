@@ -225,6 +225,15 @@ baselines::LoaderContext make_loader_context(const data::Dataset& dataset,
 
 }  // namespace
 
+int reader_threads_per_rank(const RuntimeConfig& config) {
+  int threads = config.loader_threads;
+  if (config.loader == baselines::LoaderKind::kNoPFS) {
+    threads = config.system.node.staging.prefetch_threads;
+    for (const auto& sc : config.system.node.classes) threads += sc.prefetch_threads;
+  }
+  return threads > 1 ? threads : 1;
+}
+
 RuntimeResult run_training(const data::Dataset& dataset, const RuntimeConfig& config) {
   const int n = config.system.num_workers;
   if (n <= 0) throw std::invalid_argument("run_training: num_workers must be positive");
@@ -232,6 +241,12 @@ RuntimeResult run_training(const data::Dataset& dataset, const RuntimeConfig& co
   // Shared substrate.
   tiers::RealClock clock;
   tiers::EmulatedCluster cluster(clock, config.system, config.time_scale);
+  if (config.pfs_thread_weighted_gamma) {
+    const int weight = reader_threads_per_rank(config);
+    for (int rank = 0; rank < n; ++rank) {
+      cluster.pfs().set_reader_threads(rank, weight);
+    }
+  }
   auto transports = net::make_sim_transports(n, &cluster);
   core::SyntheticPfsSource source(dataset, &cluster.pfs());
 
@@ -303,6 +318,10 @@ RankDevices make_rank_devices(const RuntimeConfig& config, net::Transport& trans
   } else {
     devices.pfs = &existing->pfs();
   }
+  if (config.pfs_thread_weighted_gamma) {
+    devices.pfs->set_reader_threads(transport.rank(),
+                                    reader_threads_per_rank(config));
+  }
   return devices;
 }
 
@@ -373,6 +392,8 @@ RuntimeResult run_distributed(const data::Dataset& dataset, const RuntimeConfig&
   options.rendezvous_port = endpoint.rendezvous_port;
   options.timeout_s = endpoint.timeout_s;
   options.nic = cluster.worker(endpoint.rank).nic.get();
+  options.gossip = config.pfs_gossip;
+  options.time_scale = config.time_scale;
   net::SocketTransport transport(options);
   return run_distributed(dataset, config, transport, &cluster);
 }

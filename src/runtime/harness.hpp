@@ -58,6 +58,20 @@ struct RuntimeConfig {
   /// Sec. 7.4).  Opt out to restore the historical per-process pricing,
   /// where each process's t(gamma) curve sees only its own readers.
   bool shared_pfs_contention = true;
+  /// Shape of the batched gamma gossip (multi-process runs): reader threads
+  /// enqueue transitions, a dedicated gossip thread drains them as one net
+  /// kPfsDelta per flush window.  The GossipConfig defaults coalesce a few
+  /// virtual milliseconds of transitions per frame, which keeps worlds
+  /// >> 10 ranks cheap; flush_virtual_s = 0 restores the per-transition
+  /// sends (tests pin that both shapes produce identical digests and gamma
+  /// envelopes).
+  net::GossipConfig pfs_gossip;
+  /// Weight every rank's gamma contribution by its reader-thread fan-out
+  /// (StagingPrefetcher + ClassPrefetcher threads for the NoPFS loader,
+  /// loader_threads otherwise) instead of counting each rank once, so
+  /// t(gamma) is priced per reader thread.  Both launch modes apply the
+  /// same weights, so the gamma-envelope parity between them is preserved.
+  bool pfs_thread_weighted_gamma = false;
 
   [[nodiscard]] std::uint64_t global_batch() const noexcept {
     return per_worker_batch * static_cast<std::uint64_t>(system.num_workers);
@@ -93,6 +107,11 @@ struct RuntimeResult {
 /// timings.
 [[nodiscard]] RuntimeResult run_training(const data::Dataset& dataset,
                                          const RuntimeConfig& config);
+
+/// The reader-thread fan-out one rank contributes to a thread-weighted
+/// gamma: the configured StagingPrefetcher + ClassPrefetcher threads for
+/// the NoPFS loader, `loader_threads` for the baselines (>= 1 either way).
+[[nodiscard]] int reader_threads_per_rank(const RuntimeConfig& config);
 
 /// The emulated substrate one rank of a distributed job runs against: its
 /// node devices plus the PFS view its reads are priced under.  Built by

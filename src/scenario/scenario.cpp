@@ -29,9 +29,16 @@ tiers::SystemParams contention_system(int num_workers) {
   // A fresh PfsParams, not just a slower curve: the metadata-op term must be
   // OFF so every read's duration is purely bandwidth — the parity tests'
   // structural-overlap argument (gamma = 2 even under sanitizer slowdowns)
-  // depends on reads blocking in the token bucket, nowhere else.
+  // depends on reads blocking in the token bucket, nowhere else.  The curve
+  // must be glacial relative to PER-RANK producer demand, not just the
+  // shared aggregate: the multi-process world gives each rank its own
+  // fair-share bucket, and a ~20x sanitizer CPU slowdown paces one rank's
+  // prefetchers to ~15 MB/s of demand — the curve keeps every rank's
+  // refill far below that, so reads block (and overlap across ranks) in
+  // every launch mode on any host.
   sys.pfs = tiers::PfsParams{};
-  sys.pfs.agg_read_mbps = util::ThroughputCurve({{1, 2}, {2, 2.5}, {4, 3}});
+  sys.pfs.agg_read_mbps =
+      util::ThroughputCurve({{1, 0.5}, {2, 0.625}, {4, 0.75}});
   return sys;
 }
 
@@ -61,6 +68,30 @@ tiers::SystemParams watermark_system(int num_workers) {
 std::vector<std::string> scaling_policies_daint() { return {"staging", "nopfs", "perfect"}; }
 std::vector<std::string> scaling_policies_lassen() {
   return {"staging", "lbann-dynamic", "nopfs", "perfect"};
+}
+
+// Loader presentation lists of the paper's scaling figures (the labels the
+// tables print, the policy each line simulates, and DALI's 8x GPU-offloaded
+// preprocessing).  Hoisted from bench_scaling_common.hpp so one registry
+// entry fully describes a figure.
+std::vector<LoaderLine> pytorch_dali_nopfs() {
+  return {{"PyTorch", "staging", baselines::LoaderKind::kPyTorch, 1.0},
+          {"PyTorch+DALI", "staging", baselines::LoaderKind::kDali, 8.0},
+          {"NoPFS", "nopfs", baselines::LoaderKind::kNoPFS, 1.0},
+          {"No I/O", "perfect", baselines::LoaderKind::kNoPFS, 1.0}};
+}
+
+std::vector<LoaderLine> pytorch_lbann_nopfs() {
+  return {{"PyTorch", "staging", baselines::LoaderKind::kPyTorch, 1.0},
+          {"LBANN", "lbann-dynamic", baselines::LoaderKind::kLbann, 1.0},
+          {"NoPFS", "nopfs", baselines::LoaderKind::kNoPFS, 1.0},
+          {"No I/O", "perfect", baselines::LoaderKind::kNoPFS, 1.0}};
+}
+
+std::vector<LoaderLine> pytorch_nopfs() {
+  return {{"PyTorch", "staging", baselines::LoaderKind::kPyTorch, 1.0},
+          {"NoPFS", "nopfs", baselines::LoaderKind::kNoPFS, 1.0},
+          {"No I/O", "perfect", baselines::LoaderKind::kNoPFS, 1.0}};
 }
 
 Scenario fig8(const std::string& dataset_name, const std::string& regime, int workers,
@@ -106,6 +137,7 @@ Scenario fig10_daint() {
   s.system = [](int n) { return tiers::presets::piz_daint(n); };
   s.dataset = data::presets::imagenet1k();
   s.sim.policies = scaling_policies_daint();
+  s.sim.loaders = pytorch_dali_nopfs();
   s.sim.gpu_counts = {32, 64, 128, 256};
   s.sim.epochs = 3;
   s.sim.per_worker_batch = 64;  // paper: per-GPU batch 64 on Piz Daint
@@ -122,6 +154,7 @@ Scenario fig10_lassen() {
   s.system = [](int n) { return tiers::presets::lassen(n); };
   s.dataset = data::presets::imagenet1k();
   s.sim.policies = scaling_policies_lassen();
+  s.sim.loaders = pytorch_lbann_nopfs();
   s.sim.gpu_counts = {32, 64, 128, 256, 512, 1024};
   s.sim.epochs = 3;
   s.sim.per_worker_batch = 120;  // paper: per-GPU batch 120 on Lassen
@@ -135,6 +168,7 @@ Scenario fig11() {
   s.system = [](int n) { return tiers::presets::piz_daint(n); };
   s.dataset = data::presets::imagenet1k();
   s.sim.policies = scaling_policies_daint();
+  s.sim.loaders = pytorch_dali_nopfs();
   s.sim.gpu_counts = {32, 64, 128, 256};
   s.sim.epochs = 2;  // epoch 0 + one reference epoch
   s.sim.per_worker_batch = 64;
@@ -161,6 +195,7 @@ Scenario fig13() {
   s.system = [](int n) { return tiers::presets::lassen(n); };
   s.dataset = data::presets::imagenet1k();
   s.sim.policies = {"staging", "nopfs", "perfect"};
+  s.sim.loaders = pytorch_nopfs();
   s.sim.gpu_counts = {128};
   s.sim.batch_sizes = {32, 64, 96, 120};
   s.sim.epochs = 3;
@@ -175,6 +210,7 @@ Scenario fig14() {
   s.system = [](int n) { return tiers::presets::lassen(n); };
   s.dataset = data::presets::imagenet22k();
   s.sim.policies = {"staging", "nopfs", "perfect"};
+  s.sim.loaders = pytorch_nopfs();
   s.sim.gpu_counts = {32, 64, 128, 256, 512, 1024};
   s.sim.epochs = 3;
   s.sim.per_worker_batch = 120;
@@ -190,6 +226,7 @@ Scenario fig15() {
   s.system = [](int n) { return tiers::presets::lassen(n); };
   s.dataset = data::presets::cosmoflow();
   s.sim.policies = {"staging", "nopfs", "perfect"};
+  s.sim.loaders = pytorch_nopfs();
   s.sim.gpu_counts = {32, 64, 128, 256, 512, 1024};
   s.sim.epochs = 3;
   s.sim.per_worker_batch = 16;  // paper: per-GPU batch 16
@@ -290,6 +327,13 @@ Scenario runtime_validation() {
   s.sim.epochs = 3;
   s.sim.per_worker_batch = 4;
   s.sim.quick_scale = 1.0;
+  // The runtime-vs-simulator pairs bench_runtime_validation iterates.
+  s.worker.loaders = {
+      {"Naive", "naive", baselines::LoaderKind::kNaive, 1.0},
+      {"PyTorch", "staging", baselines::LoaderKind::kPyTorch, 1.0},
+      {"LBANN", "lbann-dynamic", baselines::LoaderKind::kLbann, 1.0},
+      {"NoPFS", "nopfs", baselines::LoaderKind::kNoPFS, 1.0},
+  };
   s.worker.system = validation_system;
   s.worker.dataset = s.dataset;
   s.worker.dataset_seed = 0xC0FFEE;
@@ -343,6 +387,70 @@ Scenario contention_pfs() {
   // and every access is a PFS fetch — PFS counts become a pure function of
   // the access stream, exact across launch modes (tests/test_shared_pfs.cpp).
   s.worker.use_remote = false;
+  return s;
+}
+
+/// The large-world contention miniature: the paper's headline results are
+/// at 64-512 nodes, and the batched gamma gossip is what makes such worlds
+/// affordable — every rank is threaded (thread-weighted gamma), every
+/// access is a PFS read (zero-capacity cache), and the PFS curve spans the
+/// full weighted reader range.
+tiers::SystemParams large_world_system(int num_workers) {
+  tiers::SystemParams sys = tiers::presets::sim_cluster(num_workers);
+  sys.node.staging.capacity_mb = 4.0;
+  sys.node.staging.prefetch_threads = 2;
+  sys.node.classes[0].capacity_mb = 0.0;
+  sys.node.classes[0].prefetch_threads = 1;
+  sys.node.classes[1].capacity_mb = 0.0;
+  sys.node.classes[1].prefetch_threads = 1;
+  sys.node.compute_mbps = 200.0;
+  sys.node.preprocess_mbps = 2'000.0;
+  sys.pfs = tiers::PfsParams{};
+  // Fast enough that a 32-rank --quick smoke stays seconds on 1-core CI;
+  // measured out to the weighted reader count (32 ranks x 4 reader threads).
+  sys.pfs.agg_read_mbps =
+      util::ThroughputCurve({{1, 40}, {32, 160}, {64, 200}, {128, 240}});
+  return sys;
+}
+
+Scenario contention_large_world() {
+  Scenario s;
+  s.name = "contention-large-world";
+  s.summary =
+      "Batched gamma gossip at scale: 32 threaded ranks, zero cache, "
+      "thread-weighted t(gamma)";
+  s.system = large_world_system;
+  s.dataset = data::DatasetSpec{"large-world", 128, 0.02, 0.005, 1};
+  s.sim.policies = {"nopfs"};
+  s.sim.gpu_counts = {32};
+  s.sim.epochs = 2;
+  s.sim.per_worker_batch = 1;
+  s.sim.quick_scale = 1.0;
+  s.worker.system = large_world_system;
+  s.worker.dataset = s.dataset;
+  s.worker.dataset_seed = 11;
+  s.worker.world_size = 32;
+  s.worker.epochs = 2;
+  s.worker.per_worker_batch = 1;
+  s.worker.seed = 77;
+  s.worker.time_scale = 200.0;
+  s.worker.loader_threads = 2;
+  s.worker.lookahead = 4;
+  s.worker.use_remote = false;  // zero cache: nothing to serve remotely
+  s.worker.thread_weighted_gamma = true;
+  return s;
+}
+
+Scenario contention_batched_socket() {
+  Scenario s = contention_pfs();
+  s.name = "contention-batched-socket";
+  s.summary =
+      "contention-pfs shape with explicit large-batch gossip: the "
+      "multi-process leg of the batched-vs-unary equivalence";
+  // A flush window far coarser than the default, so the CI rendezvous leg
+  // and the equivalence test genuinely exercise coalescing (several
+  // transitions per kPfsDelta at time_scale 10 -> 5 ms real windows).
+  s.worker.gossip = net::GossipConfig{0.05, 512};
   return s;
 }
 
@@ -405,6 +513,8 @@ std::map<std::string, Scenario> build_registry() {
   add(runtime_validation());
   add(worker_loopback());
   add(contention_pfs());
+  add(contention_large_world());
+  add(contention_batched_socket());
   add(micro_core());
   add(micro_sweep());
   return entries;
@@ -502,8 +612,32 @@ std::vector<std::string> validate(const Scenario& s) {
     if (sys.pfs.agg_read_mbps.at(1) <= 0.0) bad("PFS curve must be positive at 1");
   }
 
+  // Loader presentation lists (sim + worker views).
+  const auto check_loaders = [&bad](const std::vector<LoaderLine>& loaders,
+                                    const char* view) {
+    for (const LoaderLine& line : loaders) {
+      if (line.label.empty()) bad(std::string(view) + " loader line has no label");
+      if (line.preprocess_mult <= 0.0) {
+        bad(std::string(view) + " loader '" + line.label +
+            "' has a non-positive preprocess multiplier");
+      }
+      try {
+        (void)sim::make_policy(line.policy);
+      } catch (const std::invalid_argument&) {
+        bad(std::string(view) + " loader '" + line.label + "' names unknown policy '" +
+            line.policy + "'");
+      }
+    }
+  };
+  check_loaders(s.sim.loaders, "sim");
+  check_loaders(s.worker.loaders, "worker");
+
   // Runtime (worker CLI) view: must stay loopback-smoke scale.
   if (s.worker.world_size < 1) bad("worker world size must be >= 1");
+  if (s.worker.gossip.flush_virtual_s < 0.0) {
+    bad("worker gossip flush interval must be >= 0");
+  }
+  if (s.worker.gossip.max_batch < 1) bad("worker gossip max batch must be >= 1");
   if (s.worker.epochs <= 0) bad("worker epochs must be positive");
   if (s.worker.per_worker_batch == 0) bad("worker batch must be positive");
   if (s.worker.time_scale <= 0.0) bad("worker time scale must be positive");
@@ -614,6 +748,16 @@ data::Dataset sim_dataset(const Scenario& scenario, double scale, std::uint64_t 
   return data::Dataset::synthetic(spec, seed);
 }
 
+std::vector<LoaderLine> sim_loaders(const Scenario& scenario) {
+  if (!scenario.sim.loaders.empty()) return scenario.sim.loaders;
+  std::vector<LoaderLine> lines;
+  lines.reserve(scenario.sim.policies.size());
+  for (const std::string& policy : scenario.sim.policies) {
+    lines.push_back({policy, policy, baselines::LoaderKind::kNoPFS, 1.0});
+  }
+  return lines;
+}
+
 // ---------------------------------------------------------------------------
 // Runtime view.
 
@@ -630,6 +774,8 @@ runtime::RuntimeConfig runtime_config(const Scenario& scenario, int world_size) 
   config.loader_threads = scenario.worker.loader_threads;
   config.lookahead = scenario.worker.lookahead;
   config.router.use_remote = scenario.worker.use_remote;
+  config.pfs_gossip = scenario.worker.gossip;
+  config.pfs_thread_weighted_gamma = scenario.worker.thread_weighted_gamma;
   return config;
 }
 

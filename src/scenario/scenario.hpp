@@ -40,6 +40,19 @@ namespace nopfs::scenario {
 /// Builds the (unscaled) system for a worker/GPU count.
 using SystemFactory = std::function<tiers::SystemParams(int num_workers)>;
 
+/// One loader line of a figure or cross-check: the presentation label, the
+/// simulator policy behind it, the runtime LoaderKind (for consumers that
+/// drive the real harness), and the preprocessing multiplier (DALI's
+/// GPU-offloaded pipeline).  Historically every bench hardcoded these
+/// triples next to its tables; the registry now carries them so a scenario
+/// is runnable from any CLI without per-binary knowledge.
+struct LoaderLine {
+  std::string label;
+  std::string policy;
+  baselines::LoaderKind kind = baselines::LoaderKind::kNoPFS;
+  double preprocess_mult = 1.0;
+};
+
 /// Run shape of the simulator view: what a figure's grid iterates over and
 /// the knobs every cell shares.
 struct SimShape {
@@ -55,6 +68,10 @@ struct SimShape {
   std::uint64_t min_samples = 0;            ///< clamp after scaling (0 = none)
   double compute_mbps = 0.0;                ///< override c (0 = system preset)
   double preprocess_mbps = 0.0;             ///< override beta (0 = system preset)
+  /// Loader presentation list of the scaling figures (label + policy +
+  /// preprocess multiplier per line).  Empty = one line per `policies`
+  /// entry, labelled by the policy name.
+  std::vector<LoaderLine> loaders;
 };
 
 /// Runtime-harness projection: the miniature shape the scenario runs at in
@@ -76,6 +93,16 @@ struct WorkerShape {
   int loader_threads = 2;
   int lookahead = 8;
   bool use_remote = true;  ///< RouterOptions::use_remote
+  /// Batched gamma-gossip shape (RuntimeConfig::pfs_gossip); defaults to
+  /// GossipConfig's own batched defaults.
+  net::GossipConfig gossip;
+  /// Weight gamma by reader-thread fan-out (RuntimeConfig::
+  /// pfs_thread_weighted_gamma).
+  bool thread_weighted_gamma = false;
+  /// Runtime loader presentation list (label + LoaderKind + matching sim
+  /// policy) for cross-check consumers like bench_runtime_validation.
+  /// Empty = just `loader`.
+  std::vector<LoaderLine> loaders;
 };
 
 /// One named scenario: a full run specification.
@@ -140,6 +167,10 @@ void scale_capacities(tiers::SystemParams& system, double factor);
 /// The scenario's dataset at `scale` (min_samples clamp applied).
 [[nodiscard]] data::Dataset sim_dataset(const Scenario& scenario, double scale,
                                         std::uint64_t seed);
+
+/// The scaling-figure loader lines: sim.loaders, or (when a scenario
+/// declares none) one line per sim policy labelled by the policy name.
+[[nodiscard]] std::vector<LoaderLine> sim_loaders(const Scenario& scenario);
 
 // --- runtime view ----------------------------------------------------------
 

@@ -50,7 +50,21 @@ class PfsDevice {
   /// the duration of the call.
   virtual void read(int worker, double mb) = 0;
 
-  /// Number of workers currently reading (this device's view of gamma).
+  /// Declares `worker`'s reader-thread fan-out: while the worker has any
+  /// read in flight it contributes `threads` (default 1) toward gamma, so
+  /// `t(gamma)` can be priced per reader thread instead of per rank when a
+  /// workload wants that (RuntimeConfig::pfs_thread_weighted_gamma).  The
+  /// weight is structural — the worker's configured prefetcher fan-out, not
+  /// its instantaneous in-flight count — so the gamma envelope stays
+  /// deterministic across launch modes.  Must be called before the worker's
+  /// first read; the default implementation keeps the weight at 1.
+  virtual void set_reader_threads(int worker, int threads) {
+    (void)worker;
+    (void)threads;
+  }
+
+  /// Number of reader units currently active (this device's view of gamma:
+  /// active workers, each weighted by its declared reader-thread count).
   [[nodiscard]] virtual int active_clients() const = 0;
 
   /// Highest gamma observed so far (the gamma-trace envelope; tests compare

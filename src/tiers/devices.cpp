@@ -21,9 +21,30 @@ EmulatedPfs::EmulatedPfs(Clock& clock, const PfsParams& params, double time_scal
       bucket_(clock, params.agg_read_mbps.at(1) * time_scale) {}
 
 void EmulatedPfs::retune_locked() {
-  const int gamma = active_workers_ > 0 ? active_workers_ : 1;
-  if (active_workers_ > peak_workers_) peak_workers_ = active_workers_;
+  const int gamma = active_weight_ > 0 ? active_weight_ : 1;
+  if (active_weight_ > peak_weight_) peak_weight_ = active_weight_;
   bucket_.set_rate(params_.agg_read_mbps.at(gamma) * time_scale_);
+}
+
+int EmulatedPfs::weight_locked(int worker) const {
+  return static_cast<std::size_t>(worker) < weight_per_worker_.size()
+             ? weight_per_worker_[worker]
+             : 1;
+}
+
+void EmulatedPfs::set_reader_threads(int worker, int threads) {
+  if (worker < 0) throw std::invalid_argument("EmulatedPfs: negative worker id");
+  const std::scoped_lock lock(mutex_);
+  if (static_cast<std::size_t>(worker) < active_per_worker_.size() &&
+      active_per_worker_[worker] > 0) {
+    // Same precondition SharedPfs enforces: changing the weight mid-read
+    // would desynchronize the release from the acquire's charge.
+    throw std::logic_error("EmulatedPfs: reader weight changed with reads in flight");
+  }
+  if (static_cast<std::size_t>(worker) >= weight_per_worker_.size()) {
+    weight_per_worker_.resize(static_cast<std::size_t>(worker) + 1, 1);
+  }
+  weight_per_worker_[worker] = threads > 1 ? threads : 1;
 }
 
 void EmulatedPfs::read(int worker, double mb) {
@@ -32,26 +53,35 @@ void EmulatedPfs::read(int worker, double mb) {
     const std::scoped_lock lock(mutex_);
     if (static_cast<std::size_t>(worker) >= active_per_worker_.size()) {
       active_per_worker_.resize(static_cast<std::size_t>(worker) + 1, 0);
+      charged_weight_.resize(static_cast<std::size_t>(worker) + 1, 0);
     }
-    if (active_per_worker_[worker]++ == 0) ++active_workers_;
+    if (active_per_worker_[worker]++ == 0) {
+      // Remember the weight actually charged, so the matching 1->0 edge
+      // subtracts the same amount no matter what was declared in between.
+      charged_weight_[worker] = weight_locked(worker);
+      active_weight_ += charged_weight_[worker];
+    }
     retune_locked();
   }
   bucket_.acquire(mb);
   {
     const std::scoped_lock lock(mutex_);
-    if (--active_per_worker_[worker] == 0) --active_workers_;
+    if (--active_per_worker_[worker] == 0) {
+      active_weight_ -= charged_weight_[worker];
+      charged_weight_[worker] = 0;
+    }
     retune_locked();
   }
 }
 
 int EmulatedPfs::active_clients() const {
   const std::scoped_lock lock(mutex_);
-  return active_workers_;
+  return active_weight_;
 }
 
 int EmulatedPfs::peak_clients() const {
   const std::scoped_lock lock(mutex_);
-  return peak_workers_;
+  return peak_weight_;
 }
 
 EmulatedNic::EmulatedNic(Clock& clock, double bandwidth_mbps, double time_scale)

@@ -55,10 +55,15 @@ class EmulatedPfs final : public PfsDevice {
   EmulatedPfs(Clock& clock, const PfsParams& params, double time_scale);
 
   /// Reads `mb` on behalf of `worker`.  While the call is in flight the
-  /// worker counts toward gamma; the aggregate rate is t(gamma)*scale.
+  /// worker counts toward gamma with its declared reader-thread weight
+  /// (default 1); the aggregate rate is t(gamma)*scale.
   void read(int worker, double mb) override;
 
-  /// Number of workers currently reading (gamma).
+  /// Declares `worker`'s reader-thread weight (thread-aware gamma; must be
+  /// set before the worker's first read).
+  void set_reader_threads(int worker, int threads) override;
+
+  /// Weighted count of workers currently reading (gamma).
   [[nodiscard]] int active_clients() const override;
 
   /// Highest gamma observed so far.
@@ -71,13 +76,19 @@ class EmulatedPfs final : public PfsDevice {
  private:
   void retune_locked();
 
+  /// Declared weight of `worker` (1 when never declared).  Caller must
+  /// hold mutex_.
+  [[nodiscard]] int weight_locked(int worker) const;
+
   PfsParams params_;
   double time_scale_;
   TokenBucket bucket_;
   mutable std::mutex mutex_;
   std::vector<int> active_per_worker_;  // outstanding requests per worker id
-  int active_workers_ = 0;
-  int peak_workers_ = 0;
+  std::vector<int> weight_per_worker_;  // declared reader-thread fan-out
+  std::vector<int> charged_weight_;     // weight counted at the 0->1 edge
+  int active_weight_ = 0;               // gamma: sum of active workers' weights
+  int peak_weight_ = 0;
 };
 
 /// A worker's NIC: caps combined remote-fetch traffic at b_c.

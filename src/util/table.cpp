@@ -68,6 +68,8 @@ BenchArgs parse_bench_args(int argc, char** argv) {
       args.csv = true;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       args.quick = true;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      args.full = true;
     } else if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
       args.scenario = argv[++i];
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {

@@ -40,6 +40,7 @@ struct BenchArgs {
   std::string scenario;            ///< optional --scenario <name>
   std::uint64_t seed = 0xC0FFEE;   ///< optional --seed <n>
   bool quick = false;              ///< optional --quick (reduced problem sizes)
+  bool full = false;               ///< optional --full (paper scale, overrides default)
   int threads = 0;                 ///< optional --threads <n> sweep threads (0 = auto)
 };
 

@@ -48,9 +48,47 @@ TEST(ScenarioRegistry, EveryNameResolves) {
         "fig13-batch-size", "fig14-imagenet22k", "fig15-cosmoflow",
         "fig16-end-to-end", "tab1-frameworks", "ablation-nopfs-design",
         "ablation-watermark", "runtime-validation", "worker-loopback",
-        "contention-pfs", "micro-core", "micro-sweep"}) {
+        "contention-pfs", "contention-large-world", "contention-batched-socket",
+        "micro-core", "micro-sweep"}) {
     EXPECT_NO_THROW((void)scenario::get(required)) << required;
   }
+}
+
+TEST(ScenarioRegistry, GossipAndLoaderListsReachTheRuntimeProjection) {
+  // The batched-socket entry carries an explicit coarse gossip shape...
+  const scenario::Scenario& batched = scenario::get("contention-batched-socket");
+  const runtime::RuntimeConfig bc = scenario::runtime_config(batched, 2);
+  EXPECT_DOUBLE_EQ(bc.pfs_gossip.flush_virtual_s, 0.05);
+  EXPECT_EQ(bc.pfs_gossip.max_batch, 512);
+  EXPECT_FALSE(bc.pfs_thread_weighted_gamma);
+
+  // ...the large-world entry prices t(gamma) per reader thread (32 ranks,
+  // each fanning out staging + class prefetcher threads)...
+  const scenario::Scenario& large = scenario::get("contention-large-world");
+  const runtime::RuntimeConfig lc =
+      scenario::runtime_config(large, large.worker.world_size);
+  EXPECT_TRUE(lc.pfs_thread_weighted_gamma);
+  EXPECT_GE(large.worker.world_size, 32);
+  EXPECT_EQ(lc.system.node.classes[0].capacity_mb, 0.0);
+  EXPECT_GE(runtime::reader_threads_per_rank(lc), 2);
+
+  // ...and the presentation lists carry the labels/kinds/multipliers the
+  // benches used to hardcode.
+  const scenario::Scenario& fig10 = scenario::get("fig10-imagenet1k");
+  const auto lines = scenario::sim_loaders(fig10);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[1].label, "PyTorch+DALI");
+  EXPECT_EQ(lines[1].policy, "staging");
+  EXPECT_DOUBLE_EQ(lines[1].preprocess_mult, 8.0);
+  const auto& validation_pairs = scenario::get("runtime-validation").worker.loaders;
+  ASSERT_EQ(validation_pairs.size(), 4u);
+  EXPECT_EQ(validation_pairs[0].kind, baselines::LoaderKind::kNaive);
+  EXPECT_EQ(validation_pairs[0].policy, "naive");
+  // Entries without an explicit list fall back to one line per policy.
+  const auto fallback = scenario::sim_loaders(scenario::get("fig12-cache-stats"));
+  ASSERT_EQ(fallback.size(), 1u);
+  EXPECT_EQ(fallback[0].label, "nopfs");
+  EXPECT_EQ(fallback[0].policy, "nopfs");
 }
 
 TEST(ScenarioRegistry, UnknownNameThrowsListingAllNames) {

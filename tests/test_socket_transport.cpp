@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -68,6 +73,28 @@ TEST(Wire, ReaderThrowsOnTruncation) {
   wire::Reader reader(buf);
   EXPECT_EQ(reader.u32(), 7u);
   EXPECT_THROW((void)reader.u16(), std::runtime_error);
+}
+
+TEST(Wire, PfsDeltaAndGammaRoundTrip) {
+  // Negative reader deltas (weighted releases) must survive the two's-
+  // complement packing, and the per-sender sequence rides along.
+  const wire::PfsDelta delta = wire::decode_pfs_delta(
+      wire::encode_pfs_delta({-12, 0xFEEDu}));
+  EXPECT_EQ(delta.reader_delta, -12);
+  EXPECT_EQ(delta.seq, 0xFEEDu);
+  const wire::PfsGamma gamma =
+      wire::decode_pfs_gamma(wire::encode_pfs_gamma({37, 41}));
+  EXPECT_EQ(gamma.gamma, 37);
+  EXPECT_EQ(gamma.seq, 41u);
+  EXPECT_THROW((void)wire::decode_pfs_delta({1, 2, 3}), std::runtime_error);
+}
+
+TEST(Wire, RejectsRetiredUnaryContentionFrameType) {
+  // Type 11 was kPfsGamma before the delta protocol; the valid range now
+  // ends at 10, so a frame from the retired numbering fails loudly.
+  std::uint8_t raw[wire::kHeaderBytes];
+  wire::encode_header(raw, static_cast<wire::MsgType>(11), 0, 0);
+  EXPECT_THROW((void)wire::decode_header(raw), std::runtime_error);
 }
 
 TEST(SocketTransport, RejectsInvalidOptions) {
@@ -261,6 +288,58 @@ TEST(SocketTransport, ConcurrentFetchesAreSafe) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(SocketTransport, ProtocolVersionMismatchFailsHandshake) {
+  // An unversioned (pre-kPfsDelta) peer leads its kHello with the world
+  // size where the protocol version now goes — the root must reject it at
+  // the handshake instead of misreading contention frames mid-rollout.
+  const std::uint16_t port = pick_free_port();
+  std::atomic<bool> root_failed{false};
+  std::thread root([&] {
+    try {
+      SocketOptions options;
+      options.rank = 0;
+      options.world_size = 2;
+      options.rendezvous_port = port;
+      options.timeout_s = 20.0;
+      SocketTransport transport(options);
+    } catch (const std::runtime_error&) {
+      root_failed = true;
+    }
+  });
+  std::thread old_peer([&] {
+    // Hand-rolled legacy kHello: [u32 world, u16 serve_port], no version.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    int connected = -1;
+    while ((connected = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                                  sizeof(addr))) != 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_EQ(connected, 0);
+    Bytes payload;
+    wire::put_u32(payload, 2);   // world size where the version belongs
+    wire::put_u16(payload, 1);   // serve port
+    std::uint8_t header[wire::kHeaderBytes];
+    wire::encode_header(header, wire::MsgType::kHello, 1,
+                        static_cast<std::uint32_t>(payload.size()));
+    (void)::send(fd, header, sizeof(header), MSG_NOSIGNAL);
+    (void)::send(fd, payload.data(), payload.size(), MSG_NOSIGNAL);
+    // Hold the socket open until the root has reacted, then close.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ::close(fd);
+  });
+  root.join();
+  old_peer.join();
+  EXPECT_TRUE(root_failed.load());
 }
 
 TEST(SocketTransport, WorldSizeDisagreementFailsHandshake) {

@@ -12,7 +12,12 @@ Key classification (schema 2: a flat ``results`` map of
 * GATED — throughput keys (``*_per_s``, ``*_mbps``): higher is better and,
   while absolute values shift with runner hardware, a >30% drop against a
   baseline recorded on the same runner class is a real regression.  The
-  job fails if ``current < baseline * (1 - tolerance)``.
+  job fails if ``current < baseline * (1 - tolerance)``.  This covers both
+  contention-protocol keys: ``socket-loopback.pfs_cycles_per_s`` (the
+  unary acquire/release round trip, flush interval 0) and
+  ``socket-loopback.pfs_gossip_transitions_per_s`` (the batched gossip
+  queue: reader-thread enqueue rate with the sends off-thread) — a
+  regression in either means the contention path got slower.
 * ADVISORY — wall-clock and speedup keys: on 1-core CI runners the sweep
   parallel/serial ratio is ~1 and wall-clock jitter dominates, so these are
   printed but never fail the job.
