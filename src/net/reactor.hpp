@@ -1,0 +1,101 @@
+#pragma once
+// Reactor: one epoll event loop thread driving every socket of a process's
+// SocketTransport.
+//
+// The loop owns all fd state.  Other threads talk to it exclusively through
+// post(), which appends to a FIFO task queue and wakes the loop via an
+// eventfd — so "post A, then post B" from one thread always executes A
+// before B on the loop, a property the transport leans on for wire ordering
+// (a gamma broadcast posted under the pfs mutex lands in sequence order).
+//
+// Everything else — add_fd/mod_fd/del_fd, call_later, set_iteration_hook —
+// is loop-thread-only, callable from inside posted tasks, fd handlers and
+// timers.  Events are level-triggered: a handler that leaves bytes unread
+// or unwritten simply fires again next iteration, which keeps the fairness
+// cap in wire::FrameReader cheap.  One iteration runs: queued tasks, due
+// timers, the iteration hook (the transport batches its dirty-session
+// flushes there so frames queued by many tasks share one sendmsg), then
+// epoll_wait and the ready handlers.
+//
+// Handler caveats, both benign for the transport but worth knowing: a
+// handler may del_fd itself mid-dispatch (handlers are held by shared_ptr
+// for exactly this), and an fd number closed and re-accepted within one
+// epoll batch can deliver one stale event to the new handler — harmless
+// under level-triggering, where a spurious wakeup reads EAGAIN.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace nopfs::net {
+
+class Reactor {
+ public:
+  using Task = std::function<void()>;
+  using FdHandler = std::function<void(std::uint32_t epoll_events)>;
+
+  Reactor();
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Launches the loop thread.  Tasks posted (and fds added) before start()
+  /// are picked up on the first iteration.
+  void start();
+
+  /// Asks the loop to finish its queued tasks and exit, then joins it.
+  /// Idempotent; must not be called from the loop thread.
+  void stop();
+
+  /// Thread-safe: enqueue a task for the loop (FIFO per poster) and wake it.
+  void post(Task task);
+
+  // --- loop-thread-only ----------------------------------------------------
+
+  void add_fd(int fd, std::uint32_t events, FdHandler handler);
+  void mod_fd(int fd, std::uint32_t events);
+  void del_fd(int fd);
+
+  /// Runs `task` on the loop after at least `delay_s` seconds.
+  void call_later(double delay_s, Task task);
+
+  /// Installed hook runs once per loop iteration, after tasks and timers,
+  /// before epoll_wait.
+  void set_iteration_hook(Task hook);
+
+ private:
+  struct Timer {
+    std::chrono::steady_clock::time_point when;
+    std::uint64_t seq = 0;  // tie-break: equal deadlines fire in post order
+    Task fn;
+  };
+
+  void run();
+  void wake();
+  void drain_tasks();
+  void fire_due_timers();
+  [[nodiscard]] int wait_timeout_ms() const;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread thread_;
+  bool stop_requested_ = false;  // loop-thread once running; see stop()
+
+  std::mutex task_mutex_;
+  std::vector<Task> tasks_;
+  bool stop_posted_ = false;
+
+  // Loop-thread-only state.
+  std::unordered_map<int, std::shared_ptr<FdHandler>> handlers_;
+  std::vector<Timer> timers_;  // min-heap on (when, seq)
+  std::uint64_t timer_seq_ = 0;
+  Task iteration_hook_;
+};
+
+}  // namespace nopfs::net

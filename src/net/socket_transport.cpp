@@ -1,8 +1,10 @@
 #include "net/socket_transport.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -10,8 +12,12 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
+#include "net/reactor.hpp"
 #include "net/wire.hpp"
 #include "util/log.hpp"
 #include "util/units.hpp"
@@ -71,6 +77,32 @@ bool recv_all(int fd, std::uint8_t* data, std::size_t len) {
   return true;
 }
 
+/// One blocking frame out (the rendezvous handshake only; everything else
+/// rides the reactor's SendQueues).
+void send_frame_blocking(int fd, wire::MsgType type, std::uint64_t arg,
+                         const Bytes& payload) {
+  if (payload.size() > wire::kMaxPayloadBytes) {
+    throw std::runtime_error("SocketTransport: frame payload too large");
+  }
+  std::uint8_t header[wire::kHeaderBytes];
+  wire::encode_header(header, type, arg,
+                      static_cast<std::uint32_t>(payload.size()));
+  send_all(fd, header, sizeof(header));
+  if (!payload.empty()) send_all(fd, payload.data(), payload.size());
+}
+
+/// One blocking frame in.  Returns false on clean EOF at a frame boundary.
+bool recv_frame_blocking(int fd, wire::FrameHeader& header, Bytes& payload) {
+  std::uint8_t raw[wire::kHeaderBytes];
+  if (!recv_all(fd, raw, sizeof(raw))) return false;
+  header = wire::decode_header(raw);
+  payload.resize(header.payload_len);
+  if (header.payload_len > 0 && !recv_all(fd, payload.data(), payload.size())) {
+    throw std::runtime_error("SocketTransport: peer closed mid-frame");
+  }
+  return true;
+}
+
 std::uint32_t resolve_ipv4(const std::string& host) {
   in_addr addr{};
   if (::inet_pton(AF_INET, host.c_str(), &addr) != 1) {
@@ -96,74 +128,162 @@ int make_tcp_socket() {
   return fd;
 }
 
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void make_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+/// Deep enough that a whole large world dialing at once doesn't drop SYNs;
+/// the kernel clamps to net.core.somaxconn.
+int listen_backlog(int world_size) { return std::max(world_size + 8, 128); }
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Conn: RAII socket + framed I/O.
+// Reactor-confined per-connection state.
 
-class SocketTransport::Conn {
- public:
-  /// Payloads at or below this size are copied into the header's send().
-  static constexpr std::size_t kInlineSendBytes = 64;
+struct SocketTransport::PendingFetch {
+  std::uint64_t id = 0;
+  int peer = -1;
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  bool hit = false;
+  Bytes payload;
 
-  explicit Conn(int fd) : fd_(fd) {}
-  ~Conn() { close(); }
-  Conn(const Conn&) = delete;
-  Conn& operator=(const Conn&) = delete;
-
-  [[nodiscard]] int fd() const noexcept { return fd_; }
-
-  void send_frame(wire::MsgType type, std::uint64_t arg, const std::uint8_t* payload,
-                  std::size_t len) {
-    if (len > wire::kMaxPayloadBytes) {
-      throw std::runtime_error("SocketTransport: frame payload too large");
+  void resolve(bool hit_value, Bytes bytes) {
+    {
+      const std::scoped_lock lock(m);
+      if (done) return;
+      done = true;
+      hit = hit_value;
+      payload = std::move(bytes);
     }
-    std::uint8_t header[wire::kHeaderBytes];
-    wire::encode_header(header, type, arg, static_cast<std::uint32_t>(len));
-    if (len > 0 && len <= kInlineSendBytes) {
-      // Small control payloads (contention deltas, watermark tags) ride in
-      // the same send() as the header: one syscall and, with TCP_NODELAY,
-      // one segment instead of two on the latency-sensitive gossip path.
-      std::uint8_t frame[wire::kHeaderBytes + kInlineSendBytes];
-      std::memcpy(frame, header, sizeof(header));
-      std::memcpy(frame + sizeof(header), payload, len);
-      send_all(fd_, frame, sizeof(header) + len);
-      return;
+    cv.notify_all();
+  }
+};
+
+struct SocketTransport::Session : std::enable_shared_from_this<Session> {
+  // Kind is fixed at accept/dial time except for one transition: an
+  // accepted rendezvous connection becomes the root's control connection
+  // to the rank it introduced (kRendezvous -> kControl).
+  enum class Kind {
+    kRendezvous,  ///< accepted on the rendezvous listener, pre-kHello
+    kControl,     ///< collective channel (root: per peer; non-root: to root)
+    kServe,       ///< accepted on the serve listener: answers kFetch etc.
+    kChannel      ///< dialed to a peer's serve listener: fetch + gossip out
+  };
+  enum class State { kConnecting, kHandshake, kOpen, kDraining, kClosed };
+
+  int fd = -1;
+  Kind kind = Kind::kServe;
+  State state = State::kHandshake;
+  int peer = -1;
+  bool want_write = false;  ///< EPOLLOUT currently armed
+  bool dirty = false;       ///< queued for this iteration's batched flush
+  wire::FrameReader reader;
+  wire::SendQueue sendq;
+
+  /// kChannel: in-flight pipelined fetches, oldest first.  The serve side
+  /// answers one connection's requests in order, so replies resolve these
+  /// FIFO.
+  std::deque<std::shared_ptr<PendingFetch>> pending_fetches;
+
+  /// kServe: replies owing an emulated-NIC delay.  Strictly FIFO — a free
+  /// reply behind a delayed one waits for it (deadlines are monotone), or
+  /// the requester's ticket pipeline would mis-pair.
+  struct DelayedReply {
+    Clock::time_point due;
+    wire::MsgType type;
+    std::uint64_t arg;
+    Bytes payload;
+  };
+  std::deque<DelayedReply> delayed;
+  bool delayed_timer_armed = false;
+
+  /// Rank 0, kServe: the rank whose kPfsDelta frames arrived here (-1 until
+  /// the first one) — the dead-rank cleanup's owner handle.
+  int pfs_rank_on_conn = -1;
+
+  /// kRendezvous: the peer address captured at accept (its reachable IPv4).
+  std::uint32_t peer_ipv4 = 0;
+};
+
+struct SocketTransport::SyncWaiter {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  bool ok = false;
+  std::string error;
+  Bytes payload;             ///< non-root allgather: the packed reply
+  std::vector<Bytes> slots;  ///< root allgather: the gathered contributions
+  int remaining = 0;         ///< rendezvous: ranks still missing
+
+  void fulfill_ok(Bytes reply = {}, std::vector<Bytes> gathered = {}) {
+    {
+      const std::scoped_lock lock(m);
+      if (done) return;
+      done = true;
+      ok = true;
+      payload = std::move(reply);
+      slots = std::move(gathered);
     }
-    send_all(fd_, header, sizeof(header));
-    if (len > 0) send_all(fd_, payload, len);
+    cv.notify_all();
   }
 
-  void send_frame(wire::MsgType type, std::uint64_t arg, const Bytes& payload) {
-    send_frame(type, arg, payload.data(), payload.size());
-  }
-
-  /// Returns false on clean EOF at a frame boundary.
-  bool recv_frame(wire::FrameHeader& header, Bytes& payload) {
-    std::uint8_t raw[wire::kHeaderBytes];
-    if (!recv_all(fd_, raw, sizeof(raw))) return false;
-    header = wire::decode_header(raw);
-    payload.resize(header.payload_len);
-    if (header.payload_len > 0 && !recv_all(fd_, payload.data(), payload.size())) {
-      throw std::runtime_error("SocketTransport: peer closed mid-frame");
+  void fulfill_error(std::string message) {
+    {
+      const std::scoped_lock lock(m);
+      if (done) return;
+      done = true;
+      ok = false;
+      error = std::move(message);
     }
-    return true;
+    cv.notify_all();
   }
 
-  /// Half-close both directions: unblocks any thread parked in recv().
-  void shutdown_both() noexcept {
-    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  /// Returns whether the waiter was fulfilled within `seconds`.
+  bool wait_for(double seconds) {
+    std::unique_lock lock(m);
+    cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                [this] { return done; });
+    return done;
   }
+};
 
-  void close() noexcept {
-    if (fd_ >= 0) {
-      ::close(fd_);
-      fd_ = -1;
-    }
-  }
+struct SocketTransport::Loop {
+  std::unordered_map<int, std::shared_ptr<Session>> sessions;  // by fd
+  std::vector<std::shared_ptr<Session>> channels;   // dialed, by peer rank
+  std::vector<std::shared_ptr<Session>> controls;   // root: by peer rank
+  std::shared_ptr<Session> control;                 // non-root: to the root
+  std::vector<std::shared_ptr<Session>> dirty;
 
- private:
-  int fd_;
+  // Rendezvous (root).
+  int rendezvous_remaining = 0;
+  std::shared_ptr<SyncWaiter> rendezvous_waiter;
+
+  // Collectives.  At most one in flight (collective_mutex_ serializes the
+  // callers); early_gathers absorbs a peer whose kGather lands before the
+  // root's own thread begins the collective.
+  std::shared_ptr<SyncWaiter> gather_waiter;     // root
+  std::vector<Bytes> gather_slots;
+  std::vector<bool> gather_have;
+  int gather_missing = 0;
+  std::vector<std::deque<Bytes>> early_gathers;  // root, per rank
+  std::shared_ptr<SyncWaiter> allgather_waiter;  // non-root
+  bool collective_broken = false;
+  std::string collective_error;
+
+  // Teardown drain.
+  bool draining = false;
+  std::shared_ptr<SyncWaiter> drain_waiter;
 };
 
 // ---------------------------------------------------------------------------
@@ -180,11 +300,6 @@ SocketTransport::SocketTransport(const SocketOptions& options) : options_(option
   }
   const auto world = static_cast<std::size_t>(options_.world_size);
   endpoints_.resize(world);
-  channels_.resize(world);
-  channel_mutexes_.reserve(world);
-  for (std::size_t i = 0; i < world; ++i) {
-    channel_mutexes_.push_back(std::make_unique<std::mutex>());
-  }
   watermarks_ = std::vector<std::atomic<std::uint64_t>>(world);
   for (auto& w : watermarks_) w.store(0, std::memory_order_relaxed);
   pfs_readers_.resize(world, 0);
@@ -192,6 +307,11 @@ SocketTransport::SocketTransport(const SocketOptions& options) : options_(option
   pfs_rank_seq_.resize(world, 0);
   if (options_.gossip.max_batch < 1) options_.gossip.max_batch = 1;
   if (options_.time_scale <= 0.0) options_.time_scale = 1.0;
+
+  loop_ = std::make_unique<Loop>();
+  loop_->channels.resize(world);
+  loop_->controls.resize(world);
+  loop_->early_gathers.resize(world);
 
   try {
     // Serve listener first: by the time any peer learns this rank's port
@@ -211,10 +331,18 @@ SocketTransport::SocketTransport(const SocketOptions& options) : options_(option
       throw_errno("getsockname(serve)");
     }
     serve_port_ = ntohs(addr.sin_port);
-    if (::listen(serve_listener_fd_, options_.world_size + 8) != 0) {
+    if (::listen(serve_listener_fd_, listen_backlog(options_.world_size)) != 0) {
       throw_errno("listen(serve)");
     }
-    acceptor_ = std::thread([this] { serve_accept_loop(); });
+    make_nonblocking(serve_listener_fd_);
+
+    reactor_ = std::make_unique<Reactor>();
+    reactor_->post([this] {
+      reactor_->set_iteration_hook([this] { loop_flush_dirty(); });
+      reactor_->add_fd(serve_listener_fd_, EPOLLIN,
+                       [this](std::uint32_t) { loop_accept_serve(); });
+    });
+    reactor_->start();
 
     if (options_.rank == 0) {
       rendezvous_as_root();
@@ -235,7 +363,7 @@ SocketTransport::SocketTransport(const SocketOptions& options) : options_(option
 SocketTransport::~SocketTransport() { teardown(); }
 
 void SocketTransport::teardown() {
-  // Cooperative gossip drain FIRST, while the channels are still open: a
+  // Cooperative gossip drain FIRST, while the channels are still usable: a
   // queued release must reach rank 0's counter (it must drain to zero on a
   // clean shutdown, not lean on the dead-rank cleanup), and rank 0's final
   // coalesced gamma must reach the survivors.
@@ -245,52 +373,67 @@ void SocketTransport::teardown() {
   }
   gossip_cv_.notify_all();
   if (gossip_thread_.joinable()) gossip_thread_.join();
-  flush_pfs_gossip();
 
-  stopping_.store(true, std::memory_order_release);
-  // Close outbound fetch channels: peers' serve threads see EOF and exit.
-  for (std::size_t i = 0; i < channels_.size(); ++i) {
-    const std::scoped_lock lock(*channel_mutexes_[i]);
-    if (channels_[i]) channels_[i]->shutdown_both();
+  if (reactor_ != nullptr) {
+    // The flush POSTS its frames; the drain task is posted strictly after,
+    // so the reactor enqueues the final deltas/gamma into the session send
+    // queues before the drain walks them — FIFO task order is the whole
+    // teardown-ordering argument.
+    flush_pfs_gossip();
+    stopping_.store(true, std::memory_order_release);
+    auto drained = std::make_shared<SyncWaiter>();
+    reactor_->post([this, drained] { loop_begin_drain(drained); });
+    // Bounded: a peer that stopped reading must not wedge our destructor.
+    (void)drained->wait_for(std::min(options_.timeout_s, 5.0));
+    reactor_->stop();
+  } else {
+    stopping_.store(true, std::memory_order_release);
   }
-  // Wake the acceptor with a throwaway self-connection, then join it.
-  // The serve listener is bound to INADDR_ANY, so loopback always reaches
-  // it no matter which host this rank lives on.
-  if (acceptor_.joinable()) {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd >= 0) {
-      sockaddr_in self = make_addr(htonl(INADDR_LOOPBACK), serve_port_);
-      (void)::connect(fd, reinterpret_cast<sockaddr*>(&self), sizeof(self));
-      ::close(fd);
+
+  // The loop thread is gone; close whatever the drain deadline left behind
+  // and resolve any parked caller so no thread waits out its full timeout.
+  if (loop_ != nullptr) {
+    for (auto& [fd, session] : loop_->sessions) {
+      for (auto& ticket : session->pending_fetches) ticket->resolve(false, {});
+      session->pending_fetches.clear();
+      if (session->fd >= 0) ::close(session->fd);
+      session->fd = -1;
+      session->state = Session::State::kClosed;
     }
-    acceptor_.join();
+    loop_->sessions.clear();
+    loop_->channels.clear();
+    loop_->controls.clear();
+    loop_->control.reset();
+    loop_->dirty.clear();
+    if (loop_->rendezvous_waiter) {
+      loop_->rendezvous_waiter->fulfill_error("SocketTransport: torn down");
+    }
+    if (loop_->gather_waiter) {
+      loop_->gather_waiter->fulfill_error("SocketTransport: torn down");
+    }
+    if (loop_->allgather_waiter) {
+      loop_->allgather_waiter->fulfill_error("SocketTransport: torn down");
+    }
+  }
+  if (rendezvous_listener_fd_ >= 0) {
+    ::close(rendezvous_listener_fd_);
+    rendezvous_listener_fd_ = -1;
   }
   if (serve_listener_fd_ >= 0) {
     ::close(serve_listener_fd_);
     serve_listener_fd_ = -1;
   }
-  // Unblock and join the per-connection serve threads (the acceptor is
-  // gone, so serve_conns_/serve_threads_ are no longer mutated).
-  for (auto& conn : serve_conns_) conn->shutdown_both();
-  for (auto& thread : serve_threads_) {
-    if (thread.joinable()) thread.join();
-  }
-  serve_threads_.clear();
-  serve_conns_.clear();
-  control_.reset();
-  control_peers_.clear();
-  for (auto& channel : channels_) channel.reset();
 }
 
 // ---------------------------------------------------------------------------
 // Rendezvous.
 
 void SocketTransport::rendezvous_as_root() {
+  endpoints_[0] = PeerEndpoint{0 /* "the address you dialed" */, serve_port_};
+  if (options_.world_size == 1) return;
+
   const int listener = make_tcp_socket();
-  struct ListenerGuard {
-    int fd;
-    ~ListenerGuard() { ::close(fd); }
-  } guard{listener};
+  rendezvous_listener_fd_ = listener;
   const int one = 1;
   ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr =
@@ -298,42 +441,73 @@ void SocketTransport::rendezvous_as_root() {
   if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     throw_errno("bind(rendezvous)");
   }
-  if (::listen(listener, options_.world_size + 8) != 0) {
+  if (::listen(listener, listen_backlog(options_.world_size)) != 0) {
     throw_errno("listen(rendezvous)");
   }
-  set_socket_timeout(listener, SO_RCVTIMEO, options_.timeout_s);
+  make_nonblocking(listener);
 
-  endpoints_[0] = PeerEndpoint{0 /* "the address you dialed" */, serve_port_};
-  control_peers_.resize(static_cast<std::size_t>(options_.world_size));
+  auto waiter = std::make_shared<SyncWaiter>();
+  waiter->remaining = options_.world_size - 1;
+  reactor_->post([this, waiter] {
+    loop_->rendezvous_waiter = waiter;
+    loop_->rendezvous_remaining = options_.world_size - 1;
+    reactor_->add_fd(rendezvous_listener_fd_, EPOLLIN,
+                     [this](std::uint32_t) { loop_accept_rendezvous(); });
+  });
+  if (!waiter->wait_for(options_.timeout_s)) {
+    int missing = 0;
+    {
+      const std::scoped_lock lock(waiter->m);
+      missing = waiter->remaining;
+    }
+    throw std::runtime_error("SocketTransport: rendezvous timed out waiting for " +
+                             std::to_string(missing) + " rank(s)");
+  }
+  bool ok = false;
+  std::string error;
+  {
+    const std::scoped_lock lock(waiter->m);
+    ok = waiter->ok;
+    error = waiter->error;
+  }
+  if (!ok) throw std::runtime_error(error);
+}
 
-  int remaining = options_.world_size - 1;
-  while (remaining > 0) {
+void SocketTransport::loop_accept_rendezvous() {
+  for (;;) {
     sockaddr_in peer_addr{};
     socklen_t peer_len = sizeof(peer_addr);
-    const int fd =
-        ::accept(listener, reinterpret_cast<sockaddr*>(&peer_addr), &peer_len);
+    const int fd = ::accept(rendezvous_listener_fd_,
+                            reinterpret_cast<sockaddr*>(&peer_addr), &peer_len);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        throw std::runtime_error("SocketTransport: rendezvous timed out waiting for " +
-                                 std::to_string(remaining) + " rank(s)");
-      }
-      throw_errno("accept(rendezvous)");
+      return;  // EAGAIN: drained the backlog
     }
-    const int nodelay = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
-    set_socket_timeout(fd, SO_RCVTIMEO, options_.timeout_s);
-    set_socket_timeout(fd, SO_SNDTIMEO, options_.timeout_s);
-    auto conn = std::make_unique<Conn>(fd);
+    make_nonblocking(fd);
+    set_nodelay(fd);
+    const auto session =
+        loop_make_session(fd, static_cast<int>(Session::Kind::kRendezvous),
+                          static_cast<int>(Session::State::kHandshake));
+    session->peer_ipv4 = peer_addr.sin_addr.s_addr;
+  }
+}
 
-    wire::FrameHeader header;
-    Bytes payload;
-    if (!conn->recv_frame(header, payload) || header.type != wire::MsgType::kHello) {
+void SocketTransport::loop_fail_rendezvous(const std::string& error) {
+  if (loop_->rendezvous_waiter) {
+    loop_->rendezvous_waiter->fulfill_error(error);
+    loop_->rendezvous_waiter.reset();
+  }
+}
+
+void SocketTransport::loop_rendezvous_hello(
+    const std::shared_ptr<Session>& session, wire::Frame frame) {
+  try {
+    if (frame.header.type != wire::MsgType::kHello) {
       throw std::runtime_error("SocketTransport: expected kHello at rendezvous");
     }
-    wire::Reader reader(payload);
+    wire::Reader reader(frame.payload);
     const std::uint32_t peer_protocol = reader.u32();
-    const auto peer_rank = static_cast<int>(header.arg);
+    const auto peer_rank = static_cast<int>(frame.header.arg);
     if (peer_protocol != wire::kProtocolVersion) {
       throw std::runtime_error(
           "SocketTransport: rank " + std::to_string(peer_rank) +
@@ -350,27 +524,47 @@ void SocketTransport::rendezvous_as_root() {
                                std::to_string(options_.world_size) + ")");
     }
     if (peer_rank <= 0 || peer_rank >= options_.world_size ||
-        control_peers_[static_cast<std::size_t>(peer_rank)] != nullptr) {
+        loop_->controls[static_cast<std::size_t>(peer_rank)] != nullptr) {
       throw std::runtime_error("SocketTransport: duplicate or invalid rank " +
                                std::to_string(peer_rank) + " at rendezvous");
     }
     endpoints_[static_cast<std::size_t>(peer_rank)] =
-        PeerEndpoint{peer_addr.sin_addr.s_addr, peer_serve_port};
-    control_peers_[static_cast<std::size_t>(peer_rank)] = std::move(conn);
-    --remaining;
-  }
+        PeerEndpoint{session->peer_ipv4, peer_serve_port};
+    session->kind = Session::Kind::kControl;
+    session->state = Session::State::kOpen;
+    session->peer = peer_rank;
+    loop_->controls[static_cast<std::size_t>(peer_rank)] = session;
+    --loop_->rendezvous_remaining;
+    if (loop_->rendezvous_waiter) {
+      const std::scoped_lock lock(loop_->rendezvous_waiter->m);
+      loop_->rendezvous_waiter->remaining = loop_->rendezvous_remaining;
+    }
+    if (loop_->rendezvous_remaining > 0) return;
 
-  // Broadcast the endpoint table (led by the protocol version, so a peer
-  // can likewise reject a root from the wrong rollout generation).
-  Bytes table;
-  wire::put_u32(table, wire::kProtocolVersion);
-  for (const PeerEndpoint& ep : endpoints_) {
-    wire::put_u32(table, ep.ipv4);
-    wire::put_u16(table, ep.port);
-  }
-  for (int r = 1; r < options_.world_size; ++r) {
-    control_peers_[static_cast<std::size_t>(r)]->send_frame(wire::MsgType::kWelcome,
-                                                            0, table);
+    // Everyone checked in: broadcast the endpoint table (led by the
+    // protocol version, so a peer can likewise reject a root from the
+    // wrong rollout generation) and retire the rendezvous listener.
+    Bytes table;
+    wire::put_u32(table, wire::kProtocolVersion);
+    for (const PeerEndpoint& ep : endpoints_) {
+      wire::put_u32(table, ep.ipv4);
+      wire::put_u16(table, ep.port);
+    }
+    for (int r = 1; r < options_.world_size; ++r) {
+      const auto& control = loop_->controls[static_cast<std::size_t>(r)];
+      control->sendq.push(wire::MsgType::kWelcome, 0, table.data(), table.size());
+      loop_mark_dirty(control);
+    }
+    reactor_->del_fd(rendezvous_listener_fd_);
+    ::close(rendezvous_listener_fd_);
+    rendezvous_listener_fd_ = -1;
+    if (loop_->rendezvous_waiter) {
+      loop_->rendezvous_waiter->fulfill_ok();
+      loop_->rendezvous_waiter.reset();
+    }
+  } catch (const std::exception& ex) {
+    loop_fail_rendezvous(ex.what());
+    throw;  // loop_on_session_event closes the offending session
   }
 }
 
@@ -379,8 +573,11 @@ void SocketTransport::rendezvous_as_peer() {
   const auto deadline =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(options_.timeout_s));
-  // Rank 0 may not have bound the rendezvous port yet: dial until it has.
+  // Rank 0 may not have bound the rendezvous port yet, and a large world
+  // dialing at once can overflow even a deep backlog: retry with
+  // exponential backoff (5ms -> 250ms) to spread the SYN storm.
   int fd = -1;
+  auto backoff = std::chrono::milliseconds(5);
   for (;;) {
     fd = make_tcp_socket();
     sockaddr_in addr = make_addr(root_ipv4, options_.rendezvous_port);
@@ -392,80 +589,568 @@ void SocketTransport::rendezvous_as_peer() {
                                options_.rendezvous_host + ":" +
                                std::to_string(options_.rendezvous_port) + ")");
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, std::chrono::milliseconds(250));
   }
   set_socket_timeout(fd, SO_RCVTIMEO, options_.timeout_s);
   set_socket_timeout(fd, SO_SNDTIMEO, options_.timeout_s);
-  control_ = std::make_unique<Conn>(fd);
 
-  Bytes hello;
-  wire::put_u32(hello, wire::kProtocolVersion);
-  wire::put_u32(hello, static_cast<std::uint32_t>(options_.world_size));
-  wire::put_u16(hello, serve_port_);
-  control_->send_frame(wire::MsgType::kHello,
-                       static_cast<std::uint64_t>(options_.rank), hello);
+  bool registered = false;
+  try {
+    Bytes hello;
+    wire::put_u32(hello, wire::kProtocolVersion);
+    wire::put_u32(hello, static_cast<std::uint32_t>(options_.world_size));
+    wire::put_u16(hello, serve_port_);
+    send_frame_blocking(fd, wire::MsgType::kHello,
+                        static_cast<std::uint64_t>(options_.rank), hello);
 
-  wire::FrameHeader header;
-  Bytes payload;
-  if (!control_->recv_frame(header, payload) ||
-      header.type != wire::MsgType::kWelcome) {
-    throw std::runtime_error("SocketTransport: expected kWelcome from rendezvous");
+    wire::FrameHeader header;
+    Bytes payload;
+    if (!recv_frame_blocking(fd, header, payload) ||
+        header.type != wire::MsgType::kWelcome) {
+      throw std::runtime_error("SocketTransport: expected kWelcome from rendezvous");
+    }
+    wire::Reader reader(payload);
+    const std::uint32_t root_protocol = reader.u32();
+    if (root_protocol != wire::kProtocolVersion) {
+      throw std::runtime_error("SocketTransport: rendezvous speaks protocol " +
+                               std::to_string(root_protocol) + ", this rank " +
+                               std::to_string(wire::kProtocolVersion));
+    }
+    for (auto& endpoint : endpoints_) {
+      endpoint.ipv4 = reader.u32();
+      endpoint.port = reader.u16();
+    }
+    // Rank 0 advertises ipv4 == 0, "the address you dialed".
+    if (endpoints_[0].ipv4 == 0) endpoints_[0].ipv4 = root_ipv4;
+
+    // Handshake done: hand the (now non-blocking) control connection to the
+    // reactor.  Posted before the constructor returns, so any collective
+    // posted afterwards finds loop_->control in place (FIFO task order).
+    make_nonblocking(fd);
+    reactor_->post([this, fd] {
+      const auto session =
+          loop_make_session(fd, static_cast<int>(Session::Kind::kControl),
+                            static_cast<int>(Session::State::kOpen));
+      session->peer = 0;
+      loop_->control = session;
+    });
+    registered = true;
+  } catch (...) {
+    if (!registered) ::close(fd);
+    throw;
   }
-  wire::Reader reader(payload);
-  const std::uint32_t root_protocol = reader.u32();
-  if (root_protocol != wire::kProtocolVersion) {
-    throw std::runtime_error("SocketTransport: rendezvous speaks protocol " +
-                             std::to_string(root_protocol) + ", this rank " +
-                             std::to_string(wire::kProtocolVersion));
-  }
-  for (auto& endpoint : endpoints_) {
-    endpoint.ipv4 = reader.u32();
-    endpoint.port = reader.u16();
-  }
-  // Rank 0 advertises ipv4 == 0, "the address you dialed".
-  if (endpoints_[0].ipv4 == 0) endpoints_[0].ipv4 = root_ipv4;
 }
 
 // ---------------------------------------------------------------------------
-// Collectives: gather-to-root + broadcast over the control connections.
+// Session plumbing.
+
+std::shared_ptr<SocketTransport::Session> SocketTransport::loop_make_session(
+    int fd, int kind, int state) {
+  auto session = std::make_shared<Session>();
+  session->fd = fd;
+  session->kind = static_cast<Session::Kind>(kind);
+  session->state = static_cast<Session::State>(state);
+  loop_->sessions.emplace(fd, session);
+  reactor_->add_fd(fd, EPOLLIN, [this, fd](std::uint32_t events) {
+    loop_on_session_event(fd, events);
+  });
+  return session;
+}
+
+void SocketTransport::loop_accept_serve() {
+  for (;;) {
+    const int fd = ::accept(serve_listener_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: drained the backlog
+    }
+    if (stopping_.load(std::memory_order_acquire) || loop_->draining) {
+      ::close(fd);
+      continue;
+    }
+    make_nonblocking(fd);
+    set_nodelay(fd);
+    loop_make_session(fd, static_cast<int>(Session::Kind::kServe),
+                      static_cast<int>(Session::State::kHandshake));
+  }
+}
+
+void SocketTransport::loop_on_session_event(int fd, std::uint32_t events) {
+  const auto it = loop_->sessions.find(fd);
+  if (it == loop_->sessions.end()) return;  // closed earlier this batch
+  const std::shared_ptr<Session> session = it->second;
+  try {
+    if (session->state == Session::State::kConnecting) {
+      if ((events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) != 0) {
+        loop_finish_connect(session);
+      }
+      if (session->state == Session::State::kClosed ||
+          session->state == Session::State::kConnecting) {
+        return;
+      }
+    }
+    if ((events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+      const wire::IoStatus status = session->reader.fill_from(session->fd);
+      // Dispatch everything that arrived BEFORE acting on EOF: a peer's
+      // teardown-flushed deltas can land in the same read as its close,
+      // and they must still fold.
+      while (session->reader.has_frame()) {
+        loop_dispatch_frame(session, session->reader.pop_frame());
+        if (session->state == Session::State::kClosed) return;
+      }
+      if (status == wire::IoStatus::kEof) {
+        if (session->reader.mid_frame()) {
+          throw std::runtime_error("SocketTransport: peer closed mid-frame");
+        }
+        loop_close_session(session);
+        return;
+      }
+    }
+    if ((events & EPOLLOUT) != 0) loop_flush_session(session);
+  } catch (const std::exception& ex) {
+    if (!stopping_.load(std::memory_order_acquire)) {
+      util::log_error("SocketTransport rank ", options_.rank, ": ", ex.what());
+    }
+    loop_close_session(session);
+  }
+}
+
+void SocketTransport::loop_finish_connect(const std::shared_ptr<Session>& session) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  ::getsockopt(session->fd, SOL_SOCKET, SO_ERROR, &err, &len);
+  if (err != 0) {
+    loop_close_session(session);  // peer unreachable: recorded miss
+    return;
+  }
+  session->state =
+      loop_->draining ? Session::State::kDraining : Session::State::kOpen;
+  session->want_write = false;
+  reactor_->mod_fd(session->fd, EPOLLIN);
+  loop_mark_dirty(session);  // the queued kHello (and anything behind it)
+}
+
+void SocketTransport::loop_dispatch_frame(const std::shared_ptr<Session>& session,
+                                          wire::Frame frame) {
+  switch (session->kind) {
+    case Session::Kind::kRendezvous:
+      loop_rendezvous_hello(session, std::move(frame));
+      return;
+    case Session::Kind::kServe:
+      loop_serve_frame(session, std::move(frame));
+      return;
+    case Session::Kind::kChannel:
+      loop_channel_reply(session, std::move(frame));
+      return;
+    case Session::Kind::kControl:
+      loop_control_frame(session, std::move(frame));
+      return;
+  }
+}
+
+void SocketTransport::loop_mark_dirty(const std::shared_ptr<Session>& session) {
+  if (session->dirty || session->state == Session::State::kClosed ||
+      session->state == Session::State::kConnecting) {
+    return;
+  }
+  session->dirty = true;
+  loop_->dirty.push_back(session);
+}
+
+void SocketTransport::loop_flush_dirty() {
+  // One batched pass per reactor iteration: every task/handler that queued
+  // frames this iteration shares one sendmsg per session.
+  while (!loop_->dirty.empty()) {
+    auto batch = std::move(loop_->dirty);
+    loop_->dirty.clear();
+    for (const auto& session : batch) {
+      session->dirty = false;
+      if (session->state == Session::State::kClosed ||
+          session->state == Session::State::kConnecting) {
+        continue;
+      }
+      loop_flush_session(session);
+    }
+  }
+}
+
+void SocketTransport::loop_flush_session(const std::shared_ptr<Session>& session) {
+  try {
+    const wire::IoStatus status = session->sendq.flush(session->fd);
+    const bool want = status == wire::IoStatus::kWouldBlock;
+    if (want != session->want_write) {
+      session->want_write = want;
+      reactor_->mod_fd(session->fd, want ? (EPOLLIN | EPOLLOUT) : EPOLLIN);
+    }
+    if (session->state == Session::State::kDraining && session->sendq.empty() &&
+        session->delayed.empty()) {
+      loop_close_session(session);
+    }
+  } catch (const std::exception& ex) {
+    if (!stopping_.load(std::memory_order_acquire)) {
+      util::log_error("SocketTransport rank ", options_.rank, ": ", ex.what());
+    }
+    loop_close_session(session);
+  }
+}
+
+void SocketTransport::loop_close_session(const std::shared_ptr<Session>& session) {
+  if (session->state == Session::State::kClosed) return;
+  session->state = Session::State::kClosed;
+  reactor_->del_fd(session->fd);
+  ::close(session->fd);
+  loop_->sessions.erase(session->fd);
+  session->fd = -1;
+  session->delayed.clear();
+
+  switch (session->kind) {
+    case Session::Kind::kChannel: {
+      // In-flight fetches on a dead channel are recorded misses — exactly
+      // how the paper treats a peer that cannot (yet) serve a sample.
+      for (auto& ticket : session->pending_fetches) ticket->resolve(false, {});
+      session->pending_fetches.clear();
+      if (session->peer >= 0 &&
+          loop_->channels[static_cast<std::size_t>(session->peer)] == session) {
+        loop_->channels[static_cast<std::size_t>(session->peer)].reset();
+      }
+      break;
+    }
+    case Session::Kind::kServe: {
+      // Connection gone (clean EOF or error): drop the peer's outstanding
+      // reader-count contribution so a crashed rank no longer pins gamma.
+      // Skipped during our own teardown — every channel is closing at once
+      // and the counter dies with the job.  The owner tag guards the race
+      // where the rank redialed and its live deltas moved to a newer
+      // connection before this cleanup ran.
+      if (session->pfs_rank_on_conn > 0 &&
+          !stopping_.load(std::memory_order_acquire)) {
+        pfs_root_drop_dead_rank(session->pfs_rank_on_conn, session.get());
+      }
+      break;
+    }
+    case Session::Kind::kControl: {
+      if (session->peer >= 0 &&
+          loop_->controls[static_cast<std::size_t>(session->peer)] == session) {
+        loop_->controls[static_cast<std::size_t>(session->peer)].reset();
+      }
+      if (loop_->control == session) loop_->control.reset();
+      if (!stopping_.load(std::memory_order_acquire) && !loop_->draining) {
+        loop_->collective_broken = true;
+        loop_->collective_error =
+            options_.rank == 0
+                ? "SocketTransport: collective out of step with rank " +
+                      std::to_string(session->peer)
+                : "SocketTransport: lost the root mid-collective";
+      }
+      if (loop_->gather_waiter) {
+        loop_->gather_waiter->fulfill_error(
+            "SocketTransport: collective out of step with rank " +
+            std::to_string(session->peer));
+        loop_->gather_waiter.reset();
+      }
+      if (loop_->allgather_waiter) {
+        loop_->allgather_waiter->fulfill_error(
+            "SocketTransport: lost the root mid-collective");
+        loop_->allgather_waiter.reset();
+      }
+      break;
+    }
+    case Session::Kind::kRendezvous: {
+      // Dying before introducing itself fails the handshake, matching the
+      // old blocking root's behaviour on a bad first frame.
+      if (!loop_->draining) {
+        loop_fail_rendezvous("SocketTransport: expected kHello at rendezvous");
+      }
+      break;
+    }
+  }
+  if (loop_->draining) loop_check_drained();
+}
+
+// ---------------------------------------------------------------------------
+// Frame dispatch per session kind.
+
+void SocketTransport::loop_serve_frame(const std::shared_ptr<Session>& session,
+                                       wire::Frame frame) {
+  if (frame.header.type == wire::MsgType::kHello) {
+    // The channel handshake (protocol revision 3): identifies the dialing
+    // rank and rejects a mixed-version straggler that somehow skipped the
+    // rendezvous.
+    if (session->state != Session::State::kHandshake) {
+      throw std::runtime_error("SocketTransport: duplicate channel hello");
+    }
+    wire::Reader reader(frame.payload);
+    const std::uint32_t peer_protocol = reader.u32();
+    if (peer_protocol != wire::kProtocolVersion) {
+      throw std::runtime_error("SocketTransport: channel hello speaks protocol " +
+                               std::to_string(peer_protocol) + ", this rank " +
+                               std::to_string(wire::kProtocolVersion));
+    }
+    const auto who = static_cast<int>(frame.header.arg);
+    if (who < 0 || who >= options_.world_size) {
+      throw std::runtime_error("SocketTransport: channel hello from invalid rank " +
+                               std::to_string(who));
+    }
+    session->peer = who;
+    session->state = Session::State::kOpen;
+    return;
+  }
+  if (session->state == Session::State::kHandshake) {
+    throw std::runtime_error("SocketTransport: frame before channel hello");
+  }
+  switch (frame.header.type) {
+    case wire::MsgType::kFetch: {
+      std::optional<Bytes> sample;
+      {
+        const std::scoped_lock lock(handler_mutex_);
+        if (handler_) sample = handler_(frame.header.arg);
+      }
+      if (sample.has_value()) {
+        // The server-side NIC charge: same rule as SimTransport, which
+        // prices a remote fetch on both endpoints' NICs.  Reserved, not
+        // blocked: the delay becomes a reactor timer on the reply.
+        double delay_s = 0.0;
+        if (options_.nic != nullptr) {
+          delay_s = options_.nic->reserve_transfer(
+              util::bytes_to_mb(sample->size()));
+        }
+        loop_enqueue_reply(session, wire::MsgType::kHit, frame.header.arg,
+                           std::move(*sample), delay_s);
+      } else {
+        loop_enqueue_reply(session, wire::MsgType::kMiss, frame.header.arg,
+                           Bytes{}, 0.0);
+      }
+      return;
+    }
+    case wire::MsgType::kWatermark: {
+      wire::Reader reader(frame.payload);
+      const auto peer = static_cast<int>(reader.u32());
+      if (peer >= 0 && peer < options_.world_size) {
+        watermarks_[static_cast<std::size_t>(peer)].store(
+            frame.header.arg, std::memory_order_release);
+      }
+      return;
+    }
+    case wire::MsgType::kPfsDelta: {
+      if (options_.rank != 0) {
+        throw std::runtime_error(
+            "SocketTransport: PFS contention frame at non-root rank");
+      }
+      const auto who = static_cast<int>(frame.header.arg);
+      if (who > 0 && who < options_.world_size) {
+        const wire::PfsDelta delta = wire::decode_pfs_delta(frame.payload);
+        session->pfs_rank_on_conn = who;
+        pfs_root_fold(who, delta.reader_delta, /*notify_local=*/true,
+                      session.get(), delta.seq);
+      }
+      return;
+    }
+    case wire::MsgType::kPfsGamma: {
+      if (options_.rank == 0) {
+        throw std::runtime_error("SocketTransport: kPfsGamma at the root");
+      }
+      pfs_apply_gamma(wire::decode_pfs_gamma(frame.payload));
+      return;
+    }
+    default:
+      throw std::runtime_error("SocketTransport: unexpected frame on serve conn");
+  }
+}
+
+void SocketTransport::loop_enqueue_reply(const std::shared_ptr<Session>& session,
+                                         wire::MsgType type, std::uint64_t arg,
+                                         Bytes payload, double delay_s) {
+  if (delay_s <= 0.0 && session->delayed.empty()) {
+    session->sendq.push(type, arg, std::move(payload));
+    loop_mark_dirty(session);
+    return;
+  }
+  const auto now = Clock::now();
+  auto due = now + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(std::max(0.0, delay_s)));
+  // Monotone deadlines keep replies FIFO: anything behind a NIC-delayed
+  // reply waits for it, even if itself free.
+  if (!session->delayed.empty() && due < session->delayed.back().due) {
+    due = session->delayed.back().due;
+  }
+  session->delayed.push_back(
+      Session::DelayedReply{due, type, arg, std::move(payload)});
+  loop_arm_delayed_timer(session);
+}
+
+void SocketTransport::loop_arm_delayed_timer(
+    const std::shared_ptr<Session>& session) {
+  if (session->delayed_timer_armed || session->delayed.empty()) return;
+  session->delayed_timer_armed = true;
+  const double wait_s =
+      std::chrono::duration<double>(session->delayed.front().due - Clock::now())
+          .count();
+  // Weak: the timer must not resurrect (or misfire into) a closed session
+  // whose fd number was reused.
+  std::weak_ptr<Session> weak = session;
+  reactor_->call_later(wait_s, [this, weak] {
+    const auto session = weak.lock();
+    if (!session || session->state == Session::State::kClosed) return;
+    session->delayed_timer_armed = false;
+    const auto now = Clock::now();
+    while (!session->delayed.empty() && session->delayed.front().due <= now) {
+      auto& reply = session->delayed.front();
+      session->sendq.push(reply.type, reply.arg, std::move(reply.payload));
+      session->delayed.pop_front();
+    }
+    loop_mark_dirty(session);
+    loop_arm_delayed_timer(session);
+  });
+}
+
+void SocketTransport::loop_channel_reply(const std::shared_ptr<Session>& session,
+                                         wire::Frame frame) {
+  switch (frame.header.type) {
+    case wire::MsgType::kHit:
+    case wire::MsgType::kMiss: {
+      if (session->pending_fetches.empty()) {
+        throw std::runtime_error("SocketTransport: unsolicited fetch reply");
+      }
+      const auto ticket = session->pending_fetches.front();
+      session->pending_fetches.pop_front();
+      if (frame.header.arg != ticket->id) {
+        throw std::runtime_error("SocketTransport: fetch reply out of step");
+      }
+      ticket->resolve(frame.header.type == wire::MsgType::kHit,
+                      std::move(frame.payload));
+      return;
+    }
+    default:
+      throw std::runtime_error("SocketTransport: unexpected frame on fetch channel");
+  }
+}
+
+void SocketTransport::loop_control_frame(const std::shared_ptr<Session>& session,
+                                         wire::Frame frame) {
+  if (options_.rank == 0) {
+    const int r = session->peer;
+    if (frame.header.type != wire::MsgType::kGather ||
+        frame.header.arg != static_cast<std::uint64_t>(r)) {
+      throw std::runtime_error(
+          "SocketTransport: collective out of step with rank " +
+          std::to_string(r));
+    }
+    if (loop_->gather_waiter &&
+        !loop_->gather_have[static_cast<std::size_t>(r)]) {
+      loop_->gather_slots[static_cast<std::size_t>(r)] = std::move(frame.payload);
+      loop_->gather_have[static_cast<std::size_t>(r)] = true;
+      if (--loop_->gather_missing == 0) loop_finish_root_gather();
+    } else {
+      // This peer's kGather beat the root's own thread to the collective.
+      loop_->early_gathers[static_cast<std::size_t>(r)].push_back(
+          std::move(frame.payload));
+    }
+    return;
+  }
+  if (frame.header.type != wire::MsgType::kAllgather) {
+    throw std::runtime_error("SocketTransport: lost the root mid-collective");
+  }
+  if (loop_->allgather_waiter) {
+    loop_->allgather_waiter->fulfill_ok(std::move(frame.payload));
+    loop_->allgather_waiter.reset();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Collectives: gather-to-root + broadcast over the control sessions.
+
+void SocketTransport::loop_begin_root_gather(
+    const std::shared_ptr<SyncWaiter>& waiter, Bytes local) {
+  if (loop_->collective_broken) {
+    waiter->fulfill_error(loop_->collective_error);
+    return;
+  }
+  const auto world = static_cast<std::size_t>(options_.world_size);
+  loop_->gather_waiter = waiter;
+  loop_->gather_slots.assign(world, {});
+  loop_->gather_have.assign(world, false);
+  loop_->gather_slots[0] = std::move(local);
+  loop_->gather_have[0] = true;
+  loop_->gather_missing = options_.world_size - 1;
+  for (std::size_t r = 1; r < world; ++r) {
+    auto& early = loop_->early_gathers[r];
+    if (!early.empty()) {
+      loop_->gather_slots[r] = std::move(early.front());
+      early.pop_front();
+      loop_->gather_have[r] = true;
+      --loop_->gather_missing;
+    }
+  }
+  if (loop_->gather_missing == 0) loop_finish_root_gather();
+}
+
+void SocketTransport::loop_finish_root_gather() {
+  const auto waiter = loop_->gather_waiter;
+  loop_->gather_waiter.reset();
+  Bytes packed;
+  for (const Bytes& slot : loop_->gather_slots) {
+    wire::put_u32(packed, static_cast<std::uint32_t>(slot.size()));
+    packed.insert(packed.end(), slot.begin(), slot.end());
+  }
+  for (int r = 1; r < options_.world_size; ++r) {
+    const auto& control = loop_->controls[static_cast<std::size_t>(r)];
+    if (control == nullptr || control->state == Session::State::kClosed) {
+      waiter->fulfill_error("SocketTransport: collective out of step with rank " +
+                            std::to_string(r));
+      return;
+    }
+    control->sendq.push(wire::MsgType::kAllgather, 0, packed.data(),
+                        packed.size());
+    loop_mark_dirty(control);
+  }
+  waiter->fulfill_ok({}, std::move(loop_->gather_slots));
+  loop_->gather_slots.clear();
+}
+
+void SocketTransport::loop_begin_peer_gather(
+    const std::shared_ptr<SyncWaiter>& waiter, Bytes local) {
+  if (loop_->collective_broken || loop_->control == nullptr ||
+      loop_->control->state == Session::State::kClosed) {
+    waiter->fulfill_error(loop_->collective_broken
+                              ? loop_->collective_error
+                              : "SocketTransport: lost the root mid-collective");
+    return;
+  }
+  loop_->allgather_waiter = waiter;
+  loop_->control->sendq.push(wire::MsgType::kGather,
+                             static_cast<std::uint64_t>(options_.rank),
+                             local.data(), local.size());
+  loop_mark_dirty(loop_->control);
+}
 
 std::vector<Bytes> SocketTransport::allgather(Bytes local) {
   const std::scoped_lock lock(collective_mutex_);
   const auto world = static_cast<std::size_t>(options_.world_size);
-  if (options_.rank == 0) {
-    std::vector<Bytes> slots(world);
+  if (world == 1) {
+    std::vector<Bytes> slots(1);
     slots[0] = std::move(local);
-    for (std::size_t r = 1; r < world; ++r) {
-      wire::FrameHeader header;
-      Bytes payload;
-      if (!control_peers_[r]->recv_frame(header, payload) ||
-          header.type != wire::MsgType::kGather ||
-          header.arg != static_cast<std::uint64_t>(r)) {
-        throw std::runtime_error(
-            "SocketTransport: collective out of step with rank " + std::to_string(r));
-      }
-      slots[r] = std::move(payload);
-    }
-    Bytes packed;
-    for (const Bytes& slot : slots) {
-      wire::put_u32(packed, static_cast<std::uint32_t>(slot.size()));
-      packed.insert(packed.end(), slot.begin(), slot.end());
-    }
-    for (std::size_t r = 1; r < world; ++r) {
-      control_peers_[r]->send_frame(wire::MsgType::kAllgather, 0, packed);
-    }
     return slots;
   }
-
-  control_->send_frame(wire::MsgType::kGather,
-                       static_cast<std::uint64_t>(options_.rank), local);
-  wire::FrameHeader header;
-  Bytes payload;
-  if (!control_->recv_frame(header, payload) ||
-      header.type != wire::MsgType::kAllgather) {
-    throw std::runtime_error("SocketTransport: lost the root mid-collective");
+  auto waiter = std::make_shared<SyncWaiter>();
+  if (options_.rank == 0) {
+    reactor_->post([this, waiter, local = std::move(local)]() mutable {
+      loop_begin_root_gather(waiter, std::move(local));
+    });
+  } else {
+    reactor_->post([this, waiter, local = std::move(local)]() mutable {
+      loop_begin_peer_gather(waiter, std::move(local));
+    });
   }
-  wire::Reader reader(payload);
+  if (!waiter->wait_for(options_.timeout_s)) {
+    throw std::runtime_error("SocketTransport: collective timed out");
+  }
+  {
+    const std::scoped_lock waiter_lock(waiter->m);
+    if (!waiter->ok) throw std::runtime_error(waiter->error);
+    if (options_.rank == 0) return std::move(waiter->slots);
+  }
+  wire::Reader reader(waiter->payload);
   std::vector<Bytes> slots(world);
   for (auto& slot : slots) slot = reader.bytes(reader.u32());
   return slots;
@@ -474,118 +1159,12 @@ std::vector<Bytes> SocketTransport::allgather(Bytes local) {
 void SocketTransport::barrier() { (void)allgather(Bytes{}); }
 
 // ---------------------------------------------------------------------------
-// Serving.
+// Serving handler + fetch.
 
 void SocketTransport::set_serve_handler(ServeHandler handler) {
   const std::scoped_lock lock(handler_mutex_);
   handler_ = std::move(handler);
 }
-
-void SocketTransport::serve_accept_loop() {
-  for (;;) {
-    const int fd = ::accept(serve_listener_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener closed or broken: we are shutting down
-    }
-    if (stopping_.load(std::memory_order_acquire)) {
-      ::close(fd);
-      break;
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    set_socket_timeout(fd, SO_SNDTIMEO, options_.timeout_s);
-    auto conn = std::make_shared<Conn>(fd);
-    const std::scoped_lock lock(serve_conns_mutex_);
-    serve_conns_.push_back(conn);
-    serve_threads_.emplace_back([this, conn] { serve_connection(conn); });
-  }
-}
-
-void SocketTransport::serve_connection(std::shared_ptr<Conn> conn) {
-  wire::FrameHeader header;
-  Bytes payload;
-  // Rank 0 only: the rank whose kPfsDelta frames arrived on THIS
-  // connection.  A rank sends its contention deltas on its single fetch
-  // channel to the root, so when that channel dies (the rank crashed or
-  // tore down mid-read) the root must drop the rank's outstanding
-  // reader-count contribution — otherwise the dead rank pins gamma,
-  // overpricing t(gamma) for every surviving rank until job teardown.
-  int pfs_rank_on_conn = -1;
-  try {
-    while (conn->recv_frame(header, payload)) {
-      switch (header.type) {
-        case wire::MsgType::kFetch: {
-          std::optional<Bytes> sample;
-          {
-            const std::scoped_lock lock(handler_mutex_);
-            if (handler_) sample = handler_(header.arg);
-          }
-          if (sample.has_value()) {
-            // The server-side NIC charge: same rule as SimTransport, which
-            // prices a remote fetch on both endpoints' NICs.
-            if (options_.nic != nullptr) {
-              options_.nic->transfer(util::bytes_to_mb(sample->size()));
-            }
-            conn->send_frame(wire::MsgType::kHit, header.arg, *sample);
-          } else {
-            conn->send_frame(wire::MsgType::kMiss, header.arg, nullptr, 0);
-          }
-          break;
-        }
-        case wire::MsgType::kWatermark: {
-          wire::Reader reader(payload);
-          const auto peer = static_cast<int>(reader.u32());
-          if (peer >= 0 && peer < options_.world_size) {
-            watermarks_[static_cast<std::size_t>(peer)].store(
-                header.arg, std::memory_order_release);
-          }
-          break;
-        }
-        case wire::MsgType::kPfsDelta: {
-          if (options_.rank != 0) {
-            throw std::runtime_error(
-                "SocketTransport: PFS contention frame at non-root rank");
-          }
-          const auto who = static_cast<int>(header.arg);
-          if (who > 0 && who < options_.world_size) {
-            const wire::PfsDelta delta = wire::decode_pfs_delta(payload);
-            pfs_rank_on_conn = who;
-            pfs_root_fold(who, delta.reader_delta, /*notify_local=*/true,
-                          conn.get(), delta.seq);
-          }
-          break;
-        }
-        case wire::MsgType::kPfsGamma: {
-          if (options_.rank == 0) {
-            throw std::runtime_error("SocketTransport: kPfsGamma at the root");
-          }
-          pfs_apply_gamma(wire::decode_pfs_gamma(payload));
-          break;
-        }
-        default:
-          throw std::runtime_error("SocketTransport: unexpected frame on serve conn");
-      }
-    }
-  } catch (const std::exception& ex) {
-    if (!stopping_.load(std::memory_order_acquire)) {
-      util::log_error("SocketTransport rank ", options_.rank, " serve: ", ex.what());
-    }
-  }
-  // Connection gone (clean EOF or error): drop the peer's outstanding
-  // reader-count contribution so a crashed rank no longer pins gamma.
-  // Skipped during our own teardown — every channel is closing at once and
-  // the counter dies with the job.  The owner tag guards the race where
-  // the rank redialed and its live deltas moved to a newer connection
-  // before this cleanup ran: only the connection still recorded as the
-  // contribution's owner may zero it.
-  if (pfs_rank_on_conn > 0 && !stopping_.load(std::memory_order_acquire)) {
-    pfs_root_drop_dead_rank(pfs_rank_on_conn, conn.get());
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Fetch + watermark channels.
 
 void SocketTransport::check_peer(int peer) const {
   if (peer < 0 || peer >= options_.world_size) {
@@ -593,61 +1172,99 @@ void SocketTransport::check_peer(int peer) const {
   }
 }
 
-SocketTransport::Conn* SocketTransport::peer_channel_locked(int peer) {
-  auto& channel = channels_[static_cast<std::size_t>(peer)];
-  if (channel != nullptr) return channel.get();
+std::shared_ptr<SocketTransport::Session> SocketTransport::loop_channel(int peer) {
+  auto& slot = loop_->channels[static_cast<std::size_t>(peer)];
+  if (slot != nullptr && slot->state != Session::State::kClosed) return slot;
+  if (loop_->draining) return nullptr;
   const PeerEndpoint endpoint = endpoints_[static_cast<std::size_t>(peer)];
-  const int fd = make_tcp_socket();
+  int fd = -1;
+  try {
+    fd = make_tcp_socket();
+    make_nonblocking(fd);
+  } catch (const std::exception&) {
+    if (fd >= 0) ::close(fd);
+    return nullptr;
+  }
   sockaddr_in addr = make_addr(endpoint.ipv4, endpoint.port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
     ::close(fd);
     return nullptr;  // peer torn down: a recorded miss, not a crash
   }
-  set_socket_timeout(fd, SO_RCVTIMEO, options_.timeout_s);
-  set_socket_timeout(fd, SO_SNDTIMEO, options_.timeout_s);
-  channel = std::make_unique<Conn>(fd);
-  return channel.get();
+  const auto session = loop_make_session(
+      fd, static_cast<int>(Session::Kind::kChannel),
+      static_cast<int>(rc == 0 ? Session::State::kOpen
+                               : Session::State::kConnecting));
+  session->peer = peer;
+  if (rc != 0) reactor_->mod_fd(fd, EPOLLIN | EPOLLOUT);
+  // The channel hello leads every frame on a dialed channel (revision 3).
+  Bytes hello;
+  wire::put_u32(hello, wire::kProtocolVersion);
+  session->sendq.push(wire::MsgType::kHello,
+                      static_cast<std::uint64_t>(options_.rank),
+                      std::move(hello));
+  if (rc == 0) loop_mark_dirty(session);
+  slot = session;
+  return session;
 }
 
-std::optional<Bytes> SocketTransport::fetch_sample(int peer, std::uint64_t id) {
+SocketTransport::FetchTicket SocketTransport::fetch_sample_start(
+    int peer, std::uint64_t id) {
   check_peer(peer);
   if (peer == options_.rank) {
     throw std::invalid_argument("SocketTransport: fetch_sample from self");
   }
-  try {
-    const std::scoped_lock lock(*channel_mutexes_[static_cast<std::size_t>(peer)]);
-    Conn* conn = peer_channel_locked(peer);
-    if (conn == nullptr) return std::nullopt;
-    conn->send_frame(wire::MsgType::kFetch, id, nullptr, 0);
-    wire::FrameHeader header;
-    Bytes payload;
-    if (!conn->recv_frame(header, payload)) {
-      channels_[static_cast<std::size_t>(peer)].reset();  // EOF: drop channel
+  auto ticket = std::make_shared<PendingFetch>();
+  ticket->id = id;
+  ticket->peer = peer;
+  if (stopping_.load(std::memory_order_acquire) || reactor_ == nullptr) {
+    ticket->resolve(false, {});
+    return ticket;
+  }
+  reactor_->post([this, peer, id, ticket] {
+    const auto channel = loop_channel(peer);
+    if (channel == nullptr) {
+      ticket->resolve(false, {});
+      return;
+    }
+    channel->pending_fetches.push_back(ticket);
+    channel->sendq.push(wire::MsgType::kFetch, id, nullptr, 0);
+    loop_mark_dirty(channel);
+  });
+  return ticket;
+}
+
+std::optional<Bytes> SocketTransport::fetch_sample_finish(
+    const FetchTicket& ticket) {
+  Bytes payload;
+  {
+    std::unique_lock lock(ticket->m);
+    const bool done =
+        ticket->cv.wait_for(lock, std::chrono::duration<double>(options_.timeout_s),
+                            [&] { return ticket->done; });
+    if (!done) {
+      lock.unlock();
+      if (!stopping_.load(std::memory_order_acquire)) {
+        util::log_error("SocketTransport rank ", options_.rank, " fetch from ",
+                        ticket->peer, ": timed out");
+      }
       return std::nullopt;
     }
-    if (header.type == wire::MsgType::kMiss) return std::nullopt;
-    if (header.type != wire::MsgType::kHit || header.arg != id) {
-      throw std::runtime_error("SocketTransport: fetch reply out of step");
-    }
-    const double mb = util::bytes_to_mb(payload.size());
-    if (options_.nic != nullptr) {
-      options_.nic->transfer(mb);
-    } else {
-      // Atomic add (fetches may race from several prefetch threads).
-      transferred_mb_no_nic_.fetch_add(mb, std::memory_order_relaxed);
-    }
-    return payload;
-  } catch (const std::exception& ex) {
-    // Connection-level failures are detectable, non-fatal misses — exactly
-    // how the paper treats a peer that cannot (yet) serve a sample.
-    if (!stopping_.load(std::memory_order_acquire)) {
-      util::log_error("SocketTransport rank ", options_.rank, " fetch from ", peer,
-                      ": ", ex.what());
-    }
-    const std::scoped_lock lock(*channel_mutexes_[static_cast<std::size_t>(peer)]);
-    channels_[static_cast<std::size_t>(peer)].reset();
-    return std::nullopt;
+    if (!ticket->hit) return std::nullopt;
+    payload = std::move(ticket->payload);
   }
+  const double mb = util::bytes_to_mb(payload.size());
+  if (options_.nic != nullptr) {
+    options_.nic->transfer(mb);
+  } else {
+    // Atomic add (fetches may race from several prefetch threads).
+    transferred_mb_no_nic_.fetch_add(mb, std::memory_order_relaxed);
+  }
+  return payload;
+}
+
+std::optional<Bytes> SocketTransport::fetch_sample(int peer, std::uint64_t id) {
+  return fetch_sample_finish(fetch_sample_start(peer, id));
 }
 
 // ---------------------------------------------------------------------------
@@ -690,8 +1307,9 @@ int SocketTransport::pfs_fold_locked(int rank, int delta, bool notify_local,
     pfs_broadcast_pending_ = true;
     if (gamma > pfs_broadcast_peak_) pfs_broadcast_peak_ = gamma;
   } else {
-    // Unary mode: broadcast while still holding pfs_mutex_, so two racing
-    // transitions reach every peer in the order they were folded.
+    // Unary mode: post the broadcast while still holding pfs_mutex_, so two
+    // racing transitions reach the reactor's FIFO queue — and therefore
+    // every peer — in the order they were folded.
     pfs_broadcast_gamma_locked(gamma);
   }
   return gamma;
@@ -720,23 +1338,23 @@ void SocketTransport::pfs_root_drop_dead_rank(int rank, const void* conn_tag) {
 }
 
 void SocketTransport::pfs_broadcast_gamma_locked(int gamma_value) {
+  if (reactor_ == nullptr) return;
   const Bytes payload =
       wire::encode_pfs_gamma({gamma_value, ++pfs_gamma_seq_});
-  for (int peer = 1; peer < options_.world_size; ++peer) {
-    try {
-      const std::scoped_lock channel_lock(
-          *channel_mutexes_[static_cast<std::size_t>(peer)]);
-      Conn* conn = peer_channel_locked(peer);
-      if (conn != nullptr) {
-        conn->send_frame(wire::MsgType::kPfsGamma, 0, payload);
+  // ALWAYS posted, never sent inline (even when already on the reactor):
+  // mixing inline and posted sends would let a later gamma overtake an
+  // earlier one still sitting in the task queue.
+  reactor_->post([this, payload] {
+    for (int peer = 1; peer < options_.world_size; ++peer) {
+      const auto channel = loop_channel(peer);
+      if (channel != nullptr) {
+        // Gossip is best-effort, like watermarks; a dead peer stays stale.
+        channel->sendq.push(wire::MsgType::kPfsGamma, 0, payload.data(),
+                            payload.size());
+        loop_mark_dirty(channel);
       }
-    } catch (const std::exception&) {
-      // Gossip is best-effort, like watermarks; a dead peer stays stale.
-      const std::scoped_lock channel_lock(
-          *channel_mutexes_[static_cast<std::size_t>(peer)]);
-      channels_[static_cast<std::size_t>(peer)].reset();
     }
-  }
+  });
 }
 
 void SocketTransport::pfs_apply_gamma(const wire::PfsGamma& update) {
@@ -751,9 +1369,9 @@ void SocketTransport::pfs_apply_gamma(const wire::PfsGamma& update) {
 
 void SocketTransport::pfs_flush_deltas() {
   // Flushers (gossip thread, unary-mode callers, teardown) serialize here,
-  // which pins the frame order on the channel to seq order; the queue lock
-  // is dropped before the send so enqueueing reader threads never wait on
-  // the socket.
+  // which pins the POST order — and therefore the frame order on the
+  // channel — to seq order; the queue lock is dropped before the post so
+  // enqueueing reader threads never wait on a flusher.
   const std::scoped_lock flush_lock(pfs_flush_mutex_);
   int net = 0;
   int peak = 0;
@@ -776,29 +1394,26 @@ void SocketTransport::pfs_flush_deltas() {
     first_seq = delta_seq_ + 1;
     delta_seq_ += static_cast<std::uint32_t>(frames);
   }
-  try {
-    const std::scoped_lock lock(*channel_mutexes_[0]);
-    Conn* conn = peer_channel_locked(0);
-    if (conn != nullptr) {
-      if (frames == 2) {
-        const Bytes up = wire::encode_pfs_delta({peak, first_seq});
-        conn->send_frame(wire::MsgType::kPfsDelta,
-                         static_cast<std::uint64_t>(options_.rank), up);
-        const Bytes down = wire::encode_pfs_delta({net - peak, first_seq + 1});
-        conn->send_frame(wire::MsgType::kPfsDelta,
-                         static_cast<std::uint64_t>(options_.rank), down);
-      } else {
-        const Bytes payload = wire::encode_pfs_delta({net, first_seq});
-        conn->send_frame(wire::MsgType::kPfsDelta,
-                         static_cast<std::uint64_t>(options_.rank), payload);
-      }
-    }
-  } catch (const std::exception&) {
+  if (reactor_ == nullptr) return;
+  std::vector<Bytes> payloads;
+  if (frames == 2) {
+    payloads.push_back(wire::encode_pfs_delta({peak, first_seq}));
+    payloads.push_back(wire::encode_pfs_delta({net - peak, first_seq + 1}));
+  } else {
+    payloads.push_back(wire::encode_pfs_delta({net, first_seq}));
+  }
+  reactor_->post([this, payloads = std::move(payloads)] {
     // Best-effort, like the unary frames: a lost delta self-heals through
     // the root's per-rank clamp and the dead-rank cleanup.
-    const std::scoped_lock lock(*channel_mutexes_[0]);
-    channels_[0].reset();
-  }
+    const auto channel = loop_channel(0);
+    if (channel == nullptr) return;
+    for (const Bytes& payload : payloads) {
+      channel->sendq.push(wire::MsgType::kPfsDelta,
+                          static_cast<std::uint64_t>(options_.rank),
+                          payload.data(), payload.size());
+    }
+    loop_mark_dirty(channel);
+  });
 }
 
 void SocketTransport::pfs_enqueue_delta(int delta) {
@@ -885,23 +1500,27 @@ void SocketTransport::set_pfs_listener(PfsListener listener) {
   pfs_listener_ = std::move(listener);
 }
 
+// ---------------------------------------------------------------------------
+// Watermarks + drain + odds and ends.
+
 void SocketTransport::publish_watermark(std::uint64_t position) {
   watermarks_[static_cast<std::size_t>(options_.rank)].store(
       position, std::memory_order_release);
+  if (stopping_.load(std::memory_order_acquire) || reactor_ == nullptr) return;
   Bytes who;
   wire::put_u32(who, static_cast<std::uint32_t>(options_.rank));
-  for (int peer = 0; peer < options_.world_size; ++peer) {
-    if (peer == options_.rank) continue;
-    try {
-      const std::scoped_lock lock(*channel_mutexes_[static_cast<std::size_t>(peer)]);
-      Conn* conn = peer_channel_locked(peer);
-      if (conn != nullptr) conn->send_frame(wire::MsgType::kWatermark, position, who);
-    } catch (const std::exception&) {
-      // Watermarks are best-effort gossip; a dead peer just stays stale.
-      const std::scoped_lock lock(*channel_mutexes_[static_cast<std::size_t>(peer)]);
-      channels_[static_cast<std::size_t>(peer)].reset();
+  reactor_->post([this, position, who = std::move(who)] {
+    for (int peer = 0; peer < options_.world_size; ++peer) {
+      if (peer == options_.rank) continue;
+      const auto channel = loop_channel(peer);
+      if (channel != nullptr) {
+        // Watermarks are best-effort gossip; a dead peer just stays stale.
+        channel->sendq.push(wire::MsgType::kWatermark, position, who.data(),
+                            who.size());
+        loop_mark_dirty(channel);
+      }
     }
-  }
+  });
 }
 
 std::uint64_t SocketTransport::watermark_of(int peer) const {
@@ -912,6 +1531,52 @@ std::uint64_t SocketTransport::watermark_of(int peer) const {
 double SocketTransport::transferred_mb() const {
   if (options_.nic != nullptr) return options_.nic->total_transferred_mb();
   return transferred_mb_no_nic_.load(std::memory_order_relaxed);
+}
+
+void SocketTransport::loop_begin_drain(const std::shared_ptr<SyncWaiter>& waiter) {
+  loop_->draining = true;
+  loop_->drain_waiter = waiter;
+  if (rendezvous_listener_fd_ >= 0) {
+    reactor_->del_fd(rendezvous_listener_fd_);
+    ::close(rendezvous_listener_fd_);
+    rendezvous_listener_fd_ = -1;
+  }
+  if (serve_listener_fd_ >= 0) {
+    reactor_->del_fd(serve_listener_fd_);
+    ::close(serve_listener_fd_);
+    serve_listener_fd_ = -1;
+  }
+  std::vector<std::shared_ptr<Session>> all;
+  all.reserve(loop_->sessions.size());
+  for (const auto& [fd, session] : loop_->sessions) all.push_back(session);
+  for (const auto& session : all) {
+    // NIC-priced replies still waiting on their timer are dropped: the
+    // requester is tearing down too, or will see the close as a miss.
+    session->delayed.clear();
+    if (session->state == Session::State::kConnecting) {
+      // Keep dialing: the queue may hold teardown-flushed deltas that must
+      // reach the root.  loop_finish_connect sees draining and continues
+      // the drain; the teardown deadline bounds a peer that never answers.
+      continue;
+    }
+    if (session->state != Session::State::kClosed) {
+      session->state = Session::State::kDraining;
+      if (session->sendq.empty() && session->delayed.empty()) {
+        loop_close_session(session);
+      } else {
+        loop_mark_dirty(session);
+      }
+    }
+  }
+  loop_check_drained();
+}
+
+void SocketTransport::loop_check_drained() {
+  if (!loop_->draining || loop_->drain_waiter == nullptr) return;
+  if (loop_->sessions.empty()) {
+    loop_->drain_waiter->fulfill_ok();
+    loop_->drain_waiter.reset();
+  }
 }
 
 // ---------------------------------------------------------------------------

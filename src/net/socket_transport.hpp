@@ -16,13 +16,21 @@
 //     reads one kGather per peer (TCP keeps per-connection FIFO order, and
 //     the Transport contract requires all ranks to issue collectives in the
 //     same sequence, so no generation tags are needed).
-//   * Serving: every rank runs a serve listener + acceptor thread; each
-//     peer connection gets a reader thread answering kFetch with kHit/kMiss
-//     through the installed serve handler, and applying kWatermark gossip.
+//   * Serving (DESIGN.md Sec. 7.5): all socket I/O — accepted serve
+//     connections, dialed peer channels, control connections, rendezvous —
+//     runs on ONE epoll reactor thread (net/reactor.hpp) as non-blocking
+//     per-peer Session state machines.  The process's thread count is
+//     reactor + gossip regardless of world size.  Fetch is pipelined:
+//     fetch_sample_start() enqueues a kFetch and returns a ticket,
+//     fetch_sample_finish() parks on it, and replies match tickets FIFO
+//     because the serve side answers one connection's requests in order.
 //   * Time charging: byte-for-byte the SimTransport rules — a successful
 //     fetch charges the server's emulated NIC as it serves and the
 //     requester's NIC as it receives, so a run is priced identically no
-//     matter which backend carries it (DESIGN.md Sec. 7).
+//     matter which backend carries it (DESIGN.md Sec. 7).  The serve side
+//     prices its NIC with a non-blocking reservation
+//     (NicDevice::reserve_transfer) and a reactor timer instead of
+//     blocking the loop.
 //   * PFS contention accounting (DESIGN.md Sec. 7.4): rank 0 hosts the
 //     authoritative job-wide active-reader counter.  Reader threads only
 //     ENQUEUE their weighted transitions (pfs_adjust); a dedicated gossip
@@ -31,9 +39,10 @@
 //     fetch channel to rank 0.  Rank 0 folds deltas under its counter lock
 //     and broadcasts coalesced kPfsGamma updates on the same per-peer
 //     channels the watermarks ride.  net::SharedPfs consumes this surface
-//     to retune its token bucket.  Teardown flushes queued deltas before
-//     closing channels, so a cooperative shutdown drains rank 0's counter
-//     to zero without the dead-rank cleanup path.
+//     to retune its token bucket.  Teardown flushes queued deltas through
+//     the reactor and drains every session's send queue before closing, so
+//     a cooperative shutdown drains rank 0's counter to zero without the
+//     dead-rank cleanup path.
 //
 // Loopback only today: endpoints are exchanged as IPv4 addresses, so
 // spanning real nodes needs nothing new on the wire, just reachable
@@ -53,9 +62,13 @@
 
 namespace nopfs::net::wire {
 struct PfsGamma;
+struct Frame;
+enum class MsgType : std::uint8_t;
 }
 
 namespace nopfs::net {
+
+class Reactor;
 
 struct SocketOptions {
   int rank = 0;
@@ -98,6 +111,23 @@ class SocketTransport final : public Transport {
   void set_serve_handler(ServeHandler handler) override;
   std::optional<Bytes> fetch_sample(int peer, std::uint64_t id) override;
 
+  // --- pipelined fetch -----------------------------------------------------
+  // fetch_sample() == fetch_sample_start() + fetch_sample_finish().  Splitting
+  // the pair lets a caller keep dozens of kFetch frames in flight on one
+  // connection; the serve side answers a connection's requests in order, so
+  // replies resolve tickets FIFO.
+  struct PendingFetch;
+  using FetchTicket = std::shared_ptr<PendingFetch>;
+
+  /// Enqueues a kFetch to `peer` and returns immediately.  Throws
+  /// std::invalid_argument for self or an out-of-range peer (same contract
+  /// as fetch_sample).
+  [[nodiscard]] FetchTicket fetch_sample_start(int peer, std::uint64_t id);
+
+  /// Parks until the ticket resolves (reply, dead peer, or timeout — the
+  /// latter two are recorded misses).  Charges the requester's NIC on a hit.
+  std::optional<Bytes> fetch_sample_finish(const FetchTicket& ticket);
+
   int pfs_adjust(int delta) override;
   void set_pfs_listener(PfsListener listener) override;
 
@@ -120,21 +150,59 @@ class SocketTransport final : public Transport {
     std::uint32_t ipv4 = 0;  ///< network byte order
     std::uint16_t port = 0;
   };
-  class Conn;  // RAII socket with framed send/receive (socket_transport.cpp)
+  struct Session;  // per-connection state machine (socket_transport.cpp)
+  struct Loop;     // reactor-confined state: sessions, collectives, rendezvous
+  struct SyncWaiter;
 
   void rendezvous_as_root();
   void rendezvous_as_peer();
-  void serve_accept_loop();
-  void serve_connection(std::shared_ptr<Conn> conn);
-  /// Control-channel connection to `peer`'s serve listener, dialing on
-  /// first use.  Returns null (a recorded miss) if the peer is gone.
-  [[nodiscard]] Conn* peer_channel_locked(int peer);
   void check_peer(int peer) const;
+
+  // --- reactor-thread-only helpers (loop_* prefix) -------------------------
+  void loop_accept_serve();
+  void loop_accept_rendezvous();
+  std::shared_ptr<Session> loop_make_session(int fd, int kind, int state);
+  void loop_on_session_event(int fd, std::uint32_t events);
+  void loop_finish_connect(const std::shared_ptr<Session>& session);
+  void loop_dispatch_frame(const std::shared_ptr<Session>& session,
+                           wire::Frame frame);
+  void loop_rendezvous_hello(const std::shared_ptr<Session>& session,
+                             wire::Frame frame);
+  void loop_serve_frame(const std::shared_ptr<Session>& session,
+                        wire::Frame frame);
+  void loop_channel_reply(const std::shared_ptr<Session>& session,
+                          wire::Frame frame);
+  void loop_control_frame(const std::shared_ptr<Session>& session,
+                          wire::Frame frame);
+  /// Queues a serve reply, honoring a NIC reservation delay: delayed replies
+  /// sit in a per-session FIFO released by a reactor timer, and anything
+  /// behind a delayed reply waits for it — reply order must match request
+  /// order or pipelined tickets would mis-pair.
+  void loop_enqueue_reply(const std::shared_ptr<Session>& session,
+                          wire::MsgType type, std::uint64_t arg, Bytes payload,
+                          double delay_s);
+  void loop_arm_delayed_timer(const std::shared_ptr<Session>& session);
+  /// Channel to `peer`, dialing (non-blocking) on first use.  Returns null
+  /// if the peer is unreachable or the transport is draining.
+  std::shared_ptr<Session> loop_channel(int peer);
+  void loop_mark_dirty(const std::shared_ptr<Session>& session);
+  void loop_flush_dirty();
+  void loop_flush_session(const std::shared_ptr<Session>& session);
+  void loop_close_session(const std::shared_ptr<Session>& session);
+  void loop_fail_rendezvous(const std::string& error);
+  void loop_begin_root_gather(const std::shared_ptr<SyncWaiter>& waiter,
+                              Bytes local);
+  void loop_begin_peer_gather(const std::shared_ptr<SyncWaiter>& waiter,
+                              Bytes local);
+  void loop_finish_root_gather();
+  void loop_begin_drain(const std::shared_ptr<SyncWaiter>& waiter);
+  void loop_check_drained();
+
   /// Rank-0 side of the contention protocol: folds `delta` into `rank`'s
   /// reader-count contribution under pfs_mutex_, recomputes the
   /// authoritative gamma, optionally notifies the local listener and queues
-  /// (or, in unary mode, sends) the kPfsGamma broadcast.  Returns the new
-  /// gamma.  `conn_tag` identifies the serve connection the frame arrived
+  /// (or, in unary mode, posts) the kPfsGamma broadcast.  Returns the new
+  /// gamma.  `conn_tag` identifies the serve session the frame arrived
   /// on (null for rank 0's own transitions); it is recorded as the rank's
   /// owner while the contribution is nonzero so the disconnect cleanup can
   /// tell a stale connection's orphan from live deltas on a redialed
@@ -150,8 +218,10 @@ class SocketTransport final : public Transport {
   /// Rank-0 disconnect cleanup: zeroes `rank`'s contribution iff `conn_tag`
   /// still owns it (a redialed channel's live contribution is left alone).
   void pfs_root_drop_dead_rank(int rank, const void* conn_tag);
-  /// Rank-0: broadcasts `gamma_value` to every peer.  Caller must hold
-  /// pfs_mutex_ (broadcast order == fold order).
+  /// Rank-0: posts the broadcast of `gamma_value` to every peer onto the
+  /// reactor.  Caller must hold pfs_mutex_; the reactor's FIFO task queue
+  /// preserves fold order on the wire (broadcasts are ALWAYS posted, never
+  /// sent inline, so seq order can't invert).
   void pfs_broadcast_gamma_locked(int gamma_value);
   /// Rank-0, batched mode: emits the pending coalesced broadcast — the
   /// window's peak first when it exceeds the settle value, so the envelope
@@ -162,56 +232,53 @@ class SocketTransport final : public Transport {
   /// Non-root: enqueues a transition for the gossip thread, or flushes it
   /// inline when flush_virtual_s == 0 (unary-equivalence mode).
   void pfs_enqueue_delta(int delta);
-  /// Drains the queue as one net kPfsDelta to rank 0.  Self-locking:
-  /// concurrent flushers serialize on pfs_flush_mutex_ (so frames reach the
-  /// channel in seq order) while gossip_mutex_ is held only for the
-  /// snapshot — reader threads never wait on a socket send.
+  /// Drains the queue as one net kPfsDelta posted to the reactor.
+  /// Self-locking: concurrent flushers serialize on pfs_flush_mutex_ across
+  /// their posts (so frames reach the channel in seq order) while
+  /// gossip_mutex_ is held only for the snapshot — reader threads never
+  /// wait on a socket send.
   void pfs_flush_deltas();
   /// The gossip thread: drains the delta queue / pending broadcast at the
   /// configured cadence until teardown.
   void gossip_loop();
   /// Real-seconds flush cadence (gossip.flush_virtual_s / time_scale).
   [[nodiscard]] double flush_interval_s() const noexcept;
-  /// Stops the serve side, closes every connection, joins all threads.
-  /// Used by both the destructor and constructor failure cleanup.
+  /// Flushes gossip, drains every session's send queue on the reactor,
+  /// stops the reactor, closes what's left.  Used by both the destructor
+  /// and constructor failure cleanup.
   void teardown();
 
   SocketOptions options_;
 
-  // Serve side.
+  // The reactor and its confined state (Loop).  loop_ members are touched
+  // only on the reactor thread while it runs; the constructor fills them in
+  // before start() and teardown reads them after stop() joins.
+  std::unique_ptr<Reactor> reactor_;
+  std::unique_ptr<Loop> loop_;
+
   int serve_listener_fd_ = -1;
   std::uint16_t serve_port_ = 0;
-  std::thread acceptor_;
-  std::mutex serve_conns_mutex_;
-  std::vector<std::shared_ptr<Conn>> serve_conns_;
-  std::vector<std::thread> serve_threads_;
+  int rendezvous_listener_fd_ = -1;
   std::atomic<bool> stopping_{false};
 
   std::mutex handler_mutex_;
   ServeHandler handler_;
 
-  // Rendezvous / collectives.
-  std::unique_ptr<Conn> control_;               // rank>0: connection to root
-  std::vector<std::unique_ptr<Conn>> control_peers_;  // root: one per rank>0
-  std::mutex collective_mutex_;                 // collectives are one-at-a-time
+  std::mutex collective_mutex_;  // collectives are one-at-a-time
   std::vector<PeerEndpoint> endpoints_;
-
-  // Fetch channels, dialed lazily, one per peer, serialized per peer.
-  std::vector<std::unique_ptr<Conn>> channels_;
-  std::vector<std::unique_ptr<std::mutex>> channel_mutexes_;
 
   std::vector<std::atomic<std::uint64_t>> watermarks_;
   std::atomic<double> transferred_mb_no_nic_{0.0};
 
   // PFS contention state.  pfs_mutex_ orders every gamma change and is held
-  // across the kPfsGamma broadcast (so peers never see updates out of
+  // across the kPfsGamma broadcast POST (so peers never see updates out of
   // order) and across listener invocation (so set_pfs_listener({}) fences).
-  // Lock order: pfs_mutex_ before channel mutexes, never the reverse;
-  // gossip_mutex_ before channel mutexes; pfs_mutex_ and gossip_mutex_ are
-  // never held together.
+  // Lock order: pfs_mutex_ and gossip_mutex_ are never held together; the
+  // reactor thread takes pfs_mutex_ (folds) and handler_mutex_ (serves) but
+  // never blocks on a caller, so no cycle can form.
   std::mutex pfs_mutex_;
   std::vector<int> pfs_readers_;  ///< rank 0 only: per-rank reader count
-  /// Rank 0 only: the serve connection that last carried each rank's
+  /// Rank 0 only: the serve session that last carried each rank's
   /// deltas while its contribution is nonzero (null = idle) — lets the
   /// disconnect cleanup skip ranks whose deltas moved to a newer channel.
   std::vector<const void*> pfs_owner_;
@@ -231,8 +298,8 @@ class SocketTransport final : public Transport {
   // The gossip queue (non-root deltas; rank 0 reuses only the thread, for
   // coalesced broadcasts).  Reader threads append under gossip_mutex_ and
   // return; gossip_thread_ drains at the flush cadence.  pfs_flush_mutex_
-  // serializes flushers across their sends (seq order on the channel);
-  // lock order: pfs_flush_mutex_ before gossip_mutex_ before channel.
+  // serializes flushers across their posts (seq order on the channel);
+  // lock order: pfs_flush_mutex_ before gossip_mutex_.
   std::mutex pfs_flush_mutex_;
   std::mutex gossip_mutex_;
   std::condition_variable gossip_cv_;

@@ -1,7 +1,14 @@
 #include "net/wire.hpp"
 
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace nopfs::net::wire {
 
@@ -123,6 +130,154 @@ FrameHeader decode_header(const std::uint8_t (&in)[kHeaderBytes]) {
     throw std::runtime_error("wire: payload exceeds sanity cap");
   }
   return header;
+}
+
+// --- FrameReader -----------------------------------------------------------
+
+IoStatus FrameReader::fill_from(int fd, std::size_t max_bytes) {
+  std::size_t consumed = 0;
+  for (;;) {
+    dispense();  // scratch fully drains into header/payload state
+    scratch_pos_ = scratch_len_ = 0;
+    if (consumed >= max_bytes) return IoStatus::kDone;
+    ssize_t n = 0;
+    const std::size_t payload_want =
+        have_header_ ? payload_.size() - payload_have_ : 0;
+    if (payload_want >= sizeof(scratch_)) {
+      // Large remainder: read straight into the payload buffer.
+      n = ::recv(fd, payload_.data() + payload_have_, payload_want, 0);
+      if (n > 0) {
+        payload_have_ += static_cast<std::size_t>(n);
+        consumed += static_cast<std::size_t>(n);
+        finish_if_complete();
+        continue;
+      }
+    } else {
+      n = ::recv(fd, scratch_, sizeof(scratch_), 0);
+      if (n > 0) {
+        scratch_len_ = static_cast<std::size_t>(n);
+        consumed += static_cast<std::size_t>(n);
+        continue;
+      }
+    }
+    if (n == 0) return IoStatus::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    throw std::runtime_error(std::string("wire: recv: ") +
+                             std::strerror(errno));
+  }
+}
+
+void FrameReader::dispense() {
+  while (scratch_pos_ < scratch_len_) {
+    const std::size_t avail = scratch_len_ - scratch_pos_;
+    if (!have_header_) {
+      const std::size_t take = std::min(avail, kHeaderBytes - header_have_);
+      std::memcpy(header_buf_ + header_have_, scratch_ + scratch_pos_, take);
+      header_have_ += take;
+      scratch_pos_ += take;
+      if (header_have_ < kHeaderBytes) return;
+      header_ = decode_header(header_buf_);  // throws on a malformed header
+      have_header_ = true;
+      header_have_ = 0;
+      payload_.clear();
+      payload_.resize(header_.payload_len);
+      payload_have_ = 0;
+      finish_if_complete();  // zero-payload frames complete immediately
+    } else {
+      const std::size_t take =
+          std::min(avail, payload_.size() - payload_have_);
+      std::memcpy(payload_.data() + payload_have_, scratch_ + scratch_pos_,
+                  take);
+      payload_have_ += take;
+      scratch_pos_ += take;
+      finish_if_complete();
+    }
+  }
+}
+
+void FrameReader::finish_if_complete() {
+  if (have_header_ && payload_have_ == payload_.size()) {
+    ready_.push_back(Frame{header_, std::move(payload_)});
+    payload_ = {};
+    payload_have_ = 0;
+    have_header_ = false;
+  }
+}
+
+Frame FrameReader::pop_frame() {
+  Frame frame = std::move(ready_.front());
+  ready_.pop_front();
+  return frame;
+}
+
+// --- SendQueue -------------------------------------------------------------
+
+void SendQueue::push(MsgType type, std::uint64_t arg,
+                     std::vector<std::uint8_t> payload) {
+  if (payload.size() > kMaxPayloadBytes) {
+    throw std::runtime_error("wire: payload exceeds sanity cap");
+  }
+  Entry entry;
+  encode_header(entry.header, type, arg,
+                static_cast<std::uint32_t>(payload.size()));
+  entry.payload = std::move(payload);
+  bytes_ += kHeaderBytes + entry.payload.size();
+  entries_.push_back(std::move(entry));
+}
+
+void SendQueue::push(MsgType type, std::uint64_t arg,
+                     const std::uint8_t* payload, std::size_t len) {
+  std::vector<std::uint8_t> copy;
+  if (len > 0) copy.assign(payload, payload + len);
+  push(type, arg, std::move(copy));
+}
+
+IoStatus SendQueue::flush(int fd) {
+  while (!entries_.empty()) {
+    iovec iov[kMaxFlushIov];
+    std::size_t iovcnt = 0;
+    std::size_t skip = front_offset_;  // non-zero only for the front entry
+    for (auto it = entries_.begin();
+         it != entries_.end() && iovcnt + 2 <= kMaxFlushIov; ++it) {
+      if (skip < kHeaderBytes) {
+        iov[iovcnt].iov_base = it->header + skip;
+        iov[iovcnt].iov_len = kHeaderBytes - skip;
+        ++iovcnt;
+        skip = 0;
+      } else {
+        skip -= kHeaderBytes;
+      }
+      if (skip < it->payload.size()) {
+        iov[iovcnt].iov_base = it->payload.data() + skip;
+        iov[iovcnt].iov_len = it->payload.size() - skip;
+        ++iovcnt;
+      }
+      skip = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iovcnt;
+    // sendmsg rather than writev: writev cannot suppress SIGPIPE, and a
+    // peer racing us to close must surface as EPIPE, not kill the process.
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+      throw std::runtime_error(std::string("wire: sendmsg: ") +
+                               std::strerror(errno));
+    }
+    bytes_ -= static_cast<std::size_t>(n);
+    front_offset_ += static_cast<std::size_t>(n);
+    while (!entries_.empty()) {
+      const std::size_t entry_bytes =
+          kHeaderBytes + entries_.front().payload.size();
+      if (front_offset_ < entry_bytes) break;
+      front_offset_ -= entry_bytes;
+      entries_.pop_front();
+    }
+  }
+  return IoStatus::kDone;
 }
 
 }  // namespace nopfs::net::wire

@@ -12,10 +12,20 @@
 // The payload length is bounded by kMaxPayloadBytes so a corrupt or
 // truncated frame fails loudly instead of driving a gigabyte allocation.
 //
+// Two consumers sit on top of the frame format:
+//
+//   * the blocking rendezvous handshake (send_all/recv_all in
+//     socket_transport.cpp) encodes/decodes one frame at a time;
+//   * the epoll reactor (net/reactor.hpp) pumps non-blocking fds through
+//     FrameReader (incremental parse across partial reads) and SendQueue
+//     (buffered partial writes, scatter/gather flush: a kHit header and its
+//     sample payload leave in one sendmsg).
+//
 // DESIGN.md Sec. 7 documents the message exchange on top of these frames.
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 namespace nopfs::net::wire {
@@ -27,15 +37,20 @@ inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;  // 1 GiB sanity cap
 /// Protocol revision carried in the rendezvous handshake (kHello leads with
 /// it, kWelcome echoes it back).  Bumped whenever a frame's meaning changes
 /// — revision 2 replaced the unary kPfsAcquire/kPfsRelease contention
-/// frames with batched kPfsDelta — so a mixed-version world fails loudly at
-/// the handshake instead of misreading contention frames mid-rollout.  The
-/// high bytes spell "NP", so the version field can never be confused with a
-/// plausible world size (the field an unversioned peer sends first).
-inline constexpr std::uint32_t kProtocolVersion = 0x4E500002u;
+/// frames with batched kPfsDelta; revision 3 made fetch channels pipelined
+/// (many in-flight kFetch per connection, replies matched FIFO) and led
+/// every dialed channel with a kHello identifying the dialing rank — so a
+/// mixed-version world fails loudly at the handshake instead of misreading
+/// frames mid-rollout.  The high bytes spell "NP", so the version field can
+/// never be confused with a plausible world size (the field an unversioned
+/// peer sends first).
+inline constexpr std::uint32_t kProtocolVersion = 0x4E500003u;
 
 enum class MsgType : std::uint8_t {
   kHello = 1,      ///< rank -> rendezvous: arg=rank,
-                   ///<   payload=[u32 protocol, u32 world, u16 serve_port]
+                   ///<   payload=[u32 protocol, u32 world, u16 serve_port].
+                   ///< Also the first frame on every dialed peer channel:
+                   ///<   arg=rank, payload=[u32 protocol] (revision 3).
   kWelcome = 2,    ///< rendezvous -> rank: payload=[u32 protocol, endpoint table]
   kGather = 3,     ///< rank -> root: arg=rank, payload = local contribution
   kAllgather = 4,  ///< root -> rank: payload = world_size x [u32 len, bytes]
@@ -145,5 +160,92 @@ void encode_header(std::uint8_t (&out)[kHeaderBytes], MsgType type,
 
 [[nodiscard]] std::vector<std::uint8_t> encode_pfs_gamma(const PfsGamma& gamma);
 [[nodiscard]] PfsGamma decode_pfs_gamma(const std::vector<std::uint8_t>& payload);
+
+// --- non-blocking frame I/O ------------------------------------------------
+
+/// Result of pumping a non-blocking fd: made bounded progress (more may be
+/// pending — level-triggered epoll will refire), drained the fd until it
+/// would block, or hit clean EOF.
+enum class IoStatus { kDone, kWouldBlock, kEof };
+
+/// One fully parsed inbound frame.
+struct Frame {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Incremental frame parser for a non-blocking socket.  fill_from() reads
+/// whatever the fd has (header and payload boundaries land anywhere — a
+/// 17-byte header can arrive one byte at a time, a payload across many
+/// reads) and completed frames queue up behind has_frame()/pop_frame().
+/// Large payload remainders are read straight into the payload buffer so a
+/// multi-megabyte sample costs no extra copy.
+class FrameReader {
+ public:
+  /// Per-call read budget: one session cannot starve the rest of the loop.
+  static constexpr std::size_t kDefaultReadBudget = 4u << 20;
+
+  /// Pumps bytes from `fd` until it would block, reaches EOF, or roughly
+  /// `max_bytes` have been consumed.  Throws std::runtime_error on a
+  /// malformed frame or a socket error (EINTR is retried internally).
+  IoStatus fill_from(int fd, std::size_t max_bytes = kDefaultReadBudget);
+
+  [[nodiscard]] bool has_frame() const noexcept { return !ready_.empty(); }
+  [[nodiscard]] Frame pop_frame();
+
+  /// True when the stream stopped mid-frame — an EOF here means the peer
+  /// died mid-send rather than closing cleanly between frames.
+  [[nodiscard]] bool mid_frame() const noexcept {
+    return header_have_ > 0 || have_header_;
+  }
+
+ private:
+  void dispense();
+  void finish_if_complete();
+
+  std::deque<Frame> ready_;
+  std::uint8_t header_buf_[kHeaderBytes] = {};
+  std::size_t header_have_ = 0;
+  bool have_header_ = false;
+  FrameHeader header_;
+  std::vector<std::uint8_t> payload_;
+  std::size_t payload_have_ = 0;
+  std::uint8_t scratch_[64 * 1024];
+  std::size_t scratch_pos_ = 0;
+  std::size_t scratch_len_ = 0;
+};
+
+/// Outbound frame queue for a non-blocking socket.  push() stages a frame
+/// (header encoded in place, payload moved in — never copied); flush()
+/// writes as much as the socket accepts with one sendmsg() per batch,
+/// gathering up to kMaxFlushIov iovecs so a kHit header and its sample
+/// payload — and any frames queued behind them — leave in one syscall.
+/// Partial writes persist as a byte offset into the front frame.
+class SendQueue {
+ public:
+  static constexpr std::size_t kMaxFlushIov = 32;
+
+  void push(MsgType type, std::uint64_t arg, std::vector<std::uint8_t> payload);
+  void push(MsgType type, std::uint64_t arg, const std::uint8_t* payload,
+            std::size_t len);
+
+  /// Returns kDone when the queue emptied, kWouldBlock when the socket
+  /// stopped accepting bytes (re-arm EPOLLOUT).  Throws std::runtime_error
+  /// on a socket error; SIGPIPE is suppressed (MSG_NOSIGNAL).
+  IoStatus flush(int fd);
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t pending_bytes() const noexcept { return bytes_; }
+
+ private:
+  struct Entry {
+    std::uint8_t header[kHeaderBytes];
+    std::vector<std::uint8_t> payload;
+  };
+
+  std::deque<Entry> entries_;
+  std::size_t front_offset_ = 0;  // bytes of the front entry already sent
+  std::size_t bytes_ = 0;
+};
 
 }  // namespace nopfs::net::wire

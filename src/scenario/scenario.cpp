@@ -454,6 +454,28 @@ Scenario contention_batched_socket() {
   return s;
 }
 
+/// The reactor thread-count gate: a 64-rank loopback world whose every rank
+/// dials rank 0 (deltas ride the channel to the root), so rank 0
+/// accumulates 63 serve sessions.  Under the per-connection-thread
+/// transport that meant ~70 threads in the root process; under the epoll
+/// reactor it must stay a handful regardless of world size — the CI
+/// scenario-matrix leg polls /proc/<root>/status Threads to enforce it.
+Scenario worker_large_world() {
+  Scenario s = contention_large_world();
+  s.name = "worker-large-world";
+  s.summary =
+      "Reactor scaling shape: 64-rank loopback world, 1 epoch, every rank "
+      "gossiping to rank 0 over one event loop";
+  s.sim.gpu_counts = {64};
+  s.sim.epochs = 1;
+  s.worker.world_size = 64;
+  s.worker.epochs = 1;
+  s.worker.loader_threads = 1;  // keep the 64-process CI leg light
+  s.worker.lookahead = 4;
+  s.worker.seed = 79;
+  return s;
+}
+
 Scenario micro_core() {
   Scenario s;
   s.name = "micro-core";
@@ -515,6 +537,7 @@ std::map<std::string, Scenario> build_registry() {
   add(contention_pfs());
   add(contention_large_world());
   add(contention_batched_socket());
+  add(worker_large_world());
   add(micro_core());
   add(micro_sweep());
   return entries;

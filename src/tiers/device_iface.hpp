@@ -84,6 +84,16 @@ class NicDevice {
   /// Blocks for the emulated duration of transferring `mb`.
   virtual void transfer(double mb) = 0;
 
+  /// Non-blocking variant for event-loop callers: accounts the transfer
+  /// immediately and returns the delay (real seconds) the caller should
+  /// impose before releasing the bytes.  The default blocks via transfer()
+  /// — correct for any implementation, just not loop-friendly; EmulatedNic
+  /// overrides it with a token-bucket deficit reservation.
+  [[nodiscard]] virtual double reserve_transfer(double mb) {
+    transfer(mb);
+    return 0.0;
+  }
+
   [[nodiscard]] virtual double total_transferred_mb() const = 0;
 };
 

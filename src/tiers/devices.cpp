@@ -89,6 +89,8 @@ EmulatedNic::EmulatedNic(Clock& clock, double bandwidth_mbps, double time_scale)
 
 void EmulatedNic::transfer(double mb) { bucket_.acquire(mb); }
 
+double EmulatedNic::reserve_transfer(double mb) { return bucket_.reserve(mb); }
+
 EmulatedCluster::EmulatedCluster(Clock& clock, const SystemParams& params,
                                  double time_scale)
     : clock_(clock), params_(params), time_scale_(time_scale) {

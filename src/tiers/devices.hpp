@@ -98,6 +98,8 @@ class EmulatedNic final : public NicDevice {
 
   void transfer(double mb) override;
 
+  [[nodiscard]] double reserve_transfer(double mb) override;
+
   [[nodiscard]] double total_transferred_mb() const override {
     return bucket_.total_granted();
   }

@@ -46,6 +46,19 @@ void TokenBucket::acquire(double mb) {
   }
 }
 
+double TokenBucket::reserve(double mb) {
+  if (mb <= 0.0) return 0.0;
+  const std::scoped_lock lock(mutex_);
+  refill_locked();
+  tokens_ -= mb;
+  granted_ += mb;
+  if (tokens_ >= 0.0) return 0.0;
+  // A zero rate means "wait for set_rate()"; acquire() polls for that, a
+  // reservation can only report a token of patience and let the caller's
+  // timer fire into a still-deficit bucket (the next reserve sees it).
+  return rate_ > 0.0 ? -tokens_ / rate_ : 0.001;
+}
+
 bool TokenBucket::try_acquire(double mb) {
   const std::scoped_lock lock(mutex_);
   refill_locked();

@@ -29,6 +29,15 @@ class TokenBucket {
   /// currently available.
   [[nodiscard]] bool try_acquire(double mb);
 
+  /// Non-blocking deficit reservation: consumes `mb` immediately (tokens may
+  /// go negative, exactly like acquire()) and returns the delay in real
+  /// seconds until the deficit refills — 0 when tokens were available.  The
+  /// caller owes that wait by other means (the socket reactor prices a
+  /// reply's NIC time with a timer instead of blocking its event loop).
+  /// Back-to-back reservations stack: each later caller sees the deeper
+  /// deficit, matching acquire()'s serialization of a saturated device.
+  [[nodiscard]] double reserve(double mb);
+
   /// Retunes the refill rate (MB per real second).
   void set_rate(double rate_mb_per_s);
 

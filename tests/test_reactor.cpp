@@ -1,0 +1,319 @@
+// Tests for the epoll reactor and the reactor-backed SocketTransport paths
+// that the threaded-era suite could not exercise: the Reactor primitive
+// itself (task FIFO, timer ordering, fd dispatch), the pipelined-fetch
+// ticket API (dozens of kFetch in flight on ONE connection, interleaved
+// with kPfsDelta gossip on the same wire), and dead-rank gamma release when
+// a peer process dies abruptly — no destructor, no teardown frames, just
+// the kernel closing its sockets (fork + _exit, the real crash shape).
+
+#include <gtest/gtest.h>
+
+#include <sys/epoll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/reactor.hpp"
+#include "net/socket_transport.hpp"
+
+namespace nopfs::net {
+namespace {
+
+bool eventually(const std::function<bool()>& predicate,
+                std::chrono::seconds limit = std::chrono::seconds(20)) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return predicate();
+}
+
+TEST(Reactor, TasksRunInPostOrder) {
+  // The FIFO guarantee is what the transport's gossip sequencing leans on:
+  // post A then B from one thread must run A before B on the loop.
+  Reactor reactor;
+  reactor.start();
+  std::mutex mutex;
+  std::vector<int> order;
+  std::condition_variable cv;
+  for (int i = 0; i < 100; ++i) {
+    reactor.post([&, i] {
+      const std::scoped_lock lock(mutex);
+      order.push_back(i);
+      if (i == 99) cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return order.size() == 100u; }));
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+  reactor.stop();
+}
+
+TEST(Reactor, TimersFireInDeadlineOrderWithPostOrderTieBreak) {
+  Reactor reactor;
+  std::mutex mutex;
+  std::vector<int> order;
+  std::condition_variable cv;
+  // Scheduled from the loop itself (call_later is loop-thread-only): a
+  // later deadline must not overtake an earlier one, and equal deadlines
+  // fire in scheduling order.
+  reactor.post([&] {
+    auto& r = reactor;
+    r.call_later(0.05, [&] {
+      const std::scoped_lock lock(mutex);
+      order.push_back(3);
+      cv.notify_all();
+    });
+    r.call_later(0.0, [&] {
+      const std::scoped_lock lock(mutex);
+      order.push_back(1);
+    });
+    r.call_later(0.0, [&] {
+      const std::scoped_lock lock(mutex);
+      order.push_back(2);
+    });
+  });
+  reactor.start();
+  {
+    std::unique_lock lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return order.size() == 3u; }));
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  }
+  reactor.stop();
+}
+
+TEST(Reactor, DispatchesFdEventsAndHonorsSelfRemoval) {
+  // A pipe becomes readable; its handler reads, then del_fd()s itself
+  // mid-dispatch — the shared_ptr-held handler must survive its own
+  // removal, and no further events may be delivered.
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+  Reactor reactor;
+  std::atomic<int> fired{0};
+  reactor.add_fd(pipe_fds[0], EPOLLIN, [&](std::uint32_t) {
+    char buf[8];
+    (void)::read(pipe_fds[0], buf, sizeof(buf));
+    ++fired;
+    reactor.del_fd(pipe_fds[0]);
+  });
+  reactor.start();
+  ASSERT_EQ(::write(pipe_fds[1], "x", 1), 1);
+  EXPECT_TRUE(eventually([&] { return fired.load() == 1; }));
+  // A second byte after removal must not reach the handler.
+  ASSERT_EQ(::write(pipe_fds[1], "y", 1), 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(fired.load(), 1);
+  reactor.stop();
+  ::close(pipe_fds[0]);
+  ::close(pipe_fds[1]);
+}
+
+/// Builds a connected 2-rank world over loopback (same idiom as
+/// tests/test_socket_transport.cpp).
+std::vector<std::unique_ptr<SocketTransport>> make_pair_world() {
+  const std::uint16_t port = pick_free_port();
+  std::vector<std::unique_ptr<SocketTransport>> endpoints(2);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      SocketOptions options;
+      options.rank = r;
+      options.world_size = 2;
+      options.rendezvous_port = port;
+      options.timeout_s = 30.0;
+      endpoints[static_cast<std::size_t>(r)] =
+          std::make_unique<SocketTransport>(options);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& endpoint : endpoints) {
+    if (endpoint == nullptr) throw std::runtime_error("handshake failed");
+  }
+  return endpoints;
+}
+
+TEST(PipelinedFetch, DozensInFlightInterleavedWithGossip) {
+  // The ticket API keeps a deep train of kFetch frames on rank 1's single
+  // channel to rank 0 while unary kPfsDelta frames ride the SAME
+  // connection between them.  Every reply must land on the ticket that
+  // issued it (payload encodes the id), misses must resolve at their exact
+  // positions, and the contention counter must drain back to zero — the
+  // digest + gamma parity contract of the threaded transport, under
+  // pipelining it never supported.
+  auto endpoints = make_pair_world();
+  endpoints[0]->set_serve_handler([](std::uint64_t id) -> std::optional<Bytes> {
+    if (id % 7 == 3) return std::nullopt;  // deterministic miss positions
+    Bytes bytes(64);
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      bytes[i] = static_cast<std::uint8_t>((id * 2654435761u + i) >> 3);
+    }
+    return bytes;
+  });
+
+  std::atomic<int> gamma_at_1{-1};
+  endpoints[1]->set_pfs_listener([&](int gamma) { gamma_at_1 = gamma; });
+
+  constexpr int kRounds = 20;
+  constexpr int kDepth = 48;
+  int bad = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    std::deque<std::pair<std::uint64_t, SocketTransport::FetchTicket>> window;
+    for (int i = 0; i < kDepth; ++i) {
+      const auto id = static_cast<std::uint64_t>(round * kDepth + i);
+      window.emplace_back(id, endpoints[1]->fetch_sample_start(0, id));
+      // Interleave contention traffic between the queued fetches: unary
+      // mode sends each delta immediately, on the same channel session.
+      if (i % 8 == 0) endpoints[1]->pfs_adjust(+1);
+      if (i % 8 == 4) endpoints[1]->pfs_adjust(-1);
+    }
+    // Odd rounds finish the window back to front: resolution order on the
+    // wire is fixed (TCP FIFO), completion order at the caller is not.
+    if (round % 2 == 1) std::reverse(window.begin(), window.end());
+    for (auto& [id, ticket] : window) {
+      const auto bytes = endpoints[1]->fetch_sample_finish(ticket);
+      if (id % 7 == 3) {
+        if (bytes.has_value()) ++bad;
+        continue;
+      }
+      if (!bytes.has_value() || bytes->size() != 64u) {
+        ++bad;
+        continue;
+      }
+      for (std::size_t i = 0; i < bytes->size(); ++i) {
+        if ((*bytes)[i] !=
+            static_cast<std::uint8_t>((id * 2654435761u + i) >> 3)) {
+          ++bad;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(bad, 0);
+
+  // Gamma parity drain marker: a weight-2 acquire is unreachable by the
+  // +1/-1 interleave above, so seeing 2 proves every earlier delta folded
+  // at the root; the release then drains the counter to exactly zero.
+  endpoints[1]->pfs_adjust(+2);
+  endpoints[1]->flush_pfs_gossip();
+  EXPECT_TRUE(eventually([&] { return gamma_at_1.load() == 2; }));
+  endpoints[1]->pfs_adjust(-2);
+  endpoints[1]->flush_pfs_gossip();
+  EXPECT_TRUE(eventually([&] { return gamma_at_1.load() == 0; }));
+  endpoints[1]->set_pfs_listener({});
+}
+
+TEST(PipelinedFetch, TicketsFromManyThreadsShareOneConnection) {
+  // Several caller threads each keep their own ticket window on the same
+  // channel session; per-connection reply matching must never cross wires.
+  auto endpoints = make_pair_world();
+  endpoints[0]->set_serve_handler([](std::uint64_t id) -> std::optional<Bytes> {
+    return Bytes{static_cast<std::uint8_t>(id), static_cast<std::uint8_t>(id >> 8)};
+  });
+  std::atomic<int> bad{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&, t] {
+      for (int round = 0; round < 10; ++round) {
+        std::vector<std::pair<std::uint64_t, SocketTransport::FetchTicket>> window;
+        for (int i = 0; i < 16; ++i) {
+          const auto id = static_cast<std::uint64_t>(t * 10'000 + round * 16 + i);
+          window.emplace_back(id, endpoints[1]->fetch_sample_start(0, id));
+        }
+        for (auto& [id, ticket] : window) {
+          const auto bytes = endpoints[1]->fetch_sample_finish(ticket);
+          if (!bytes.has_value() || bytes->size() != 2u ||
+              (*bytes)[0] != static_cast<std::uint8_t>(id) ||
+              (*bytes)[1] != static_cast<std::uint8_t>(id >> 8)) {
+            ++bad;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ReactorTransport, AbruptPeerDeathReleasesGammaFromReactorPath) {
+  // fork + _exit is the real crash shape: the child's transport never runs
+  // a destructor, sends no teardown frames, and the kernel closes its
+  // sockets.  The root's reactor must see EOF on the serve session that
+  // carried the child's delta and drop the dead rank's outstanding
+  // readers.  (Fork happens before EITHER transport exists, so the child
+  // inherits no reactor threads or locks.)
+  const std::uint16_t port = pick_free_port();
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: rank 1 acquires, confirms the root folded it (the gamma
+    // broadcast comes back), then dies without any cleanup.
+    try {
+      SocketOptions options;
+      options.rank = 1;
+      options.world_size = 2;
+      options.rendezvous_port = port;
+      options.timeout_s = 30.0;
+      SocketTransport transport(options);
+      std::atomic<int> gamma{-1};
+      transport.set_pfs_listener([&](int g) { gamma = g; });
+      transport.pfs_adjust(+1);
+      transport.flush_pfs_gossip();
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(20);
+      while (gamma.load() != 1 &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      ::_exit(gamma.load() == 1 ? 42 : 43);
+    } catch (...) {
+      ::_exit(44);
+    }
+  }
+
+  SocketOptions options;
+  options.rank = 0;
+  options.world_size = 2;
+  options.rendezvous_port = port;
+  options.timeout_s = 30.0;
+  SocketTransport root(options);
+  std::atomic<int> gamma_at_root{-1};
+  root.set_pfs_listener([&](int gamma) { gamma_at_root = gamma; });
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 42) << "child never saw its own acquire";
+
+  // The child held +1 at death; only the reactor's EOF path can release
+  // it.  The authoritative probe is an adjust bracket (+1 must read 1, so
+  // the orphan is gone AND nothing was double-released to below zero) —
+  // the listener alone can't distinguish "released" from "installed after
+  // the whole episode settled".
+  EXPECT_TRUE(eventually([&] {
+    const int held = root.pfs_adjust(+1);
+    root.pfs_adjust(-1);
+    return held == 1;
+  })) << "dead rank still pins gamma (listener last saw "
+      << gamma_at_root.load() << ")";
+  root.set_pfs_listener({});
+}
+
+}  // namespace
+}  // namespace nopfs::net

@@ -17,7 +17,15 @@ Key classification (schema 2: a flat ``results`` map of
   unary acquire/release round trip, flush interval 0) and
   ``socket-loopback.pfs_gossip_transitions_per_s`` (the batched gossip
   queue: reader-thread enqueue rate with the sends off-thread) — a
-  regression in either means the contention path got slower.
+  regression in either means the contention path got slower.  The fetch
+  keys are measured at the epoll-reactor transport's operating points:
+  ``socket-loopback.fetch_4k_per_s`` is 8 concurrent caller threads
+  sharing one reactor connection (blocking fetch_sample, as loader
+  threads do), ``socket-loopback.fetch_4k_pipelined_per_s`` is a single
+  caller keeping 64 kFetch requests in flight through the ticket API
+  (fetch_sample_start/fetch_sample_finish) — the request train the
+  reactor's scatter/gather send path is built for — and
+  ``socket-loopback.fetch_1m_*`` stays a serial large-payload stream.
 * ADVISORY — wall-clock and speedup keys: on 1-core CI runners the sweep
   parallel/serial ratio is ~1 and wall-clock jitter dominates, so these are
   printed but never fail the job.
