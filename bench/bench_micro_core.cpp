@@ -7,7 +7,8 @@
 // google-benchmark suite, it measures simulate() throughput on the
 // "micro-core" registry scenario, the sweep engine's 1-thread vs
 // NOPFS_SWEEP_THREADS/8-thread wall-clock on the "micro-sweep" scenario
-// grid, and SocketTransport loopback round-trips, and writes the numbers as
+// grid, SocketTransport loopback round-trips, and the critical-path
+// what-if walk rate on the "micro-critpath" recording, and writes the numbers as
 // a flat `"results"` map (default BENCH_micro.json) whose keys are
 // `<scenario>.<metric>` — stable across PRs, which is what lets CI diff
 // them against bench/BENCH_baseline.json (tools/compare_bench.py).
@@ -30,6 +31,9 @@
 
 #include "core/access_stream.hpp"
 #include "core/cache_policy.hpp"
+#include "critpath/cp_attribution.hpp"
+#include "critpath/cp_dep_graph.hpp"
+#include "critpath/cp_registry.hpp"
 #include "core/epoch_order_cache.hpp"
 #include "core/frequency.hpp"
 #include "core/perf_model.hpp"
@@ -544,6 +548,41 @@ int run_json_mode(const std::string& path) {
   const double pfs_gossip_per_s =
       best_of(3, [&] { return pfs_gossip_throughput(200'000); });
 
+  // Critical-path walk rate: record the "micro-critpath" scenario's
+  // dependence graph once, then time repeated attribution walks under the
+  // standard cost models — the engine behind `--critpath` what-if sweeps
+  // (one recording, many re-costed walks).
+  const scenario::Scenario& critscn = scenario::get("micro-critpath");
+  const data::Dataset critdata =
+      scenario::sim_dataset(critscn, 1.0, critscn.sim.seed);
+  sim::SimConfig critconfig = scenario::sim_config(
+      critscn, critscn.sim.gpu_counts.front(), 1.0, critscn.sim.seed);
+  critpath::DepGraphBuilder builder;
+  critconfig.recorder = &builder;
+  {
+    auto policy = sim::make_policy(critscn.sim.policies.front());
+    (void)sim::simulate(critconfig, critdata, *policy);
+  }
+  std::vector<std::unique_ptr<critpath::CostModel>> models;
+  for (const char* name : {"recorded", "pfs=2x", "nic=0.5x"}) {
+    models.push_back(critpath::Registry::instance().make(name));
+  }
+  (void)critpath::attribute(builder.graph());  // warm the in-edge CSR
+  const double critpath_edges_per_s = best_of(3, [&] {
+    const int walks = 6;
+    double guard = 0.0;  // keep the walks observable
+    const double start = now_s();
+    for (int w = 0; w < walks; ++w) {
+      for (const auto& model : models) {
+        guard += critpath::attribute(builder.graph(), model.get()).end_to_end_s;
+      }
+    }
+    const double elapsed = now_s() - start;
+    if (!(guard > 0.0) || elapsed <= 0.0) return 0.0;
+    return static_cast<double>(builder.graph().num_edges()) * walks *
+           static_cast<double>(models.size()) / elapsed;
+  });
+
   std::ofstream out(path);
   if (!out) {
     std::cerr << "cannot write " << path << "\n";
@@ -577,6 +616,8 @@ int run_json_mode(const std::string& path) {
       << "    \"socket-loopback.fetch_1m_mbps\": " << large_mbps << ",\n"
       << "    \"socket-loopback.pfs_cycles_per_s\": " << pfs_cycles_per_s << ",\n"
       << "    \"socket-loopback.pfs_gossip_transitions_per_s\": " << pfs_gossip_per_s
+      << ",\n"
+      << "    \"micro-critpath.critpath_edges_per_s\": " << critpath_edges_per_s
       << "\n"
       << "  }\n"
       << "}\n";
@@ -587,7 +628,10 @@ int run_json_mode(const std::string& path) {
             << " rpc/s @4K(8t), " << pipelined_per_s << " rpc/s @4K(pipelined), "
             << large_mbps << " MB/s @1M  |  pfs acquire/release: "
             << pfs_cycles_per_s << " cycles/s  |  batched gossip: "
-            << pfs_gossip_per_s << " transitions/s\nwrote " << path << "\n";
+            << pfs_gossip_per_s << " transitions/s\ncritpath walks: "
+            << critpath_edges_per_s << " edges/s ("
+            << builder.graph().num_edges() << "-edge graph)\nwrote " << path
+            << "\n";
   return 0;
 }
 

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "critpath/cp_attribution.hpp"
+#include "critpath/cp_dep_graph.hpp"
 #include "sim/sweep.hpp"
 
 namespace nopfs::bench {
@@ -141,9 +143,53 @@ inline void print_scaling_tables(const ScalingOptions& options,
   }
 }
 
+/// --critpath: re-run each grid cell serially with dependence-graph
+/// recording (sim results are deterministic, so the re-run prices exactly
+/// what the sweep priced) and print per-resource attribution columns next
+/// to the standard tables.  One cell's graph lives at a time (~4 edges per
+/// access), which is why this is opt-in rather than always-on.
+inline void print_critpath_attribution(const ScalingOptions& options,
+                                       const data::Dataset& dataset,
+                                       const util::BenchArgs& args,
+                                       const std::string& title) {
+  const scenario::Scenario& scn = *options.scenario;
+  util::Table table({"#GPUs", "Loader", "end-to-end", "bound by", "compute",
+                     "pfs", "local", "remote", "staging", "allreduce",
+                     "prestage"});
+  const auto col = [](const critpath::Attribution& a, critpath::Resource r) {
+    const double s = a.resource_s(r);
+    return s > 0.0 ? util::Table::num(s, 2) : std::string("-");
+  };
+  for (const int gpus : scn.sim.gpu_counts) {
+    for (const auto& loader : options.loaders) {
+      sim::SimConfig config =
+          scenario::sim_config(scn, gpus, options.scale, options.seed);
+      config.system.node.preprocess_mbps *= loader.preprocess_mult;
+      critpath::DepGraphBuilder builder;
+      config.recorder = &builder;
+      const auto policy = sim::make_policy(loader.policy);
+      const sim::SimResult result = sim::simulate(config, dataset, *policy);
+      if (!result.supported) continue;
+      const critpath::Attribution a = critpath::attribute(builder.graph());
+      table.add_row({std::to_string(gpus), loader.label,
+                     util::format_seconds(a.end_to_end_s),
+                     critpath::resource_name(a.binding()),
+                     col(a, critpath::Resource::kCompute),
+                     col(a, critpath::Resource::kPfs),
+                     col(a, critpath::Resource::kLocal),
+                     col(a, critpath::Resource::kRemote),
+                     col(a, critpath::Resource::kStaging),
+                     col(a, critpath::Resource::kAllreduce),
+                     col(a, critpath::Resource::kPrestage)});
+    }
+  }
+  emit(table, args, title + " - critical-path attribution [s]");
+}
+
 /// The whole driver most scaling benches are: resolve scenarios (honouring
 /// `--scenario`), build each scenario's dataset at the picked scale, run
-/// the grid, print the two standard tables titled by the entry's summary.
+/// the grid, print the two standard tables titled by the entry's summary
+/// (plus per-resource attribution under `--critpath`).
 inline int scaling_main(int argc, char** argv,
                         const std::vector<std::string>& default_names) {
   const util::BenchArgs args = util::parse_bench_args(argc, argv);
@@ -153,6 +199,9 @@ inline int scaling_main(int argc, char** argv,
         scenario::sim_dataset(*scn, options.scale, args.seed);
     const auto grid = run_scaling(options, dataset);
     print_scaling_tables(options, grid, args, scn->summary);
+    if (args.critpath) {
+      print_critpath_attribution(options, dataset, args, scn->summary);
+    }
   }
   return 0;
 }

@@ -15,6 +15,20 @@
 //   ./nopfs_worker --scenario contention-pfs --quick
 //   ./nopfs_worker --list-scenarios
 //
+// Critical-path mode (--critpath) runs the scenario's SIMULATOR view once
+// with dependence-graph recording (src/critpath/), prints the per-resource
+// attribution of the end-to-end time, and re-walks the one recorded graph
+// under what-if cost models instead of re-running the simulator:
+//
+//   ./nopfs_worker --scenario fig8-imagenet1k --critpath
+//   ./nopfs_worker --scenario fig8-imagenet1k --critpath --whatif pfs=2x,nic=0.5x
+//
+// Each --whatif SPEC is one what-if cell; commas combine knobs within a
+// cell ("pfs=2x,nic=0.5x" = both at once), repeat the flag for more cells.
+// Without --whatif the registry's default sweep runs (pfs=2x, pfs=4x,
+// nic=0.5x).  --list-scenarios --markdown emits the generated scenario
+// reference (docs/SCENARIOS.md).
+//
 // The scenario (default "worker-loopback") supplies the system, dataset and
 // run shape; explicit flags (--samples, --epochs, ...) override it.  Every
 // rank of a multi-process job must be launched with identical job flags:
@@ -31,9 +45,18 @@
 #include <sstream>
 #include <string>
 
+#include <memory>
+#include <vector>
+
 #include "baselines/loader.hpp"
+#include "critpath/cp_attribution.hpp"
+#include "critpath/cp_dep_graph.hpp"
+#include "critpath/cp_registry.hpp"
 #include "runtime/harness.hpp"
 #include "scenario/scenario.hpp"
+#include "sim/engine.hpp"
+#include "sim/policies.hpp"
+#include "util/table.hpp"
 #include "util/units.hpp"
 
 using namespace nopfs;
@@ -48,6 +71,9 @@ struct Args {
   std::uint16_t rendezvous_port = 0;
   bool have_rendezvous = false;
   bool list_scenarios = false;
+  bool markdown = false;   ///< with --list-scenarios: emit docs/SCENARIOS.md
+  bool critpath = false;   ///< critical-path attribution + what-if mode
+  std::vector<std::string> whatif;  ///< what-if cells (--whatif, repeatable)
   bool quick = false;
   // Scenario overrides; "have_" flags distinguish "not passed" from any
   // sentinel value so explicit flags always win over the registry shape.
@@ -74,7 +100,8 @@ struct Args {
 void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
-      << " [--scenario NAME] [--list-scenarios]\n"
+      << " [--scenario NAME] [--list-scenarios [--markdown]]\n"
+         "          [--critpath [--whatif SPEC]...]  (simulator critical path)\n"
          "          [--rank R --world-size N --rendezvous HOST:PORT]  (multi-process)\n"
          "          [--loader "
       << baselines::loader_flag_names()
@@ -100,6 +127,12 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.scenario = value(i);
     } else if (flag == "--list-scenarios") {
       args.list_scenarios = true;
+    } else if (flag == "--markdown") {
+      args.markdown = true;
+    } else if (flag == "--critpath") {
+      args.critpath = true;
+    } else if (flag == "--whatif") {
+      args.whatif.emplace_back(value(i));
     } else if (flag == "--rank") {
       args.rank = std::stoi(value(i));
     } else if (flag == "--world-size") {
@@ -199,6 +232,89 @@ std::string result_json(const Args& args, const std::string& mode, int world_siz
   return out.str();
 }
 
+/// --critpath: record the scenario's simulator view once, attribute the
+/// critical path, and re-walk the one recorded graph per what-if cell.
+int run_critpath(const scenario::Scenario& scn, const Args& args) {
+  const int gpus = scn.sim.gpu_counts.front();
+  const double scale = scenario::pick_scale(scn, args.quick, /*full=*/false);
+  const std::uint64_t seed = args.have_seed ? args.seed : scn.sim.seed;
+  const std::string policy_name = scn.sim.policies.front();
+
+  sim::SimConfig config = scenario::sim_config(scn, gpus, scale, seed);
+  config.num_epochs =
+      args.epochs > 0 ? args.epochs : scenario::pick_epochs(scn, args.quick);
+  const data::Dataset dataset = scenario::sim_dataset(scn, scale, seed);
+  const auto policy = sim::make_policy(policy_name);
+
+  critpath::DepGraphBuilder builder;
+  config.recorder = &builder;
+  const sim::SimResult result = sim::simulate(config, dataset, *policy);
+  if (!result.supported) {
+    std::cerr << "critpath: policy " << policy_name
+              << " cannot run this scenario: " << result.unsupported_reason
+              << "\n";
+    return 1;
+  }
+
+  const critpath::DepGraph& graph = builder.graph();
+  const critpath::Attribution recorded = critpath::attribute(graph);
+  std::cout << "critical path: " << scn.name << " | policy " << policy_name
+            << " | " << gpus << " GPUs | scale " << scale << " | "
+            << config.num_epochs << " epochs\n"
+            << "recorded graph: " << graph.num_nodes() << " nodes, "
+            << graph.num_edges() << " edges | engine total "
+            << util::Table::num(builder.engine_total_s(), 3)
+            << " s | longest path "
+            << util::Table::num(recorded.end_to_end_s, 3) << " s\n"
+            << "bound by: " << recorded.share_line() << "\n\n";
+
+  util::Table resources({"resource", "tier", "seconds", "share", "path edges"});
+  for (int r = 0; r < static_cast<int>(critpath::Resource::kCount); ++r) {
+    const auto resource = static_cast<critpath::Resource>(r);
+    const double s = recorded.resource_s(resource);
+    if (s <= 0.0) continue;
+    resources.add_row(
+        {critpath::resource_name(resource), "-", util::Table::num(s, 3),
+         util::Table::num(100.0 * s / recorded.end_to_end_s, 1) + "%",
+         std::to_string(
+             recorded.edges[static_cast<std::size_t>(resource)])});
+  }
+  for (const auto& [tier, s] : recorded.local_tier_s) {
+    resources.add_row({"local", std::to_string(tier), util::Table::num(s, 3),
+                       util::Table::num(100.0 * s / recorded.end_to_end_s, 1) +
+                           "%",
+                       "-"});
+  }
+  for (const auto& [tier, s] : recorded.remote_tier_s) {
+    resources.add_row({"remote", std::to_string(tier), util::Table::num(s, 3),
+                       util::Table::num(100.0 * s / recorded.end_to_end_s, 1) +
+                           "%",
+                       "-"});
+  }
+  resources.print(std::cout);
+
+  // What-if cells: each spec re-walks the recorded graph under a scaled
+  // cost model — no re-simulation.
+  const std::vector<std::string> cells =
+      args.whatif.empty() ? critpath::Registry::default_whatif() : args.whatif;
+  std::cout << "\nwhat-if (one recorded graph, " << cells.size()
+            << " re-walked cells):\n";
+  util::Table whatif({"model", "end-to-end", "vs recorded", "bound by"});
+  whatif.add_row({"recorded", util::Table::num(recorded.end_to_end_s, 3) + " s",
+                  "1.00x", critpath::resource_name(recorded.binding())});
+  for (const std::string& spec : cells) {
+    const std::unique_ptr<critpath::CostModel> model =
+        critpath::Registry::instance().make(spec);
+    const critpath::Attribution cell = critpath::attribute(graph, model.get());
+    whatif.add_row(
+        {cell.model, util::Table::num(cell.end_to_end_s, 3) + " s",
+         util::Table::num(recorded.end_to_end_s / cell.end_to_end_s, 2) + "x",
+         critpath::resource_name(cell.binding())});
+  }
+  whatif.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -207,11 +323,17 @@ int main(int argc, char** argv) {
     if (!parse_args(argc, argv, args)) return 0;
 
     if (args.list_scenarios) {
-      for (const std::string& name : scenario::names()) std::cout << name << "\n";
+      if (args.markdown) {
+        scenario::write_markdown_reference(std::cout);
+      } else {
+        for (const std::string& name : scenario::names()) std::cout << name << "\n";
+      }
       return 0;
     }
 
     const scenario::Scenario& scn = scenario::get(args.scenario);
+
+    if (args.critpath) return run_critpath(scn, args);
 
     // Scenario shape with CLI overrides on top.
     const int world_size = args.world_size > 0     ? args.world_size

@@ -1,0 +1,70 @@
+#include "critpath/cp_attribution.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace nopfs::critpath {
+
+double Attribution::path_sum_s() const {
+  double sum = 0.0;
+  for (double s : seconds) sum += s;
+  return sum;
+}
+
+Resource Attribution::binding() const {
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < static_cast<std::size_t>(Resource::kCount); ++r) {
+    if (seconds[r] > seconds[best]) best = r;
+  }
+  return static_cast<Resource>(best);
+}
+
+std::string Attribution::share_line() const {
+  std::vector<std::size_t> order;
+  for (std::size_t r = 0; r < static_cast<std::size_t>(Resource::kCount); ++r) {
+    if (seconds[r] > 0.0) order.push_back(r);
+  }
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    if (seconds[a] != seconds[b]) return seconds[a] > seconds[b];
+    return a < b;
+  });
+  const double total = end_to_end_s > 0.0 ? end_to_end_s : 1.0;
+  std::string out;
+  for (std::size_t r : order) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s %.1f%%",
+                  resource_name(static_cast<Resource>(r)),
+                  100.0 * seconds[r] / total);
+    if (!out.empty()) out += " | ";
+    out += buf;
+  }
+  if (out.empty()) out = "(empty path)";
+  return out;
+}
+
+Attribution attribute(const DepGraph& graph, const CostModel* model) {
+  Attribution out;
+  out.model = model != nullptr ? model->name() : "recorded";
+  out.graph_nodes = graph.num_nodes();
+  out.graph_edges = graph.num_edges();
+
+  const std::vector<std::size_t> path = graph.critical_path(model);
+  out.path_edges = path.size();
+  for (const std::size_t idx : path) {
+    const Edge& edge = graph.edges()[idx];
+    const double cost = model != nullptr ? model->cost(edge) : edge.duration_s;
+    out.seconds[static_cast<std::size_t>(edge.resource)] += cost;
+    out.edges[static_cast<std::size_t>(edge.resource)] += 1;
+    out.end_to_end_s += cost;
+    if (edge.tier >= 0) {
+      if (edge.resource == Resource::kLocal) {
+        out.local_tier_s[edge.tier] += cost;
+      } else if (edge.resource == Resource::kRemote) {
+        out.remote_tier_s[edge.tier] += cost;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nopfs::critpath

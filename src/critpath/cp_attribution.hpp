@@ -1,0 +1,56 @@
+#pragma once
+// Critical-path attribution: who owns the end-to-end time of a recorded run
+// (DESIGN.md Sec. 9).
+//
+// attribute() walks the recorded DepGraph's longest path under a cost model
+// and sums edge durations by Resource (and, for tier fetches, by storage
+// class).  Every path edge lands in exactly one bucket, so the per-resource
+// seconds sum to end_to_end_s up to floating-point reassociation (buckets
+// regroup the additions), and end_to_end_s matches the engine's total_s up
+// to the same kind of association error when the identity model is used
+// (see cp_dep_graph.hpp).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "critpath/cp_dep_graph.hpp"
+
+namespace nopfs::critpath {
+
+struct Attribution {
+  std::string model = "recorded";   ///< cost model the walk used
+  double end_to_end_s = 0.0;        ///< longest-path length, origin to sink
+  std::size_t path_edges = 0;       ///< edges on the critical path
+  std::size_t graph_nodes = 0;
+  std::size_t graph_edges = 0;
+
+  /// Seconds of the critical path spent on each resource (kJoin edges are
+  /// zero-duration by construction and contribute nothing).
+  double seconds[static_cast<std::size_t>(Resource::kCount)] = {};
+  /// Critical-path edge counts per resource.
+  std::uint64_t edges[static_cast<std::size_t>(Resource::kCount)] = {};
+  /// Tier breakdown of the kLocal / kRemote shares: storage class -> s.
+  std::map<int, double> local_tier_s;
+  std::map<int, double> remote_tier_s;
+
+  [[nodiscard]] double resource_s(Resource r) const {
+    return seconds[static_cast<std::size_t>(r)];
+  }
+  /// Sum over all resource buckets; equals end_to_end_s up to FP
+  /// reassociation (every path edge lands in exactly one bucket).
+  [[nodiscard]] double path_sum_s() const;
+  /// The resource owning the largest share (what bound this run).
+  [[nodiscard]] Resource binding() const;
+  /// "pfs 62.1% | compute 30.4% | ..." — non-zero shares, largest first.
+  [[nodiscard]] std::string share_line() const;
+};
+
+/// Walks the critical path of `graph` under `model` (nullptr: recorded
+/// durations) and buckets it.  One recording supports any number of calls —
+/// the what-if contract.
+[[nodiscard]] Attribution attribute(const DepGraph& graph,
+                                    const CostModel* model = nullptr);
+
+}  // namespace nopfs::critpath

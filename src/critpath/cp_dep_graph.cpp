@@ -1,0 +1,247 @@
+#include "critpath/cp_dep_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nopfs::critpath {
+
+const char* resource_name(Resource r) noexcept {
+  switch (r) {
+    case Resource::kCompute: return "compute";
+    case Resource::kPfs: return "pfs";
+    case Resource::kLocal: return "local";
+    case Resource::kRemote: return "remote";
+    case Resource::kStaging: return "staging";
+    case Resource::kAllreduce: return "allreduce";
+    case Resource::kPrestage: return "prestage";
+    case Resource::kJoin: return "join";
+    case Resource::kCount: break;
+  }
+  return "?";
+}
+
+NodeId DepGraph::add_node(NodeKind kind) {
+  kinds_.push_back(kind);
+  return static_cast<NodeId>(kinds_.size() - 1);
+}
+
+void DepGraph::add_edge(NodeId src, NodeId dst, double duration_s,
+                        Resource resource, int tier) {
+  if (src >= dst || dst >= kinds_.size()) {
+    throw std::logic_error("DepGraph::add_edge: edges must point forward");
+  }
+  if (duration_s < 0.0) {
+    throw std::logic_error("DepGraph::add_edge: negative duration");
+  }
+  Edge edge;
+  edge.src = src;
+  edge.dst = dst;
+  edge.duration_s = duration_s;
+  edge.resource = resource;
+  edge.tier = static_cast<std::int8_t>(tier);
+  edges_.push_back(edge);
+  csr_offsets_.clear();  // invalidate the lazy CSR
+  csr_edges_.clear();
+}
+
+void DepGraph::ensure_csr() const {
+  if (!csr_offsets_.empty() || kinds_.empty()) return;
+  // Counting sort of edge indices by destination node.
+  csr_offsets_.assign(kinds_.size() + 1, 0);
+  for (const Edge& edge : edges_) ++csr_offsets_[edge.dst + 1];
+  for (std::size_t v = 1; v < csr_offsets_.size(); ++v) {
+    csr_offsets_[v] += csr_offsets_[v - 1];
+  }
+  csr_edges_.resize(edges_.size());
+  std::vector<std::uint32_t> cursor(csr_offsets_.begin(), csr_offsets_.end() - 1);
+  for (std::size_t idx = 0; idx < edges_.size(); ++idx) {
+    csr_edges_[cursor[edges_[idx].dst]++] = static_cast<std::uint32_t>(idx);
+  }
+}
+
+namespace {
+
+/// One longest-path pass: arrival times plus (optionally) the argmax
+/// predecessor edge of each node.  Node 0 is the unique source; nodes are in
+/// topological order, so a forward sweep over the in-edge CSR suffices.
+struct WalkResult {
+  std::vector<double> arrival;
+  std::vector<std::int64_t> best_edge;  ///< -1 for the origin
+};
+
+}  // namespace
+
+class DepGraphWalker {
+ public:
+  static WalkResult walk(const DepGraph& graph, const CostModel* model,
+                         bool track_path) {
+    graph.ensure_csr();
+    WalkResult out;
+    out.arrival.assign(graph.num_nodes(), 0.0);
+    if (track_path) out.best_edge.assign(graph.num_nodes(), -1);
+    for (std::size_t v = 1; v < graph.num_nodes(); ++v) {
+      double best = 0.0;
+      std::int64_t best_idx = -1;
+      const std::uint32_t lo = graph.csr_offsets_[v];
+      const std::uint32_t hi = graph.csr_offsets_[v + 1];
+      for (std::uint32_t k = lo; k < hi; ++k) {
+        const std::uint32_t idx = graph.csr_edges_[k];
+        const Edge& edge = graph.edges_[idx];
+        const double cost = model != nullptr ? model->cost(edge) : edge.duration_s;
+        const double candidate = out.arrival[edge.src] + cost;
+        // Strict > keeps the earliest recorded edge on ties — deterministic
+        // critical paths regardless of cost model.
+        if (best_idx < 0 || candidate > best) {
+          best = candidate;
+          best_idx = static_cast<std::int64_t>(idx);
+        }
+      }
+      out.arrival[v] = best_idx >= 0 ? best : 0.0;
+      if (track_path) out.best_edge[v] = best_idx;
+    }
+    return out;
+  }
+};
+
+double DepGraph::end_to_end_s(const CostModel* model) const {
+  if (kinds_.empty()) return 0.0;
+  return DepGraphWalker::walk(*this, model, /*track_path=*/false)
+      .arrival[sink_];
+}
+
+std::vector<std::size_t> DepGraph::critical_path(const CostModel* model) const {
+  std::vector<std::size_t> path;
+  if (kinds_.empty()) return path;
+  const WalkResult walked = DepGraphWalker::walk(*this, model, /*track_path=*/true);
+  NodeId node = sink_;
+  while (walked.best_edge[node] >= 0) {
+    const std::size_t idx = static_cast<std::size_t>(walked.best_edge[node]);
+    path.push_back(idx);
+    node = edges_[idx].src;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// DepGraphBuilder — sim::RunRecorder implementation.
+
+void DepGraphBuilder::begin_run(const sim::RunShape& shape) {
+  graph_ = DepGraph();
+  shape_ = shape;
+  complete_ = false;
+  engine_total_s_ = 0.0;
+
+  origin_ = graph_.add_node(NodeKind::kOrigin);
+  NodeId start = origin_;
+  if (shape.prestage_s > 0.0) {
+    start = graph_.add_node(NodeKind::kStart);
+    graph_.add_edge(origin_, start, shape.prestage_s, Resource::kPrestage);
+  }
+  prev_barrier_ = start;
+  graph_.set_sink(start);
+
+  workers_.assign(static_cast<std::size_t>(shape.num_workers), WorkerChain{});
+  for (WorkerChain& w : workers_) {
+    w.last_consume = start;  // the engine starts every t[i] at prestage_s
+    w.read_tail = origin_;   // cum_read is measured from absolute time 0
+  }
+}
+
+void DepGraphBuilder::begin_epoch(int /*epoch*/) {}
+
+void DepGraphBuilder::on_access(const sim::AccessTrace& access) {
+  WorkerChain& w = workers_[static_cast<std::size_t>(access.worker)];
+  w.accessed = true;
+
+  Resource fetch_resource = Resource::kJoin;
+  switch (access.location) {
+    case sim::Location::kLocal: fetch_resource = Resource::kLocal; break;
+    case sim::Location::kRemote: fetch_resource = Resource::kRemote; break;
+    case sim::Location::kPfs: fetch_resource = Resource::kPfs; break;
+    default: break;
+  }
+
+  if (shape_.overlapped) {
+    // Read chain: the pipeline contribution of this access to avail.
+    // Tier fetches and staging writes spread over the p0 prefetch threads;
+    // a PFS fetch cannot (the worker is one PFS client), so it contributes
+    // its full duration — mirroring the engine's cum_read arithmetic.
+    const double p0 = static_cast<double>(shape_.staging_threads);
+    const double fetch_pipe = access.location == sim::Location::kPfs
+                                  ? access.fetch_s
+                                  : access.fetch_s / p0;
+    const double write_pipe = access.write_s / p0;
+    if (fetch_pipe > 0.0) {
+      const NodeId node = graph_.add_node(NodeKind::kRead);
+      graph_.add_edge(w.read_tail, node, fetch_pipe, fetch_resource,
+                      access.storage_class);
+      w.read_tail = node;
+    }
+    if (write_pipe > 0.0) {
+      const NodeId node = graph_.add_node(NodeKind::kStage);
+      graph_.add_edge(w.read_tail, node, write_pipe, Resource::kStaging);
+      w.read_tail = node;
+    }
+    // Consume joins the read chain (avail) with the compute chain (ready):
+    // consume_at = max(avail, ready).
+    const NodeId consume = graph_.add_node(NodeKind::kConsume);
+    graph_.add_edge(w.read_tail, consume, 0.0, Resource::kJoin);
+    graph_.add_edge(w.last_consume, consume, w.pending_compute_s,
+                    Resource::kCompute);
+    w.last_consume = consume;
+  } else {
+    // Non-overlapped: the read happens inline after the previous sample's
+    // compute — one serial chain, no pipeline join.
+    NodeId cur = w.last_consume;
+    if (w.pending_compute_s > 0.0) {
+      const NodeId node = graph_.add_node(NodeKind::kConsume);
+      graph_.add_edge(cur, node, w.pending_compute_s, Resource::kCompute);
+      cur = node;
+    }
+    if (access.fetch_s > 0.0) {
+      const NodeId node = graph_.add_node(NodeKind::kRead);
+      graph_.add_edge(cur, node, access.fetch_s, fetch_resource,
+                      access.storage_class);
+      cur = node;
+    }
+    if (access.write_s > 0.0) {
+      const NodeId node = graph_.add_node(NodeKind::kStage);
+      graph_.add_edge(cur, node, access.write_s, Resource::kStaging);
+      cur = node;
+    }
+    w.last_consume = cur;
+  }
+  w.pending_compute_s = access.compute_s;
+}
+
+void DepGraphBuilder::end_iteration(double /*barrier_s*/) {
+  const NodeId join = graph_.add_node(NodeKind::kBarrier);
+  // Barriers are monotone (iter_end >= previous barrier even when no worker
+  // accessed anything this iteration).
+  graph_.add_edge(prev_barrier_, join, 0.0, Resource::kJoin);
+  for (WorkerChain& w : workers_) {
+    if (w.accessed) {
+      // The engine adds the trailing sample's compute before taking the max.
+      graph_.add_edge(w.last_consume, join, w.pending_compute_s,
+                      Resource::kCompute);
+    }
+    w.pending_compute_s = 0.0;
+    w.accessed = false;
+  }
+  NodeId barrier = join;
+  if (shape_.allreduce_s > 0.0) {
+    barrier = graph_.add_node(NodeKind::kBarrier);
+    graph_.add_edge(join, barrier, shape_.allreduce_s, Resource::kAllreduce);
+  }
+  for (WorkerChain& w : workers_) w.last_consume = barrier;
+  prev_barrier_ = barrier;
+  graph_.set_sink(barrier);
+}
+
+void DepGraphBuilder::end_run(const sim::SimResult& result) {
+  engine_total_s_ = result.total_s;
+  complete_ = true;
+}
+
+}  // namespace nopfs::critpath

@@ -1,0 +1,154 @@
+#pragma once
+// Dependence DAG of a simulated run, and the recorder that builds it
+// (DESIGN.md Sec. 9).
+//
+// DepGraph is a plain weighted DAG: nodes are timeline events (origin,
+// prestage done, read-chain progress, sample consumption, barriers), edges
+// carry a duration, a Resource tag and an optional storage-tier index.
+// Nodes are created in topological order and every edge points forward
+// (src < dst), so longest-path arrival times are one linear pass over the
+// in-edge CSR — cheap enough that what-if sweeps re-walk the recorded graph
+// under a different CostModel instead of re-running the simulator.
+//
+// DepGraphBuilder implements sim::RunRecorder and mirrors the engine's
+// pipeline recurrence (DESIGN.md Sec. 4) edge by edge:
+//
+//   * per-worker read chain, hanging off the origin: each overlapped access
+//     appends fetch and staging-write edges with their *pipeline*
+//     contribution (fetch/p0 for tier reads, full fetch for PFS — the
+//     engine's cum_read/p0 arithmetic), modelling `avail`;
+//   * per-worker compute chain: an edge from the previous consume node with
+//     the previous sample's compute, modelling `ready`;
+//   * a consume node joins both (consume_at = max(avail, ready));
+//   * per-iteration barrier join over every worker's trailing compute, plus
+//     an allreduce edge (iter_end + allreduce_s);
+//   * a prestage edge from the origin seeds the compute chains at t0.
+//
+// By construction the longest path from origin to the final barrier equals
+// the engine's total_s up to floating-point association (the engine divides
+// a running sum by p0; the graph sums pre-divided increments), which is why
+// attribution is checked "within rounding", while SimResult digests are
+// exactly identical (the recorder only observes).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/record.hpp"
+
+namespace nopfs::critpath {
+
+/// What an edge's duration is spent on.  kLocal/kRemote edges also carry a
+/// storage-tier index; everything else has tier -1.
+enum class Resource : std::uint8_t {
+  kCompute = 0,  ///< training compute of a sample
+  kPfs,          ///< parallel-filesystem fetch (gamma-priced)
+  kLocal,        ///< node-local tier fetch
+  kRemote,       ///< remote-node tier fetch over the NIC
+  kStaging,      ///< staging-buffer write (preprocess + store)
+  kAllreduce,    ///< per-iteration gradient allreduce (NIC)
+  kPrestage,     ///< upfront staging phase before epoch 0
+  kJoin,         ///< zero-duration ordering edge (pipeline join, barrier)
+  kCount
+};
+
+[[nodiscard]] const char* resource_name(Resource r) noexcept;
+
+using NodeId = std::uint32_t;
+
+enum class NodeKind : std::uint8_t {
+  kOrigin = 0,  ///< t = 0
+  kStart,       ///< prestage done; workers' clocks start here
+  kRead,        ///< read-chain progress (a fetch landed in staging)
+  kStage,       ///< read-chain progress (staging write drained)
+  kConsume,     ///< trainer consumed a sample (consume_at)
+  kBarrier,     ///< iteration barrier / post-allreduce alignment
+};
+
+struct Edge {
+  NodeId src = 0;
+  NodeId dst = 0;
+  double duration_s = 0.0;
+  Resource resource = Resource::kJoin;
+  std::int8_t tier = -1;  ///< storage class for kLocal/kRemote edges
+};
+
+/// Pluggable edge re-coster: maps a recorded edge to the duration a what-if
+/// walk should charge for it.  Implementations live in cp_registry.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual double cost(const Edge& edge) const = 0;
+};
+
+class DepGraph {
+ public:
+  NodeId add_node(NodeKind kind);
+  /// Edges must point forward (src < dst) — nodes are created in
+  /// topological order, which keeps every walk a single linear pass.
+  void add_edge(NodeId src, NodeId dst, double duration_s, Resource resource,
+                int tier = -1);
+  void set_sink(NodeId sink) { sink_ = sink; }
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return kinds_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
+  [[nodiscard]] NodeKind kind(NodeId node) const { return kinds_[node]; }
+  [[nodiscard]] NodeId sink() const noexcept { return sink_; }
+
+  /// Longest-path arrival time of the sink under `model` (nullptr: recorded
+  /// durations).  O(nodes + edges).
+  [[nodiscard]] double end_to_end_s(const CostModel* model = nullptr) const;
+
+  /// Indices into edges() of the critical path, origin to sink, under
+  /// `model`.  Deterministic: among equal-arrival predecessors the earliest
+  /// recorded edge wins.
+  [[nodiscard]] std::vector<std::size_t> critical_path(
+      const CostModel* model = nullptr) const;
+
+ private:
+  friend class DepGraphWalker;
+  std::vector<Edge> edges_;
+  std::vector<NodeKind> kinds_;
+  NodeId sink_ = 0;
+  // Lazy in-edge CSR, built on first walk, invalidated by add_edge.
+  mutable std::vector<std::uint32_t> csr_offsets_;
+  mutable std::vector<std::uint32_t> csr_edges_;
+  void ensure_csr() const;
+};
+
+/// sim::RunRecorder that rebuilds the engine's dependence DAG.  Attach via
+/// SimConfig::recorder, run simulate() once, then walk graph() as many
+/// times as needed (the what-if contract: one recording, many cost models).
+class DepGraphBuilder final : public sim::RunRecorder {
+ public:
+  void begin_run(const sim::RunShape& shape) override;
+  void begin_epoch(int epoch) override;
+  void on_access(const sim::AccessTrace& access) override;
+  void end_iteration(double barrier_s) override;
+  void end_run(const sim::SimResult& result) override;
+
+  [[nodiscard]] const DepGraph& graph() const noexcept { return graph_; }
+  /// The engine's own total_s, for cross-checking the longest path.
+  [[nodiscard]] double engine_total_s() const noexcept { return engine_total_s_; }
+  [[nodiscard]] bool complete() const noexcept { return complete_; }
+
+ private:
+  struct WorkerChain {
+    NodeId last_consume = 0;  ///< compute chain anchor (the engine's ti)
+    NodeId read_tail = 0;     ///< read chain tip (the engine's avail)
+    double pending_compute_s = 0.0;
+    bool accessed = false;    ///< touched since the last barrier
+  };
+
+  DepGraph graph_;
+  std::vector<WorkerChain> workers_;
+  NodeId origin_ = 0;
+  NodeId prev_barrier_ = 0;
+  sim::RunShape shape_;
+  double engine_total_s_ = 0.0;
+  bool complete_ = false;
+};
+
+}  // namespace nopfs::critpath

@@ -1,0 +1,153 @@
+#include "critpath/cp_registry.hpp"
+
+#include <array>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace nopfs::critpath {
+
+namespace {
+
+/// Identity model: the recorded durations themselves.
+class RecordedModel final : public CostModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "recorded"; }
+  [[nodiscard]] double cost(const Edge& edge) const override {
+    return edge.duration_s;
+  }
+};
+
+/// Per-resource speed multipliers: cost = duration / factor[resource].
+class ScaleModel final : public CostModel {
+ public:
+  ScaleModel(std::string name,
+             std::array<double, static_cast<std::size_t>(Resource::kCount)> factors)
+      : name_(std::move(name)), factors_(factors) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] double cost(const Edge& edge) const override {
+    return edge.duration_s / factors_[static_cast<std::size_t>(edge.resource)];
+  }
+
+ private:
+  std::string name_;
+  std::array<double, static_cast<std::size_t>(Resource::kCount)> factors_;
+};
+
+void apply_knob(const std::string& knob, double factor,
+                std::array<double, static_cast<std::size_t>(Resource::kCount)>& f) {
+  const auto set = [&f](Resource r, double v) {
+    f[static_cast<std::size_t>(r)] = v;
+  };
+  if (knob == "nic") {
+    // The two NIC-borne edge kinds: remote-tier fetches and the allreduce.
+    set(Resource::kRemote, factor);
+    set(Resource::kAllreduce, factor);
+    return;
+  }
+  if (knob == "io") {
+    set(Resource::kPfs, factor);
+    set(Resource::kLocal, factor);
+    set(Resource::kRemote, factor);
+    set(Resource::kStaging, factor);
+    return;
+  }
+  for (int r = 0; r < static_cast<int>(Resource::kCount); ++r) {
+    if (knob == resource_name(static_cast<Resource>(r))) {
+      if (static_cast<Resource>(r) == Resource::kJoin) break;  // not a knob
+      set(static_cast<Resource>(r), factor);
+      return;
+    }
+  }
+  throw std::invalid_argument(
+      "critpath: unknown what-if knob '" + knob +
+      "' (expected pfs, local, remote, staging, compute, allreduce, "
+      "prestage, nic, or io)");
+}
+
+}  // namespace
+
+std::unique_ptr<CostModel> make_scale_model(const std::string& spec) {
+  std::array<double, static_cast<std::size_t>(Resource::kCount)> factors;
+  factors.fill(1.0);
+  std::size_t begin = 0;
+  bool any = false;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+      throw std::invalid_argument(
+          "critpath: bad what-if token '" + token +
+          "' (expected <knob>=<factor>[x], e.g. pfs=2x)");
+    }
+    std::string value = token.substr(eq + 1);
+    if (!value.empty() && (value.back() == 'x' || value.back() == 'X')) {
+      value.pop_back();
+    }
+    char* parse_end = nullptr;
+    const double factor = std::strtod(value.c_str(), &parse_end);
+    if (parse_end == value.c_str() || *parse_end != '\0' || !(factor > 0.0)) {
+      throw std::invalid_argument("critpath: bad what-if factor in '" + token +
+                                  "' (speed multiplier must be > 0)");
+    }
+    apply_knob(token.substr(0, eq), factor, factors);
+    any = true;
+  }
+  if (!any) {
+    throw std::invalid_argument("critpath: empty what-if spec");
+  }
+  return std::make_unique<ScaleModel>(spec, factors);
+}
+
+Registry::Registry() {
+  add("recorded", [] { return std::make_unique<RecordedModel>(); });
+  // The standard sweep: one knob per cell, self-describing names that also
+  // parse as inline specs.
+  for (const char* spec :
+       {"pfs=2x", "pfs=4x", "pfs=0.5x", "nic=2x", "nic=0.5x", "compute=2x"}) {
+    add(spec, [s = std::string(spec)] { return make_scale_model(s); });
+  }
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(const std::string& name, CostModelFactory factory) {
+  if (contains(name)) {
+    throw std::invalid_argument("critpath: duplicate cost model '" + name + "'");
+  }
+  factories_.emplace_back(name, std::move(factory));
+}
+
+std::unique_ptr<CostModel> Registry::make(const std::string& name_or_spec) const {
+  for (const auto& [name, factory] : factories_) {
+    if (name == name_or_spec) return factory();
+  }
+  return make_scale_model(name_or_spec);
+}
+
+bool Registry::contains(const std::string& name) const {
+  for (const auto& [existing, factory] : factories_) {
+    if (existing == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Registry::default_whatif() {
+  return {"pfs=2x", "pfs=4x", "nic=0.5x"};
+}
+
+}  // namespace nopfs::critpath

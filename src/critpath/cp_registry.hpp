@@ -1,0 +1,66 @@
+#pragma once
+// Pluggable edge-cost models over a recorded dependence graph
+// (DESIGN.md Sec. 9).
+//
+// The what-if contract: a DepGraph is recorded once, then re-walked under
+// many CostModels — each walk is O(edges), so a sweep cell costs
+// microseconds instead of a simulator run.  Only edge *durations* are
+// re-costed; the graph's structure (which samples hit which tier, the
+// gamma each PFS fetch was priced at, cache/prestage contents) is frozen
+// at recording time.  Speed knobs (PFS 2x, NIC halved) are therefore
+// first-class; capacity knobs ("cache doubled") change decisions, not
+// durations, and need a real re-simulation — see DESIGN.md Sec. 9.4.
+//
+// Models are named.  The registry seeds a standard sweep ("recorded",
+// "pfs=2x", ...) and `make()` falls through to parsing any inline scale
+// spec of the form
+//
+//     pfs=2x,nic=0.5x
+//
+// comma-separated `<knob>=<factor>[x]` pairs, factor = speed multiplier
+// (durations divide by it).  Knobs: every Resource name plus `nic`
+// (remote + allreduce, the two NIC-borne edge kinds) and `io`
+// (pfs + local + remote + staging).
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "critpath/cp_dep_graph.hpp"
+
+namespace nopfs::critpath {
+
+/// Parses "pfs=2x,nic=0.5x" into a per-resource speed-multiplier model.
+/// Throws std::invalid_argument on unknown knobs or non-positive factors.
+[[nodiscard]] std::unique_ptr<CostModel> make_scale_model(const std::string& spec);
+
+using CostModelFactory = std::function<std::unique_ptr<CostModel>()>;
+
+class Registry {
+ public:
+  /// Process-global instance, seeded with the standard sweep models.
+  [[nodiscard]] static Registry& instance();
+
+  /// Registers a named factory; throws std::invalid_argument on duplicates.
+  void add(const std::string& name, CostModelFactory factory);
+
+  /// Instantiates a registered model, or — when `name_or_spec` is not a
+  /// registered name — parses it as an inline scale spec.
+  [[nodiscard]] std::unique_ptr<CostModel> make(
+      const std::string& name_or_spec) const;
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// Registered names, registration order (stable for bench output).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// The default what-if cells surfaced by `nopfs_worker --critpath` when
+  /// no --whatif is given: three standard speed knobs over one recording.
+  [[nodiscard]] static std::vector<std::string> default_whatif();
+
+ private:
+  Registry();
+  std::vector<std::pair<std::string, CostModelFactory>> factories_;
+};
+
+}  // namespace nopfs::critpath

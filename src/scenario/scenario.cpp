@@ -110,6 +110,8 @@ Scenario fig8(const std::string& dataset_name, const std::string& regime, int wo
   s.sim.default_scale = 1.0 / 16.0;
   s.sim.quick_scale = 1.0 / 16.0;
   s.sim.min_samples = min_samples;
+  s.consumers = {"bench_fig8_policies"};
+  if (dataset_name == "imagenet1k") s.consumers.push_back("tests/test_scenario");
   return s;
 }
 
@@ -127,6 +129,7 @@ Scenario fig9_env() {
   s.sim.quick_scale = 1.0 / 32.0;
   s.sim.compute_mbps = 64.0 * 5.0;       // Sec. 6.2: 5x compute
   s.sim.preprocess_mbps = 200.0 * 5.0;   // and 5x preprocessing
+  s.consumers = {"bench_fig9_env_sweep"};
   return s;
 }
 
@@ -141,6 +144,7 @@ Scenario fig10_daint() {
   s.sim.gpu_counts = {32, 64, 128, 256};
   s.sim.epochs = 3;
   s.sim.per_worker_batch = 64;  // paper: per-GPU batch 64 on Piz Daint
+  s.consumers = {"bench_fig10_imagenet1k_scaling", "tests/test_scenario"};
   return s;
 }
 
@@ -158,6 +162,7 @@ Scenario fig10_lassen() {
   s.sim.gpu_counts = {32, 64, 128, 256, 512, 1024};
   s.sim.epochs = 3;
   s.sim.per_worker_batch = 120;  // paper: per-GPU batch 120 on Lassen
+  s.consumers = {"bench_fig10_imagenet1k_scaling"};
   return s;
 }
 
@@ -172,6 +177,7 @@ Scenario fig11() {
   s.sim.gpu_counts = {32, 64, 128, 256};
   s.sim.epochs = 2;  // epoch 0 + one reference epoch
   s.sim.per_worker_batch = 64;
+  s.consumers = {"bench_fig11_epoch0"};
   return s;
 }
 
@@ -185,6 +191,7 @@ Scenario fig12() {
   s.sim.gpu_counts = {32, 64, 128, 256};
   s.sim.epochs = 3;
   s.sim.per_worker_batch = 64;
+  s.consumers = {"bench_fig12_cache_stats", "tests/test_scenario"};
   return s;
 }
 
@@ -200,6 +207,7 @@ Scenario fig13() {
   s.sim.batch_sizes = {32, 64, 96, 120};
   s.sim.epochs = 3;
   s.sim.per_worker_batch = 32;
+  s.consumers = {"bench_fig13_batch_size"};
   return s;
 }
 
@@ -216,6 +224,7 @@ Scenario fig14() {
   s.sim.per_worker_batch = 120;
   s.sim.default_scale = 1.0 / 4.0;
   s.sim.quick_scale = 1.0 / 16.0;
+  s.consumers = {"bench_fig14_imagenet22k"};
   return s;
 }
 
@@ -234,6 +243,7 @@ Scenario fig15() {
   // at 16.8 MB/sample; log-normalization preprocessing is cheap.
   s.sim.compute_mbps = 1'375.0;
   s.sim.preprocess_mbps = 4'000.0;
+  s.consumers = {"bench_fig15_cosmoflow"};
   return s;
 }
 
@@ -247,6 +257,7 @@ Scenario fig16() {
   s.sim.gpu_counts = {256};
   s.sim.epochs = 90;  // Goyal et al. schedule
   s.sim.per_worker_batch = 32;  // global batch 8192
+  s.consumers = {"bench_fig16_end_to_end"};
   return s;
 }
 
@@ -269,6 +280,7 @@ Scenario tab1() {
   s.sim.epochs = 3;
   s.sim.per_worker_batch = 8;
   s.sim.quick_scale = 1.0;
+  s.consumers = {"bench_tab1_frameworks", "tests/test_scenario"};
   return s;
 }
 
@@ -290,6 +302,7 @@ Scenario ablation_sim() {
   s.sim.per_worker_batch = 64;
   s.sim.default_scale = 1.0 / 4.0;
   s.sim.quick_scale = 1.0 / 16.0;
+  s.consumers = {"bench_ablations"};
   return s;
 }
 
@@ -313,6 +326,7 @@ Scenario ablation_watermark() {
   s.worker.time_scale = 100.0;
   s.worker.loader_threads = 4;   // the harness defaults the bench relied on
   s.worker.lookahead = 32;
+  s.consumers = {"bench_ablations"};
   return s;
 }
 
@@ -344,6 +358,7 @@ Scenario runtime_validation() {
   s.worker.time_scale = 50.0;
   s.worker.loader_threads = 4;
   s.worker.lookahead = 32;
+  s.consumers = {"bench_runtime_validation", "tests/test_scenario"};
   return s;
 }
 
@@ -361,6 +376,8 @@ Scenario worker_loopback() {
   // WorkerShape defaults ARE this scenario (96 samples, seed 2025, 2 ranks,
   // loopback_system): examples/nopfs_worker and test_distributed_runtime
   // both resolve their shared shape from here.
+  s.consumers = {"tests/test_distributed_runtime", "tests/test_scenario",
+                 "ci:rendezvous-leg"};
   return s;
 }
 
@@ -387,6 +404,7 @@ Scenario contention_pfs() {
   // and every access is a PFS fetch — PFS counts become a pure function of
   // the access stream, exact across launch modes (tests/test_shared_pfs.cpp).
   s.worker.use_remote = false;
+  s.consumers = {"tests/test_shared_pfs"};
   return s;
 }
 
@@ -438,6 +456,7 @@ Scenario contention_large_world() {
   s.worker.lookahead = 4;
   s.worker.use_remote = false;  // zero cache: nothing to serve remotely
   s.worker.thread_weighted_gamma = true;
+  s.consumers = {"tests/test_scenario"};
   return s;
 }
 
@@ -451,6 +470,8 @@ Scenario contention_batched_socket() {
   // and the equivalence test genuinely exercise coalescing (several
   // transitions per kPfsDelta at time_scale 10 -> 5 ms real windows).
   s.worker.gossip = net::GossipConfig{0.05, 512};
+  s.consumers = {"tests/test_shared_pfs", "tests/test_scenario",
+                 "ci:rendezvous-leg"};
   return s;
 }
 
@@ -473,6 +494,7 @@ Scenario worker_large_world() {
   s.worker.loader_threads = 1;  // keep the 64-process CI leg light
   s.worker.lookahead = 4;
   s.worker.seed = 79;
+  s.consumers = {"ci:64-rank-rendezvous-leg", "ci:thread-count-gate"};
   return s;
 }
 
@@ -487,6 +509,7 @@ Scenario micro_core() {
   s.sim.epochs = 4;
   s.sim.per_worker_batch = 32;
   s.sim.quick_scale = 1.0;
+  s.consumers = {"bench_micro_core"};
   return s;
 }
 
@@ -501,6 +524,26 @@ Scenario micro_sweep() {
   s.sim.epochs = 4;
   s.sim.per_worker_batch = 16;
   s.sim.quick_scale = 1.0;
+  s.consumers = {"bench_micro_core"};
+  return s;
+}
+
+Scenario micro_critpath() {
+  Scenario s;
+  s.name = "micro-critpath";
+  s.summary =
+      "Critical-path recording + what-if walk shape (BENCH key "
+      "critpath_edges_per_s): PFS-bound NoPFS run with an allreduce cost";
+  s.system = [](int n) { return tiers::presets::sim_cluster(n); };
+  // Big enough that the recorded DAG has a few hundred thousand edges
+  // (stable walk timings), small enough that recording stays tens of ms.
+  s.dataset = data::DatasetSpec{"micro-critpath", 50'000, 0.05, 0.0, 1};
+  s.sim.policies = {"nopfs"};
+  s.sim.gpu_counts = {8};
+  s.sim.epochs = 3;
+  s.sim.per_worker_batch = 32;
+  s.sim.quick_scale = 1.0;
+  s.consumers = {"bench_micro_core", "tests/test_critpath"};
   return s;
 }
 
@@ -540,6 +583,7 @@ std::map<std::string, Scenario> build_registry() {
   add(worker_large_world());
   add(micro_core());
   add(micro_sweep());
+  add(micro_critpath());
   return entries;
 }
 
@@ -596,6 +640,13 @@ std::vector<std::string> validate(const Scenario& s) {
 
   if (!valid_name(s.name)) bad("name must be lower-case kebab ([a-z0-9-])");
   if (s.summary.empty()) bad("summary is empty");
+  // Consumers feed the generated docs/SCENARIOS.md table; an entry nobody
+  // references beyond the implicit worker-CLI/CI-matrix pair is either dead
+  // or undocumented — both fail the gate.
+  if (s.consumers.empty()) bad("lists no consumers");
+  for (const std::string& consumer : s.consumers) {
+    if (consumer.empty()) bad("empty consumer entry");
+  }
   if (s.dataset.num_samples == 0) bad("dataset has no samples");
   if (s.dataset.mean_size_mb <= 0.0) bad("dataset mean size must be positive");
 

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -113,6 +114,12 @@ struct Scenario {
   data::DatasetSpec dataset;  ///< simulator-view dataset (paper scale)
   SimShape sim;
   WorkerShape worker;
+  /// Who runs this entry beyond the implicit pair every scenario gets
+  /// (`nopfs_worker --scenario` and the CI scenario matrix): bench binaries,
+  /// test files, CI legs.  Registry data, not prose, so the generated
+  /// docs/SCENARIOS.md can never drift from it; validate() requires at
+  /// least one entry.
+  std::vector<std::string> consumers;
 };
 
 /// The registry, built once (thread-safe since C++11 statics).
@@ -130,6 +137,13 @@ struct Scenario {
 
 /// Validates every registry entry (the CI scenario gate).
 [[nodiscard]] std::vector<std::string> validate();
+
+/// The generated scenario reference (docs/SCENARIOS.md): one markdown table
+/// row per registry entry, derived entirely from registry data.  Emitted by
+/// `nopfs_worker --list-scenarios --markdown`; the doc-sync CI step
+/// regenerates the file and fails on any diff, so the committed copy can
+/// never rot.  Deterministic output (sorted entries, fixed formatting).
+void write_markdown_reference(std::ostream& out);
 
 // --- shared scaling helpers (hoisted from bench_common.hpp) ----------------
 

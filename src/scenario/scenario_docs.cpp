@@ -1,0 +1,117 @@
+// Generated scenario reference (docs/SCENARIOS.md).
+//
+// The table below is derived ENTIRELY from registry data — shapes, scales,
+// policies and consumers all live on the Scenario structs — so the committed
+// markdown can only rot if someone edits it by hand, which the doc-sync CI
+// step catches by regenerating and diffing.
+
+#include <ostream>
+#include <sstream>
+
+#include "scenario/scenario.hpp"
+
+namespace nopfs::scenario {
+
+namespace {
+
+/// %g-style compact double ("0.0625", "1", "200").
+std::string num(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+/// Markdown table cells must not contain raw pipes.
+std::string cell(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '|') out += "\\|";
+    else out += c;
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& items, const char* sep) {
+  std::string out;
+  for (const std::string& item : items) {
+    if (!out.empty()) out += sep;
+    out += item;
+  }
+  return out;
+}
+
+std::string int_list(const std::vector<int>& values) {
+  std::string out;
+  for (const int v : values) {
+    if (!out.empty()) out += "/";
+    out += std::to_string(v);
+  }
+  return out;
+}
+
+std::string sim_shape(const Scenario& s) {
+  std::ostringstream out;
+  out << int_list(s.sim.gpu_counts) << " GPUs x " << s.sim.epochs << " ep x b"
+      << s.sim.per_worker_batch;
+  if (!s.sim.batch_sizes.empty()) {
+    out << " (batch sweep";
+    for (const std::uint64_t b : s.sim.batch_sizes) out << " " << b;
+    out << ")";
+  }
+  out << ", " << num(static_cast<double>(s.dataset.num_samples) / 1000.0)
+      << "k samples";
+  return out.str();
+}
+
+std::string scales(const Scenario& s) {
+  std::ostringstream out;
+  out << num(s.sim.default_scale);
+  if (s.sim.quick_scale != s.sim.default_scale) {
+    out << " (quick " << num(s.sim.quick_scale) << ")";
+  }
+  return out.str();
+}
+
+std::string worker_shape(const Scenario& s) {
+  std::ostringstream out;
+  out << s.worker.world_size << " ranks x " << s.worker.epochs << " ep x b"
+      << s.worker.per_worker_batch << ", "
+      << baselines::loader_kind_name(s.worker.loader) << " loader";
+  return out.str();
+}
+
+}  // namespace
+
+void write_markdown_reference(std::ostream& out) {
+  const auto& entries = registry();
+  out << "# Scenario reference\n";
+  out << "\n";
+  out << "<!-- GENERATED FILE — do not edit by hand.\n";
+  out << "     Regenerate: ./build/nopfs_worker --list-scenarios --markdown "
+         "> docs/SCENARIOS.md\n";
+  out << "     The doc-sync CI step regenerates this table and fails the PR "
+         "on any diff. -->\n";
+  out << "\n";
+  out << "All " << entries.size()
+      << " entries of the named scenario registry (`src/scenario/`, "
+         "DESIGN.md Sec. 8).\n";
+  out << "Every scenario is runnable as `nopfs_worker --scenario <name>` and "
+         "smoke-tested by the CI scenario matrix; the *consumers* column "
+         "lists who else builds on it (bench binaries, test files, "
+         "dedicated CI legs).\n";
+  out << "Scales are dataset/capacity factors relative to the paper shape "
+         "(`--quick` uses the quick scale).\n";
+  out << "\n";
+  out << "| Name | Summary | Policies | Sim shape | Scale | Worker shape | "
+         "Consumers |\n";
+  out << "|---|---|---|---|---|---|---|\n";
+  for (const auto& [name, s] : entries) {
+    out << "| `" << name << "` | " << cell(s.summary) << " | "
+        << cell(join(s.sim.policies, ", ")) << " | " << cell(sim_shape(s))
+        << " | " << cell(scales(s)) << " | " << cell(worker_shape(s)) << " | "
+        << cell(join(s.consumers, ", ")) << " |\n";
+  }
+}
+
+}  // namespace nopfs::scenario

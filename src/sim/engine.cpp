@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "sim/record.hpp"
 #include "util/rng.hpp"
 
 namespace nopfs::sim {
@@ -102,6 +103,22 @@ SimResult simulate(const SimConfig& config, const data::Dataset& dataset,
   const bool overlapped = policy.overlapped();
   const bool zero_io = policy.zero_io();
 
+  // Opt-in observation seam (sim/record.hpp): every hook site below is a
+  // single pointer test when recording is off, and the recorder only ever
+  // sees values the engine has already committed to — results are
+  // bit-identical either way (pinned by tests/test_critpath.cpp).
+  RunRecorder* const recorder = config.recorder;
+  if (recorder != nullptr) {
+    RunShape shape;
+    shape.num_workers = n;
+    shape.staging_threads = p0;
+    shape.overlapped = overlapped;
+    shape.zero_io = zero_io;
+    shape.prestage_s = prestage_s;
+    shape.allreduce_s = config.allreduce_s;
+    recorder->begin_run(shape);
+  }
+
   // Per-worker pipeline state.
   std::vector<double> t(static_cast<std::size_t>(n), prestage_s);
   std::vector<double> cum_read(static_cast<std::size_t>(n), 0.0);
@@ -135,6 +152,7 @@ SimResult simulate(const SimConfig& config, const data::Dataset& dataset,
 
   for (int e = 0; e < config.num_epochs; ++e) {
     policy.on_epoch_begin(ctx, e);
+    if (recorder != nullptr) recorder->begin_epoch(e);
     if (config.share_epoch_orders) {
       order_shared = gen.epoch_order_shared(e);
     } else {
@@ -236,6 +254,20 @@ SimResult simulate(const SimConfig& config, const data::Dataset& dataset,
           const double compute_s =
               model.compute_s(config.uniform_compute ? dataset.mean_size_mb() : mb);
           compute[static_cast<std::size_t>(i)] += compute_s;
+          if (recorder != nullptr) {
+            AccessTrace trace;
+            trace.worker = i;
+            trace.location = decision.location;
+            trace.storage_class = (decision.location == Location::kLocal ||
+                                   decision.location == Location::kRemote)
+                                      ? decision.storage_class
+                                      : -1;
+            trace.mb = mb;
+            trace.fetch_s = fetch_s;
+            trace.write_s = write_s;
+            trace.compute_s = compute_s;
+            recorder->on_access(trace);
+          }
           const double ready = ti + pending_compute[static_cast<std::size_t>(i)];
           double consume_at;
           if (overlapped) {
@@ -278,6 +310,7 @@ SimResult simulate(const SimConfig& config, const data::Dataset& dataset,
       barrier_time = iter_end;
       std::fill(t.begin(), t.end(), iter_end);
       gamma_prev = gamma_now;
+      if (recorder != nullptr) recorder->end_iteration(iter_end);
     }
     result.epoch_s.push_back(barrier_time - epoch_start);
   }
@@ -286,6 +319,7 @@ SimResult simulate(const SimConfig& config, const data::Dataset& dataset,
   result.stall_s = *std::max_element(stall.begin(), stall.end());
   result.compute_s = *std::max_element(compute.begin(), compute.end());
   result.accessed_fraction = policy.accessed_fraction(ctx);
+  if (recorder != nullptr) recorder->end_run(result);
   return result;
 }
 

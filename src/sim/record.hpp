@@ -1,0 +1,75 @@
+#pragma once
+// Opt-in run-recording seam of the simulator engine (DESIGN.md Sec. 9).
+//
+// A RunRecorder observes every priced access and every iteration barrier of
+// one simulate() call — enough to rebuild the run's dependence DAG (fetch,
+// staging-write, compute, allreduce edges and the pipeline/barrier joins)
+// without re-deriving any model arithmetic: the engine hands over exactly
+// the durations it charged.
+//
+// Contract:
+//   * Observation only.  A recorder must never influence the run; the
+//     engine passes values it has already committed to, so a recording run
+//     is bit-identical to a non-recording run (pinned by
+//     tests/test_critpath.cpp).
+//   * Zero overhead when off.  SimConfig::recorder defaults to nullptr and
+//     every hook site is a single pointer test; no recording state is
+//     allocated.
+//   * Not thread-safe.  One recorder per simulate() call; sweep cells that
+//     share a SimConfig must leave the pointer null (the SweepRunner's
+//     determinism contract assumes cells are pure).
+//
+// The canonical implementation is critpath::DepGraphBuilder
+// (src/critpath/cp_dep_graph.hpp); sim/ deliberately knows only this
+// interface so the dependency points from critpath into sim, never back.
+
+#include "sim/sim_config.hpp"
+
+namespace nopfs::sim {
+
+/// Run-constant shape handed to begin_run(): everything a recorder needs to
+/// mirror the engine's pipeline recurrence (DESIGN.md Sec. 4).
+struct RunShape {
+  int num_workers = 0;
+  int staging_threads = 1;   ///< p0, the avail = cum_read / p0 denominator
+  bool overlapped = true;    ///< false: reads serialize with compute (Naive)
+  bool zero_io = false;      ///< true: all reads priced at zero (Perfect)
+  double prestage_s = 0.0;   ///< upfront staging phase before epoch 0
+  double allreduce_s = 0.0;  ///< per-iteration barrier cost
+};
+
+/// One priced access, exactly as the engine charged it.  For PFS fetches
+/// `fetch_s` is already gamma-priced (t(gamma)/gamma of this iteration's
+/// client count) — recorders see final durations, not model inputs.
+struct AccessTrace {
+  int worker = 0;
+  Location location = Location::kPfs;
+  int storage_class = -1;  ///< tier index for kLocal/kRemote, -1 otherwise
+  double mb = 0.0;
+  double fetch_s = 0.0;
+  double write_s = 0.0;    ///< staging write of the preprocessed sample
+  double compute_s = 0.0;
+};
+
+class RunRecorder {
+ public:
+  virtual ~RunRecorder() = default;
+
+  /// Called once, after policy setup (prestage) and before epoch 0.
+  virtual void begin_run(const RunShape& shape) = 0;
+
+  virtual void begin_epoch(int epoch) = 0;
+
+  /// Called once per access, in pricing order: all accesses of worker 0's
+  /// local batch, then worker 1's, ... within each iteration.
+  virtual void on_access(const AccessTrace& access) = 0;
+
+  /// Called after each iteration's allreduce barrier; `barrier_s` is the
+  /// engine's post-barrier clock (all workers aligned to it).
+  virtual void end_iteration(double barrier_s) = 0;
+
+  /// Called once with the finished result (recording changed nothing in it).
+  virtual void end_run(const SimResult& result) = 0;
+};
+
+}  // namespace nopfs::sim

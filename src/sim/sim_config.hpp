@@ -20,6 +20,8 @@
 
 namespace nopfs::sim {
 
+class RunRecorder;  // sim/record.hpp — opt-in run-recording seam
+
 struct SimConfig {
   tiers::SystemParams system;       ///< N workers, tiers, PFS, c, beta, b_c
   std::uint64_t seed = 0xC0FFEE;
@@ -45,6 +47,13 @@ struct SimConfig {
   /// on_access_batch().  Results must be bit-identical either way (the
   /// parity contract; enforced by tests/test_policy_batch.cpp).
   bool force_per_sample_dispatch = false;
+  /// Opt-in observation seam (sim/record.hpp): when non-null the engine
+  /// reports every priced access and barrier to the recorder, e.g. to build
+  /// the critical-path dependence graph (src/critpath/).  Observation only:
+  /// results are bit-identical with or without a recorder, and when null the
+  /// cost is a pointer test per hook site.  Not owned; must outlive the
+  /// simulate() call; not shared between concurrent runs.
+  RunRecorder* recorder = nullptr;
 
   [[nodiscard]] std::uint64_t global_batch() const noexcept {
     return per_worker_batch * static_cast<std::uint64_t>(system.num_workers);

@@ -70,6 +70,8 @@ BenchArgs parse_bench_args(int argc, char** argv) {
       args.quick = true;
     } else if (std::strcmp(argv[i], "--full") == 0) {
       args.full = true;
+    } else if (std::strcmp(argv[i], "--critpath") == 0) {
+      args.critpath = true;
     } else if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
       args.scenario = argv[++i];
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {

@@ -42,6 +42,11 @@ struct BenchArgs {
   bool quick = false;              ///< optional --quick (reduced problem sizes)
   bool full = false;               ///< optional --full (paper scale, overrides default)
   int threads = 0;                 ///< optional --threads <n> sweep threads (0 = auto)
+  /// optional --critpath: scaling benches re-run each grid cell with
+  /// dependence-graph recording and append per-resource attribution tables
+  /// (src/critpath/).  Roughly doubles bench time and holds one cell's
+  /// graph in memory at a time (~4 edges per access), hence opt-in.
+  bool critpath = false;
 };
 
 /// Parses known flags from argv; unknown flags are ignored so google-benchmark

@@ -1,0 +1,266 @@
+// Critical-path attribution & what-if engine (src/critpath/, DESIGN.md
+// Sec. 9): hand-built DAGs with known critical paths, the recorder's
+// observation-only contract (recording on vs. off is bit-identical), the
+// longest-path-equals-engine-total property, per-resource attribution on
+// the micro-critpath scenario, and what-if monotonicity (a speedup never
+// lengthens the critical path).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "critpath/cp_attribution.hpp"
+#include "critpath/cp_dep_graph.hpp"
+#include "critpath/cp_registry.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/engine.hpp"
+#include "sim/policies.hpp"
+#include "sim_result_testutil.hpp"
+
+namespace nopfs {
+namespace {
+
+using critpath::Attribution;
+using critpath::DepGraph;
+using critpath::DepGraphBuilder;
+using critpath::NodeKind;
+using critpath::Resource;
+
+// ---------------------------------------------------------------------------
+// Hand-built tiny DAGs.
+
+TEST(CritpathGraph, SerialChainAttributesEveryEdge) {
+  DepGraph g;
+  const auto origin = g.add_node(NodeKind::kOrigin);
+  const auto a = g.add_node(NodeKind::kRead);
+  const auto b = g.add_node(NodeKind::kConsume);
+  const auto c = g.add_node(NodeKind::kBarrier);
+  g.add_edge(origin, a, 2.0, Resource::kPfs);
+  g.add_edge(a, b, 3.0, Resource::kCompute);
+  g.add_edge(b, c, 0.5, Resource::kAllreduce);
+  g.set_sink(c);
+
+  EXPECT_DOUBLE_EQ(g.end_to_end_s(), 5.5);
+  const Attribution attr = critpath::attribute(g);
+  EXPECT_DOUBLE_EQ(attr.end_to_end_s, 5.5);
+  EXPECT_EQ(attr.path_edges, 3u);
+  EXPECT_DOUBLE_EQ(attr.resource_s(Resource::kPfs), 2.0);
+  EXPECT_DOUBLE_EQ(attr.resource_s(Resource::kCompute), 3.0);
+  EXPECT_DOUBLE_EQ(attr.resource_s(Resource::kAllreduce), 0.5);
+  EXPECT_DOUBLE_EQ(attr.path_sum_s(), attr.end_to_end_s);
+  EXPECT_EQ(attr.binding(), Resource::kCompute);
+}
+
+TEST(CritpathGraph, DiamondPicksTheLongerArm) {
+  // origin -> (pfs 4s) -> join  vs  origin -> (compute 1s) -> (compute 1s)
+  // -> join: the 4s PFS arm is critical.
+  DepGraph g;
+  const auto origin = g.add_node(NodeKind::kOrigin);
+  const auto slow = g.add_node(NodeKind::kRead);
+  const auto fast1 = g.add_node(NodeKind::kConsume);
+  const auto fast2 = g.add_node(NodeKind::kConsume);
+  const auto join = g.add_node(NodeKind::kBarrier);
+  g.add_edge(origin, slow, 4.0, Resource::kPfs);
+  g.add_edge(origin, fast1, 1.0, Resource::kCompute);
+  g.add_edge(fast1, fast2, 1.0, Resource::kCompute);
+  g.add_edge(slow, join, 0.0, Resource::kJoin);
+  g.add_edge(fast2, join, 0.0, Resource::kJoin);
+  g.set_sink(join);
+
+  EXPECT_DOUBLE_EQ(g.end_to_end_s(), 4.0);
+  const Attribution attr = critpath::attribute(g);
+  EXPECT_DOUBLE_EQ(attr.resource_s(Resource::kPfs), 4.0);
+  EXPECT_DOUBLE_EQ(attr.resource_s(Resource::kCompute), 0.0);
+
+  // A what-if that makes the PFS arm cheap flips the critical path to the
+  // compute arm — re-walking the same graph, no rebuild.
+  const auto model = critpath::make_scale_model("pfs=10x");
+  const Attribution whatif = critpath::attribute(g, model.get());
+  EXPECT_DOUBLE_EQ(whatif.end_to_end_s, 2.0);
+  EXPECT_DOUBLE_EQ(whatif.resource_s(Resource::kCompute), 2.0);
+  EXPECT_DOUBLE_EQ(whatif.resource_s(Resource::kPfs), 0.0);
+}
+
+TEST(CritpathGraph, ResourceTaggedForkJoinSplitsTiers) {
+  // Two read arms on different storage tiers joining a consume node; the
+  // remote tier-1 arm is slower and must own the attribution (with its
+  // tier recorded).
+  DepGraph g;
+  const auto origin = g.add_node(NodeKind::kOrigin);
+  const auto local_read = g.add_node(NodeKind::kRead);
+  const auto remote_read = g.add_node(NodeKind::kRead);
+  const auto consume = g.add_node(NodeKind::kConsume);
+  g.add_edge(origin, local_read, 1.0, Resource::kLocal, /*tier=*/0);
+  g.add_edge(origin, remote_read, 2.5, Resource::kRemote, /*tier=*/1);
+  g.add_edge(local_read, consume, 0.0, Resource::kJoin);
+  g.add_edge(remote_read, consume, 0.0, Resource::kJoin);
+  g.set_sink(consume);
+
+  const Attribution attr = critpath::attribute(g);
+  EXPECT_DOUBLE_EQ(attr.end_to_end_s, 2.5);
+  EXPECT_DOUBLE_EQ(attr.resource_s(Resource::kRemote), 2.5);
+  EXPECT_DOUBLE_EQ(attr.resource_s(Resource::kLocal), 0.0);
+  ASSERT_EQ(attr.remote_tier_s.size(), 1u);
+  EXPECT_DOUBLE_EQ(attr.remote_tier_s.at(1), 2.5);
+  EXPECT_TRUE(attr.local_tier_s.empty());
+}
+
+TEST(CritpathGraph, RejectsBackwardEdges) {
+  DepGraph g;
+  const auto a = g.add_node(NodeKind::kOrigin);
+  const auto b = g.add_node(NodeKind::kConsume);
+  EXPECT_THROW(g.add_edge(b, a, 1.0, Resource::kCompute), std::logic_error);
+  EXPECT_THROW(g.add_edge(a, a, 1.0, Resource::kCompute), std::logic_error);
+  EXPECT_THROW(g.add_edge(a, b, -1.0, Resource::kCompute), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Cost-model registry.
+
+TEST(CritpathRegistry, SeedsStandardModelsAndParsesInlineSpecs) {
+  auto& reg = critpath::Registry::instance();
+  EXPECT_TRUE(reg.contains("recorded"));
+  EXPECT_TRUE(reg.contains("pfs=2x"));
+  EXPECT_GE(critpath::Registry::default_whatif().size(), 3u);
+  for (const std::string& name : critpath::Registry::default_whatif()) {
+    EXPECT_NE(reg.make(name), nullptr);
+  }
+
+  // Inline specs (not registered) parse: combined knobs, bare factors, nic.
+  const auto combined = reg.make("pfs=2x,nic=0.5x,compute=3");
+  critpath::Edge pfs_edge{0, 1, 4.0, Resource::kPfs, -1};
+  critpath::Edge remote_edge{0, 1, 4.0, Resource::kRemote, 0};
+  critpath::Edge allreduce_edge{0, 1, 4.0, Resource::kAllreduce, -1};
+  critpath::Edge compute_edge{0, 1, 3.0, Resource::kCompute, -1};
+  critpath::Edge staging_edge{0, 1, 5.0, Resource::kStaging, -1};
+  EXPECT_DOUBLE_EQ(combined->cost(pfs_edge), 2.0);
+  EXPECT_DOUBLE_EQ(combined->cost(remote_edge), 8.0);     // nic=0.5x slows it
+  EXPECT_DOUBLE_EQ(combined->cost(allreduce_edge), 8.0);  // nic covers allreduce
+  EXPECT_DOUBLE_EQ(combined->cost(compute_edge), 1.0);
+  EXPECT_DOUBLE_EQ(combined->cost(staging_edge), 5.0);    // untouched knob
+
+  EXPECT_THROW((void)reg.make("warp=2x"), std::invalid_argument);
+  EXPECT_THROW((void)reg.make("pfs=0x"), std::invalid_argument);
+  EXPECT_THROW((void)reg.make("pfs"), std::invalid_argument);
+  EXPECT_THROW((void)reg.make(""), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Recorder contract on real scenarios.
+
+sim::SimResult run_scenario_sim(const scenario::Scenario& scn, double scale,
+                                sim::RunRecorder* recorder) {
+  sim::SimConfig config = scenario::sim_config(scn, scn.sim.gpu_counts.front(),
+                                               scale, scn.sim.seed);
+  config.recorder = recorder;
+  const data::Dataset dataset = scenario::sim_dataset(scn, scale, scn.sim.seed);
+  const auto policy = sim::make_policy(scn.sim.policies.front());
+  return sim::simulate(config, dataset, *policy);
+}
+
+TEST(CritpathRecorder, RecordingIsObservationOnly) {
+  // The zero-overhead-when-off guarantee's other half: recording ON must be
+  // bit-identical to recording OFF on an existing scenario (recording off
+  // vs. main is pinned by test_scenario.cpp's golden digests, which this PR
+  // must not move).
+  const scenario::Scenario& scn = scenario::get("fig8-imagenet1k");
+  const sim::SimResult off = run_scenario_sim(scn, scn.sim.quick_scale, nullptr);
+  DepGraphBuilder builder;
+  const sim::SimResult on = run_scenario_sim(scn, scn.sim.quick_scale, &builder);
+  sim::expect_results_identical(off, on);
+  EXPECT_EQ(sim::fnv_digest(off), sim::fnv_digest(on));
+  EXPECT_TRUE(builder.complete());
+  EXPECT_GT(builder.graph().num_edges(), 0u);
+}
+
+TEST(CritpathRecorder, LongestPathMatchesEngineTotal) {
+  // The graph reproduces the engine recurrence for overlapped, prestaged,
+  // non-overlapped and zero-I/O policies alike.  FP association differs
+  // (the engine divides a running sum by p0; the graph sums pre-divided
+  // increments), hence near-equality, not bit-equality.
+  const scenario::Scenario& scn = scenario::get("runtime-validation");
+  int checked = 0;
+  for (const std::string& policy_name : scn.sim.policies) {
+    sim::SimConfig config = scenario::sim_config(scn, scn.sim.gpu_counts.front(),
+                                                 1.0, scn.sim.seed);
+    DepGraphBuilder builder;
+    config.recorder = &builder;
+    const data::Dataset dataset = scenario::sim_dataset(scn, 1.0, scn.sim.seed);
+    const auto policy = sim::make_policy(policy_name);
+    const sim::SimResult result = sim::simulate(config, dataset, *policy);
+    if (!result.supported) continue;  // e.g. lbann-dynamic is a stub policy
+    const double path = builder.graph().end_to_end_s();
+    EXPECT_NEAR(path, result.total_s, 1e-9 * std::max(1.0, result.total_s))
+        << policy_name;
+    ++checked;
+  }
+  EXPECT_GE(checked, 3);
+}
+
+// ---------------------------------------------------------------------------
+// micro-critpath: golden attribution + the what-if acceptance contract.
+
+TEST(CritpathMicro, AttributionSumsToEndToEnd) {
+  const scenario::Scenario& scn = scenario::get("micro-critpath");
+  DepGraphBuilder builder;
+  const sim::SimResult result = run_scenario_sim(scn, 1.0, &builder);
+  ASSERT_TRUE(result.supported);
+
+  const Attribution attr = critpath::attribute(builder.graph());
+  // Per-resource shares sum to the end-to-end time (the buckets regroup the
+  // same additions, so only FP reassociation separates them), and the
+  // end-to-end time is the engine's total up to FP association.
+  EXPECT_NEAR(attr.path_sum_s(), attr.end_to_end_s, 1e-9);
+  EXPECT_NEAR(attr.end_to_end_s, result.total_s, 1e-9 * result.total_s);
+  EXPECT_NEAR(builder.engine_total_s(), result.total_s, 0.0);
+
+  // Golden shape of the micro-critpath run: a PFS-heavy NoPFS epoch-0 makes
+  // PFS and compute the only meaningful owners, with a small staging share.
+  EXPECT_EQ(attr.binding(), Resource::kCompute);
+  EXPECT_GT(attr.resource_s(Resource::kCompute), 0.45 * attr.end_to_end_s);
+  EXPECT_GT(attr.resource_s(Resource::kPfs), 0.30 * attr.end_to_end_s);
+  EXPECT_GT(attr.resource_s(Resource::kStaging), 0.0);
+  EXPECT_DOUBLE_EQ(attr.resource_s(Resource::kAllreduce), 0.0);
+  EXPECT_DOUBLE_EQ(attr.resource_s(Resource::kJoin), 0.0);
+}
+
+TEST(CritpathMicro, WhatIfCellsReuseOneRecordingAndSpeedupsAreMonotone) {
+  const scenario::Scenario& scn = scenario::get("micro-critpath");
+  DepGraphBuilder builder;
+  ASSERT_TRUE(run_scenario_sim(scn, 1.0, &builder).supported);
+  const DepGraph& graph = builder.graph();
+  const std::size_t edges_before = graph.num_edges();
+
+  // >= 3 what-if cells from ONE recorded graph, no re-simulation (the graph
+  // is not even mutated by the walks).
+  const Attribution recorded = critpath::attribute(graph);
+  std::vector<Attribution> cells;
+  for (const std::string& spec : critpath::Registry::default_whatif()) {
+    const auto model = critpath::Registry::instance().make(spec);
+    cells.push_back(critpath::attribute(graph, model.get()));
+  }
+  ASSERT_GE(cells.size(), 3u);
+  EXPECT_EQ(graph.num_edges(), edges_before);
+
+  // Monotonicity: a pure speedup can never lengthen the critical path, and
+  // more of the same speedup helps at least as much.
+  const auto pfs2 = critpath::make_scale_model("pfs=2x");
+  const auto pfs4 = critpath::make_scale_model("pfs=4x");
+  const auto slow_nic = critpath::make_scale_model("nic=0.5x");
+  const double recorded_s = recorded.end_to_end_s;
+  const double pfs2_s = critpath::attribute(graph, pfs2.get()).end_to_end_s;
+  const double pfs4_s = critpath::attribute(graph, pfs4.get()).end_to_end_s;
+  const double slow_nic_s =
+      critpath::attribute(graph, slow_nic.get()).end_to_end_s;
+  EXPECT_LE(pfs2_s, recorded_s);
+  EXPECT_LE(pfs4_s, pfs2_s);
+  EXPECT_LT(pfs2_s, recorded_s);   // PFS is on the path, so 2x genuinely helps
+  EXPECT_GE(slow_nic_s, recorded_s);  // and a slowdown never shortens it
+}
+
+}  // namespace
+}  // namespace nopfs

@@ -26,6 +26,11 @@ Key classification (schema 2: a flat ``results`` map of
   (fetch_sample_start/fetch_sample_finish) — the request train the
   reactor's scatter/gather send path is built for — and
   ``socket-loopback.fetch_1m_*`` stays a serial large-payload stream.
+  ``micro-critpath.critpath_edges_per_s`` is the critical-path engine's
+  walk rate: attribute() passes (recorded + two what-if cost models)
+  over the recorded micro-critpath dependence graph, edges visited per
+  second with the CSR warm — a regression means what-if sweeps got
+  slower per cell.
 * ADVISORY — wall-clock and speedup keys: on 1-core CI runners the sweep
   parallel/serial ratio is ~1 and wall-clock jitter dominates, so these are
   printed but never fail the job.
