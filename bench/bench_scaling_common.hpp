@@ -12,7 +12,9 @@
 #include "bench_common.hpp"
 #include "critpath/cp_attribution.hpp"
 #include "critpath/cp_dep_graph.hpp"
+#include "runtime/sweep_job.hpp"
 #include "sim/sweep.hpp"
+#include "sim/sweep_service.hpp"
 
 namespace nopfs::bench {
 
@@ -59,9 +61,15 @@ struct ScalingCell {
 
 /// Runs the full grid concurrently (grid points are independent and the
 /// sweep engine is deterministic, so the result is identical to a serial
-/// loop); results indexed [gpu][loader].
+/// loop); results indexed [gpu][loader].  With a distributed world in
+/// `args` (--rank/--world-size/--rendezvous) the grid is routed through
+/// the work-stealing sweep service (DESIGN.md Sec. 10) — the paper-scale
+/// `--full` grids are exactly the runs worth sharding across hosts; the
+/// determinism contract makes the grid bit-identical either way.  Workers
+/// (rank != 0) get an empty grid back: only rank 0 holds the results.
 inline std::vector<std::vector<ScalingCell>> run_scaling(const ScalingOptions& options,
-                                                         const data::Dataset& dataset) {
+                                                         const data::Dataset& dataset,
+                                                         const util::BenchArgs& args = {}) {
   const scenario::Scenario& scn = *options.scenario;
   std::vector<sim::SweepPoint> points;
   points.reserve(scn.sim.gpu_counts.size() * options.loaders.size());
@@ -75,8 +83,21 @@ inline std::vector<std::vector<ScalingCell>> run_scaling(const ScalingOptions& o
       points.push_back(std::move(point));
     }
   }
-  const sim::SweepRunner runner({options.num_threads});
-  std::vector<sim::SimResult> results = runner.run(points);
+  std::vector<sim::SimResult> results;
+  if (args.world_size > 1) {
+    runtime::WorkerEndpoint endpoint;
+    endpoint.rank = args.rank;
+    endpoint.world_size = args.world_size;
+    endpoint.rendezvous_host = args.rendezvous_host;
+    endpoint.rendezvous_port = args.rendezvous_port;
+    sim::SweepServiceOptions service;
+    service.num_threads = options.num_threads;
+    results = runtime::run_sweep_job(points, endpoint, service).results;
+    if (args.rank != 0) return {};
+  } else {
+    const sim::SweepRunner runner({options.num_threads});
+    results = runner.run(points);
+  }
 
   std::vector<std::vector<ScalingCell>> grid;
   std::size_t flat = 0;
@@ -197,7 +218,8 @@ inline int scaling_main(int argc, char** argv,
     const ScalingOptions options = scaling_options(*scn, args);
     const data::Dataset dataset =
         scenario::sim_dataset(*scn, options.scale, args.seed);
-    const auto grid = run_scaling(options, dataset);
+    const auto grid = run_scaling(options, dataset, args);
+    if (args.world_size > 1 && args.rank != 0) continue;  // workers only compute
     print_scaling_tables(options, grid, args, scn->summary);
     if (args.critpath) {
       print_critpath_attribution(options, dataset, args, scn->summary);

@@ -29,6 +29,22 @@
 // nic=0.5x).  --list-scenarios --markdown emits the generated scenario
 // reference (docs/SCENARIOS.md).
 //
+// Sweep-service mode (--sweep-scenario, DESIGN.md Sec. 10) runs the named
+// scenario's SIMULATOR sweep grid through the distributed work-stealing
+// sweep service instead of the runtime harness.  Single-process it stays
+// in-process (still checkpointable); with --rendezvous each launched rank
+// is one service member and rank 0 owns the grid:
+//
+//   ./nopfs_worker --sweep-scenario sweep-service --sweep-checkpoint ck.bin &
+//   ./nopfs_worker --sweep-scenario sweep-service --resume ck.bin
+//
+// --sweep-checkpoint FILE enables periodic checkpointing; --resume FILE
+// implies it AND folds the file's completed cells before granting, so a
+// killed sweep re-runs nothing it already finished.  --sweep-interrupt-after
+// N deterministically emulates a mid-sweep kill after N completed cells
+// (the CI kill/resume smoke).  Rank 0 prints the ordered-results digest —
+// bit-identical to the serial SweepRunner by contract.
+//
 // The scenario (default "worker-loopback") supplies the system, dataset and
 // run shape; explicit flags (--samples, --epochs, ...) override it.  Every
 // rank of a multi-process job must be launched with identical job flags:
@@ -53,9 +69,11 @@
 #include "critpath/cp_dep_graph.hpp"
 #include "critpath/cp_registry.hpp"
 #include "runtime/harness.hpp"
+#include "runtime/sweep_job.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/engine.hpp"
 #include "sim/policies.hpp"
+#include "sim/sweep_service.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -74,6 +92,11 @@ struct Args {
   bool markdown = false;   ///< with --list-scenarios: emit docs/SCENARIOS.md
   bool critpath = false;   ///< critical-path attribution + what-if mode
   std::vector<std::string> whatif;  ///< what-if cells (--whatif, repeatable)
+  bool sweep = false;               ///< --sweep-scenario: sweep-service mode
+  std::string sweep_checkpoint;     ///< checkpoint file ("" = none)
+  bool sweep_resume = false;        ///< fold the checkpoint before granting
+  std::uint64_t sweep_interrupt_after = 0;  ///< emulate a kill after N cells
+  int sweep_threads = 0;            ///< per-rank cell threads (0 = auto)
   bool quick = false;
   // Scenario overrides; "have_" flags distinguish "not passed" from any
   // sentinel value so explicit flags always win over the registry shape.
@@ -102,6 +125,8 @@ void usage(const char* argv0) {
       << "usage: " << argv0
       << " [--scenario NAME] [--list-scenarios [--markdown]]\n"
          "          [--critpath [--whatif SPEC]...]  (simulator critical path)\n"
+         "          [--sweep-scenario NAME [--sweep-checkpoint FILE | --resume FILE]\n"
+         "           [--sweep-interrupt-after N] [--sweep-threads T]]  (sweep service)\n"
          "          [--rank R --world-size N --rendezvous HOST:PORT]  (multi-process)\n"
          "          [--loader "
       << baselines::loader_flag_names()
@@ -133,6 +158,21 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.critpath = true;
     } else if (flag == "--whatif") {
       args.whatif.emplace_back(value(i));
+    } else if (flag == "--sweep-scenario") {
+      args.scenario = value(i);
+      args.sweep = true;
+    } else if (flag == "--sweep-checkpoint") {
+      args.sweep_checkpoint = value(i);
+    } else if (flag == "--resume") {
+      args.sweep_checkpoint = value(i);
+      args.sweep_resume = true;
+    } else if (flag == "--sweep-interrupt-after") {
+      args.sweep_interrupt_after = std::stoull(value(i));
+    } else if (flag == "--sweep-threads") {
+      args.sweep_threads = std::stoi(value(i));
+      if (args.sweep_threads < 0) {
+        throw std::invalid_argument("--sweep-threads must be >= 0");
+      }
     } else if (flag == "--rank") {
       args.rank = std::stoi(value(i));
     } else if (flag == "--world-size") {
@@ -315,6 +355,84 @@ int run_critpath(const scenario::Scenario& scn, const Args& args) {
   return 0;
 }
 
+/// --sweep-scenario: run the scenario's simulator sweep grid through the
+/// distributed sweep service (runtime::run_sweep_job).  Rank 0 prints (and
+/// with --json-out writes) the job report including the ordered-results
+/// digest; other ranks print their own share.  Exit 3 when an uninterrupted
+/// sweep failed to complete its grid.
+int run_sweep(const scenario::Scenario& scn, const Args& args) {
+  const double scale = scenario::pick_scale(scn, args.quick, /*full=*/false);
+  const std::uint64_t seed = args.have_seed ? args.seed : scn.sim.seed;
+  const int epochs =
+      args.epochs > 0 ? args.epochs : scenario::pick_epochs(scn, args.quick);
+  const data::Dataset dataset = scenario::sim_dataset(scn, scale, seed);
+  std::vector<sim::SweepPoint> points =
+      scenario::sweep_points(scn, dataset, scale, seed);
+  for (sim::SweepPoint& point : points) point.config.num_epochs = epochs;
+
+  sim::SweepServiceOptions options;
+  options.num_threads = args.sweep_threads;
+  options.checkpoint_path = args.sweep_checkpoint;
+  options.resume = args.sweep_resume;
+  options.interrupt_after_cells = args.sweep_interrupt_after;
+
+  runtime::WorkerEndpoint endpoint;
+  endpoint.rank = args.rank;
+  // Without --rendezvous the sweep stays in-process regardless of
+  // --world-size (there is no address to meet at).
+  endpoint.world_size =
+      args.have_rendezvous && args.world_size > 0 ? args.world_size : 1;
+  endpoint.rendezvous_host = args.rendezvous_host;
+  endpoint.rendezvous_port = args.rendezvous_port;
+  endpoint.timeout_s = args.timeout_s;
+
+  const sim::SweepServiceReport report = runtime::run_sweep_job(points, endpoint, options);
+  const bool root = args.rank == 0;
+  const std::uint64_t digest =
+      root ? sim::sweep_results_digest(report.results) : 0;
+  const double cells_per_s =
+      report.stats.wall_s > 0.0
+          ? static_cast<double>(report.stats.completed_cells -
+                                report.stats.restored_cells) /
+                report.stats.wall_s
+          : 0.0;
+
+  std::ostringstream out;
+  out.precision(6);
+  out << "{\n"
+      << "  \"scenario\": \"" << args.scenario << "\",\n"
+      << "  \"mode\": \"sweep\",\n"
+      << "  \"rank\": " << args.rank << ",\n"
+      << "  \"world_size\": " << endpoint.world_size << ",\n"
+      << "  \"seed\": " << seed << ",\n"
+      << "  \"epochs\": " << epochs << ",\n"
+      << "  \"total_cells\": " << report.stats.total_cells << ",\n"
+      << "  \"restored_cells\": " << report.stats.restored_cells << ",\n"
+      << "  \"executed_cells\": " << report.stats.executed_cells << ",\n"
+      << "  \"completed_cells\": " << report.stats.completed_cells << ",\n"
+      << "  \"duplicate_cells\": " << report.stats.duplicate_cells << ",\n"
+      << "  \"interrupted\": " << (report.stats.interrupted ? "true" : "false")
+      << ",\n"
+      << "  \"wall_s\": " << report.stats.wall_s << ",\n"
+      << "  \"cells_per_s\": " << cells_per_s << ",\n"
+      << "  \"results_digest\": \"" << std::hex << digest << std::dec << "\"\n"
+      << "}\n";
+  std::cout << out.str();
+  if (!args.json_out.empty()) {
+    std::ofstream file(args.json_out);
+    if (!file) {
+      std::cerr << "cannot write " << args.json_out << "\n";
+      return 2;
+    }
+    file << out.str();
+  }
+  if (root && !report.stats.interrupted &&
+      report.stats.completed_cells != report.stats.total_cells) {
+    return 3;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -334,6 +452,7 @@ int main(int argc, char** argv) {
     const scenario::Scenario& scn = scenario::get(args.scenario);
 
     if (args.critpath) return run_critpath(scn, args);
+    if (args.sweep) return run_sweep(scn, args);
 
     // Scenario shape with CLI overrides on top.
     const int world_size = args.world_size > 0     ? args.world_size

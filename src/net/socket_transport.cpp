@@ -152,10 +152,16 @@ int listen_backlog(int world_size) { return std::max(world_size + 8, 128); }
 struct SocketTransport::PendingFetch {
   std::uint64_t id = 0;
   int peer = -1;
+  /// Sweep pull tickets share the channel's FIFO deque with fetch tickets
+  /// (the serve side answers one connection's requests in order, so the
+  /// reply kinds can never mis-pair); a sweep ticket resolves on
+  /// kSweepGrant/kSweepDone instead of kHit/kMiss.
+  bool sweep = false;
   std::mutex m;
   std::condition_variable cv;
   bool done = false;
   bool hit = false;
+  bool sweep_done = false;  ///< reply was kSweepDone (grid drained)
   Bytes payload;
 
   void resolve(bool hit_value, Bytes bytes) {
@@ -164,6 +170,18 @@ struct SocketTransport::PendingFetch {
       if (done) return;
       done = true;
       hit = hit_value;
+      payload = std::move(bytes);
+    }
+    cv.notify_all();
+  }
+
+  void resolve_sweep(bool done_frame, Bytes bytes) {
+    {
+      const std::scoped_lock lock(m);
+      if (done) return;
+      done = true;
+      hit = true;
+      sweep_done = done_frame;
       payload = std::move(bytes);
     }
     cv.notify_all();
@@ -953,6 +971,49 @@ void SocketTransport::loop_serve_frame(const std::shared_ptr<Session>& session,
       pfs_apply_gamma(wire::decode_pfs_gamma(frame.payload));
       return;
     }
+    case wire::MsgType::kSweepPull: {
+      if (options_.rank != 0) {
+        throw std::runtime_error(
+            "SocketTransport: sweep frame at non-root rank");
+      }
+      const auto who = static_cast<int>(frame.header.arg);
+      if (who <= 0 || who >= options_.world_size) {
+        throw std::runtime_error(
+            "SocketTransport: sweep pull from invalid rank " +
+            std::to_string(who));
+      }
+      std::pair<bool, Bytes> reply;
+      {
+        const std::scoped_lock lock(sweep_mutex_);
+        if (!sweep_service_.on_pull) {
+          throw std::runtime_error(
+              "SocketTransport: sweep pull with no service installed");
+        }
+        reply = sweep_service_.on_pull(who, std::move(frame.payload));
+      }
+      loop_enqueue_reply(session,
+                         reply.first ? wire::MsgType::kSweepDone
+                                     : wire::MsgType::kSweepGrant,
+                         frame.header.arg, std::move(reply.second), 0.0);
+      return;
+    }
+    case wire::MsgType::kSweepResult: {
+      if (options_.rank != 0) {
+        throw std::runtime_error(
+            "SocketTransport: sweep frame at non-root rank");
+      }
+      const auto who = static_cast<int>(frame.header.arg);
+      if (who <= 0 || who >= options_.world_size) {
+        throw std::runtime_error(
+            "SocketTransport: sweep result from invalid rank " +
+            std::to_string(who));
+      }
+      const std::scoped_lock lock(sweep_mutex_);
+      if (sweep_service_.on_result) {
+        sweep_service_.on_result(who, std::move(frame.payload));
+      }
+      return;
+    }
     default:
       throw std::runtime_error("SocketTransport: unexpected frame on serve conn");
   }
@@ -1017,8 +1078,27 @@ void SocketTransport::loop_channel_reply(const std::shared_ptr<Session>& session
       if (frame.header.arg != ticket->id) {
         throw std::runtime_error("SocketTransport: fetch reply out of step");
       }
+      if (ticket->sweep) {
+        throw std::runtime_error(
+            "SocketTransport: fetch reply paired with a sweep ticket");
+      }
       ticket->resolve(frame.header.type == wire::MsgType::kHit,
                       std::move(frame.payload));
+      return;
+    }
+    case wire::MsgType::kSweepGrant:
+    case wire::MsgType::kSweepDone: {
+      if (session->pending_fetches.empty()) {
+        throw std::runtime_error("SocketTransport: unsolicited sweep reply");
+      }
+      const auto ticket = session->pending_fetches.front();
+      session->pending_fetches.pop_front();
+      if (!ticket->sweep) {
+        throw std::runtime_error(
+            "SocketTransport: sweep reply paired with a fetch ticket");
+      }
+      ticket->resolve_sweep(frame.header.type == wire::MsgType::kSweepDone,
+                            std::move(frame.payload));
       return;
     }
     default:
@@ -1164,6 +1244,75 @@ void SocketTransport::barrier() { (void)allgather(Bytes{}); }
 void SocketTransport::set_serve_handler(ServeHandler handler) {
   const std::scoped_lock lock(handler_mutex_);
   handler_ = std::move(handler);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep service (DESIGN.md Sec. 10): pull/grant on the fetch-channel ticket
+// pipeline, results one-way on the same channel.
+
+void SocketTransport::set_sweep_service(SweepService service) {
+  if ((service.on_pull || service.on_result) && options_.rank != 0) {
+    throw std::runtime_error(
+        "SocketTransport: the sweep service lives on rank 0");
+  }
+  // Holding sweep_mutex_ fences withdrawal: the reactor invokes handlers
+  // under the same mutex, so after this returns no old handler is running.
+  const std::scoped_lock lock(sweep_mutex_);
+  sweep_service_ = std::move(service);
+}
+
+std::optional<std::pair<bool, Bytes>> SocketTransport::sweep_pull(Bytes pull) {
+  if (options_.rank == 0) {
+    throw std::runtime_error("SocketTransport: rank 0 cannot pull from itself");
+  }
+  const auto ticket = std::make_shared<PendingFetch>();
+  ticket->peer = 0;
+  ticket->sweep = true;
+  if (stopping_.load(std::memory_order_acquire) || reactor_ == nullptr) {
+    return std::nullopt;
+  }
+  reactor_->post([this, ticket, payload = std::move(pull)]() mutable {
+    const auto channel = loop_channel(0);
+    if (channel == nullptr) {
+      ticket->resolve(false, {});
+      return;
+    }
+    channel->pending_fetches.push_back(ticket);
+    channel->sendq.push(wire::MsgType::kSweepPull,
+                        static_cast<std::uint64_t>(options_.rank),
+                        std::move(payload));
+    loop_mark_dirty(channel);
+  });
+  std::unique_lock lock(ticket->m);
+  const bool done = ticket->cv.wait_for(
+      lock, std::chrono::duration<double>(options_.timeout_s),
+      [&] { return ticket->done; });
+  if (!done || !ticket->hit) {
+    lock.unlock();
+    if (!done && !stopping_.load(std::memory_order_acquire)) {
+      util::log_error("SocketTransport rank ", options_.rank,
+                      " sweep pull: timed out");
+    }
+    return std::nullopt;
+  }
+  return std::make_pair(ticket->sweep_done, std::move(ticket->payload));
+}
+
+void SocketTransport::sweep_push_result(Bytes batch) {
+  if (options_.rank == 0) {
+    throw std::runtime_error("SocketTransport: rank 0 folds results locally");
+  }
+  if (stopping_.load(std::memory_order_acquire) || reactor_ == nullptr) return;
+  // Fire-and-forget, like watermarks: a batch lost to a dying root is
+  // recovered by the scheduler's tail re-grant, never by a retry here.
+  reactor_->post([this, payload = std::move(batch)]() mutable {
+    const auto channel = loop_channel(0);
+    if (channel == nullptr) return;
+    channel->sendq.push(wire::MsgType::kSweepResult,
+                        static_cast<std::uint64_t>(options_.rank),
+                        std::move(payload));
+    loop_mark_dirty(channel);
+  });
 }
 
 void SocketTransport::check_peer(int peer) const {

@@ -131,6 +131,17 @@ class SocketTransport final : public Transport {
   int pfs_adjust(int delta) override;
   void set_pfs_listener(PfsListener listener) override;
 
+  // --- sweep service (DESIGN.md Sec. 10) -----------------------------------
+  // Sweep frames ride the per-peer fetch channel to rank 0 and share its
+  // FIFO ticket discipline: a kSweepPull enqueues a ticket exactly like a
+  // kFetch, and the rank-0 serve side answers a connection's requests in
+  // order, so kSweepGrant/kSweepDone replies pair with their pulls without
+  // any request ids.  kSweepResult is one-way (no ticket); TCP keeps it
+  // ahead of the sender's next pull.
+  void set_sweep_service(SweepService service) override;
+  std::optional<std::pair<bool, Bytes>> sweep_pull(Bytes pull) override;
+  void sweep_push_result(Bytes batch) override;
+
   void publish_watermark(std::uint64_t position) override;
   [[nodiscard]] std::uint64_t watermark_of(int peer) const override;
 
@@ -263,6 +274,9 @@ class SocketTransport final : public Transport {
 
   std::mutex handler_mutex_;
   ServeHandler handler_;
+
+  std::mutex sweep_mutex_;  // guards sweep_service_ (install/withdraw fence)
+  SweepService sweep_service_;
 
   std::mutex collective_mutex_;  // collectives are one-at-a-time
   std::vector<PeerEndpoint> endpoints_;

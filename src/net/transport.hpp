@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace nopfs::net {
@@ -92,6 +94,44 @@ class Transport {
   /// Withdrawal must fence: after it returns, the previous listener is
   /// neither running nor about to run.
   virtual void set_pfs_listener(PfsListener listener) { (void)listener; }
+
+  /// Rank-0 side of the distributed sweep service (DESIGN.md Sec. 10).
+  /// `on_pull` answers a worker's cell-range request: it receives the
+  /// sender's rank and the encoded wire::SweepPull payload and returns
+  /// {done, reply payload} — reply is a wire::SweepGrant when done is
+  /// false, a wire::SweepDone when true.  `on_result` folds an encoded
+  /// wire::SweepResultBatch from a worker.  Both may be invoked from
+  /// transport-internal threads; the installer must make them thread-safe.
+  struct SweepService {
+    std::function<std::pair<bool, Bytes>(int from, Bytes pull)> on_pull;
+    std::function<void(int from, Bytes batch)> on_result;
+  };
+
+  /// Installs (or, with empty functions, withdraws) the sweep service on
+  /// rank 0.  Withdrawal must fence like set_pfs_listener.  The default
+  /// implementation supports no sweep service.
+  virtual void set_sweep_service(SweepService service) {
+    if (service.on_pull || service.on_result) {
+      throw std::runtime_error("transport: sweep service not supported");
+    }
+  }
+
+  /// Worker side: asks rank 0 for the next cell range.  `pull` is an
+  /// encoded wire::SweepPull; the reply is {done, payload} as produced by
+  /// the rank-0 on_pull handler.  Returns nullopt when rank 0 is
+  /// unreachable (died, or the transport is shutting down).  Blocking.
+  virtual std::optional<std::pair<bool, Bytes>> sweep_pull(Bytes pull) {
+    (void)pull;
+    throw std::runtime_error("transport: sweep service not supported");
+  }
+
+  /// Worker side: streams an encoded wire::SweepResultBatch to rank 0.
+  /// Fire-and-forget; frame order per sender is preserved, so a batch
+  /// always reaches rank 0 before the sender's next pull.
+  virtual void sweep_push_result(Bytes batch) {
+    (void)batch;
+    throw std::runtime_error("transport: sweep service not supported");
+  }
 
   /// Publishes this rank's prefetch progress (position in its access
   /// stream); peers read it via watermark_of().  Used by the remote-cache

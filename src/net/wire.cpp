@@ -10,6 +10,8 @@
 #include <string>
 #include <utility>
 
+#include "sim/sim_config.hpp"
+
 namespace nopfs::net::wire {
 
 void put_f64(std::vector<std::uint8_t>& out, double v) {
@@ -113,6 +115,186 @@ PfsGamma decode_pfs_gamma(const std::vector<std::uint8_t>& payload) {
   return gamma;
 }
 
+// --- sweep-service frame payloads -------------------------------------------
+
+namespace {
+
+constexpr int kLocationCount = static_cast<int>(sim::Location::kCount);
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::string read_string(Reader& reader) {
+  const std::uint32_t len = reader.u32();
+  const auto raw = reader.bytes(len);
+  return std::string(raw.begin(), raw.end());
+}
+
+void put_f64_vector(std::vector<std::uint8_t>& out,
+                    const std::vector<double>& v) {
+  put_u64(out, v.size());
+  for (const double x : v) put_f64(out, x);
+}
+
+std::vector<double> read_f64_vector(Reader& reader) {
+  const std::uint64_t len = reader.u64();
+  // The Reader bounds-checks every element, but reserve() before the loop
+  // must not trust a corrupt length.
+  if (len * 8 > kMaxPayloadBytes) {
+    throw std::runtime_error("wire: sim-result vector exceeds sanity cap");
+  }
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(len));
+  for (std::uint64_t i = 0; i < len; ++i) v.push_back(reader.f64());
+  return v;
+}
+
+}  // namespace
+
+void put_sim_result(std::vector<std::uint8_t>& out,
+                    const sim::SimResult& result) {
+  put_string(out, result.policy);
+  put_string(out, result.dataset);
+  out.push_back(result.supported ? 1 : 0);
+  put_string(out, result.unsupported_reason);
+  put_f64(out, result.total_s);
+  put_f64(out, result.prestage_s);
+  put_f64(out, result.stall_s);
+  put_f64(out, result.compute_s);
+  put_f64_vector(out, result.epoch_s);
+  put_f64_vector(out, result.batch_s_epoch0);
+  put_f64_vector(out, result.batch_s_rest);
+  for (int i = 0; i < kLocationCount; ++i) put_f64(out, result.location_s[i]);
+  for (int i = 0; i < kLocationCount; ++i) {
+    put_u64(out, result.location_count[i]);
+  }
+  for (int i = 0; i < kLocationCount; ++i) put_f64(out, result.location_mb[i]);
+  put_f64(out, result.accessed_fraction);
+}
+
+sim::SimResult read_sim_result(Reader& reader) {
+  sim::SimResult result;
+  result.policy = read_string(reader);
+  result.dataset = read_string(reader);
+  result.supported = reader.bytes(1)[0] != 0;
+  result.unsupported_reason = read_string(reader);
+  result.total_s = reader.f64();
+  result.prestage_s = reader.f64();
+  result.stall_s = reader.f64();
+  result.compute_s = reader.f64();
+  result.epoch_s = read_f64_vector(reader);
+  result.batch_s_epoch0 = read_f64_vector(reader);
+  result.batch_s_rest = read_f64_vector(reader);
+  for (int i = 0; i < kLocationCount; ++i) result.location_s[i] = reader.f64();
+  for (int i = 0; i < kLocationCount; ++i) {
+    result.location_count[i] = reader.u64();
+  }
+  for (int i = 0; i < kLocationCount; ++i) result.location_mb[i] = reader.f64();
+  result.accessed_fraction = reader.f64();
+  return result;
+}
+
+std::vector<std::uint8_t> encode_sim_result(const sim::SimResult& result) {
+  std::vector<std::uint8_t> out;
+  put_sim_result(out, result);
+  return out;
+}
+
+sim::SimResult decode_sim_result(const std::vector<std::uint8_t>& payload) {
+  Reader reader(payload);
+  sim::SimResult result = read_sim_result(reader);
+  if (reader.remaining() != 0) {
+    throw std::runtime_error("wire: trailing bytes after sim result");
+  }
+  return result;
+}
+
+std::vector<std::uint8_t> encode_sweep_pull(const SweepPull& pull) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4);
+  put_u32(out, pull.seq);
+  return out;
+}
+
+SweepPull decode_sweep_pull(const std::vector<std::uint8_t>& payload) {
+  Reader reader(payload);
+  SweepPull pull;
+  pull.seq = reader.u32();
+  if (reader.remaining() != 0) {
+    throw std::runtime_error("wire: trailing bytes after sweep pull");
+  }
+  return pull;
+}
+
+std::vector<std::uint8_t> encode_sweep_grant(const SweepGrant& grant) {
+  std::vector<std::uint8_t> out;
+  out.reserve(16);
+  put_u32(out, grant.seq);
+  put_u64(out, grant.first);
+  put_u32(out, grant.count);
+  return out;
+}
+
+SweepGrant decode_sweep_grant(const std::vector<std::uint8_t>& payload) {
+  Reader reader(payload);
+  SweepGrant grant;
+  grant.seq = reader.u32();
+  grant.first = reader.u64();
+  grant.count = reader.u32();
+  if (reader.remaining() != 0) {
+    throw std::runtime_error("wire: trailing bytes after sweep grant");
+  }
+  return grant;
+}
+
+std::vector<std::uint8_t> encode_sweep_done(const SweepDone& done) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4);
+  put_u32(out, done.seq);
+  return out;
+}
+
+SweepDone decode_sweep_done(const std::vector<std::uint8_t>& payload) {
+  Reader reader(payload);
+  SweepDone done;
+  done.seq = reader.u32();
+  if (reader.remaining() != 0) {
+    throw std::runtime_error("wire: trailing bytes after sweep done");
+  }
+  return done;
+}
+
+std::vector<std::uint8_t> encode_sweep_result_batch(
+    const SweepResultBatch& batch) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, batch.seq);
+  put_u64(out, batch.first);
+  put_u32(out, static_cast<std::uint32_t>(batch.results.size()));
+  for (const sim::SimResult& result : batch.results) {
+    put_sim_result(out, result);
+  }
+  return out;
+}
+
+SweepResultBatch decode_sweep_result_batch(
+    const std::vector<std::uint8_t>& payload) {
+  Reader reader(payload);
+  SweepResultBatch batch;
+  batch.seq = reader.u32();
+  batch.first = reader.u64();
+  const std::uint32_t count = reader.u32();
+  batch.results.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    batch.results.push_back(read_sim_result(reader));
+  }
+  if (reader.remaining() != 0) {
+    throw std::runtime_error("wire: trailing bytes after sweep result batch");
+  }
+  return batch;
+}
+
 FrameHeader decode_header(const std::uint8_t (&in)[kHeaderBytes]) {
   Reader reader(in, kHeaderBytes);
   const std::uint32_t magic = reader.u32();
@@ -120,8 +302,14 @@ FrameHeader decode_header(const std::uint8_t (&in)[kHeaderBytes]) {
   FrameHeader header;
   const auto raw = reader.bytes(1);
   header.type = static_cast<MsgType>(raw[0]);
-  if (raw[0] < static_cast<std::uint8_t>(MsgType::kHello) ||
-      raw[0] > static_cast<std::uint8_t>(MsgType::kPfsGamma)) {
+  // Valid types are [kHello, kPfsGamma] plus the sweep-service block
+  // [kSweepPull, kSweepDone]; 11 sits between them and stays permanently
+  // retired (it was kPfsGamma before the delta protocol).
+  const bool core = raw[0] >= static_cast<std::uint8_t>(MsgType::kHello) &&
+                    raw[0] <= static_cast<std::uint8_t>(MsgType::kPfsGamma);
+  const bool sweep = raw[0] >= static_cast<std::uint8_t>(MsgType::kSweepPull) &&
+                     raw[0] <= static_cast<std::uint8_t>(MsgType::kSweepDone);
+  if (!core && !sweep) {
     throw std::runtime_error("wire: unknown message type");
   }
   header.arg = reader.u64();

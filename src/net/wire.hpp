@@ -28,6 +28,10 @@
 #include <deque>
 #include <vector>
 
+namespace nopfs::sim {
+struct SimResult;  // sim/sim_config.hpp; wire.cpp holds the codec
+}
+
 namespace nopfs::net::wire {
 
 inline constexpr std::uint32_t kMagic = 0x4E504653u;  // "NPFS"
@@ -39,12 +43,13 @@ inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;  // 1 GiB sanity cap
 /// — revision 2 replaced the unary kPfsAcquire/kPfsRelease contention
 /// frames with batched kPfsDelta; revision 3 made fetch channels pipelined
 /// (many in-flight kFetch per connection, replies matched FIFO) and led
-/// every dialed channel with a kHello identifying the dialing rank — so a
-/// mixed-version world fails loudly at the handshake instead of misreading
-/// frames mid-rollout.  The high bytes spell "NP", so the version field can
-/// never be confused with a plausible world size (the field an unversioned
-/// peer sends first).
-inline constexpr std::uint32_t kProtocolVersion = 0x4E500003u;
+/// every dialed channel with a kHello identifying the dialing rank; revision
+/// 4 added the sweep-service frames (kSweepPull/kSweepResult/kSweepGrant/
+/// kSweepDone) and the SimResult codec they carry — so a mixed-version world
+/// fails loudly at the handshake instead of misreading frames mid-rollout.
+/// The high bytes spell "NP", so the version field can never be confused
+/// with a plausible world size (the field an unversioned peer sends first).
+inline constexpr std::uint32_t kProtocolVersion = 0x4E500004u;
 
 enum class MsgType : std::uint8_t {
   kHello = 1,      ///< rank -> rendezvous: arg=rank,
@@ -64,6 +69,19 @@ enum class MsgType : std::uint8_t {
   // transitions, each weighted by the rank's local reader-thread fan-out.
   kPfsDelta = 9,  ///< rank -> rank 0: arg = rank, payload = PfsDelta below
   kPfsGamma = 10, ///< rank 0 -> everyone: payload = PfsGamma below
+  // Type 11 is permanently retired (it was kPfsGamma before the delta
+  // protocol and decoding it must keep failing loudly), so the sweep
+  // service starts at 12.  Sweep frames ride the per-peer fetch channel to
+  // rank 0 (DESIGN.md Sec. 10): a worker pulls a cell range, rank 0 replies
+  // with a grant (or done), and completed ranges stream back one-way.
+  kSweepPull = 12,    ///< worker -> rank 0: arg = rank, payload = SweepPull
+  kSweepResult = 13,  ///< worker -> rank 0: arg = rank,
+                      ///<   payload = SweepResultBatch
+  kSweepGrant = 14,   ///< rank 0 -> worker: reply to kSweepPull,
+                      ///<   payload = SweepGrant
+  kSweepDone = 15,    ///< rank 0 -> worker: reply to kSweepPull when the
+                      ///<   grid is drained (or interrupted), payload =
+                      ///<   SweepDone — the worker stops pulling
 };
 
 /// Payload of kPfsDelta: the sender's net reader-count change since its
@@ -80,6 +98,37 @@ struct PfsDelta {
 struct PfsGamma {
   std::int32_t gamma = 0;
   std::uint32_t seq = 0;
+};
+
+/// Payload of kSweepPull: an idle worker asking rank 0 for its next cell
+/// range.  `seq` is monotone per sender (same defensive discipline as
+/// PfsDelta) so a duplicated or reordered pull is dropped, never re-granted.
+struct SweepPull {
+  std::uint32_t seq = 0;
+};
+
+/// Payload of kSweepGrant: a contiguous cell range [first, first + count).
+/// `seq` echoes the pull being answered.
+struct SweepGrant {
+  std::uint32_t seq = 0;
+  std::uint64_t first = 0;
+  std::uint32_t count = 0;
+};
+
+/// Payload of kSweepDone: the grid is drained (or the sweep was
+/// interrupted); the receiving worker stops pulling and enters the final
+/// barrier.  `seq` echoes the pull being answered.
+struct SweepDone {
+  std::uint32_t seq = 0;
+};
+
+/// Payload of kSweepResult: the results for a completed contiguous range,
+/// ordered by flat cell index starting at `first`.  Results are pure
+/// functions of the cell, so rank 0 folds a duplicate batch idempotently.
+struct SweepResultBatch {
+  std::uint32_t seq = 0;
+  std::uint64_t first = 0;
+  std::vector<sim::SimResult> results;
 };
 
 struct FrameHeader {
@@ -160,6 +209,40 @@ void encode_header(std::uint8_t (&out)[kHeaderBytes], MsgType type,
 
 [[nodiscard]] std::vector<std::uint8_t> encode_pfs_gamma(const PfsGamma& gamma);
 [[nodiscard]] PfsGamma decode_pfs_gamma(const std::vector<std::uint8_t>& payload);
+
+// --- sweep-service frame payloads (DESIGN.md Sec. 10) -----------------------
+
+[[nodiscard]] std::vector<std::uint8_t> encode_sweep_pull(const SweepPull& pull);
+[[nodiscard]] SweepPull decode_sweep_pull(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_sweep_grant(
+    const SweepGrant& grant);
+[[nodiscard]] SweepGrant decode_sweep_grant(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_sweep_done(const SweepDone& done);
+[[nodiscard]] SweepDone decode_sweep_done(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_sweep_result_batch(
+    const SweepResultBatch& batch);
+[[nodiscard]] SweepResultBatch decode_sweep_result_batch(
+    const std::vector<std::uint8_t>& payload);
+
+/// Field-by-field SimResult serialization: strings as u32 length + bytes,
+/// double vectors as u64 length + f64s, every double by IEEE-754 bit
+/// pattern — two ranks (or a checkpoint round trip) reproduce the struct
+/// bit-for-bit, which is what lets the deterministic-ordering contract
+/// survive distribution and resume.
+void put_sim_result(std::vector<std::uint8_t>& out,
+                    const sim::SimResult& result);
+[[nodiscard]] sim::SimResult read_sim_result(Reader& reader);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_sim_result(
+    const sim::SimResult& result);
+[[nodiscard]] sim::SimResult decode_sim_result(
+    const std::vector<std::uint8_t>& payload);
 
 // --- non-blocking frame I/O ------------------------------------------------
 

@@ -1,0 +1,23 @@
+#include "runtime/sweep_job.hpp"
+
+#include "net/socket_transport.hpp"
+
+namespace nopfs::runtime {
+
+sim::SweepServiceReport run_sweep_job(const std::vector<sim::SweepPoint>& points,
+                                      const WorkerEndpoint& endpoint,
+                                      const sim::SweepServiceOptions& options) {
+  if (endpoint.world_size <= 1) {
+    return sim::run_sweep_service(nullptr, points, options);
+  }
+  net::SocketOptions socket;
+  socket.rank = endpoint.rank;
+  socket.world_size = endpoint.world_size;
+  socket.rendezvous_host = endpoint.rendezvous_host;
+  socket.rendezvous_port = endpoint.rendezvous_port;
+  socket.timeout_s = endpoint.timeout_s;
+  net::SocketTransport transport(socket);
+  return sim::run_sweep_service(&transport, points, options);
+}
+
+}  // namespace nopfs::runtime

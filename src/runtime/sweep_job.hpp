@@ -1,0 +1,25 @@
+#pragma once
+// Distributed sweep-job launcher: the sweep-service entry point alongside
+// run_distributed (DESIGN.md Sec. 10).  Performs the SocketTransport
+// rendezvous for THIS rank and routes the grid through
+// sim::run_sweep_service; with world_size <= 1 no socket is opened and the
+// sweep stays in-process (checkpoint/resume still works).  The NIC is left
+// untimed: a sweep moves cell metadata and result structs, not emulated
+// sample bytes, so nothing should be priced against the emulated fabric.
+
+#include <vector>
+
+#include "runtime/harness.hpp"
+#include "sim/sweep_service.hpp"
+
+namespace nopfs::runtime {
+
+/// Runs this rank's share of the sweep.  Every rank of the world must call
+/// it with the SAME `points` (the grid is replicated, only the work is
+/// sharded); rank 0 returns the full ordered results, others an empty
+/// grid.  Throws on rendezvous failure or a mid-sweep loss of rank 0.
+[[nodiscard]] sim::SweepServiceReport run_sweep_job(
+    const std::vector<sim::SweepPoint>& points, const WorkerEndpoint& endpoint,
+    const sim::SweepServiceOptions& options = {});
+
+}  // namespace nopfs::runtime

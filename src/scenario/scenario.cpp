@@ -528,6 +528,29 @@ Scenario micro_sweep() {
   return s;
 }
 
+/// The sweep-service shape (DESIGN.md Sec. 10): a grid small enough that
+/// the 3-process CI leg finishes in seconds but wide enough (12 cells) that
+/// rank 0's shrinking grants actually shard it across ranks.  The serial
+/// digest of this grid is the CI currency for "distributed == serial".
+Scenario sweep_service() {
+  Scenario s;
+  s.name = "sweep-service";
+  s.summary =
+      "Distributed sweep-service grid: 3 policies x {4,8} GPUs x 2 batches, "
+      "digest-checked against the serial SweepRunner (BENCH key sweep-service)";
+  s.system = [](int n) { return tiers::presets::sim_cluster(n); };
+  s.dataset = data::DatasetSpec{"sweep-service", 40'000, 0.05, 0.0, 1};
+  s.sim.policies = {"staging", "locality-aware", "nopfs"};
+  s.sim.gpu_counts = {4, 8};
+  s.sim.batch_sizes = {16, 32};
+  s.sim.epochs = 2;
+  s.sim.per_worker_batch = 16;
+  s.sim.quick_scale = 1.0;
+  s.consumers = {"bench_micro_core", "tests/test_sweep_service",
+                 "ci:sweep-service-leg", "examples/nopfs_worker --sweep-scenario"};
+  return s;
+}
+
 Scenario micro_critpath() {
   Scenario s;
   s.name = "micro-critpath";
@@ -584,6 +607,7 @@ std::map<std::string, Scenario> build_registry() {
   add(micro_core());
   add(micro_sweep());
   add(micro_critpath());
+  add(sweep_service());
   return entries;
 }
 
@@ -820,6 +844,33 @@ data::Dataset sim_dataset(const Scenario& scenario, double scale, std::uint64_t 
     spec.num_samples = std::max(spec.num_samples, scenario.sim.min_samples);
   }
   return data::Dataset::synthetic(spec, seed);
+}
+
+std::vector<sim::SweepPoint> sweep_points(const Scenario& scenario,
+                                          const data::Dataset& dataset, double scale,
+                                          std::uint64_t seed) {
+  // Canonical cell order: gpu outer -> batch middle -> policy inner.  An
+  // empty batch_sizes collapses the middle loop to per_worker_batch, which
+  // is exactly the historical gpu -> policy nesting (bit-compatible with
+  // the grids benches used to build by hand).
+  std::vector<std::uint64_t> batches = scenario.sim.batch_sizes;
+  if (batches.empty()) batches.push_back(scenario.sim.per_worker_batch);
+  std::vector<sim::SweepPoint> points;
+  points.reserve(scenario.sim.gpu_counts.size() * batches.size() *
+                 scenario.sim.policies.size());
+  for (const int gpus : scenario.sim.gpu_counts) {
+    for (const std::uint64_t batch : batches) {
+      for (const std::string& policy : scenario.sim.policies) {
+        sim::SweepPoint point;
+        point.config = sim_config(scenario, gpus, scale, seed);
+        point.config.per_worker_batch = batch;
+        point.dataset = &dataset;
+        point.policy = policy;
+        points.push_back(std::move(point));
+      }
+    }
+  }
+  return points;
 }
 
 std::vector<LoaderLine> sim_loaders(const Scenario& scenario) {

@@ -34,6 +34,7 @@
 #include "data/dataset.hpp"
 #include "runtime/harness.hpp"
 #include "sim/sim_config.hpp"
+#include "sim/sweep.hpp"
 #include "tiers/params.hpp"
 
 namespace nopfs::scenario {
@@ -181,6 +182,20 @@ void scale_capacities(tiers::SystemParams& system, double factor);
 /// The scenario's dataset at `scale` (min_samples clamp applied).
 [[nodiscard]] data::Dataset sim_dataset(const Scenario& scenario, double scale,
                                         std::uint64_t seed);
+
+/// The scenario's full sweep grid as SweepPoints over `dataset`, in the
+/// canonical cell order every sweep consumer shares (gpu outer ->
+/// batch-size middle -> policy inner; an empty sim.batch_sizes means one
+/// batch, sim.per_worker_batch — making the order bit-compatible with the
+/// historical policy-inner grids like bench_micro_core's).  The flat index
+/// of a cell is the sweep service's unit of distribution, so this ordering
+/// is part of the determinism contract (DESIGN.md Sec. 10): every rank must
+/// derive the SAME grid from the same scenario/scale/seed.  `dataset` must
+/// outlive the returned points (they hold a pointer).
+[[nodiscard]] std::vector<sim::SweepPoint> sweep_points(const Scenario& scenario,
+                                                        const data::Dataset& dataset,
+                                                        double scale,
+                                                        std::uint64_t seed);
 
 /// The scaling-figure loader lines: sim.loaders, or (when a scenario
 /// declares none) one line per sim policy labelled by the policy name.

@@ -1,12 +1,23 @@
 #include "sim/sweep.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
+#include <thread>
 
 #include "sim/policies.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nopfs::sim {
+
+std::size_t sweep_grant_size(std::size_t remaining, int workers,
+                             std::size_t min_grant) {
+  if (remaining == 0) return 0;
+  if (min_grant == 0) min_grant = 1;
+  const std::size_t fair =
+      remaining / (2 * static_cast<std::size_t>(std::max(workers, 1)));
+  return std::clamp(std::max(fair, min_grant), std::size_t{1}, remaining);
+}
 
 SweepRunner::SweepRunner(SweepOptions options)
     : num_threads_(options.num_threads > 0 ? options.num_threads
@@ -31,11 +42,44 @@ std::vector<SimResult> SweepRunner::run(
     std::size_t count, const std::function<SimResult(std::size_t)>& evaluate) const {
   std::vector<SimResult> results(count);
   // Never spawn more workers than there are cells (a 4-point sweep on a
-  // 128-core host should not create 128 parked threads).
-  const int threads = static_cast<int>(
+  // 128-core host should not create 128 parked threads).  On a host with a
+  // single hardware thread the "parallel" pool can only time-slice one
+  // core and loses to the serial loop on scheduling overhead, so fall back
+  // to the inline path; this is a run-time decision (not a constructor
+  // clamp) so num_threads() still reports the requested width.
+  int threads = static_cast<int>(
       std::min<std::size_t>(static_cast<std::size_t>(num_threads_), count));
+  if (std::thread::hardware_concurrency() <= 1) threads = 1;
+  if (threads <= 1) {
+    util::ThreadPool pool(1);  // inline execution, byte-identical to serial
+    pool.run_indexed(count, [&](std::size_t i) { results[i] = evaluate(i); });
+    return results;
+  }
+  // Guided self-scheduling over a shared cursor: each worker claims a
+  // shrinking chunk (sweep_grant_size) instead of a static slice, so the
+  // tail degrades to cell-at-a-time stealing and no worker sits idle while
+  // another drains a long final stripe.  Every cell still lands in its own
+  // result slot — output order is submission order, bit-identical to
+  // serial (DESIGN.md Sec. 6.1).
+  std::atomic<std::size_t> cursor{0};
   util::ThreadPool pool(threads);
-  pool.run_indexed(count, [&](std::size_t i) { results[i] = evaluate(i); });
+  for (int t = 0; t < threads; ++t) {
+    pool.submit([&, threads] {
+      for (;;) {
+        std::size_t start = cursor.load(std::memory_order_relaxed);
+        std::size_t chunk = 0;
+        do {
+          if (start >= count) return;
+          chunk = sweep_grant_size(count - start, threads);
+        } while (!cursor.compare_exchange_weak(start, start + chunk,
+                                               std::memory_order_relaxed));
+        for (std::size_t i = start; i < start + chunk; ++i) {
+          results[i] = evaluate(i);
+        }
+      }
+    });
+  }
+  pool.wait_idle();  // rethrows the first cell exception after the drain
   return results;
 }
 

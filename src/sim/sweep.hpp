@@ -37,6 +37,14 @@ struct SweepOptions {
   int num_threads = 0;
 };
 
+/// Guided self-scheduling chunk size, shared by the local runner and the
+/// distributed sweep service (DESIGN.md Sec. 10): half the per-worker fair
+/// share of what is left, never below `min_grant`.  Early chunks are large
+/// (few scheduling events), tail chunks shrink toward min_grant so a slow
+/// final cell cannot strand a whole static slice behind one worker.
+[[nodiscard]] std::size_t sweep_grant_size(std::size_t remaining, int workers,
+                                           std::size_t min_grant = 1);
+
 class SweepRunner {
  public:
   explicit SweepRunner(SweepOptions options = {});

@@ -78,6 +78,23 @@ BenchArgs parse_bench_args(int argc, char** argv) {
       args.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       args.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--rank") == 0 && i + 1 < argc) {
+      args.rank = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--world-size") == 0 && i + 1 < argc) {
+      args.world_size = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--rendezvous") == 0 && i + 1 < argc) {
+      const std::string addr = argv[++i];
+      const auto colon = addr.rfind(':');
+      if (colon == std::string::npos) {
+        throw std::invalid_argument("--rendezvous expects HOST:PORT");
+      }
+      args.rendezvous_host = addr.substr(0, colon);
+      const long port = std::strtol(addr.c_str() + colon + 1, nullptr, 10);
+      if (port < 1 || port > 65535) {
+        throw std::invalid_argument("--rendezvous port out of range: " +
+                                    addr.substr(colon + 1));
+      }
+      args.rendezvous_port = static_cast<std::uint16_t>(port);
     }
   }
   return args;

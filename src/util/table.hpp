@@ -4,6 +4,7 @@
 // series can be re-plotted.
 
 #include <cstddef>
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -47,6 +48,14 @@ struct BenchArgs {
   /// (src/critpath/).  Roughly doubles bench time and holds one cell's
   /// graph in memory at a time (~4 edges per access), hence opt-in.
   bool critpath = false;
+  /// Optional distributed-sweep world (--rank R --world-size N
+  /// --rendezvous HOST:PORT): with world_size > 1 the scaling benches route
+  /// their grid through the sweep service (DESIGN.md Sec. 10) instead of
+  /// the in-process runner; rank 0 prints, workers just compute.
+  int rank = 0;
+  int world_size = 0;              ///< 0/1 = in-process sweep
+  std::string rendezvous_host = "127.0.0.1";
+  std::uint16_t rendezvous_port = 0;
 };
 
 /// Parses known flags from argv; unknown flags are ignored so google-benchmark

@@ -37,7 +37,9 @@ Key classification (schema 2: a flat ``results`` map of
 
 Keys present in only one file are reported (a removed key breaks the
 trajectory and fails; a new key is advisory until the baseline is
-refreshed).
+refreshed).  When ``meta.hardware_threads`` differs between the two files
+the script WARNS (but does not fail): the runs come from different runner
+classes and the gated comparison is unreliable in both directions.
 
 Baseline refresh (one line, run on the CI runner class you gate on —
 locally that is simply):
@@ -59,7 +61,7 @@ import sys
 GATED_SUFFIXES = ("_per_s", "_mbps")
 
 
-def load_results(path):
+def load_doc(path):
     with open(path) as fh:
         doc = json.load(fh)
     if not isinstance(doc, dict) or "results" not in doc:
@@ -67,7 +69,33 @@ def load_results(path):
     results = doc["results"]
     if not isinstance(results, dict) or not results:
         raise SystemExit(f"{path}: empty 'results' map")
-    return {k: float(v) for k, v in results.items()}
+    return doc
+
+
+def load_results(path):
+    return {k: float(v) for k, v in load_doc(path)["results"].items()}
+
+
+def warn_hardware_mismatch(baseline_path, current_path):
+    """Warn (never fail) when the two runs saw different hardware-thread
+    counts: absolute throughput is runner-class dependent, so a comparison
+    across classes is noisy in BOTH directions — a 'pass' is as suspect as
+    a 'regression', and the right fix is refreshing the baseline on the
+    gating runner class, not widening the tolerance."""
+    meta_b = load_doc(baseline_path).get("meta", {})
+    meta_c = load_doc(current_path).get("meta", {})
+    threads_b = meta_b.get("hardware_threads")
+    threads_c = meta_c.get("hardware_threads")
+    if threads_b is None or threads_c is None:
+        return
+    if threads_b != threads_c:
+        print(
+            f"WARNING: hardware_threads differ (baseline {threads_b}, "
+            f"current {threads_c}) — runs come from different runner "
+            "classes; gated comparisons below are unreliable in both "
+            "directions.  Refresh the baseline on the gating runner class.",
+            file=sys.stderr,
+        )
 
 
 def is_gated(key):
@@ -88,6 +116,7 @@ def main():
 
     baseline = load_results(args.baseline)
     current = load_results(args.current)
+    warn_hardware_mismatch(args.baseline, args.current)
 
     failures = []
     width = max(len(k) for k in sorted(set(baseline) | set(current)))
