@@ -45,6 +45,15 @@
 // (the CI kill/resume smoke).  Rank 0 prints the ordered-results digest —
 // bit-identical to the serial SweepRunner by contract.
 //
+// Elastic worlds (--sweep-elastic, DESIGN.md Sec. 11): pass
+// --sweep-max-world M on EVERY rank and the sweep tolerates membership
+// churn up to M workers.  A late joiner is launched like any other rank but
+// with --rank >= --world-size — it rendezvouses mid-sweep and just starts
+// pulling.  --sweep-abandon-after N scripts a deterministic mid-sweep
+// worker death: after N granted-and-reported pulls the rank takes one more
+// grant and vanishes; rank 0's tail re-grants recover its cells and the
+// digest stays bit-identical (the CI kill-one-rank smoke).
+//
 // The scenario (default "worker-loopback") supplies the system, dataset and
 // run shape; explicit flags (--samples, --epochs, ...) override it.  Every
 // rank of a multi-process job must be launched with identical job flags:
@@ -97,6 +106,9 @@ struct Args {
   bool sweep_resume = false;        ///< fold the checkpoint before granting
   std::uint64_t sweep_interrupt_after = 0;  ///< emulate a kill after N cells
   int sweep_threads = 0;            ///< per-rank cell threads (0 = auto)
+  bool sweep_elastic = false;       ///< elastic membership (DESIGN.md Sec. 11)
+  int sweep_max_world = 0;          ///< largest elastic world (0 = world size)
+  int sweep_abandon_after = 0;      ///< die after N reported pulls (elastic)
   bool quick = false;
   // Scenario overrides; "have_" flags distinguish "not passed" from any
   // sentinel value so explicit flags always win over the registry shape.
@@ -126,7 +138,9 @@ void usage(const char* argv0) {
       << " [--scenario NAME] [--list-scenarios [--markdown]]\n"
          "          [--critpath [--whatif SPEC]...]  (simulator critical path)\n"
          "          [--sweep-scenario NAME [--sweep-checkpoint FILE | --resume FILE]\n"
-         "           [--sweep-interrupt-after N] [--sweep-threads T]]  (sweep service)\n"
+         "           [--sweep-interrupt-after N] [--sweep-threads T]\n"
+         "           [--sweep-elastic] [--sweep-max-world M]\n"
+         "           [--sweep-abandon-after N]]  (sweep service)\n"
          "          [--rank R --world-size N --rendezvous HOST:PORT]  (multi-process)\n"
          "          [--loader "
       << baselines::loader_flag_names()
@@ -172,6 +186,18 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.sweep_threads = std::stoi(value(i));
       if (args.sweep_threads < 0) {
         throw std::invalid_argument("--sweep-threads must be >= 0");
+      }
+    } else if (flag == "--sweep-elastic") {
+      args.sweep_elastic = true;
+    } else if (flag == "--sweep-max-world") {
+      args.sweep_max_world = std::stoi(value(i));
+      if (args.sweep_max_world < 0) {
+        throw std::invalid_argument("--sweep-max-world must be >= 0");
+      }
+    } else if (flag == "--sweep-abandon-after") {
+      args.sweep_abandon_after = std::stoi(value(i));
+      if (args.sweep_abandon_after < 0) {
+        throw std::invalid_argument("--sweep-abandon-after must be >= 0");
       }
     } else if (flag == "--rank") {
       args.rank = std::stoi(value(i));
@@ -375,6 +401,9 @@ int run_sweep(const scenario::Scenario& scn, const Args& args) {
   options.checkpoint_path = args.sweep_checkpoint;
   options.resume = args.sweep_resume;
   options.interrupt_after_cells = args.sweep_interrupt_after;
+  options.elastic = args.sweep_elastic;
+  options.max_workers = args.sweep_max_world;
+  options.abandon_after_pulls = args.sweep_abandon_after;
 
   runtime::WorkerEndpoint endpoint;
   endpoint.rank = args.rank;

@@ -173,4 +173,26 @@ bool LocationIndex::cached_anywhere(data::SampleId sample) const {
   return index_.contains(sample);
 }
 
+std::pair<std::size_t, std::size_t> LocationIndex::drop_rank(int rank) {
+  std::size_t remapped = 0;
+  std::size_t pfs_only = 0;
+  for (auto it = index_.begin(); it != index_.end();) {
+    auto& holders = it->second;
+    const std::size_t before = holders.size();
+    std::erase_if(holders, [rank](std::uint64_t packed) {
+      return static_cast<int>(packed >> 32) == rank;
+    });
+    if (holders.size() == before) {
+      ++it;
+    } else if (holders.empty()) {
+      ++pfs_only;
+      it = index_.erase(it);
+    } else {
+      ++remapped;
+      ++it;
+    }
+  }
+  return {remapped, pfs_only};
+}
+
 }  // namespace nopfs::core

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/access_stream.hpp"
@@ -82,6 +83,15 @@ class LocationIndex {
 
   /// True if any worker (anyone, incl. self) plans to cache `sample`.
   [[nodiscard]] bool cached_anywhere(data::SampleId sample) const;
+
+  /// Incremental rebalance after rank `rank` leaves the world (elastic
+  /// membership, DESIGN.md Sec. 11): removes every holding of that rank
+  /// and nothing else.  Entries naming surviving ranks are untouched, so
+  /// best_remote() re-resolves deterministically among the survivors;
+  /// samples whose only holder was the dead rank are erased so
+  /// cached_anywhere() degrades them to the PFS fallback.  Returns
+  /// {samples still cached by a survivor, samples now PFS-only}.
+  std::pair<std::size_t, std::size_t> drop_rank(int rank);
 
   [[nodiscard]] int self_rank() const noexcept { return self_rank_; }
 

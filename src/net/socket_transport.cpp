@@ -310,13 +310,19 @@ SocketTransport::SocketTransport(const SocketOptions& options) : options_(option
   if (options_.world_size <= 0) {
     throw std::invalid_argument("SocketTransport: world_size must be > 0");
   }
-  if (options_.rank < 0 || options_.rank >= options_.world_size) {
+  if (options_.max_world != 0 && options_.max_world < options_.world_size) {
+    throw std::invalid_argument(
+        "SocketTransport: max_world must be 0 or >= world_size");
+  }
+  // Joiner ranks live in [world_size, max_world); every per-rank table is
+  // sized for the largest world this one may grow to.
+  if (options_.rank < 0 || options_.rank >= total_ranks()) {
     throw std::invalid_argument("SocketTransport: rank out of range");
   }
   if (options_.rendezvous_port == 0) {
     throw std::invalid_argument("SocketTransport: rendezvous_port must be nonzero");
   }
-  const auto world = static_cast<std::size_t>(options_.world_size);
+  const auto world = static_cast<std::size_t>(total_ranks());
   endpoints_.resize(world);
   watermarks_ = std::vector<std::atomic<std::uint64_t>>(world);
   for (auto& w : watermarks_) w.store(0, std::memory_order_relaxed);
@@ -369,7 +375,7 @@ SocketTransport::SocketTransport(const SocketOptions& options) : options_(option
     }
     // Batched contention gossip needs its drain thread; the unary mode
     // (flush interval 0) sends inline from the caller and never starts one.
-    if (options_.world_size > 1 && options_.gossip.flush_virtual_s > 0.0) {
+    if (total_ranks() > 1 && options_.gossip.flush_virtual_s > 0.0) {
       gossip_thread_ = std::thread([this] { gossip_loop(); });
     }
   } catch (...) {
@@ -448,7 +454,9 @@ void SocketTransport::teardown() {
 
 void SocketTransport::rendezvous_as_root() {
   endpoints_[0] = PeerEndpoint{0 /* "the address you dialed" */, serve_port_};
-  if (options_.world_size == 1) return;
+  // A fixed solo world needs no listener at all; an elastic one listens
+  // even when the base world is just this rank, so joiners can find it.
+  if (total_ranks() == 1) return;
 
   const int listener = make_tcp_socket();
   rendezvous_listener_fd_ = listener;
@@ -459,7 +467,7 @@ void SocketTransport::rendezvous_as_root() {
   if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     throw_errno("bind(rendezvous)");
   }
-  if (::listen(listener, listen_backlog(options_.world_size)) != 0) {
+  if (::listen(listener, listen_backlog(total_ranks())) != 0) {
     throw_errno("listen(rendezvous)");
   }
   make_nonblocking(listener);
@@ -472,6 +480,9 @@ void SocketTransport::rendezvous_as_root() {
     reactor_->add_fd(rendezvous_listener_fd_, EPOLLIN,
                      [this](std::uint32_t) { loop_accept_rendezvous(); });
   });
+  // Only base ranks are waited for; late joiners arrive whenever their
+  // scripts say and are welcomed by the (still open) listener.
+  if (options_.world_size == 1) return;
   if (!waiter->wait_for(options_.timeout_s)) {
     int missing = 0;
     {
@@ -535,13 +546,20 @@ void SocketTransport::loop_rendezvous_hello(
     }
     const auto peer_world = static_cast<int>(reader.u32());
     const std::uint16_t peer_serve_port = reader.u16();
+    const auto peer_max_world = static_cast<int>(reader.u32());
     if (peer_world != options_.world_size) {
       throw std::runtime_error("SocketTransport: rank " + std::to_string(peer_rank) +
                                " disagrees on world size (" +
                                std::to_string(peer_world) + " vs " +
                                std::to_string(options_.world_size) + ")");
     }
-    if (peer_rank <= 0 || peer_rank >= options_.world_size ||
+    if (peer_max_world != options_.max_world) {
+      throw std::runtime_error("SocketTransport: rank " + std::to_string(peer_rank) +
+                               " disagrees on max_world (" +
+                               std::to_string(peer_max_world) + " vs " +
+                               std::to_string(options_.max_world) + ")");
+    }
+    if (peer_rank <= 0 || peer_rank >= total_ranks() ||
         loop_->controls[static_cast<std::size_t>(peer_rank)] != nullptr) {
       throw std::runtime_error("SocketTransport: duplicate or invalid rank " +
                                std::to_string(peer_rank) + " at rendezvous");
@@ -552,6 +570,29 @@ void SocketTransport::loop_rendezvous_hello(
     session->state = Session::State::kOpen;
     session->peer = peer_rank;
     loop_->controls[static_cast<std::size_t>(peer_rank)] = session;
+
+    const auto make_table = [this] {
+      Bytes table;
+      wire::put_u32(table, wire::kProtocolVersion);
+      for (const PeerEndpoint& ep : endpoints_) {
+        wire::put_u32(table, ep.ipv4);
+        wire::put_u16(table, ep.port);
+      }
+      return table;
+    };
+
+    if (peer_rank >= options_.world_size) {
+      // Late joiner (DESIGN.md Sec. 11): not part of the base rendezvous
+      // count — welcome it immediately with the current endpoint table.
+      // Rank 0's own entry is always populated, and that is all a joiner
+      // needs to dial the fetch channel and start pulling; entries of
+      // ranks that have not joined (yet) are zero.
+      const Bytes table = make_table();
+      session->sendq.push(wire::MsgType::kWelcome, 0, table.data(), table.size());
+      loop_mark_dirty(session);
+      return;
+    }
+
     --loop_->rendezvous_remaining;
     if (loop_->rendezvous_waiter) {
       const std::scoped_lock lock(loop_->rendezvous_waiter->m);
@@ -559,23 +600,21 @@ void SocketTransport::loop_rendezvous_hello(
     }
     if (loop_->rendezvous_remaining > 0) return;
 
-    // Everyone checked in: broadcast the endpoint table (led by the
+    // Every base rank checked in: broadcast the endpoint table (led by the
     // protocol version, so a peer can likewise reject a root from the
-    // wrong rollout generation) and retire the rendezvous listener.
-    Bytes table;
-    wire::put_u32(table, wire::kProtocolVersion);
-    for (const PeerEndpoint& ep : endpoints_) {
-      wire::put_u32(table, ep.ipv4);
-      wire::put_u16(table, ep.port);
-    }
+    // wrong rollout generation).  A fixed world retires the rendezvous
+    // listener here; an elastic one keeps it open for late joiners.
+    const Bytes table = make_table();
     for (int r = 1; r < options_.world_size; ++r) {
       const auto& control = loop_->controls[static_cast<std::size_t>(r)];
       control->sendq.push(wire::MsgType::kWelcome, 0, table.data(), table.size());
       loop_mark_dirty(control);
     }
-    reactor_->del_fd(rendezvous_listener_fd_);
-    ::close(rendezvous_listener_fd_);
-    rendezvous_listener_fd_ = -1;
+    if (total_ranks() == options_.world_size) {
+      reactor_->del_fd(rendezvous_listener_fd_);
+      ::close(rendezvous_listener_fd_);
+      rendezvous_listener_fd_ = -1;
+    }
     if (loop_->rendezvous_waiter) {
       loop_->rendezvous_waiter->fulfill_ok();
       loop_->rendezvous_waiter.reset();
@@ -619,6 +658,7 @@ void SocketTransport::rendezvous_as_peer() {
     wire::put_u32(hello, wire::kProtocolVersion);
     wire::put_u32(hello, static_cast<std::uint32_t>(options_.world_size));
     wire::put_u16(hello, serve_port_);
+    wire::put_u32(hello, static_cast<std::uint32_t>(options_.max_world));
     send_frame_blocking(fd, wire::MsgType::kHello,
                         static_cast<std::uint64_t>(options_.rank), hello);
 
@@ -853,6 +893,11 @@ void SocketTransport::loop_close_session(const std::shared_ptr<Session>& session
         loop_->controls[static_cast<std::size_t>(session->peer)].reset();
       }
       if (loop_->control == session) loop_->control.reset();
+      if (session->peer >= options_.world_size) {
+        // A late joiner leaving is an expected elastic event, not a torn
+        // collective: joiners never participate in them.
+        break;
+      }
       if (!stopping_.load(std::memory_order_acquire) && !loop_->draining) {
         loop_->collective_broken = true;
         loop_->collective_error =
@@ -906,7 +951,7 @@ void SocketTransport::loop_serve_frame(const std::shared_ptr<Session>& session,
                                std::to_string(wire::kProtocolVersion));
     }
     const auto who = static_cast<int>(frame.header.arg);
-    if (who < 0 || who >= options_.world_size) {
+    if (who < 0 || who >= total_ranks()) {
       throw std::runtime_error("SocketTransport: channel hello from invalid rank " +
                                std::to_string(who));
     }
@@ -944,7 +989,7 @@ void SocketTransport::loop_serve_frame(const std::shared_ptr<Session>& session,
     case wire::MsgType::kWatermark: {
       wire::Reader reader(frame.payload);
       const auto peer = static_cast<int>(reader.u32());
-      if (peer >= 0 && peer < options_.world_size) {
+      if (peer >= 0 && peer < total_ranks()) {
         watermarks_[static_cast<std::size_t>(peer)].store(
             frame.header.arg, std::memory_order_release);
       }
@@ -956,7 +1001,7 @@ void SocketTransport::loop_serve_frame(const std::shared_ptr<Session>& session,
             "SocketTransport: PFS contention frame at non-root rank");
       }
       const auto who = static_cast<int>(frame.header.arg);
-      if (who > 0 && who < options_.world_size) {
+      if (who > 0 && who < total_ranks()) {
         const wire::PfsDelta delta = wire::decode_pfs_delta(frame.payload);
         session->pfs_rank_on_conn = who;
         pfs_root_fold(who, delta.reader_delta, /*notify_local=*/true,
@@ -977,7 +1022,7 @@ void SocketTransport::loop_serve_frame(const std::shared_ptr<Session>& session,
             "SocketTransport: sweep frame at non-root rank");
       }
       const auto who = static_cast<int>(frame.header.arg);
-      if (who <= 0 || who >= options_.world_size) {
+      if (who <= 0 || who >= total_ranks()) {
         throw std::runtime_error(
             "SocketTransport: sweep pull from invalid rank " +
             std::to_string(who));
@@ -1003,7 +1048,7 @@ void SocketTransport::loop_serve_frame(const std::shared_ptr<Session>& session,
             "SocketTransport: sweep frame at non-root rank");
       }
       const auto who = static_cast<int>(frame.header.arg);
-      if (who <= 0 || who >= options_.world_size) {
+      if (who <= 0 || who >= total_ranks()) {
         throw std::runtime_error(
             "SocketTransport: sweep result from invalid rank " +
             std::to_string(who));
@@ -1205,6 +1250,13 @@ void SocketTransport::loop_begin_peer_gather(
 }
 
 std::vector<Bytes> SocketTransport::allgather(Bytes local) {
+  if (is_joiner()) {
+    // The base world's collectives are sized world_size and a joiner was
+    // never part of the rendezvous count: letting it gather would wedge
+    // (or corrupt) the base ranks.  Joiners pull, fetch, and gossip only.
+    throw std::runtime_error(
+        "SocketTransport: a late joiner cannot enter collectives");
+  }
   const std::scoped_lock lock(collective_mutex_);
   const auto world = static_cast<std::size_t>(options_.world_size);
   if (world == 1) {
@@ -1316,7 +1368,7 @@ void SocketTransport::sweep_push_result(Bytes batch) {
 }
 
 void SocketTransport::check_peer(int peer) const {
-  if (peer < 0 || peer >= options_.world_size) {
+  if (peer < 0 || peer >= total_ranks()) {
     throw std::invalid_argument("SocketTransport: peer out of range");
   }
 }
@@ -1326,6 +1378,9 @@ std::shared_ptr<SocketTransport::Session> SocketTransport::loop_channel(int peer
   if (slot != nullptr && slot->state != Session::State::kClosed) return slot;
   if (loop_->draining) return nullptr;
   const PeerEndpoint endpoint = endpoints_[static_cast<std::size_t>(peer)];
+  // No endpoint yet — an elastic rank that has not joined (or already
+  // left).  Best-effort gossip to it is skipped, never dialed blind.
+  if (endpoint.port == 0) return nullptr;
   int fd = -1;
   try {
     fd = make_tcp_socket();
@@ -1494,7 +1549,7 @@ void SocketTransport::pfs_broadcast_gamma_locked(int gamma_value) {
   // mixing inline and posted sends would let a later gamma overtake an
   // earlier one still sitting in the task queue.
   reactor_->post([this, payload] {
-    for (int peer = 1; peer < options_.world_size; ++peer) {
+    for (int peer = 1; peer < total_ranks(); ++peer) {
       const auto channel = loop_channel(peer);
       if (channel != nullptr) {
         // Gossip is best-effort, like watermarks; a dead peer stays stale.
@@ -1586,15 +1641,28 @@ void SocketTransport::pfs_enqueue_delta(int delta) {
 }
 
 void SocketTransport::gossip_loop() {
-  const auto interval = std::chrono::duration<double>(
-      std::max(flush_interval_s(), 50e-6));  // never a busy spin
+  // Fixed window by default; with gossip.min_flush_virtual_s > 0 the window
+  // adapts per wake (DESIGN.md Sec. 11): halve toward the minimum after a
+  // window that had transitions to flush (gamma is volatile), double back
+  // toward the configured maximum after a quiet one (steady gamma needs no
+  // frames).  Flushes are extreme-preserving regardless, so adaptation
+  // changes delivery latency only, never the folded gamma.
+  const double max_s = std::max(flush_interval_s(), 50e-6);  // never a busy spin
+  const double min_s =
+      options_.gossip.min_flush_virtual_s > 0.0
+          ? std::clamp(options_.gossip.min_flush_virtual_s / options_.time_scale,
+                       50e-6, max_s)
+          : max_s;
+  double window_s = max_s;
   std::unique_lock lock(gossip_mutex_);
   while (!gossip_stop_) {
-    gossip_cv_.wait_for(lock, interval, [this] {
+    gossip_cv_.wait_for(lock, std::chrono::duration<double>(window_s), [this] {
       return gossip_stop_ || pending_transitions_ >= options_.gossip.max_batch;
     });
     if (gossip_stop_) break;
     const bool have_deltas = pending_transitions_ > 0;
+    window_s = have_deltas ? std::max(min_s, window_s * 0.5)
+                           : std::min(max_s, window_s * 2.0);
     lock.unlock();
     if (have_deltas) pfs_flush_deltas();
     if (options_.rank == 0) {
@@ -1659,7 +1727,7 @@ void SocketTransport::publish_watermark(std::uint64_t position) {
   Bytes who;
   wire::put_u32(who, static_cast<std::uint32_t>(options_.rank));
   reactor_->post([this, position, who = std::move(who)] {
-    for (int peer = 0; peer < options_.world_size; ++peer) {
+    for (int peer = 0; peer < total_ranks(); ++peer) {
       if (peer == options_.rank) continue;
       const auto channel = loop_channel(peer);
       if (channel != nullptr) {

@@ -48,6 +48,7 @@
 // spanning real nodes needs nothing new on the wire, just reachable
 // addresses.
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -73,6 +74,16 @@ class Reactor;
 struct SocketOptions {
   int rank = 0;
   int world_size = 1;
+  /// Elastic worlds (DESIGN.md Sec. 11): highest rank count this world may
+  /// ever grow to.  0 (the default) means the world is fixed at world_size.
+  /// When > world_size, rank 0 keeps the rendezvous listener open after
+  /// the base world is up and admits LATE JOINERS — ranks in
+  /// [world_size, max_world) — which handshake exactly like base peers but
+  /// are not waited for and never participate in collectives (they serve
+  /// the pull-model sweep, gamma gossip, and sample fetches only).  Every
+  /// rank of the world, joiners included, must agree on max_world: the
+  /// rendezvous hello carries it and mismatches fail the handshake.
+  int max_world = 0;
   /// Rendezvous address rank 0 listens on and every other rank dials.
   std::string rendezvous_host = "127.0.0.1";
   std::uint16_t rendezvous_port = 0;  ///< must be nonzero
@@ -157,6 +168,20 @@ class SocketTransport final : public Transport {
   void flush_pfs_gossip();
 
  private:
+  /// Ranks this world may ever hold: world_size for fixed worlds, max_world
+  /// for elastic ones.  Every per-rank table is sized by this, and every
+  /// frame-sender validation bounds against it, so a late joiner's frames
+  /// are first-class.
+  [[nodiscard]] int total_ranks() const noexcept {
+    return std::max(options_.world_size, options_.max_world);
+  }
+  /// True when this rank is a late joiner (outside the base world): it
+  /// skipped the collective-bearing rendezvous wait and must never enter a
+  /// collective.
+  [[nodiscard]] bool is_joiner() const noexcept {
+    return options_.rank >= options_.world_size;
+  }
+
   struct PeerEndpoint {
     std::uint32_t ipv4 = 0;  ///< network byte order
     std::uint16_t port = 0;

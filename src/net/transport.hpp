@@ -38,6 +38,16 @@ using Bytes = std::vector<std::uint8_t>;
 struct GossipConfig {
   double flush_virtual_s = 0.005;
   int max_batch = 128;
+  /// Adaptive flush for churny/elastic worlds (DESIGN.md Sec. 11): when
+  /// > 0, the gossip thread's window adapts inside
+  /// [min_flush_virtual_s, flush_virtual_s] — it halves after a window
+  /// that had transitions to flush (gamma is volatile, peers should hear
+  /// sooner) and doubles after a quiet one (gamma is steady, save the
+  /// frames).  0 — the default — keeps the fixed window, bit-compatible
+  /// with the pinned digest/gamma envelopes.  Flushes stay
+  /// extreme-preserving either way, so the adaptation never changes WHAT
+  /// peers learn, only how soon.
+  double min_flush_virtual_s = 0.0;
 };
 
 class Transport {

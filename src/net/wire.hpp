@@ -45,15 +45,19 @@ inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;  // 1 GiB sanity cap
 /// (many in-flight kFetch per connection, replies matched FIFO) and led
 /// every dialed channel with a kHello identifying the dialing rank; revision
 /// 4 added the sweep-service frames (kSweepPull/kSweepResult/kSweepGrant/
-/// kSweepDone) and the SimResult codec they carry — so a mixed-version world
-/// fails loudly at the handshake instead of misreading frames mid-rollout.
-/// The high bytes spell "NP", so the version field can never be confused
-/// with a plausible world size (the field an unversioned peer sends first).
-inline constexpr std::uint32_t kProtocolVersion = 0x4E500004u;
+/// kSweepDone) and the SimResult codec they carry; revision 5 made worlds
+/// elastic (DESIGN.md Sec. 11): the rendezvous kHello carries max_world so
+/// every rank sizes its tables for late joiners, and rank 0 keeps the
+/// rendezvous listener open to admit ranks in [world_size, max_world) after
+/// the base world is up — so a mixed-version world fails loudly at the
+/// handshake instead of misreading frames mid-rollout.  The high bytes
+/// spell "NP", so the version field can never be confused with a plausible
+/// world size (the field an unversioned peer sends first).
+inline constexpr std::uint32_t kProtocolVersion = 0x4E500005u;
 
 enum class MsgType : std::uint8_t {
-  kHello = 1,      ///< rank -> rendezvous: arg=rank,
-                   ///<   payload=[u32 protocol, u32 world, u16 serve_port].
+  kHello = 1,      ///< rank -> rendezvous: arg=rank, payload=[u32 protocol,
+                   ///<   u32 world, u16 serve_port, u32 max_world] (rev 5).
                    ///< Also the first frame on every dialed peer channel:
                    ///<   arg=rank, payload=[u32 protocol] (revision 3).
   kWelcome = 2,    ///< rendezvous -> rank: payload=[u32 protocol, endpoint table]

@@ -1,0 +1,10 @@
+#include "runtime/fault_injection.hpp"
+
+namespace nopfs::runtime {
+
+RebalanceReport rebalance_after_leave(core::LocationIndex& index, int dead_rank) {
+  const auto [remapped, pfs_only] = index.drop_rank(dead_rank);
+  return RebalanceReport{remapped, pfs_only};
+}
+
+}  // namespace nopfs::runtime

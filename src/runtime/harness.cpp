@@ -10,10 +10,12 @@
 #include "core/access_stream.hpp"
 #include "core/sample_source.hpp"
 #include "data/materialize.hpp"
+#include "net/fault_transport.hpp"
 #include "net/shared_pfs.hpp"
 #include "net/sim_transport.hpp"
 #include "net/socket_transport.hpp"
 #include "net/wire.hpp"
+#include "runtime/fault_injection.hpp"
 #include "tiers/clock.hpp"
 #include "tiers/devices.hpp"
 #include "util/log.hpp"
@@ -140,12 +142,16 @@ core::StreamConfig make_stream_config(const data::Dataset& dataset,
 /// The per-rank training loop, identical across launch modes.  `sync` is
 /// the per-iteration allreduce stand-in (std::barrier or Transport
 /// barrier); when `record` is set this rank writes timings into `result`.
+/// `rank` selects the fault plan's straggler skew: a straggler's compute
+/// sleep is stretched by its factor, so it delivers the same samples in
+/// the same order, just slower — the digest is unchanged by design.
 void worker_loop(const data::Dataset& dataset, const RuntimeConfig& config,
-                 baselines::Loader& loader, std::uint64_t iters,
+                 int rank, baselines::Loader& loader, std::uint64_t iters,
                  std::uint64_t local_batch, const std::function<void()>& sync,
                  bool record, TimingMarks& marks, RuntimeResult& result,
                  WorkerOutcome& outcome) {
   const double compute_mbps = config.system.node.compute_mbps;
+  const double straggler = config.faults.straggler_factor(rank);
   outcome.digest = kFnvOffset;
   for (int e = 0; e < config.num_epochs; ++e) {
     for (std::uint64_t h = 0; h < iters; ++h) {
@@ -163,7 +169,8 @@ void worker_loop(const data::Dataset& dataset, const RuntimeConfig& config,
           }
         }
         if (!config.skip_compute && compute_mbps > 0.0) {
-          const double virtual_s = dataset.size_mb(sample->id()) / compute_mbps;
+          const double virtual_s =
+              dataset.size_mb(sample->id()) / compute_mbps * straggler;
           std::this_thread::sleep_for(
               std::chrono::duration<double>(virtual_s / config.time_scale));
         }
@@ -248,7 +255,15 @@ RuntimeResult run_training(const data::Dataset& dataset, const RuntimeConfig& co
     }
   }
   auto transports = net::make_sim_transports(n, &cluster);
-  core::SyntheticPfsSource source(dataset, &cluster.pfs());
+  // Fault seam: scripted slow-PFS bursts wrap the shared PFS (no-op and
+  // unconstructed when the plan is empty).
+  std::optional<FaultPfs> fault_pfs;
+  tiers::PfsDevice* pfs = &cluster.pfs();
+  if (!config.faults.pfs_bursts.empty()) {
+    fault_pfs.emplace(cluster.pfs(), config.faults, config.time_scale);
+    pfs = &*fault_pfs;
+  }
+  core::SyntheticPfsSource source(dataset, pfs);
 
   const core::StreamConfig stream_config = make_stream_config(dataset, config);
   const std::uint64_t iters = stream_config.iterations_per_epoch();
@@ -264,8 +279,14 @@ RuntimeResult run_training(const data::Dataset& dataset, const RuntimeConfig& co
 
   auto worker_main = [&](int rank) {
     try {
-      auto ctx = make_loader_context(dataset, config, rank, source,
-                                     transports[static_cast<std::size_t>(rank)].get(),
+      // Fault seam: scripted connection drops wrap this rank's transport.
+      net::Transport* transport = transports[static_cast<std::size_t>(rank)].get();
+      std::optional<net::FaultTransport> fault_transport;
+      if (!config.faults.drops.empty()) {
+        fault_transport.emplace(*transport, config.faults, config.time_scale);
+        transport = &*fault_transport;
+      }
+      auto ctx = make_loader_context(dataset, config, rank, source, transport,
                                      &cluster.worker(rank));
       auto loader = baselines::make_loader(config.loader, ctx);
       loader->start();
@@ -277,7 +298,7 @@ RuntimeResult run_training(const data::Dataset& dataset, const RuntimeConfig& co
       }
       sync.arrive_and_wait();  // clock set; start together
 
-      worker_loop(dataset, config, *loader, iters, local_b,
+      worker_loop(dataset, config, rank, *loader, iters, local_b,
                   [&sync] { sync.arrive_and_wait(); }, rank == 0, marks, result,
                   outcomes[static_cast<std::size_t>(rank)]);
     } catch (const std::exception& ex) {
@@ -341,6 +362,19 @@ RuntimeResult run_distributed(const data::Dataset& dataset, const RuntimeConfig&
   // (net::SharedPfs over the transport's gamma protocol) or per-process
   // when opted out (DESIGN.md Sec. 7.4).
   RankDevices devices = make_rank_devices(config, transport, cluster);
+  // Fault seams, mirroring run_training: PFS bursts wrap this rank's PFS
+  // view, drop windows wrap the transport (both no-ops when unscripted).
+  std::optional<FaultPfs> fault_pfs;
+  if (!config.faults.pfs_bursts.empty()) {
+    fault_pfs.emplace(*devices.pfs, config.faults, config.time_scale);
+    devices.pfs = &*fault_pfs;
+  }
+  net::Transport* loader_transport = &transport;
+  std::optional<net::FaultTransport> fault_transport;
+  if (!config.faults.drops.empty()) {
+    fault_transport.emplace(transport, config.faults, config.time_scale);
+    loader_transport = &*fault_transport;
+  }
   core::SyntheticPfsSource source(dataset, devices.pfs);
 
   const core::StreamConfig stream_config = make_stream_config(dataset, config);
@@ -349,7 +383,7 @@ RuntimeResult run_distributed(const data::Dataset& dataset, const RuntimeConfig&
 
   RuntimeResult result;
   WorkerOutcome outcome;
-  auto ctx = make_loader_context(dataset, config, rank, source, &transport,
+  auto ctx = make_loader_context(dataset, config, rank, source, loader_transport,
                                  devices.worker);
   auto loader = baselines::make_loader(config.loader, ctx);
   loader->start();
@@ -362,7 +396,7 @@ RuntimeResult run_distributed(const data::Dataset& dataset, const RuntimeConfig&
 
   // Every rank records its own timings: the barriers keep them in lockstep,
   // and each process must return a complete RuntimeResult.
-  worker_loop(dataset, config, *loader, iters, local_b,
+  worker_loop(dataset, config, rank, *loader, iters, local_b,
               [&transport] { transport.barrier(); }, /*record=*/true, marks, result,
               outcome);
   reconcile_total(result, marks.run_start, config.time_scale);

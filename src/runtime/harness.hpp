@@ -29,6 +29,7 @@
 #include "baselines/loader.hpp"
 #include "data/dataset.hpp"
 #include "net/transport.hpp"
+#include "scenario/fault_plan.hpp"
 #include "tiers/devices.hpp"
 #include "tiers/params.hpp"
 #include "util/stats.hpp"
@@ -72,6 +73,12 @@ struct RuntimeConfig {
   /// t(gamma) is priced per reader thread.  Both launch modes apply the
   /// same weights, so the gamma-envelope parity between them is preserved.
   bool pfs_thread_weighted_gamma = false;
+  /// Scripted fault injection (DESIGN.md Sec. 11): straggler skew stretches
+  /// this rank's compute sleep, drop windows turn remote fetches into
+  /// misses (net::FaultTransport), PFS bursts stretch PFS reads
+  /// (runtime::FaultPfs).  Both launch modes apply the same plan; an empty
+  /// plan injects nothing and adds no overhead.
+  scenario::FaultPlan faults;
 
   [[nodiscard]] std::uint64_t global_batch() const noexcept {
     return per_worker_batch * static_cast<std::uint64_t>(system.num_workers);

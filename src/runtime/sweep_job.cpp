@@ -1,5 +1,7 @@
 #include "runtime/sweep_job.hpp"
 
+#include <algorithm>
+
 #include "net/socket_transport.hpp"
 
 namespace nopfs::runtime {
@@ -7,7 +9,10 @@ namespace nopfs::runtime {
 sim::SweepServiceReport run_sweep_job(const std::vector<sim::SweepPoint>& points,
                                       const WorkerEndpoint& endpoint,
                                       const sim::SweepServiceOptions& options) {
-  if (endpoint.world_size <= 1) {
+  // An elastic sweep needs the socket even for a solo root (world 1 +
+  // max_workers > 1): late joiners rendezvous against it mid-sweep.
+  const int max_world = std::max(endpoint.world_size, options.max_workers);
+  if (max_world <= 1) {
     return sim::run_sweep_service(nullptr, points, options);
   }
   net::SocketOptions socket;
@@ -16,6 +21,9 @@ sim::SweepServiceReport run_sweep_job(const std::vector<sim::SweepPoint>& points
   socket.rendezvous_host = endpoint.rendezvous_host;
   socket.rendezvous_port = endpoint.rendezvous_port;
   socket.timeout_s = endpoint.timeout_s;
+  if (options.max_workers > endpoint.world_size) {
+    socket.max_world = options.max_workers;
+  }
   net::SocketTransport transport(socket);
   return sim::run_sweep_service(&transport, points, options);
 }

@@ -1,0 +1,104 @@
+#pragma once
+// Scenario-scripted fault injection (DESIGN.md Sec. 11).
+//
+// A FaultPlan rides on a scenario's worker shape and scripts the faults a
+// run must absorb: per-rank straggler skew, dropped connections mid-epoch,
+// slow-PFS bursts, and rank join/leave times for elastic sweep worlds.
+// Every window is expressed in VIRTUAL seconds since run start (the same
+// clock the emulated devices price in), so one plan means the same thing
+// under any --time-scale.
+//
+// The design invariant every plan must respect: faults perturb *timing*
+// and *data placement* only, never which samples a rank delivers in what
+// order.  A dropped connection turns a remote fetch into a detectable,
+// non-fatal miss that falls back to the PFS (the Transport contract); a
+// straggler just computes slower; a PFS burst just reads slower.  The
+// delivered-sample digest is therefore bit-identical to the fault-free
+// run — that identity is the "delivered-sample completeness" recovery
+// invariant the fault-* scenarios pin in tests and CI.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nopfs::scenario {
+
+struct FaultPlan {
+  /// Rank `rank`'s compute runs `factor`x slower (factor > 1).  Stragglers
+  /// stretch wall time but deliver the same samples in the same order.
+  struct Straggler {
+    int rank = 0;
+    double factor = 1.0;
+    bool operator==(const Straggler&) const = default;
+  };
+
+  /// Remote fetches issued BY `rank` during [start_s, end_s) fail as
+  /// misses, as if the peer connection dropped mid-epoch.  The fetch
+  /// router falls back to the PFS, so delivery completeness holds.
+  struct Drop {
+    int rank = 0;
+    double start_s = 0.0;
+    double end_s = 0.0;
+    bool operator==(const Drop&) const = default;
+  };
+
+  /// The shared PFS serves reads `derate`x slower during [start_s, end_s)
+  /// — a scripted burst of outside load on the parallel filesystem.
+  struct PfsBurst {
+    double start_s = 0.0;
+    double end_s = 0.0;
+    double derate = 1.0;
+    bool operator==(const PfsBurst&) const = default;
+  };
+
+  /// Elastic-membership script for sweep worlds: `rank` joins the world
+  /// at `join_s` (0 = present from the start) and leaves — dies — at
+  /// `leave_s` (< 0 = stays to the end).  Joining workers just start
+  /// pulling; a leave triggers the dead-rank gamma release and tail
+  /// re-grants of the cells it held.
+  struct Membership {
+    int rank = 0;
+    double join_s = 0.0;
+    double leave_s = -1.0;
+    bool operator==(const Membership&) const = default;
+  };
+
+  std::vector<Straggler> stragglers;
+  std::vector<Drop> drops;
+  std::vector<PfsBurst> pfs_bursts;
+  std::vector<Membership> membership;
+
+  bool operator==(const FaultPlan&) const = default;
+
+  /// True when the plan injects nothing.
+  [[nodiscard]] bool empty() const {
+    return stragglers.empty() && drops.empty() && pfs_bursts.empty() &&
+           membership.empty();
+  }
+
+  /// Combined slowdown for `rank` (product of its straggler entries; 1.0
+  /// when the rank is healthy).
+  [[nodiscard]] double straggler_factor(int rank) const;
+
+  /// True when `rank`'s peer connections are scripted down at virtual
+  /// time `virtual_s`.
+  [[nodiscard]] bool connection_down(int rank, double virtual_s) const;
+
+  /// PFS slowdown active at virtual time `virtual_s` (max over active
+  /// bursts; 1.0 when none).
+  [[nodiscard]] double pfs_derate(double virtual_s) const;
+};
+
+/// Validation problems ("" -> none).  `world_size` bounds the rank fields
+/// for stragglers and drops; membership ranks may exceed it (late joiners
+/// extend the world).  Used by scenario::validate for registry entries.
+[[nodiscard]] std::vector<std::string> validate_fault_plan(const FaultPlan& plan,
+                                                           int world_size);
+
+/// Byte-explicit wire codec (net/wire conventions: little-endian, bounds
+/// checked, trailing bytes rejected).  Plans travel with scenario specs so
+/// a launcher can ship one plan to every process.
+[[nodiscard]] std::vector<std::uint8_t> encode_fault_plan(const FaultPlan& plan);
+[[nodiscard]] FaultPlan decode_fault_plan(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace nopfs::scenario

@@ -570,6 +570,89 @@ Scenario micro_critpath() {
   return s;
 }
 
+// ---------------------------------------------------------------------------
+// Fault-injection and elastic-membership scenarios (DESIGN.md Sec. 11).
+//
+// Every fault-* entry pins the same recovery invariant: the delivered-sample
+// digest is bit-identical to its fault-free base scenario (faults perturb
+// timing and placement, never delivery), and gamma drains to zero at run
+// end.  The elastic-* entries pin the sweep-digest identity: results are
+// bit-identical to the serial SweepRunner even when a worker joins late or
+// dies mid-sweep.  tests/test_faults.cpp and the CI fault legs consume the
+// shapes by name; docs/FAULTS.md documents each one (the doc-sync gate
+// cross-checks the names).
+
+Scenario fault_straggler() {
+  Scenario s = worker_loopback();
+  s.name = "fault-straggler";
+  s.summary =
+      "worker-loopback with rank 1 computing 3x slow: stragglers stretch "
+      "wall time, never the delivered-sample digest";
+  s.worker.faults.stragglers = {{1, 3.0}};
+  s.consumers = {"tests/test_faults", "docs/FAULTS.md"};
+  return s;
+}
+
+Scenario fault_drop() {
+  Scenario s = worker_loopback();
+  s.name = "fault-drop";
+  s.summary =
+      "worker-loopback with rank 1's peer connections down for the whole "
+      "run: every remote fetch misses to the PFS, delivery digest unchanged";
+  // The window spans far past the run's virtual duration so the invariant
+  // is exercised on every remote fetch, not a timing-dependent subset.
+  s.worker.faults.drops = {{1, 0.0, 1.0e9}};
+  s.consumers = {"tests/test_faults", "docs/FAULTS.md"};
+  return s;
+}
+
+Scenario fault_pfs_burst() {
+  Scenario s = worker_loopback();
+  s.name = "fault-pfs-burst";
+  s.summary =
+      "worker-loopback under a scripted 4x slow-PFS burst: reads stall, "
+      "gamma accounting and the delivery digest are unchanged";
+  s.worker.faults.pfs_bursts = {{0.0, 1.0e9, 4.0}};
+  s.consumers = {"tests/test_faults", "docs/FAULTS.md"};
+  return s;
+}
+
+Scenario fault_churn_gossip() {
+  Scenario s = contention_batched_socket();
+  s.name = "fault-churn-gossip";
+  s.summary =
+      "contention-batched-socket with the adaptive gossip flush on: the "
+      "window shrinks while gamma is volatile, grows when steady, and the "
+      "digest/gamma envelopes match the fixed-window run";
+  // Floor at a tenth of the 50 ms window: busy wakes may halve down to
+  // 5 ms virtual, quiet wakes double back up.
+  s.worker.gossip.min_flush_virtual_s = 0.005;
+  s.consumers = {"tests/test_faults", "docs/FAULTS.md"};
+  return s;
+}
+
+Scenario elastic_sweep_join() {
+  Scenario s = sweep_service();
+  s.name = "elastic-sweep-join";
+  s.summary =
+      "sweep-service grid in an elastic world: rank 2 joins mid-sweep and "
+      "just starts pulling; results stay digest-identical to serial";
+  s.worker.faults.membership = {{2, 0.5, -1.0}};
+  s.consumers = {"tests/test_faults", "ci:elastic-join-leg", "docs/FAULTS.md"};
+  return s;
+}
+
+Scenario elastic_sweep_leave() {
+  Scenario s = sweep_service();
+  s.name = "elastic-sweep-leave";
+  s.summary =
+      "sweep-service grid where a worker dies holding a grant: tail "
+      "re-grants recover its cells, gamma drains, digest matches serial";
+  s.worker.faults.membership = {{2, 0.0, 1.0}};
+  s.consumers = {"tests/test_faults", "ci:kill-one-rank-leg", "docs/FAULTS.md"};
+  return s;
+}
+
 std::map<std::string, Scenario> build_registry() {
   std::map<std::string, Scenario> entries;
   const auto add = [&entries](Scenario s) {
@@ -608,6 +691,12 @@ std::map<std::string, Scenario> build_registry() {
   add(micro_sweep());
   add(micro_critpath());
   add(sweep_service());
+  add(fault_straggler());
+  add(fault_drop());
+  add(fault_pfs_burst());
+  add(fault_churn_gossip());
+  add(elastic_sweep_join());
+  add(elastic_sweep_leave());
   return entries;
 }
 
@@ -736,6 +825,17 @@ std::vector<std::string> validate(const Scenario& s) {
     bad("worker gossip flush interval must be >= 0");
   }
   if (s.worker.gossip.max_batch < 1) bad("worker gossip max batch must be >= 1");
+  if (s.worker.gossip.min_flush_virtual_s < 0.0) {
+    bad("worker gossip adaptive floor must be >= 0");
+  }
+  if (s.worker.gossip.min_flush_virtual_s > 0.0 &&
+      s.worker.gossip.min_flush_virtual_s > s.worker.gossip.flush_virtual_s) {
+    bad("worker gossip adaptive floor exceeds the flush window");
+  }
+  for (const std::string& problem :
+       validate_fault_plan(s.worker.faults, s.worker.world_size)) {
+    bad(problem);
+  }
   if (s.worker.epochs <= 0) bad("worker epochs must be positive");
   if (s.worker.per_worker_batch == 0) bad("worker batch must be positive");
   if (s.worker.time_scale <= 0.0) bad("worker time scale must be positive");
@@ -901,6 +1001,7 @@ runtime::RuntimeConfig runtime_config(const Scenario& scenario, int world_size) 
   config.router.use_remote = scenario.worker.use_remote;
   config.pfs_gossip = scenario.worker.gossip;
   config.pfs_thread_weighted_gamma = scenario.worker.thread_weighted_gamma;
+  config.faults = scenario.worker.faults;
   return config;
 }
 

@@ -33,6 +33,7 @@
 #include "baselines/loader.hpp"
 #include "data/dataset.hpp"
 #include "runtime/harness.hpp"
+#include "scenario/fault_plan.hpp"
 #include "sim/sim_config.hpp"
 #include "sim/sweep.hpp"
 #include "tiers/params.hpp"
@@ -105,6 +106,10 @@ struct WorkerShape {
   /// policy) for cross-check consumers like bench_runtime_validation.
   /// Empty = just `loader`.
   std::vector<LoaderLine> loaders;
+  /// Scripted fault injection (fault_plan.hpp): straggler skew, dropped
+  /// connections, PFS bursts, elastic membership.  Empty (the default)
+  /// injects nothing; validate() checks the plan against world_size.
+  FaultPlan faults;
 };
 
 /// One named scenario: a full run specification.

@@ -305,7 +305,16 @@ SweepServiceReport run_sweep_service(
   const auto start = std::chrono::steady_clock::now();
   const int world = transport != nullptr ? transport->world_size() : 1;
   const int rank = transport != nullptr ? transport->rank() : 0;
-  const bool distributed = transport != nullptr && world > 1;
+  // Elastic worlds may hold late joiners with ranks >= world, so the
+  // scheduler's per-sender seq guards are sized for the largest world the
+  // transport may grow to; a solo elastic root still installs the service.
+  const int max_workers = std::max(world, options.max_workers);
+  const bool distributed = transport != nullptr && max_workers > 1;
+  if (options.abandon_after_pulls > 0 && !options.elastic) {
+    throw std::invalid_argument(
+        "sweep service: abandon_after_pulls requires elastic (a dead worker "
+        "cannot enter the completion barrier)");
+  }
 
   SweepServiceReport report;
   report.stats.total_cells = total_cells;
@@ -319,7 +328,7 @@ SweepServiceReport run_sweep_service(
   };
 
   if (rank == 0) {
-    SweepScheduler scheduler(total_cells, grid_signature, options, world);
+    SweepScheduler scheduler(total_cells, grid_signature, options, max_workers);
     if (options.resume) {
       report.stats.restored_cells = scheduler.load_checkpoint();
     }
@@ -360,12 +369,29 @@ SweepServiceReport run_sweep_service(
       scheduler.submit(range.first, std::move(results));
     }
     if (distributed) {
-      // Workers only enter the barrier after their pull answered done, and
-      // a done reply orders AFTER the sender's prior result frames on the
-      // same channel — so barrier completion implies every remote result
-      // has been folded.
-      transport->barrier();
-      transport->set_sweep_service({});
+      if (options.elastic) {
+        // An elastic world cannot barrier: a worker may have died holding
+        // a grant (its cells were re-granted at the tail), and a late
+        // joiner was never part of the collective count.  Completion
+        // needs no barrier here — the grant loop above exits only once
+        // every cell is folded — but a straggler's in-flight pull must
+        // still be answered, so swap in a capture-free done-stub instead
+        // of withdrawing the service.
+        net::Transport::SweepService stub;
+        stub.on_pull = [](int, net::Bytes pull) -> std::pair<bool, net::Bytes> {
+          const wire::SweepPull request = wire::decode_sweep_pull(pull);
+          return {true, wire::encode_sweep_done({request.seq})};
+        };
+        stub.on_result = [](int, net::Bytes) {};
+        transport->set_sweep_service(std::move(stub));
+      } else {
+        // Workers only enter the barrier after their pull answered done,
+        // and a done reply orders AFTER the sender's prior result frames
+        // on the same channel — so barrier completion implies every
+        // remote result has been folded.
+        transport->barrier();
+        transport->set_sweep_service({});
+      }
     }
     scheduler.checkpoint_now();
     report.stats.interrupted = scheduler.interrupted();
@@ -375,13 +401,25 @@ SweepServiceReport run_sweep_service(
   } else {
     std::uint32_t pull_seq = 0;
     std::uint32_t result_seq = 0;
+    int completed_pulls = 0;
     for (;;) {
       const auto reply =
           transport->sweep_pull(wire::encode_sweep_pull({++pull_seq}));
       if (!reply.has_value()) {
+        // Rank 0 unreachable.  In an elastic world that is an expected
+        // membership event (the sweep finished and rank 0 moved on);
+        // everything this worker computed has already been pushed.
+        if (options.elastic) break;
         throw std::runtime_error("sweep service: lost rank 0 mid-sweep");
       }
       if (reply->first) break;  // kSweepDone
+      if (options.abandon_after_pulls > 0 &&
+          completed_pulls >= options.abandon_after_pulls) {
+        // Scripted mid-sweep death: this grant is never evaluated or
+        // reported — rank 0's tail re-grants recover its cells, and the
+        // results digest must come out bit-identical regardless.
+        break;
+      }
       const wire::SweepGrant grant = wire::decode_sweep_grant(reply->second);
       wire::SweepResultBatch batch;
       batch.seq = ++result_seq;
@@ -389,8 +427,9 @@ SweepServiceReport run_sweep_service(
       batch.results = evaluate_range(grant.first, grant.count);
       report.stats.executed_cells += grant.count;
       transport->sweep_push_result(wire::encode_sweep_result_batch(batch));
+      ++completed_pulls;
     }
-    transport->barrier();
+    if (!options.elastic) transport->barrier();
   }
   report.stats.wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

@@ -52,6 +52,25 @@ struct SweepServiceOptions {
   /// rank 0 stops granting (workers are told done), checkpoints, and
   /// returns a partial report with stats.interrupted = true.  0 = off.
   std::uint64_t interrupt_after_cells = 0;
+  /// Elastic membership (DESIGN.md Sec. 11).  When set, the world may gain
+  /// and lose workers mid-sweep: the completion barrier is skipped on
+  /// every rank (a dead worker cannot wedge it), a worker treats a lost
+  /// rank 0 as "done" instead of an error, and after the grid drains rank
+  /// 0 leaves a done-answering stub service installed so a straggling
+  /// pull is answered instead of crashing the serve session.  The result
+  /// digest is unchanged: rank 0 exits its grant loop only once every
+  /// cell has been folded, faults or not.
+  bool elastic = false;
+  /// Elastic worlds: the largest worker count the scheduler must track
+  /// (late joiners have ranks >= the transport world size).  0 = the
+  /// transport world size.  Must match the transport's max_world.
+  int max_workers = 0;
+  /// Worker-side fault injection emulating a mid-sweep death
+  /// deterministically: after this many granted-and-reported pulls, the
+  /// worker takes ONE more grant and vanishes without evaluating or
+  /// reporting it — the cells it held are recovered by rank 0's tail
+  /// re-grants.  Requires elastic (a dead worker cannot barrier).  0 = off.
+  int abandon_after_pulls = 0;
 };
 
 struct SweepServiceStats {
