@@ -1,0 +1,404 @@
+// IoUringReactor: the batched-submission backend (DESIGN.md Sec. 7.6).
+// Raw io_uring_setup/io_uring_enter over mmapped SQ/CQ rings — no liburing.
+// The shape of one loop iteration:
+//
+//   * every fd registration is a MULTISHOT POLL_ADD (one SQE per fd for its
+//     whole lifetime, re-armed only when the kernel retires it), re-masks
+//     are a POLL_REMOVE + fresh POLL_ADD under a NEW generation tag (the
+//     fresh arm re-checks readiness, preserving the interface's
+//     level-at-delivery contract; in-flight completions under the old tag
+//     drop in the shared dispatch path instead of racing the cancel),
+//   * the cross-thread wake is an IORING_OP_READ armed on the eventfd,
+//   * the timer heap's next deadline rides an IORING_OP_TIMEOUT SQE
+//     (re-armed only when the deadline moves earlier; a stale later
+//     timeout is just a spurious wakeup),
+//   * and ONE io_uring_enter submits everything queued this iteration and
+//     waits for completions — where the epoll loop paid epoll_wait plus an
+//     epoll_ctl per EPOLLOUT transition plus an eventfd read per wake,
+//     every control operation now shares the single batched syscall.
+//
+// Gated by NOPFS_WITH_IOURING (CMake, default ON on Linux) and a runtime
+// probe: io_uring_setup failing (ENOSYS, seccomp EPERM, io_uring_disabled)
+// or a pre-5.13 ring (no multishot poll) reports unavailable and kAuto
+// falls back to epoll.
+
+#include <memory>
+
+#include "net/reactor_base.hpp"
+
+#if defined(NOPFS_WITH_IOURING) && defined(__linux__) && \
+    defined(__BYTE_ORDER__) && (__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__)
+#if __has_include(<linux/io_uring.h>)
+#define NOPFS_IOURING_ENABLED 1
+#endif
+#endif
+
+#if defined(NOPFS_IOURING_ENABLED)
+
+#include <linux/io_uring.h>
+#include <linux/time_types.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "util/log.hpp"
+
+namespace nopfs::net::detail {
+
+namespace {
+
+// The interface's poll(2) event vocabulary passes through untranslated into
+// poll32_events (the kernel always reports ERR/HUP, exactly like epoll).
+static_assert(kEventIn == POLLIN && kEventOut == POLLOUT &&
+              kEventErr == POLLERR && kEventHup == POLLHUP);
+
+[[noreturn]] void throw_errno(const char* what, int err) {
+  throw std::runtime_error(std::string("Reactor(io_uring): ") + what + ": " +
+                           std::strerror(err));
+}
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int sys_io_uring_enter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+template <typename T>
+T* ring_ptr(void* base, std::uint32_t offset) {
+  return reinterpret_cast<T*>(static_cast<std::uint8_t*>(base) + offset);
+}
+
+std::uint32_t load_acquire(std::uint32_t* p) {
+  return std::atomic_ref<std::uint32_t>(*p).load(std::memory_order_acquire);
+}
+
+void store_release(std::uint32_t* p, std::uint32_t v) {
+  std::atomic_ref<std::uint32_t>(*p).store(v, std::memory_order_release);
+}
+
+// Internal completion tags live in the generation-0 space (registration
+// tags always carry generation >= 1 in their high word, so they can never
+// collide).
+constexpr std::uint64_t kWakeTag = 1;    // the eventfd OP_READ
+constexpr std::uint64_t kCancelTag = 2;  // POLL_REMOVE / TIMEOUT_REMOVE results
+constexpr std::uint64_t kTimeoutTagBase = 0x10000;  // | rotating sequence
+
+class IoUringReactor final : public ReactorCore {
+ public:
+  explicit IoUringReactor(std::size_t event_batch)
+      : event_batch_(event_batch) {
+    io_uring_params params{};
+    // CQ sized well above SQ: multishot polls complete many times per
+    // armed SQE, and IORING_FEAT_NODROP (required below) buffers any
+    // overflow instead of dropping it.
+    params.flags = IORING_SETUP_CQSIZE;
+    params.cq_entries = kSqEntries * 4;
+    ring_fd_ = sys_io_uring_setup(kSqEntries, &params);
+    if (ring_fd_ < 0) throw_errno("io_uring_setup", errno);
+    try {
+      // SINGLE_MMAP (5.4) simplifies the mapping; NODROP (5.5) makes CQ
+      // overflow lossless; RSRC_TAGS (5.13) gates the kernels that ship
+      // multishot POLL_ADD — older rings report unavailable rather than
+      // arming polls that silently never refire.
+      constexpr std::uint32_t required =
+          IORING_FEAT_SINGLE_MMAP | IORING_FEAT_NODROP | IORING_FEAT_RSRC_TAGS;
+      if ((params.features & required) != required) {
+        throw std::runtime_error(
+            "Reactor(io_uring): kernel ring too old (needs 5.13+ multishot "
+            "poll)");
+      }
+      map_rings(params);
+    } catch (...) {
+      ::close(ring_fd_);
+      throw;
+    }
+    // Armed before start(): no concurrent loop yet, so pushing SQEs from the
+    // constructing thread is safe; the first io_uring_enter submits them.
+    arm_wake_read();
+  }
+
+  ~IoUringReactor() override {
+    stop();  // before the rings unmap under the loop
+    if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_bytes_);
+    if (sqes_ != nullptr) ::munmap(sqes_, sqe_bytes_);
+    // Closing the ring fd cancels every armed poll and releases the file
+    // references they hold (the sockets' deferred closes complete here at
+    // the latest).
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  [[nodiscard]] const char* backend_name() const noexcept override {
+    return "io_uring";
+  }
+
+ protected:
+  void backend_add(int fd, std::uint32_t events, std::uint64_t tag) override {
+    push_poll_add(fd, events, tag);
+  }
+
+  std::uint32_t backend_mod(int fd, std::uint32_t events,
+                            std::uint64_t old_tag) override {
+    // Cancel-and-rearm under a fresh generation: the new POLL_ADD re-checks
+    // readiness on arm (an fd already writable delivers immediately, the
+    // level-at-delivery contract), and any completion of the old poll still
+    // in flight carries the old generation, which dispatch drops.  The
+    // remove targets the old user_data, so SQE reordering cannot cancel the
+    // new arm.
+    io_uring_sqe* sqe = get_sqe();
+    sqe->opcode = IORING_OP_POLL_REMOVE;
+    sqe->addr = old_tag;
+    sqe->user_data = kCancelTag;
+    const std::uint32_t gen = alloc_generation();
+    push_poll_add(fd, events, make_tag(fd, gen));
+    return gen;
+  }
+
+  void backend_del(int fd, std::uint64_t tag) override {
+    (void)fd;
+    io_uring_sqe* sqe = get_sqe();
+    sqe->opcode = IORING_OP_POLL_REMOVE;
+    sqe->addr = tag;
+    sqe->user_data = kCancelTag;
+  }
+
+  bool backend_poll(int timeout_ms) override {
+    if (!wake_armed_) arm_wake_read();
+    if (timeout_ms > 0) arm_timeout(timeout_ms);
+
+    // The single batched syscall of the iteration: submit every SQE queued
+    // since the last enter (poll arms/cancels, the wake read, the timeout)
+    // and wait for at least one completion — unless the caller asked not to
+    // block, or completions beyond last iteration's dispatch cap are
+    // already waiting in the CQ.
+    const unsigned to_submit = sq_tail_ - sq_submitted_;
+    store_release(sq_ktail_, sq_tail_);
+    const bool block = timeout_ms != 0 && cq_ready() == 0;
+    const int rc =
+        sys_io_uring_enter(ring_fd_, to_submit, block ? 1 : 0,
+                           IORING_ENTER_GETEVENTS);
+    if (rc < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EBUSY) return true;
+      util::log_error("Reactor(io_uring): io_uring_enter: ",
+                      std::strerror(errno));
+      return false;
+    }
+    sq_submitted_ += static_cast<unsigned>(rc);
+
+    std::size_t dispatched = 0;
+    while (dispatched < event_batch_) {
+      if (cq_ready() == 0) break;
+      const io_uring_cqe& cqe = cqes_[cq_head_ & *cq_kring_mask_];
+      const std::uint64_t tag = cqe.user_data;
+      const std::int32_t res = cqe.res;
+      const std::uint32_t flags = cqe.flags;
+      ++cq_head_;
+      store_release(cq_khead_, cq_head_);
+
+      if (tag == kWakeTag) {
+        // The read consumed (and reset) the eventfd counter; tasks drain at
+        // the top of the next iteration.  Re-armed lazily before the next
+        // enter.
+        wake_armed_ = false;
+        continue;
+      }
+      if (tag == kCancelTag) continue;  // poll/timeout remove results
+      if ((tag >> 32) == 0) {
+        // A timeout fired (-ETIME) or was cancelled; only the currently
+        // armed one clears the armed flag.
+        if (tag == (kTimeoutTagBase | timeout_seq_)) timeout_armed_ = false;
+        continue;
+      }
+
+      // An fd registration.  -ECANCELED is our own remove winning the race
+      // against a final completion: no dispatch, no re-arm.
+      if (res != -ECANCELED) {
+        const auto events =
+            res < 0 ? (kEventErr | kEventHup) : static_cast<std::uint32_t>(res);
+        ++dispatched;
+        dispatch_event(tag, events);
+      }
+      // Multishot retired by the kernel (error paths, or a non-multishot
+      // fallback completion): re-arm iff this exact registration is still
+      // wanted — a del_fd'ed or re-masked fd has moved on.
+      if ((flags & IORING_CQE_F_MORE) == 0 && res != -ECANCELED) {
+        std::uint32_t want = 0;
+        if (still_registered(tag, &want)) {
+          push_poll_add(static_cast<int>(tag & 0xffffffffu), want, tag);
+        }
+      }
+    }
+    return true;
+  }
+
+ private:
+  // SQ entries bound how many control ops one iteration can queue before
+  // get_sqe() flushes early; 256 is far above any transport burst.
+  static constexpr unsigned kSqEntries = 256;
+
+  void map_rings(const io_uring_params& params) {
+    const std::size_t sq_bytes =
+        params.sq_off.array + params.sq_entries * sizeof(std::uint32_t);
+    const std::size_t cq_bytes =
+        params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    sq_ring_bytes_ = sq_bytes > cq_bytes ? sq_bytes : cq_bytes;
+    sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ring_ == MAP_FAILED) {
+      sq_ring_ = nullptr;
+      throw_errno("mmap(sq)", errno);
+    }
+    sqe_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+    sqes_ = static_cast<io_uring_sqe*>(::mmap(nullptr, sqe_bytes_,
+                                              PROT_READ | PROT_WRITE,
+                                              MAP_SHARED | MAP_POPULATE,
+                                              ring_fd_, IORING_OFF_SQES));
+    if (sqes_ == MAP_FAILED) {
+      sqes_ = nullptr;
+      ::munmap(sq_ring_, sq_ring_bytes_);
+      sq_ring_ = nullptr;
+      throw_errno("mmap(sqes)", errno);
+    }
+    sq_khead_ = ring_ptr<std::uint32_t>(sq_ring_, params.sq_off.head);
+    sq_ktail_ = ring_ptr<std::uint32_t>(sq_ring_, params.sq_off.tail);
+    sq_kring_mask_ = ring_ptr<std::uint32_t>(sq_ring_, params.sq_off.ring_mask);
+    sq_array_ = ring_ptr<std::uint32_t>(sq_ring_, params.sq_off.array);
+    cq_khead_ = ring_ptr<std::uint32_t>(sq_ring_, params.cq_off.head);
+    cq_ktail_ = ring_ptr<std::uint32_t>(sq_ring_, params.cq_off.tail);
+    cq_kring_mask_ = ring_ptr<std::uint32_t>(sq_ring_, params.cq_off.ring_mask);
+    cqes_ = ring_ptr<io_uring_cqe>(sq_ring_, params.cq_off.cqes);
+    // Identity submission order: slot i of the indirection array always
+    // names SQE i, and head/tail arithmetic picks the slot.
+    for (std::uint32_t i = 0; i <= *sq_kring_mask_; ++i) sq_array_[i] = i;
+    sq_tail_ = sq_submitted_ = load_acquire(sq_ktail_);
+    cq_head_ = load_acquire(cq_khead_);
+  }
+
+  [[nodiscard]] std::uint32_t cq_ready() const {
+    return load_acquire(cq_ktail_) - cq_head_;
+  }
+
+  /// Next free SQE, zeroed.  A full SQ flushes the backlog with a
+  /// submit-only enter first (no waiting).
+  io_uring_sqe* get_sqe() {
+    while (sq_tail_ - load_acquire(sq_khead_) >= kSqEntries) {
+      const unsigned to_submit = sq_tail_ - sq_submitted_;
+      store_release(sq_ktail_, sq_tail_);
+      const int rc = sys_io_uring_enter(ring_fd_, to_submit, 0, 0);
+      if (rc < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EBUSY) continue;
+        throw_errno("io_uring_enter(flush)", errno);
+      }
+      sq_submitted_ += static_cast<unsigned>(rc);
+    }
+    io_uring_sqe* sqe = &sqes_[sq_tail_ & *sq_kring_mask_];
+    ++sq_tail_;
+    std::memset(sqe, 0, sizeof(*sqe));
+    return sqe;
+  }
+
+  void push_poll_add(int fd, std::uint32_t events, std::uint64_t tag) {
+    io_uring_sqe* sqe = get_sqe();
+    sqe->opcode = IORING_OP_POLL_ADD;
+    sqe->fd = fd;
+    sqe->len = IORING_POLL_ADD_MULTI;
+    sqe->poll32_events = events;  // little-endian host, asserted above
+    sqe->user_data = tag;
+  }
+
+  void arm_wake_read() {
+    io_uring_sqe* sqe = get_sqe();
+    sqe->opcode = IORING_OP_READ;
+    sqe->fd = wake_fd();
+    sqe->addr = reinterpret_cast<std::uint64_t>(&wake_buf_);
+    sqe->len = sizeof(wake_buf_);
+    sqe->user_data = kWakeTag;
+    wake_armed_ = true;
+  }
+
+  void arm_timeout(int timeout_ms) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    // Only a deadline EARLIER than the armed one needs a new SQE; a stale
+    // later timeout merely wakes the loop early, and wait_timeout_ms()
+    // re-derives the true deadline every iteration.
+    if (timeout_armed_ && deadline >= timeout_deadline_) return;
+    if (timeout_armed_) {
+      io_uring_sqe* sqe = get_sqe();
+      sqe->opcode = IORING_OP_TIMEOUT_REMOVE;
+      sqe->addr = kTimeoutTagBase | timeout_seq_;
+      sqe->user_data = kCancelTag;
+    }
+    timeout_seq_ = (timeout_seq_ + 1) & 0xff;
+    __kernel_timespec& ts = timeout_ts_[timeout_seq_ % kTimeoutSlots];
+    ts.tv_sec = timeout_ms / 1000;
+    ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1'000'000;
+    io_uring_sqe* sqe = get_sqe();
+    sqe->opcode = IORING_OP_TIMEOUT;
+    sqe->addr = reinterpret_cast<std::uint64_t>(&ts);
+    sqe->len = 1;
+    sqe->user_data = kTimeoutTagBase | timeout_seq_;
+    timeout_armed_ = true;
+    timeout_deadline_ = deadline;
+  }
+
+  std::size_t event_batch_;
+  int ring_fd_ = -1;
+
+  void* sq_ring_ = nullptr;
+  std::size_t sq_ring_bytes_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  std::size_t sqe_bytes_ = 0;
+  std::uint32_t* sq_khead_ = nullptr;
+  std::uint32_t* sq_ktail_ = nullptr;
+  std::uint32_t* sq_kring_mask_ = nullptr;
+  std::uint32_t* sq_array_ = nullptr;
+  std::uint32_t* cq_khead_ = nullptr;
+  std::uint32_t* cq_ktail_ = nullptr;
+  std::uint32_t* cq_kring_mask_ = nullptr;
+  io_uring_cqe* cqes_ = nullptr;
+  std::uint32_t sq_tail_ = 0;      // local mirror; published at enter
+  std::uint32_t sq_submitted_ = 0; // SQEs the kernel has consumed
+  std::uint32_t cq_head_ = 0;      // local mirror; published per reap
+
+  bool wake_armed_ = false;
+  std::uint64_t wake_buf_ = 0;
+
+  // In-flight TIMEOUT timespecs must outlive their SQE; with the
+  // arm-earlier-only policy at most the cancelled one and its replacement
+  // are ever pending, so a tiny rotating pool suffices.
+  static constexpr std::size_t kTimeoutSlots = 8;
+  bool timeout_armed_ = false;
+  std::uint32_t timeout_seq_ = 0;
+  std::chrono::steady_clock::time_point timeout_deadline_{};
+  __kernel_timespec timeout_ts_[kTimeoutSlots] = {};
+};
+
+}  // namespace
+
+std::unique_ptr<Reactor> make_io_uring_reactor(std::size_t event_batch) {
+  return std::make_unique<IoUringReactor>(event_batch);
+}
+
+}  // namespace nopfs::net::detail
+
+#else  // !NOPFS_IOURING_ENABLED
+
+namespace nopfs::net::detail {
+
+std::unique_ptr<Reactor> make_io_uring_reactor(std::size_t) { return nullptr; }
+
+}  // namespace nopfs::net::detail
+
+#endif

@@ -1,6 +1,11 @@
-#include "net/reactor.hpp"
+// Backend-independent Reactor machinery: detail::ReactorCore (task queue,
+// timers, generation-tagged dispatch), the backend name/parse helpers, the
+// cached io_uring runtime probe, and make_reactor() — kAuto resolves
+// through the probe and falls back to epoll silently; an explicit kIoUring
+// throws where the kernel refuses the ring.
 
-#include <sys/epoll.h>
+#include "net/reactor_base.hpp"
+
 #include <sys/eventfd.h>
 #include <unistd.h>
 
@@ -15,6 +20,78 @@
 
 namespace nopfs::net {
 
+const char* to_string(ReactorBackend backend) noexcept {
+  switch (backend) {
+    case ReactorBackend::kAuto:
+      return "auto";
+    case ReactorBackend::kEpoll:
+      return "epoll";
+    case ReactorBackend::kIoUring:
+      return "io_uring";
+  }
+  return "auto";
+}
+
+bool parse_reactor_backend(const std::string& name, ReactorBackend& out) noexcept {
+  if (name == "auto") {
+    out = ReactorBackend::kAuto;
+  } else if (name == "epoll") {
+    out = ReactorBackend::kEpoll;
+  } else if (name == "io_uring" || name == "uring") {
+    out = ReactorBackend::kIoUring;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool io_uring_available() noexcept {
+  // One probe per process: availability cannot change underneath us, and
+  // make_reactor(kAuto) may be on a rendezvous-handshake path.
+  static const bool available = [] {
+    try {
+      return detail::make_io_uring_reactor(1) != nullptr;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }();
+  return available;
+}
+
+std::unique_ptr<Reactor> make_reactor(ReactorBackend backend,
+                                      std::size_t event_batch) {
+  event_batch = std::max<std::size_t>(event_batch, 1);
+  switch (backend) {
+    case ReactorBackend::kEpoll:
+      return detail::make_epoll_reactor(event_batch);
+    case ReactorBackend::kIoUring: {
+      auto reactor = detail::make_io_uring_reactor(event_batch);
+      if (reactor == nullptr) {
+        throw std::runtime_error(
+            "Reactor: io_uring backend not compiled in (NOPFS_WITH_IOURING)");
+      }
+      return reactor;
+    }
+    case ReactorBackend::kAuto:
+      break;
+  }
+  if (io_uring_available()) {
+    try {
+      if (auto reactor = detail::make_io_uring_reactor(event_batch)) {
+        return reactor;
+      }
+    } catch (const std::exception& ex) {
+      // The probe passed but this ring failed (e.g. a memlock limit under
+      // load): auto means never degrade the run over the backend choice.
+      util::log_warn("Reactor: io_uring probe passed but setup failed (",
+                     ex.what(), "); falling back to epoll");
+    }
+  }
+  return detail::make_epoll_reactor(event_batch);
+}
+
+namespace detail {
+
 namespace {
 
 [[noreturn]] void throw_errno(const char* what) {
@@ -24,33 +101,24 @@ namespace {
 
 }  // namespace
 
-Reactor::Reactor() {
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+ReactorCore::ReactorCore() {
   wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
-  if (wake_fd_ < 0) {
-    ::close(epoll_fd_);
-    throw_errno("eventfd");
-  }
-  // Registered before start(): no concurrent loop yet, so direct add is safe.
-  add_fd(wake_fd_, EPOLLIN, [this](std::uint32_t) {
-    std::uint64_t drained = 0;
-    while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
-    }
-  });
+  if (wake_fd_ < 0) throw_errno("eventfd");
 }
 
-Reactor::~Reactor() {
+ReactorCore::~ReactorCore() {
+  // Backends MUST stop() in their own destructors (the loop thread touches
+  // backend state); this catches a backend whose constructor threw before
+  // start().
   stop();
   if (wake_fd_ >= 0) ::close(wake_fd_);
-  if (epoll_fd_ >= 0) ::close(epoll_fd_);
 }
 
-void Reactor::start() {
+void ReactorCore::start() {
   thread_ = std::thread([this] { run(); });
 }
 
-void Reactor::stop() {
+void ReactorCore::stop() {
   if (!thread_.joinable()) return;
   {
     const std::scoped_lock lock(task_mutex_);
@@ -63,7 +131,7 @@ void Reactor::stop() {
   thread_.join();
 }
 
-void Reactor::post(Task task) {
+void ReactorCore::post(Task task) {
   {
     const std::scoped_lock lock(task_mutex_);
     tasks_.push_back(std::move(task));
@@ -71,38 +139,61 @@ void Reactor::post(Task task) {
   wake();
 }
 
-void Reactor::wake() {
+void ReactorCore::wake() {
   const std::uint64_t one = 1;
   // The eventfd counter saturating (EAGAIN) still leaves it readable, so a
   // failed write never loses a wakeup.
   [[maybe_unused]] const ssize_t rc = ::write(wake_fd_, &one, sizeof(one));
 }
 
-void Reactor::add_fd(int fd, std::uint32_t events, FdHandler handler) {
-  epoll_event ev{};
-  ev.events = events;
-  ev.data.fd = fd;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
-    throw_errno("epoll_ctl(add)");
+void ReactorCore::add_fd(int fd, std::uint32_t events, FdHandler handler) {
+  FdEntry entry;
+  entry.gen = alloc_generation();
+  entry.events = events;
+  entry.handler = std::make_shared<FdHandler>(std::move(handler));
+  backend_add(fd, events, make_tag(fd, entry.gen));
+  handlers_[fd] = std::move(entry);
+}
+
+void ReactorCore::mod_fd(int fd, std::uint32_t events) {
+  const auto it = handlers_.find(fd);
+  if (it == handlers_.end()) {
+    throw std::runtime_error("Reactor: mod_fd on unregistered fd");
   }
-  handlers_[fd] = std::make_shared<FdHandler>(std::move(handler));
+  it->second.gen = backend_mod(fd, events, make_tag(fd, it->second.gen));
+  it->second.events = events;
 }
 
-void Reactor::mod_fd(int fd, std::uint32_t events) {
-  epoll_event ev{};
-  ev.events = events;
-  ev.data.fd = fd;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
-    throw_errno("epoll_ctl(mod)");
-  }
+void ReactorCore::del_fd(int fd) {
+  const auto it = handlers_.find(fd);
+  if (it == handlers_.end()) return;
+  backend_del(fd, make_tag(fd, it->second.gen));
+  handlers_.erase(it);
 }
 
-void Reactor::del_fd(int fd) {
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
-  handlers_.erase(fd);
+void ReactorCore::dispatch_event(std::uint64_t tag, std::uint32_t events) {
+  const int fd = static_cast<int>(tag & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(tag >> 32);
+  const auto it = handlers_.find(fd);
+  // Removed earlier in this batch, or the fd number was recycled into a new
+  // registration: the stale event must not reach the new handler.
+  if (it == handlers_.end() || it->second.gen != gen) return;
+  // Copy the shared_ptr: the handler may del_fd itself mid-call.
+  const std::shared_ptr<FdHandler> handler = it->second.handler;
+  (*handler)(events);
 }
 
-void Reactor::call_later(double delay_s, Task task) {
+bool ReactorCore::still_registered(std::uint64_t tag,
+                                   std::uint32_t* events_out) const {
+  const int fd = static_cast<int>(tag & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(tag >> 32);
+  const auto it = handlers_.find(fd);
+  if (it == handlers_.end() || it->second.gen != gen) return false;
+  if (events_out != nullptr) *events_out = it->second.events;
+  return true;
+}
+
+void ReactorCore::call_later(double delay_s, Task task) {
   Timer timer;
   timer.when = std::chrono::steady_clock::now() +
                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -116,9 +207,11 @@ void Reactor::call_later(double delay_s, Task task) {
                  });
 }
 
-void Reactor::set_iteration_hook(Task hook) { iteration_hook_ = std::move(hook); }
+void ReactorCore::set_iteration_hook(Task hook) {
+  iteration_hook_ = std::move(hook);
+}
 
-void Reactor::drain_tasks() {
+void ReactorCore::drain_tasks() {
   std::vector<Task> batch;
   {
     const std::scoped_lock lock(task_mutex_);
@@ -127,7 +220,7 @@ void Reactor::drain_tasks() {
   for (Task& task : batch) task();
 }
 
-void Reactor::fire_due_timers() {
+void ReactorCore::fire_due_timers() {
   const auto greater = [](const Timer& a, const Timer& b) {
     return a.when > b.when || (a.when == b.when && a.seq > b.seq);
   };
@@ -140,7 +233,7 @@ void Reactor::fire_due_timers() {
   }
 }
 
-int Reactor::wait_timeout_ms() const {
+int ReactorCore::wait_timeout_ms() const {
   if (timers_.empty()) return -1;
   const auto now = std::chrono::steady_clock::now();
   if (timers_.front().when <= now) return 0;
@@ -151,28 +244,15 @@ int Reactor::wait_timeout_ms() const {
   return static_cast<int>(std::min<long long>(wait + 1, 60'000));
 }
 
-void Reactor::run() {
-  epoll_event events[64];
+void ReactorCore::run() {
   for (;;) {
     drain_tasks();
     if (stop_requested_) break;
     fire_due_timers();
     if (iteration_hook_) iteration_hook_();
-    const int n = ::epoll_wait(epoll_fd_, events, 64, wait_timeout_ms());
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      util::log_error("Reactor: epoll_wait: ", std::strerror(errno));
-      break;
-    }
-    for (int i = 0; i < n; ++i) {
-      const int fd = events[i].data.fd;
-      const auto it = handlers_.find(fd);
-      if (it == handlers_.end()) continue;  // removed earlier in this batch
-      // Copy the shared_ptr: the handler may del_fd itself mid-call.
-      const std::shared_ptr<FdHandler> handler = it->second;
-      (*handler)(events[i].events);
-    }
+    if (!backend_poll(wait_timeout_ms())) break;
   }
 }
 
+}  // namespace detail
 }  // namespace nopfs::net

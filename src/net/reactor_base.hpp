@@ -1,0 +1,128 @@
+#pragma once
+// detail::ReactorCore — the backend-independent half of a Reactor: the FIFO
+// task queue and its eventfd wake, the (when, seq) timer min-heap, the
+// iteration hook, and the generation-tagged fd registry whose dispatch path
+// drops stale events (an fd closed and re-registered within one event batch
+// carries a new generation, so the pending event's old tag no longer
+// matches — the fix both backends share; under io_uring a stale completion
+// would otherwise be UB-adjacent, not merely a spurious level-triggered
+// wakeup).
+//
+// A backend implements only the kernel-facing surface: registering /
+// re-masking / deregistering an fd under a 64-bit tag, and one poll step
+// that waits up to a deadline and funnels ready (tag, events) pairs through
+// dispatch_event().
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/reactor.hpp"
+
+namespace nopfs::net::detail {
+
+class ReactorCore : public Reactor {
+ public:
+  ~ReactorCore() override;
+
+  void start() final;
+  void stop() final;
+  void post(Task task) final;
+  void add_fd(int fd, std::uint32_t events, FdHandler handler) final;
+  void mod_fd(int fd, std::uint32_t events) final;
+  void del_fd(int fd) final;
+  void call_later(double delay_s, Task task) final;
+  void set_iteration_hook(Task hook) final;
+
+ protected:
+  ReactorCore();  // creates the wake eventfd; throws std::runtime_error
+
+  // --- backend surface -----------------------------------------------------
+  // `tag` packs (generation << 32) | fd; generations start at 1, so a tag
+  // below 2^32 can never collide with a registration (backends reserve that
+  // space for internal completions).
+
+  virtual void backend_add(int fd, std::uint32_t events, std::uint64_t tag) = 0;
+  /// Re-masks an existing registration.  Returns the generation now in
+  /// effect: epoll keeps the registration (and generation) alive across a
+  /// EPOLL_CTL_MOD; io_uring replaces the poll (cancel + fresh multishot
+  /// arm, which re-checks readiness), so it allocates a new generation via
+  /// alloc_generation() — in-flight completions under the old tag then drop
+  /// in dispatch_event() instead of racing the cancel.
+  virtual std::uint32_t backend_mod(int fd, std::uint32_t events,
+                                    std::uint64_t old_tag) = 0;
+  virtual void backend_del(int fd, std::uint64_t tag) = 0;
+  /// One poll step: waits up to `timeout_ms` (-1 = no deadline, 0 = don't
+  /// block) for readiness, dispatching each ready registration through
+  /// dispatch_event().  Returns false on a fatal poll error (ends the loop).
+  virtual bool backend_poll(int timeout_ms) = 0;
+
+  // --- services for backends ----------------------------------------------
+
+  /// The eventfd post() writes to; backends watch it their own way (epoll
+  /// registers it like any fd, io_uring keeps a ring read armed on it).
+  [[nodiscard]] int wake_fd() const noexcept { return wake_fd_; }
+
+  [[nodiscard]] static std::uint64_t make_tag(int fd, std::uint32_t gen) noexcept {
+    return (static_cast<std::uint64_t>(gen) << 32) |
+           static_cast<std::uint32_t>(fd);
+  }
+  [[nodiscard]] std::uint32_t alloc_generation() noexcept { return ++generation_; }
+
+  /// Generation-checked dispatch: unpacks (fd, gen) from `tag`, drops the
+  /// event unless that exact registration is still current, then invokes
+  /// the handler through a copied shared_ptr (it may del_fd itself).
+  void dispatch_event(std::uint64_t tag, std::uint32_t events);
+
+  /// True while `tag` names the current registration of its fd — backends
+  /// use it to re-arm a terminated multishot poll only when still wanted.
+  /// `events_out` (optional) receives the registered mask.
+  [[nodiscard]] bool still_registered(std::uint64_t tag,
+                                      std::uint32_t* events_out = nullptr) const;
+
+ private:
+  struct Timer {
+    std::chrono::steady_clock::time_point when;
+    std::uint64_t seq = 0;  // tie-break: equal deadlines fire in post order
+    Task fn;
+  };
+  struct FdEntry {
+    std::uint32_t gen = 0;
+    std::uint32_t events = 0;
+    std::shared_ptr<FdHandler> handler;
+  };
+
+  void run();
+  void wake();
+  void drain_tasks();
+  void fire_due_timers();
+  [[nodiscard]] int wait_timeout_ms() const;
+
+  int wake_fd_ = -1;
+  std::thread thread_;
+  bool stop_requested_ = false;  // loop-thread once running; see stop()
+
+  std::mutex task_mutex_;
+  std::vector<Task> tasks_;
+  bool stop_posted_ = false;
+
+  // Loop-thread-only state.
+  std::unordered_map<int, FdEntry> handlers_;
+  std::uint32_t generation_ = 0;
+  std::vector<Timer> timers_;  // min-heap on (when, seq)
+  std::uint64_t timer_seq_ = 0;
+  Task iteration_hook_;
+};
+
+/// Backend factories (epoll_reactor.cpp / io_uring_reactor.cpp; the classes
+/// themselves are file-local — construct through these or make_reactor()).
+[[nodiscard]] std::unique_ptr<Reactor> make_epoll_reactor(std::size_t event_batch);
+/// Returns null when the build carries no io_uring backend
+/// (NOPFS_WITH_IOURING off); throws when the kernel refuses the ring.
+[[nodiscard]] std::unique_ptr<Reactor> make_io_uring_reactor(std::size_t event_batch);
+
+}  // namespace nopfs::net::detail

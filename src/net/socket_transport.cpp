@@ -4,13 +4,13 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <stdexcept>
@@ -31,6 +31,25 @@ using Clock = std::chrono::steady_clock;
 [[noreturn]] void throw_errno(const char* what) {
   throw std::runtime_error(std::string("SocketTransport: ") + what + ": " +
                            std::strerror(errno));
+}
+
+/// Resolves SocketOptions::reactor_backend against the NOPFS_REACTOR env
+/// var.  The env var is consulted ONLY when the option is kAuto (code wins
+/// over environment), and a parsed value is treated like an explicit
+/// request: NOPFS_REACTOR=io_uring on a kernel that denies io_uring_setup
+/// fails loudly instead of silently measuring epoll.  An unparseable value
+/// warns and stays kAuto.
+ReactorBackend resolve_reactor_backend(ReactorBackend requested) {
+  if (requested != ReactorBackend::kAuto) return requested;
+  const char* env = std::getenv("NOPFS_REACTOR");
+  if (env == nullptr || *env == '\0') return ReactorBackend::kAuto;
+  ReactorBackend parsed = ReactorBackend::kAuto;
+  if (!parse_reactor_backend(env, parsed)) {
+    util::log_warn(std::string("SocketTransport: NOPFS_REACTOR=") + env +
+                   " not recognized (want auto|epoll|io_uring); probing");
+    return ReactorBackend::kAuto;
+  }
+  return parsed;
 }
 
 void set_socket_timeout(int fd, int option, double seconds) {
@@ -204,7 +223,7 @@ struct SocketTransport::Session : std::enable_shared_from_this<Session> {
   Kind kind = Kind::kServe;
   State state = State::kHandshake;
   int peer = -1;
-  bool want_write = false;  ///< EPOLLOUT currently armed
+  bool want_write = false;  ///< kEventOut currently armed
   bool dirty = false;       ///< queued for this iteration's batched flush
   wire::FrameReader reader;
   wire::SendQueue sendq;
@@ -360,10 +379,15 @@ SocketTransport::SocketTransport(const SocketOptions& options) : options_(option
     }
     make_nonblocking(serve_listener_fd_);
 
-    reactor_ = std::make_unique<Reactor>();
+    const std::size_t event_batch = options_.reactor_event_batch != 0
+                                        ? options_.reactor_event_batch
+                                        : kDefaultEventBatch;
+    reactor_ = make_reactor(resolve_reactor_backend(options_.reactor_backend),
+                            event_batch);
+    reactor_backend_name_ = reactor_->backend_name();
     reactor_->post([this] {
       reactor_->set_iteration_hook([this] { loop_flush_dirty(); });
-      reactor_->add_fd(serve_listener_fd_, EPOLLIN,
+      reactor_->add_fd(serve_listener_fd_, kEventIn,
                        [this](std::uint32_t) { loop_accept_serve(); });
     });
     reactor_->start();
@@ -477,7 +501,7 @@ void SocketTransport::rendezvous_as_root() {
   reactor_->post([this, waiter] {
     loop_->rendezvous_waiter = waiter;
     loop_->rendezvous_remaining = options_.world_size - 1;
-    reactor_->add_fd(rendezvous_listener_fd_, EPOLLIN,
+    reactor_->add_fd(rendezvous_listener_fd_, kEventIn,
                      [this](std::uint32_t) { loop_accept_rendezvous(); });
   });
   // Only base ranks are waited for; late joiners arrive whenever their
@@ -709,8 +733,11 @@ std::shared_ptr<SocketTransport::Session> SocketTransport::loop_make_session(
   session->fd = fd;
   session->kind = static_cast<Session::Kind>(kind);
   session->state = static_cast<Session::State>(state);
+  if (options_.send_gather_iovs != 0) {
+    session->sendq.set_max_flush_iov(options_.send_gather_iovs);
+  }
   loop_->sessions.emplace(fd, session);
-  reactor_->add_fd(fd, EPOLLIN, [this, fd](std::uint32_t events) {
+  reactor_->add_fd(fd, kEventIn, [this, fd](std::uint32_t events) {
     loop_on_session_event(fd, events);
   });
   return session;
@@ -740,7 +767,7 @@ void SocketTransport::loop_on_session_event(int fd, std::uint32_t events) {
   const std::shared_ptr<Session> session = it->second;
   try {
     if (session->state == Session::State::kConnecting) {
-      if ((events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) != 0) {
+      if ((events & (kEventOut | kEventErr | kEventHup)) != 0) {
         loop_finish_connect(session);
       }
       if (session->state == Session::State::kClosed ||
@@ -748,8 +775,11 @@ void SocketTransport::loop_on_session_event(int fd, std::uint32_t events) {
         return;
       }
     }
-    if ((events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
-      const wire::IoStatus status = session->reader.fill_from(session->fd);
+    if ((events & (kEventIn | kEventHup | kEventErr)) != 0) {
+      const std::size_t budget = options_.read_budget_bytes != 0
+                                     ? options_.read_budget_bytes
+                                     : wire::FrameReader::kDefaultReadBudget;
+      const wire::IoStatus status = session->reader.fill_from(session->fd, budget);
       // Dispatch everything that arrived BEFORE acting on EOF: a peer's
       // teardown-flushed deltas can land in the same read as its close,
       // and they must still fold.
@@ -764,8 +794,24 @@ void SocketTransport::loop_on_session_event(int fd, std::uint32_t events) {
         loop_close_session(session);
         return;
       }
+      if (status == wire::IoStatus::kDone) {
+        // Budget truncation: unread bytes remain in the socket buffer.
+        // Level-triggered epoll would refire on its own, but the io_uring
+        // multishot poll only wakes on NEW kernel activity — a quiet peer
+        // whose burst we truncated would hang.  Post a continuation so the
+        // remainder is consumed on the next loop iteration regardless of
+        // backend (and other sessions still get their turn in between).
+        const std::weak_ptr<Session> weak = session;
+        reactor_->post([this, weak] {
+          const auto live = weak.lock();
+          if (live && live->fd >= 0 &&
+              live->state != Session::State::kClosed) {
+            loop_on_session_event(live->fd, kEventIn);
+          }
+        });
+      }
     }
-    if ((events & EPOLLOUT) != 0) loop_flush_session(session);
+    if ((events & kEventOut) != 0) loop_flush_session(session);
   } catch (const std::exception& ex) {
     if (!stopping_.load(std::memory_order_acquire)) {
       util::log_error("SocketTransport rank ", options_.rank, ": ", ex.what());
@@ -785,7 +831,7 @@ void SocketTransport::loop_finish_connect(const std::shared_ptr<Session>& sessio
   session->state =
       loop_->draining ? Session::State::kDraining : Session::State::kOpen;
   session->want_write = false;
-  reactor_->mod_fd(session->fd, EPOLLIN);
+  reactor_->mod_fd(session->fd, kEventIn);
   loop_mark_dirty(session);  // the queued kHello (and anything behind it)
 }
 
@@ -839,7 +885,7 @@ void SocketTransport::loop_flush_session(const std::shared_ptr<Session>& session
     const bool want = status == wire::IoStatus::kWouldBlock;
     if (want != session->want_write) {
       session->want_write = want;
-      reactor_->mod_fd(session->fd, want ? (EPOLLIN | EPOLLOUT) : EPOLLIN);
+      reactor_->mod_fd(session->fd, want ? (kEventIn | kEventOut) : kEventIn);
     }
     if (session->state == Session::State::kDraining && session->sendq.empty() &&
         session->delayed.empty()) {
@@ -1400,7 +1446,7 @@ std::shared_ptr<SocketTransport::Session> SocketTransport::loop_channel(int peer
       static_cast<int>(rc == 0 ? Session::State::kOpen
                                : Session::State::kConnecting));
   session->peer = peer;
-  if (rc != 0) reactor_->mod_fd(fd, EPOLLIN | EPOLLOUT);
+  if (rc != 0) reactor_->mod_fd(fd, kEventIn | kEventOut);
   // The channel hello leads every frame on a dialed channel (revision 3).
   Bytes hello;
   wire::put_u32(hello, wire::kProtocolVersion);

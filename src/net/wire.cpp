@@ -421,13 +421,17 @@ void SendQueue::push(MsgType type, std::uint64_t arg,
   push(type, arg, std::move(copy));
 }
 
+void SendQueue::set_max_flush_iov(std::size_t cap) noexcept {
+  max_flush_iov_ = std::clamp<std::size_t>(cap, 2, kMaxFlushIovCap);
+}
+
 IoStatus SendQueue::flush(int fd) {
   while (!entries_.empty()) {
-    iovec iov[kMaxFlushIov];
+    iovec iov[kMaxFlushIovCap];
     std::size_t iovcnt = 0;
     std::size_t skip = front_offset_;  // non-zero only for the front entry
     for (auto it = entries_.begin();
-         it != entries_.end() && iovcnt + 2 <= kMaxFlushIov; ++it) {
+         it != entries_.end() && iovcnt + 2 <= max_flush_iov_; ++it) {
       if (skip < kHeaderBytes) {
         iov[iovcnt].iov_base = it->header + skip;
         iov[iovcnt].iov_len = kHeaderBytes - skip;

@@ -305,12 +305,21 @@ class FrameReader {
 /// Outbound frame queue for a non-blocking socket.  push() stages a frame
 /// (header encoded in place, payload moved in — never copied); flush()
 /// writes as much as the socket accepts with one sendmsg() per batch,
-/// gathering up to kMaxFlushIov iovecs so a kHit header and its sample
+/// gathering up to the configured iovec cap so a kHit header and its sample
 /// payload — and any frames queued behind them — leave in one syscall.
 /// Partial writes persist as a byte offset into the front frame.
 class SendQueue {
  public:
-  static constexpr std::size_t kMaxFlushIov = 32;
+  /// Default gather cap in iovecs per sendmsg (a frame is a header iovec
+  /// plus, when non-empty, a payload iovec — so ~32 small frames a batch).
+  static constexpr std::size_t kDefaultMaxFlushIov = 32;
+  /// Hard ceiling for set_max_flush_iov (stack-allocated iovec array; also
+  /// comfortably below the kernel's UIO_MAXIOV).
+  static constexpr std::size_t kMaxFlushIovCap = 256;
+
+  /// Re-tunes the gather cap (SocketOptions::send_gather_iovs — backend A/B
+  /// sweeps); clamped to [2, kMaxFlushIovCap].
+  void set_max_flush_iov(std::size_t cap) noexcept;
 
   void push(MsgType type, std::uint64_t arg, std::vector<std::uint8_t> payload);
   void push(MsgType type, std::uint64_t arg, const std::uint8_t* payload,
@@ -333,6 +342,7 @@ class SendQueue {
   std::deque<Entry> entries_;
   std::size_t front_offset_ = 0;  // bytes of the front entry already sent
   std::size_t bytes_ = 0;
+  std::size_t max_flush_iov_ = kDefaultMaxFlushIov;
 };
 
 }  // namespace nopfs::net::wire

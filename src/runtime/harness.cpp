@@ -382,6 +382,7 @@ RuntimeResult run_distributed(const data::Dataset& dataset, const RuntimeConfig&
   const std::uint64_t local_b = stream_config.local_batch();
 
   RuntimeResult result;
+  result.reactor_backend = transport.reactor_backend();
   WorkerOutcome outcome;
   auto ctx = make_loader_context(dataset, config, rank, source, loader_transport,
                                  devices.worker);
@@ -428,6 +429,7 @@ RuntimeResult run_distributed(const data::Dataset& dataset, const RuntimeConfig&
   options.nic = cluster.worker(endpoint.rank).nic.get();
   options.gossip = config.pfs_gossip;
   options.time_scale = config.time_scale;
+  options.reactor_backend = endpoint.reactor;
   net::SocketTransport transport(options);
   return run_distributed(dataset, config, transport, &cluster);
 }
